@@ -1,0 +1,258 @@
+//! The OpenWPM-equivalent crawler.
+//!
+//! §3.3: the paper crawls 200 prebid-supported sites per iteration, logged
+//! in as each persona, and records three observable streams per visit:
+//!
+//! 1. **bids** — via an injected script calling `pbjs.getBidResponses` /
+//!    `pbjs.requestBids`;
+//! 2. **creatives** — the served ad images;
+//! 3. **network requests** — from which cookie-sync redirects are detected
+//!    (URL-embedded partner identifiers, §5.5).
+//!
+//! Slots fail to load sometimes; the analysis keeps only slots that loaded
+//! for *all* personas ("common slots") to control for slot effects.
+
+use crate::adserver::AdServer;
+use crate::bidding::{Auction, Bid, UserState};
+use crate::identity::BrowserProfile;
+use crate::sync::{SyncGraph, AMAZON_AD_ORG};
+use crate::website::Website;
+use crate::Creative;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A cookie-sync redirect observed in crawl traffic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SyncObservation {
+    /// Organization initiating the sync (sends its cookie).
+    pub from_org: String,
+    /// Organization receiving the identifier.
+    pub to_org: String,
+    /// The user identifier embedded in the redirect URL.
+    pub user_id: String,
+}
+
+/// Everything recorded during one page visit.
+#[derive(Debug, Clone, Default)]
+pub struct VisitRecord {
+    /// Site visited.
+    pub site: String,
+    /// Crawl iteration this visit belongs to.
+    pub iteration: usize,
+    /// Bids observed via the prebid API, per loaded slot.
+    pub bids: Vec<Bid>,
+    /// Ad creatives rendered on the page.
+    pub creatives: Vec<Creative>,
+    /// Cookie-sync redirects seen in the network log.
+    pub syncs: Vec<SyncObservation>,
+}
+
+/// The persona-facing crawler.
+#[derive(Debug)]
+pub struct Crawler {
+    auction: Auction,
+    adserver: AdServer,
+    sync_graph: SyncGraph,
+    /// Probability a slot loads during a visit.
+    pub slot_load_rate: f64,
+}
+
+impl Crawler {
+    /// Build a crawler over an auction roster and sync graph.
+    pub fn new(auction: Auction, sync_graph: SyncGraph) -> Crawler {
+        Crawler { auction, adserver: AdServer::new(), sync_graph, slot_load_rate: 0.8 }
+    }
+
+    /// Visit one site as a persona and record the observables.
+    pub fn visit(
+        &self,
+        site: &Website,
+        profile: &mut BrowserProfile,
+        user: &UserState,
+        iteration: usize,
+        seed: u64,
+    ) -> VisitRecord {
+        // Per-(site, persona, iteration) deterministic randomness.
+        let mut h: u64 = seed ^ 0xc7a41;
+        for b in site.domain.as_str().bytes().chain(profile.persona.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h.wrapping_add(iteration as u64));
+
+        let mut record = VisitRecord {
+            site: site.domain.as_str().to_string(),
+            iteration,
+            ..VisitRecord::default()
+        };
+        // The paper's injected probe: a site without a `pbjs` object is
+        // skipped entirely.
+        let Some(mut page) = crate::prebid::probe(site, &self.auction) else {
+            return record;
+        };
+
+        page.request_bids(user, iteration, h.wrapping_add(iteration as u64), |_| {
+            rng.gen_bool(self.slot_load_rate)
+        });
+        record.bids = page.get_bid_responses().values().flatten().cloned().collect();
+
+        record.creatives = self.adserver.select(user, &mut rng);
+
+        // Cookie syncing: partners present on the page push their cookie to
+        // Amazon (one-way — Amazon never pushes its own out), and re-share
+        // onward with their downstream third parties.
+        for bidder in &self.auction.bidders {
+            if !self.sync_graph.is_partner(&bidder.org) {
+                continue;
+            }
+            if rng.gen_bool(0.3) {
+                let cookie = profile.cookie(&bidder.org);
+                record.syncs.push(SyncObservation {
+                    from_org: bidder.org.clone(),
+                    to_org: AMAZON_AD_ORG.to_string(),
+                    user_id: cookie.value.clone(),
+                });
+                // Downstream propagation: each partner forwards to a few of
+                // its downstream orgs per sync event.
+                let downstream = self.sync_graph.downstream_of(&bidder.org);
+                for d in downstream {
+                    if rng.gen_bool(0.35) {
+                        record.syncs.push(SyncObservation {
+                            from_org: bidder.org.clone(),
+                            to_org: d.clone(),
+                            user_id: cookie.value.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Non-bidding sync partners (trackers embedded on pages) also sync.
+        for partner in self.sync_graph.partners() {
+            let is_bidder = self.auction.bidders.iter().any(|b| &b.org == partner);
+            if !is_bidder && rng.gen_bool(0.18) {
+                let cookie = profile.cookie(partner);
+                record.syncs.push(SyncObservation {
+                    from_org: partner.clone(),
+                    to_org: AMAZON_AD_ORG.to_string(),
+                    user_id: cookie.value.clone(),
+                });
+                for d in self.sync_graph.downstream_of(partner) {
+                    if rng.gen_bool(0.35) {
+                        record.syncs.push(SyncObservation {
+                            from_org: partner.clone(),
+                            to_org: d.clone(),
+                            user_id: cookie.value.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidding::standard_roster;
+    use crate::bidding::SeasonModel;
+    use crate::website::WebEcosystem;
+
+    fn setup() -> (Crawler, WebEcosystem) {
+        let graph = SyncGraph::generate(1);
+        let auction = Auction { bidders: standard_roster(graph.partners()), season: SeasonModel::default() };
+        (Crawler::new(auction, graph), WebEcosystem::generate(1, 700))
+    }
+
+    #[test]
+    fn prebid_sites_yield_bids() {
+        // A single visit can see every slot fail to load (p ≈ 0.04 for a
+        // two-slot page), so aggregate over a handful of sites.
+        let (crawler, web) = setup();
+        let mut profile = BrowserProfile::fresh("t", 1, None);
+        let user = UserState::blank("t");
+        let mut bids = 0;
+        let mut creatives = 0;
+        for site in web.prebid_sites(5) {
+            let rec = crawler.visit(site, &mut profile, &user, 10, 42);
+            bids += rec.bids.len();
+            creatives += rec.creatives.len();
+        }
+        assert!(bids > 0);
+        assert!(creatives > 0);
+    }
+
+    #[test]
+    fn non_prebid_sites_yield_nothing() {
+        let (crawler, web) = setup();
+        let site = web.all().iter().find(|w| !w.prebid).unwrap();
+        let mut profile = BrowserProfile::fresh("t", 1, None);
+        let user = UserState::blank("t");
+        let rec = crawler.visit(site, &mut profile, &user, 10, 42);
+        assert!(rec.bids.is_empty());
+        assert!(rec.syncs.is_empty());
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let (crawler, web) = setup();
+        let site = web.prebid_sites(1)[0];
+        let user = UserState::blank("t");
+        let mut p1 = BrowserProfile::fresh("t", 1, None);
+        let mut p2 = BrowserProfile::fresh("t", 1, None);
+        let a = crawler.visit(site, &mut p1, &user, 3, 42);
+        let b = crawler.visit(site, &mut p2, &user, 3, 42);
+        assert_eq!(a.bids, b.bids);
+        assert_eq!(a.syncs, b.syncs);
+    }
+
+    #[test]
+    fn syncs_go_to_amazon_one_way() {
+        let (crawler, web) = setup();
+        let user = UserState::blank("t");
+        let mut profile = BrowserProfile::fresh("t", 1, None);
+        let mut saw_amazon_sync = false;
+        for site in web.prebid_sites(30) {
+            let rec = crawler.visit(site, &mut profile, &user, 5, 42);
+            for s in &rec.syncs {
+                assert_ne!(s.from_org, AMAZON_AD_ORG, "Amazon must never sync out");
+                if s.to_org == AMAZON_AD_ORG {
+                    saw_amazon_sync = true;
+                }
+            }
+        }
+        assert!(saw_amazon_sync);
+    }
+
+    #[test]
+    fn sync_user_ids_match_profile_cookies() {
+        let (crawler, web) = setup();
+        let user = UserState::blank("fashion");
+        let mut profile = BrowserProfile::fresh("fashion", 1, None);
+        for site in web.prebid_sites(10) {
+            let rec = crawler.visit(site, &mut profile, &user, 5, 42);
+            for s in &rec.syncs {
+                assert_eq!(s.user_id, profile.cookie(&s.from_org).value);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_partner_set_observable_over_a_crawl() {
+        let (crawler, web) = setup();
+        let user = UserState::blank("t");
+        let mut profile = BrowserProfile::fresh("t", 1, None);
+        let mut partners = std::collections::BTreeSet::new();
+        for iteration in 0..8 {
+            for site in web.prebid_sites(200) {
+                let rec = crawler.visit(site, &mut profile, &user, iteration, 42);
+                for s in rec.syncs {
+                    if s.to_org == AMAZON_AD_ORG {
+                        partners.insert(s.from_org);
+                    }
+                }
+            }
+        }
+        assert_eq!(partners.len(), crate::sync::PARTNER_COUNT);
+    }
+}

@@ -1,0 +1,118 @@
+//! Browser profiles and cookies.
+//!
+//! Each persona gets a **fresh browser profile** logged into its own Amazon
+//! account, and a **unique IP address** (§3.1.1) so personas cannot
+//! contaminate each other. Cookies are the client-side identifiers the
+//! cookie-syncing machinery (§5.5) exchanges.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// One cookie set by an organization's domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cookie {
+    /// Organization (registrable domain) owning the cookie.
+    pub org: String,
+    /// Opaque identifier value.
+    pub value: String,
+}
+
+/// A persona's browser profile: cookie jar, login state, and source IP.
+#[derive(Debug, Clone)]
+pub struct BrowserProfile {
+    /// Persona name this profile belongs to.
+    pub persona: String,
+    /// Unique source address assigned to the persona.
+    pub ip: Ipv4Addr,
+    /// Whether the profile is logged into the persona's Amazon account
+    /// (true for Echo personas; the web-control personas browse logged in
+    /// too, per §3.3's crawl setup).
+    pub amazon_login: Option<String>,
+    jar: BTreeMap<String, Cookie>,
+}
+
+impl BrowserProfile {
+    /// Create a fresh profile for a persona, with a deterministic unique IP.
+    pub fn fresh(persona: &str, index: u8, amazon_account: Option<&str>) -> BrowserProfile {
+        BrowserProfile {
+            persona: persona.to_string(),
+            ip: Ipv4Addr::new(192, 168, 10, index.max(1)),
+            amazon_login: amazon_account.map(str::to_string),
+            jar: BTreeMap::new(),
+        }
+    }
+
+    /// Get or mint the cookie for an organization. Cookie values are a
+    /// deterministic function of (persona, org) — stable across visits,
+    /// distinct across personas, exactly what sync detection relies on.
+    pub fn cookie(&mut self, org: &str) -> Cookie {
+        if let Some(c) = self.jar.get(org) {
+            return c.clone();
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.persona.bytes().chain(b":".iter().copied()).chain(org.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let c = Cookie { org: org.to_string(), value: format!("uid-{h:016x}") };
+        self.jar.insert(org.to_string(), c.clone());
+        c
+    }
+
+    /// Whether a cookie for the organization exists without minting one.
+    pub fn has_cookie(&self, org: &str) -> bool {
+        self.jar.contains_key(org)
+    }
+
+    /// Number of cookies in the jar.
+    pub fn cookie_count(&self) -> usize {
+        self.jar.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookies_are_stable_within_profile() {
+        let mut p = BrowserProfile::fresh("fashion", 1, Some("acct-fashion"));
+        let a = p.cookie("criteo.com");
+        let b = p.cookie("criteo.com");
+        assert_eq!(a, b);
+        assert_eq!(p.cookie_count(), 1);
+    }
+
+    #[test]
+    fn cookies_differ_across_personas() {
+        let mut a = BrowserProfile::fresh("fashion", 1, None);
+        let mut b = BrowserProfile::fresh("dating", 2, None);
+        assert_ne!(a.cookie("criteo.com").value, b.cookie("criteo.com").value);
+    }
+
+    #[test]
+    fn cookies_differ_across_orgs() {
+        let mut p = BrowserProfile::fresh("fashion", 1, None);
+        assert_ne!(p.cookie("criteo.com").value, p.cookie("pubmatic.com").value);
+    }
+
+    #[test]
+    fn fresh_profiles_have_unique_ips() {
+        let a = BrowserProfile::fresh("a", 1, None);
+        let b = BrowserProfile::fresh("b", 2, None);
+        assert_ne!(a.ip, b.ip);
+    }
+
+    #[test]
+    fn has_cookie_does_not_mint() {
+        let p = BrowserProfile::fresh("a", 1, None);
+        assert!(!p.has_cookie("criteo.com"));
+        assert_eq!(p.cookie_count(), 0);
+    }
+
+    #[test]
+    fn login_state_recorded() {
+        let p = BrowserProfile::fresh("vanilla", 3, Some("acct-vanilla"));
+        assert_eq!(p.amazon_login.as_deref(), Some("acct-vanilla"));
+    }
+}

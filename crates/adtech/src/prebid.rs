@@ -1,0 +1,171 @@
+//! A `prebid.js`-shaped client API.
+//!
+//! §3.3: the paper identifies header-bidding sites by injecting a script
+//! that calls `pbjs.version`, treats a site as prebid-supported when the
+//! call returns non-null, then collects bids via `pbjs.getBidResponses`
+//! (or `pbjs.requestBids` when no bids arrived yet). This module exposes
+//! the page-side object with exactly that surface, so the crawler's probe
+//! logic works the way the paper's injected script did — including sites
+//! where the object simply is not present.
+
+use crate::bidding::{Auction, Bid, UserState};
+use crate::website::Website;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The prebid version string our simulated publishers deploy.
+pub const PREBID_VERSION: &str = "v7.27.0";
+
+/// The page-side `pbjs` object, present only on prebid-enabled sites.
+#[derive(Debug)]
+pub struct PrebidPage<'a> {
+    site: &'a Website,
+    auction: &'a Auction,
+    /// Bids already gathered on the page (empty until an auction runs).
+    responses: BTreeMap<String, Vec<Bid>>,
+}
+
+/// Probe a site for prebid support — the `pbjs.version` injection.
+///
+/// Returns `None` when the site does not run prebid (the injected call
+/// would find no `pbjs` object).
+pub fn probe<'a>(site: &'a Website, auction: &'a Auction) -> Option<PrebidPage<'a>> {
+    if site.prebid {
+        Some(PrebidPage { site, auction, responses: BTreeMap::new() })
+    } else {
+        None
+    }
+}
+
+impl<'a> PrebidPage<'a> {
+    /// `pbjs.version`.
+    pub fn version(&self) -> &'static str {
+        PREBID_VERSION
+    }
+
+    /// `pbjs.adUnits`: the slot ids configured on the page.
+    pub fn ad_units(&self) -> Vec<&str> {
+        self.site.slots.iter().map(|s| s.id.as_str()).collect()
+    }
+
+    /// `pbjs.getBidResponses`: bids gathered so far, per ad unit.
+    pub fn get_bid_responses(&self) -> &BTreeMap<String, Vec<Bid>> {
+        &self.responses
+    }
+
+    /// `pbjs.requestBids`: run the header-bidding auction for every ad unit
+    /// that loads, filling the response map. Returns the total number of
+    /// bids received. `loaded` decides per-slot whether the unit rendered
+    /// (the paper's analyses must handle slots that failed to load).
+    pub fn request_bids<F>(
+        &mut self,
+        user: &UserState,
+        iteration: usize,
+        seed: u64,
+        mut loaded: F,
+    ) -> usize
+    where
+        F: FnMut(&str) -> bool,
+    {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70626a73);
+        let mut total = 0;
+        for slot in &self.site.slots {
+            if !loaded(&slot.id) {
+                continue;
+            }
+            let bids = self.auction.request_bids(slot, user, iteration, &mut rng);
+            total += bids.len();
+            self.responses.entry(slot.id.clone()).or_default().extend(bids);
+        }
+        total
+    }
+
+    /// `pbjs.getHighestCpmBids`: per ad unit, the winning bid so far.
+    pub fn highest_cpm_bids(&self) -> Vec<&Bid> {
+        self.responses
+            .values()
+            .filter_map(|bids| {
+                bids.iter().max_by(|a, b| a.cpm.partial_cmp(&b.cpm).expect("finite cpm"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidding::{standard_roster, SeasonModel};
+    use crate::sync::SyncGraph;
+    use crate::website::WebEcosystem;
+
+    fn setup() -> (Auction, WebEcosystem) {
+        let graph = SyncGraph::generate(1);
+        (
+            Auction { bidders: standard_roster(graph.partners()), season: SeasonModel::default() },
+            WebEcosystem::generate(1, 400),
+        )
+    }
+
+    #[test]
+    fn probe_detects_prebid_sites_only() {
+        let (auction, web) = setup();
+        let with = web.all().iter().find(|w| w.prebid).unwrap();
+        let without = web.all().iter().find(|w| !w.prebid).unwrap();
+        assert!(probe(with, &auction).is_some());
+        assert!(probe(without, &auction).is_none());
+    }
+
+    #[test]
+    fn version_is_non_null_like_the_papers_check() {
+        let (auction, web) = setup();
+        let page = probe(web.prebid_sites(1)[0], &auction).unwrap();
+        assert!(!page.version().is_empty());
+        assert!(page.version().starts_with('v'));
+    }
+
+    #[test]
+    fn request_bids_fills_responses() {
+        let (auction, web) = setup();
+        let site = web.prebid_sites(1)[0];
+        let mut page = probe(site, &auction).unwrap();
+        assert!(page.get_bid_responses().is_empty());
+        let n = page.request_bids(&UserState::blank("t"), 10, 42, |_| true);
+        assert!(n > 0);
+        assert_eq!(
+            page.get_bid_responses().len(),
+            site.slots.len(),
+            "every loaded unit collects responses"
+        );
+    }
+
+    #[test]
+    fn failed_units_collect_nothing() {
+        let (auction, web) = setup();
+        let site = web.prebid_sites(1)[0];
+        let mut page = probe(site, &auction).unwrap();
+        let n = page.request_bids(&UserState::blank("t"), 10, 42, |_| false);
+        assert_eq!(n, 0);
+        assert!(page.get_bid_responses().is_empty());
+    }
+
+    #[test]
+    fn highest_cpm_bids_are_maxima() {
+        let (auction, web) = setup();
+        let site = web.prebid_sites(1)[0];
+        let mut page = probe(site, &auction).unwrap();
+        page.request_bids(&UserState::blank("t"), 10, 42, |_| true);
+        for winner in page.highest_cpm_bids() {
+            let unit = &page.get_bid_responses()[&winner.slot_id];
+            assert!(unit.iter().all(|b| b.cpm <= winner.cpm));
+        }
+    }
+
+    #[test]
+    fn ad_units_match_site_slots() {
+        let (auction, web) = setup();
+        let site = web.prebid_sites(1)[0];
+        let page = probe(site, &auction).unwrap();
+        assert_eq!(page.ad_units().len(), site.slots.len());
+    }
+}

@@ -1,0 +1,403 @@
+//! RQ2 — header-bidding bid-value analysis.
+//!
+//! Reproduces Table 5 (median/mean CPM per persona with interaction),
+//! Table 6 (means without vs with interaction, the holiday-season control),
+//! Figure 3 (CPM box plots without/with interaction) and Figure 7 (CPM
+//! across vanilla / Echo interest / web interest personas).
+//!
+//! Methodology mirrors §3.3's controls: bids are only compared on **common
+//! ad slots** — slots that returned bids for *every* compared persona in
+//! the window — because bid values vary per slot and not every slot loads
+//! for every persona.
+
+use crate::observations::Observations;
+use crate::persona::Persona;
+use crate::table::{f3, TextTable};
+use alexa_stats::{bootstrap_median_ci, five_number_summary, mean, median, BootstrapCi, Summary};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Slot ids that returned at least one bid for every given persona within
+/// the iteration window.
+pub fn common_slots(
+    obs: &Observations,
+    personas: &[Persona],
+    window: Range<usize>,
+) -> BTreeSet<String> {
+    let mut common: Option<BTreeSet<String>> = None;
+    for p in personas {
+        let slots: BTreeSet<String> = obs
+            .visits_in(*p, window.clone())
+            .iter()
+            .flat_map(|v| v.bids.iter().map(|b| b.slot_id.clone()))
+            .collect();
+        common = Some(match common {
+            None => slots,
+            Some(acc) => acc.intersection(&slots).cloned().collect(),
+        });
+    }
+    common.unwrap_or_default()
+}
+
+/// All individual CPM values a persona received on the given slots within
+/// the window.
+pub fn pooled_bids(
+    obs: &Observations,
+    persona: Persona,
+    window: Range<usize>,
+    slots: &BTreeSet<String>,
+) -> Vec<f64> {
+    obs.visits_in(persona, window)
+        .iter()
+        .flat_map(|v| v.bids.iter())
+        .filter(|b| slots.contains(&b.slot_id))
+        .map(|b| b.cpm)
+        .collect()
+}
+
+/// Per-slot mean CPM (ordered by slot id) — the slot-level sample used for
+/// the significance tests, where between-slot heterogeneity provides the
+/// natural variance.
+pub fn slot_means(
+    obs: &Observations,
+    persona: Persona,
+    window: Range<usize>,
+    slots: &BTreeSet<String>,
+) -> Vec<f64> {
+    let mut per_slot: BTreeMap<&String, Vec<f64>> = slots.iter().map(|s| (s, Vec::new())).collect();
+    for v in obs.visits_in(persona, window) {
+        for b in &v.bids {
+            if let Some(e) = per_slot.get_mut(&b.slot_id) {
+                e.push(b.cpm);
+            }
+        }
+    }
+    per_slot.values().filter_map(|v| mean(v)).collect()
+}
+
+/// Table 5: median and mean CPM for interest and vanilla personas with
+/// interaction (post window, common slots).
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// (persona, median CPM, mean CPM) rows, interest personas then vanilla.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Number of common ad slots the comparison ran on.
+    pub common_slots: usize,
+}
+
+/// Compute Table 5.
+pub fn table5(obs: &Observations) -> Table5 {
+    let personas = Persona::echo_personas();
+    let slots = common_slots(obs, &personas, obs.post_window());
+    let rows = personas
+        .iter()
+        .map(|&p| {
+            let bids = pooled_bids(obs, p, obs.post_window(), &slots);
+            (
+                p.name(),
+                median(&bids).unwrap_or(0.0),
+                mean(&bids).unwrap_or(0.0),
+            )
+        })
+        .collect();
+    Table5 { rows, common_slots: slots.len() }
+}
+
+impl Table5 {
+    /// Median/mean for a persona by name.
+    pub fn get(&self, persona: &str) -> Option<(f64, f64)> {
+        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2))
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 5: Median and mean bid values (CPM) for interest and vanilla personas",
+            &["Persona", "Median", "Mean"],
+        );
+        for (p, med, avg) in &self.rows {
+            t.row(vec![p.clone(), f3(*med), f3(*avg)]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!("(common ad slots: {})\n", self.common_slots));
+        out
+    }
+}
+
+/// Bootstrap 95% confidence intervals for Table 5's per-persona median CPM
+/// (seeded percentile bootstrap, 1000 resamples) — the robustness companion
+/// the paper's point estimates lack.
+pub fn table5_median_cis(obs: &Observations) -> Vec<(String, BootstrapCi)> {
+    let personas = Persona::echo_personas();
+    let slots = common_slots(obs, &personas, obs.post_window());
+    personas
+        .iter()
+        .filter_map(|&p| {
+            let mut sample = pooled_bids(obs, p, obs.post_window(), &slots);
+            // Deterministic thinning keeps the bootstrap tractable on large
+            // bid corpora without biasing the median.
+            if sample.len() > 4000 {
+                let stride = sample.len() / 4000 + 1;
+                sample = sample.into_iter().step_by(stride).collect();
+            }
+            bootstrap_median_ci(&sample, 500, 0.95, obs.seed ^ 0xc1).map(|ci| (p.name(), ci))
+        })
+        .collect()
+}
+
+/// Render the Table 5 medians with their bootstrap intervals.
+pub fn render_table5_cis(cis: &[(String, BootstrapCi)]) -> String {
+    let mut t = TextTable::new(
+        "Table 5 medians with bootstrap 95% CIs",
+        &["Persona", "Median", "CI low", "CI high"],
+    );
+    for (p, ci) in cis {
+        t.row(vec![p.clone(), f3(ci.estimate), f3(ci.lo), f3(ci.hi)]);
+    }
+    t.render()
+}
+
+/// Table 6: mean CPM in the crawls closest to the interaction boundary —
+/// last three pre-interaction vs first three post-interaction iterations —
+/// ruling out the holiday season as the explanation for elevated bids.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// (persona, mean without interaction, mean with interaction).
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Compute Table 6.
+pub fn table6(obs: &Observations) -> Table6 {
+    let personas = Persona::echo_personas();
+    let pre_tail = obs.pre_iterations.saturating_sub(3)..obs.pre_iterations;
+    let post_head = obs.pre_iterations..(obs.pre_iterations + 3).min(obs.pre_iterations + obs.post_iterations);
+    let slots_pre = common_slots(obs, &personas, pre_tail.clone());
+    let slots_post = common_slots(obs, &personas, post_head.clone());
+    let rows = personas
+        .iter()
+        .map(|&p| {
+            let pre = pooled_bids(obs, p, pre_tail.clone(), &slots_pre);
+            let post = pooled_bids(obs, p, post_head.clone(), &slots_post);
+            (p.name(), mean(&pre).unwrap_or(0.0), mean(&post).unwrap_or(0.0))
+        })
+        .collect();
+    Table6 { rows }
+}
+
+impl Table6 {
+    /// Means for a persona by name: (no interaction, interaction).
+    pub fn get(&self, persona: &str) -> Option<(f64, f64)> {
+        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2))
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 6: Mean bid values without and with interaction (holiday-adjacent crawls)",
+            &["Persona", "No Interaction", "Interaction"],
+        );
+        for (p, pre, post) in &self.rows {
+            t.row(vec![p.clone(), f3(*pre), f3(*post)]);
+        }
+        t.render()
+    }
+}
+
+/// Figure 3: per-persona CPM distributions without (a) and with (b)
+/// interaction, as box-plot five-number summaries.
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// Panel (a): pre-interaction summaries per persona.
+    pub without_interaction: Vec<(String, Summary)>,
+    /// Panel (b): post-interaction summaries per persona.
+    pub with_interaction: Vec<(String, Summary)>,
+}
+
+/// Compute Figure 3's series.
+pub fn figure3(obs: &Observations) -> Figure3 {
+    let personas = Persona::echo_personas();
+    let mut fig = Figure3 { without_interaction: Vec::new(), with_interaction: Vec::new() };
+    for (window, out) in [
+        (obs.pre_window(), &mut fig.without_interaction),
+        (obs.post_window(), &mut fig.with_interaction),
+    ] {
+        let slots = common_slots(obs, &personas, window.clone());
+        for &p in &personas {
+            let bids = pooled_bids(obs, p, window.clone(), &slots);
+            if let Some(s) = five_number_summary(&bids) {
+                out.push((p.name(), s));
+            }
+        }
+    }
+    fig
+}
+
+impl Figure3 {
+    /// Render both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, series) in [
+            ("Figure 3a: Bidding behavior without user interaction", &self.without_interaction),
+            ("Figure 3b: Bidding behavior with user interaction", &self.with_interaction),
+        ] {
+            let mut t = TextTable::new(title, &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"]);
+            for (p, s) in series {
+                t.row(vec![
+                    p.clone(),
+                    f3(s.min),
+                    f3(s.q1),
+                    f3(s.median),
+                    f3(s.q3),
+                    f3(s.max),
+                    f3(s.mean),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 7: CPM across vanilla, Echo interest and web interest personas on
+/// common slots (post window).
+#[derive(Debug, Clone)]
+pub struct Figure7 {
+    /// Per-persona five-number summaries, vanilla first, then Echo interest,
+    /// then the web personas.
+    pub series: Vec<(String, Summary)>,
+}
+
+/// Compute Figure 7's series.
+pub fn figure7(obs: &Observations) -> Figure7 {
+    let personas = Persona::all();
+    let slots = common_slots(obs, &personas, obs.post_window());
+    let mut ordered = vec![Persona::Vanilla];
+    ordered.extend(Persona::echo_personas().into_iter().filter(|p| *p != Persona::Vanilla));
+    ordered.extend(Persona::web_personas());
+    let series = ordered
+        .into_iter()
+        .filter_map(|p| {
+            let bids = pooled_bids(obs, p, obs.post_window(), &slots);
+            five_number_summary(&bids).map(|s| (p.name(), s))
+        })
+        .collect();
+    Figure7 { series }
+}
+
+impl Figure7 {
+    /// Render the figure series.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Figure 7: CPM across vanilla, Echo interest, and web interest personas",
+            &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
+        );
+        for (p, s) in &self.series {
+            t.row(vec![p.clone(), f3(s.min), f3(s.q1), f3(s.median), f3(s.q3), f3(s.max), f3(s.mean)]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::test_support::obs;
+
+    #[test]
+    fn common_slots_nonempty() {
+        let o = obs();
+        let slots = common_slots(o, &Persona::echo_personas(), o.post_window());
+        assert!(!slots.is_empty());
+    }
+
+    #[test]
+    fn interest_personas_outbid_vanilla_with_interaction() {
+        let t5 = table5(obs());
+        let (van_med, _) = t5.get("Vanilla").unwrap();
+        let mut higher = 0;
+        for cat in alexa_platform::SkillCategory::ALL {
+            let (med, _) = t5.get(cat.label()).unwrap();
+            if med > van_med {
+                higher += 1;
+            }
+        }
+        assert!(higher >= 8, "only {higher}/9 interest personas above vanilla");
+    }
+
+    #[test]
+    fn no_discernible_difference_before_interaction() {
+        let f3 = figure3(obs());
+        let medians: Vec<f64> =
+            f3.without_interaction.iter().map(|(_, s)| s.median).collect();
+        let vanilla = f3
+            .without_interaction
+            .iter()
+            .find(|(p, _)| p == "Vanilla")
+            .map(|(_, s)| s.median)
+            .unwrap();
+        // Pre-interaction, every persona's median is within 2× of vanilla.
+        for m in &medians {
+            assert!(*m < vanilla * 2.0 && *m > vanilla / 2.0, "median {m} vs vanilla {vanilla}");
+        }
+    }
+
+    #[test]
+    fn post_interaction_difference_is_visible() {
+        let fig = figure3(obs());
+        let get = |series: &[(String, Summary)], name: &str| {
+            series.iter().find(|(p, _)| p == name).map(|(_, s)| s.median).unwrap()
+        };
+        let vanilla = get(&fig.with_interaction, "Vanilla");
+        let pets = get(&fig.with_interaction, "Pets & Animals");
+        assert!(pets > vanilla * 2.0, "pets {pets} vanilla {vanilla}");
+    }
+
+    #[test]
+    fn holiday_control_shape() {
+        // Table 6: without interaction (peak season) the vanilla persona's
+        // mean is comparable to interest personas; with interaction the
+        // interest personas keep elevated bids while vanilla falls.
+        let t6 = table6(obs());
+        let (van_pre, van_post) = t6.get("Vanilla").unwrap();
+        assert!(van_pre > van_post, "vanilla pre {van_pre} post {van_post}");
+        let (pets_pre, pets_post) = t6.get("Pets & Animals").unwrap();
+        assert!(pets_post > van_post, "pets post {pets_post} vanilla post {van_post}");
+        let _ = pets_pre;
+    }
+
+    #[test]
+    fn echo_and_web_personas_look_alike() {
+        let f7 = figure7(obs());
+        let get = |name: &str| f7.series.iter().find(|(p, _)| p == name).map(|(_, s)| s.median).unwrap();
+        let web = get("Web Health");
+        let echo = get("Dating");
+        let ratio = echo / web;
+        assert!((0.4..2.5).contains(&ratio), "echo/web median ratio {ratio}");
+    }
+
+    #[test]
+    fn renders_contain_all_personas() {
+        let t5 = table5(obs());
+        let s = t5.render();
+        assert!(s.contains("Vanilla"));
+        assert!(s.contains("Fashion & Style"));
+    }
+
+    #[test]
+    fn bootstrap_cis_separate_strong_personas_from_vanilla() {
+        let cis = table5_median_cis(obs());
+        assert_eq!(cis.len(), 10);
+        let get = |name: &str| cis.iter().find(|(p, _)| p == name).map(|(_, c)| *c).unwrap();
+        let vanilla = get("Vanilla");
+        let pets = get("Pets & Animals");
+        // The strongest persona's median CI sits entirely above vanilla's.
+        assert!(pets.lo > vanilla.hi, "pets {pets:?} vs vanilla {vanilla:?}");
+        // Intervals bracket their estimates.
+        for (p, ci) in &cis {
+            assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{p}");
+        }
+        let rendered = render_table5_cis(&cis);
+        assert!(rendered.contains("CI low"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Defense evaluation (§8.1): what each user-side defense actually buys.
+//!
+//! The paper proposes two concrete defenses — selective traffic filtering
+//! and on-device transcription — but does not evaluate them. This module
+//! closes that loop: run the audit once undefended and once per defense,
+//! then compare the observable record:
+//!
+//! * **Firewall**: advertising & tracking traffic should vanish while every
+//!   functional third-party flow survives ("blocking without breaking");
+//! * **Text-only**: voice recordings should vanish from every capture while
+//!   skill functionality (and therefore traffic volume) is preserved;
+//! * **the sobering result**: neither network defense touches the *bid
+//!   uplift*, because Amazon's interest inference happens server-side from
+//!   the interaction content the platform necessarily receives. Only the
+//!   platform itself can turn that off — the paper's transparency argument.
+
+use crate::analysis::bids;
+use crate::analysis::traffic;
+use crate::observations::Observations;
+use crate::persona::Persona;
+use alexa_net::DataType;
+
+/// Comparison of one defended run against the undefended baseline.
+#[derive(Debug, Clone)]
+pub struct DefenseReport {
+    /// Name of the defense evaluated.
+    pub defense: String,
+    /// A&T traffic share, baseline → defended.
+    pub ad_tracking_share: (f64, f64),
+    /// Distinct third-party A&T domains observed, baseline → defended.
+    pub ad_tracking_domains: (usize, usize),
+    /// Distinct functional third-party domains observed, baseline →
+    /// defended (must not shrink: the defense must not break skills).
+    pub functional_domains: (usize, usize),
+    /// Voice-recording flows observed in plaintext captures, baseline →
+    /// defended.
+    pub voice_flows: (usize, usize),
+    /// Text-command flows observed, baseline → defended.
+    pub text_flows: (usize, usize),
+    /// Median CPM uplift of the strongest interest persona over vanilla,
+    /// baseline → defended (server-side profiling is out of the defense's
+    /// reach, so this should *not* drop).
+    pub bid_uplift: (f64, f64),
+}
+
+fn voice_and_text_flows(obs: &Observations) -> (usize, usize) {
+    let mut voice = 0;
+    let mut text = 0;
+    for cap in &obs.avs_captures {
+        for p in &cap.packets {
+            if let Some(records) = p.payload.records() {
+                for r in records {
+                    match r.data_type {
+                        DataType::VoiceRecording => voice += 1,
+                        DataType::TextCommand => text += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    (voice, text)
+}
+
+fn third_party_domains(obs: &Observations) -> (usize, usize) {
+    let t3 = traffic::table3(obs);
+    let at = t3.rows.iter().map(|r| r.1).sum();
+    let functional = t3.rows.iter().map(|r| r.2).sum();
+    (at, functional)
+}
+
+fn max_median_uplift(obs: &Observations) -> f64 {
+    let t5 = bids::table5(obs);
+    let Some((vanilla, _)) = t5.get(&Persona::Vanilla.name()) else { return 0.0 };
+    if vanilla == 0.0 {
+        return 0.0;
+    }
+    t5.rows
+        .iter()
+        .filter(|r| r.0 != "Vanilla")
+        .map(|r| r.1 / vanilla)
+        .fold(0.0, f64::max)
+}
+
+/// Compare a defended run against the undefended baseline.
+pub fn compare(defense: &str, baseline: &Observations, defended: &Observations) -> DefenseReport {
+    let (base_at, base_fn) = third_party_domains(baseline);
+    let (def_at, def_fn) = third_party_domains(defended);
+    let (base_voice, base_text) = voice_and_text_flows(baseline);
+    let (def_voice, def_text) = voice_and_text_flows(defended);
+    DefenseReport {
+        defense: defense.to_string(),
+        ad_tracking_share: (
+            traffic::table2(baseline).total_ad_tracking,
+            traffic::table2(defended).total_ad_tracking,
+        ),
+        ad_tracking_domains: (base_at, def_at),
+        functional_domains: (base_fn, def_fn),
+        voice_flows: (base_voice, def_voice),
+        text_flows: (base_text, def_text),
+        bid_uplift: (max_median_uplift(baseline), max_median_uplift(defended)),
+    }
+}
+
+impl DefenseReport {
+    /// Render the comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "Defense evaluation: {}\n\
+               A&T traffic share:          {:.2}% -> {:.2}%\n\
+               A&T third-party domains:    {} -> {}\n\
+               functional 3rd-p. domains:  {} -> {}\n\
+               voice-recording flows:      {} -> {}\n\
+               text-command flows:         {} -> {}\n\
+               max median bid uplift:      {:.2}x -> {:.2}x\n",
+            self.defense,
+            100.0 * self.ad_tracking_share.0,
+            100.0 * self.ad_tracking_share.1,
+            self.ad_tracking_domains.0,
+            self.ad_tracking_domains.1,
+            self.functional_domains.0,
+            self.functional_domains.1,
+            self.voice_flows.0,
+            self.voice_flows.1,
+            self.text_flows.0,
+            self.text_flows.1,
+            self.bid_uplift.0,
+            self.bid_uplift.1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AuditConfig, AuditRun};
+    use crate::experiment::DefenseMode;
+    use std::sync::OnceLock;
+
+    fn baseline() -> &'static Observations {
+        crate::analysis::test_support::obs()
+    }
+
+    fn firewalled() -> &'static Observations {
+        static OBS: OnceLock<Observations> = OnceLock::new();
+        OBS.get_or_init(|| {
+            AuditRun::execute(AuditConfig::small(1234).with_defense(DefenseMode::Firewall))
+        })
+    }
+
+    fn text_only() -> &'static Observations {
+        static OBS: OnceLock<Observations> = OnceLock::new();
+        OBS.get_or_init(|| {
+            AuditRun::execute(AuditConfig::small(1234).with_defense(DefenseMode::TextOnly))
+        })
+    }
+
+    #[test]
+    fn firewall_removes_ad_tracking_without_breaking() {
+        let r = compare("firewall", baseline(), firewalled());
+        assert!(r.ad_tracking_share.0 > 0.0);
+        assert_eq!(r.ad_tracking_share.1, 0.0, "A&T traffic survived the firewall");
+        assert_eq!(r.ad_tracking_domains.1, 0);
+        // Functionality preserved: functional third-party domains intact.
+        assert_eq!(r.functional_domains.0, r.functional_domains.1);
+    }
+
+    #[test]
+    fn firewall_does_not_stop_server_side_profiling() {
+        // The paper's deeper point: Amazon's inference is out of reach of a
+        // network filter. Bid uplift persists.
+        let r = compare("firewall", baseline(), firewalled());
+        assert!(r.bid_uplift.1 > 1.5, "uplift gone: {:?}", r.bid_uplift);
+    }
+
+    #[test]
+    fn text_only_eliminates_voice_recordings() {
+        let r = compare("text-only", baseline(), text_only());
+        assert!(r.voice_flows.0 > 0);
+        assert_eq!(r.voice_flows.1, 0, "voice recordings still flowing");
+        assert!(r.text_flows.1 > 0, "no text commands replaced them");
+        // Functionality (and thus traffic shape) preserved.
+        assert_eq!(r.functional_domains.0, r.functional_domains.1);
+    }
+
+    #[test]
+    fn renders() {
+        let r = compare("firewall", baseline(), firewalled());
+        let s = r.render();
+        assert!(s.contains("A&T traffic share"));
+        assert!(s.contains("bid uplift"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Analyses: one module per research question, each a pure function of
+//! [`crate::Observations`] producing a typed table/figure struct with a
+//! text renderer.
+
+pub mod audio;
+pub mod bids;
+pub mod defense;
+pub mod creatives;
+pub mod partners;
+pub mod policy;
+pub mod profiling;
+pub mod significance;
+pub mod traffic;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::{AuditConfig, AuditRun, Observations};
+    use std::sync::OnceLock;
+
+    /// A shared small audit run for analysis unit tests (computed once).
+    pub fn obs() -> &'static Observations {
+        static OBS: OnceLock<Observations> = OnceLock::new();
+        OBS.get_or_init(|| AuditRun::execute(AuditConfig::small(1234)))
+    }
+}

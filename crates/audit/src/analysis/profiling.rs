@@ -1,0 +1,157 @@
+//! RQ2 — data-profiling analysis via DSAR (Table 12, §6.1).
+//!
+//! The audit requests each persona's data from Amazon three times (after
+//! installation, and twice after interaction) and reads the advertising
+//! interests back. Beyond reproducing Table 12's rows, the analysis
+//! surfaces the transparency failure the paper emphasizes: on the second
+//! post-interaction request, several personas' advertising-interest files
+//! are simply **absent** from the export.
+
+use crate::observations::Observations;
+use crate::persona::Persona;
+use crate::table::TextTable;
+use alexa_platform::DsarPhase;
+
+/// One Table 12 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterestRow {
+    /// Request phase.
+    pub phase: DsarPhase,
+    /// Persona name.
+    pub persona: String,
+    /// Inferred advertising interests, as labels.
+    pub interests: Vec<String>,
+}
+
+/// Table 12 plus the missing-file observations.
+#[derive(Debug, Clone)]
+pub struct Table12 {
+    /// Non-empty inference rows, in phase order.
+    pub rows: Vec<InterestRow>,
+    /// Personas whose advertising-interest file was absent on the second
+    /// post-interaction request.
+    pub missing_files: Vec<String>,
+}
+
+fn phase_label(phase: DsarPhase) -> &'static str {
+    match phase {
+        DsarPhase::AfterInstall => "Installation",
+        DsarPhase::AfterInteraction1 => "Interaction (1)",
+        DsarPhase::AfterInteraction2 => "Interaction (2)",
+    }
+}
+
+/// Compute Table 12 from the DSAR exports.
+pub fn table12(obs: &Observations) -> Table12 {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for phase in
+        [DsarPhase::AfterInstall, DsarPhase::AfterInteraction1, DsarPhase::AfterInteraction2]
+    {
+        for persona in Persona::echo_personas() {
+            let Some(export) = obs.dsar.get(&(persona.name(), phase)) else { continue };
+            match &export.advertising_interests {
+                Some(interests) if !interests.is_empty() => rows.push(InterestRow {
+                    phase,
+                    persona: persona.name(),
+                    interests: interests.iter().map(|i| i.label().to_string()).collect(),
+                }),
+                Some(_) => {}
+                None => {
+                    if phase == DsarPhase::AfterInteraction2 {
+                        missing.push(persona.name());
+                    }
+                }
+            }
+        }
+    }
+    Table12 { rows, missing_files: missing }
+}
+
+impl Table12 {
+    /// Interests inferred for a persona at a phase.
+    pub fn interests(&self, phase: DsarPhase, persona: &str) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.phase == phase && r.persona == persona)
+            .flat_map(|r| r.interests.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 12: Advertising interests inferred by Amazon",
+            &["Config.", "Persona", "Amazon inferred interests"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                phase_label(r.phase).to_string(),
+                r.persona.clone(),
+                r.interests.join("; "),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "\nAdvertising-interest files ABSENT on second post-interaction request: {}\n",
+            if self.missing_files.is_empty() {
+                "none".to_string()
+            } else {
+                self.missing_files.join(", ")
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::test_support::obs;
+
+    #[test]
+    fn install_phase_infers_only_health() {
+        let t12 = table12(obs());
+        let install_rows: Vec<&InterestRow> =
+            t12.rows.iter().filter(|r| r.phase == DsarPhase::AfterInstall).collect();
+        assert_eq!(install_rows.len(), 1);
+        assert_eq!(install_rows[0].persona, "Health & Fitness");
+        assert_eq!(install_rows[0].interests, vec!["Electronics", "Home & Garden: DIY & Tools"]);
+    }
+
+    #[test]
+    fn interaction_unlocks_fashion_and_smarthome() {
+        let t12 = table12(obs());
+        assert_eq!(
+            t12.interests(DsarPhase::AfterInteraction1, "Fashion & Style"),
+            vec!["Beauty & Personal Care", "Fashion", "Video Entertainment"]
+        );
+        assert_eq!(
+            t12.interests(DsarPhase::AfterInteraction2, "Smart Home"),
+            vec!["Pet Supplies", "Home & Garden: DIY & Tools", "Home & Garden: Home & Kitchen"]
+        );
+    }
+
+    #[test]
+    fn five_personas_lose_their_interest_files() {
+        let t12 = table12(obs());
+        let mut expected = vec![
+            "Dating",
+            "Health & Fitness",
+            "Religion & Spirituality",
+            "Vanilla",
+            "Wine & Beverages",
+        ];
+        expected.sort_unstable();
+        let mut got = t12.missing_files.clone();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn renders() {
+        let out = table12(obs()).render();
+        assert!(out.contains("Installation"));
+        assert!(out.contains("ABSENT"));
+    }
+}

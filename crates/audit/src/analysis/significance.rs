@@ -1,0 +1,250 @@
+//! RQ2 — statistical significance of bid differences (Tables 7 and 11).
+//!
+//! Table 7 runs a one-sided Mann–Whitney U test per interest persona (H1:
+//! the persona's bids are stochastically greater than vanilla's), reporting
+//! p and the rank-biserial effect size. Table 11 runs two-sided tests
+//! between every Echo interest persona and every web interest persona (H1:
+//! they differ) — the paper's finding is that they mostly do *not*.
+//!
+//! The sample is the per-slot mean CPM over common slots (see
+//! [`crate::analysis::bids::slot_means`]): slot-to-slot heterogeneity is the
+//! natural variance against which the targeting uplift is tested.
+
+use crate::analysis::bids::{common_slots, slot_means};
+use crate::observations::Observations;
+use crate::persona::Persona;
+use crate::table::TextTable;
+use alexa_platform::SkillCategory;
+use alexa_stats::{
+    benjamini_hochberg, holm_bonferroni, mann_whitney_u, Alternative, EffectMagnitude, MwuMethod,
+};
+
+/// Multiple-testing correction to apply over a table's p-value family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correction {
+    /// Family-wise error control (step-down).
+    HolmBonferroni,
+    /// False-discovery-rate control (step-up).
+    BenjaminiHochberg,
+}
+
+/// Table 7: interest personas vs vanilla.
+#[derive(Debug, Clone)]
+pub struct Table7 {
+    /// (persona, p-value, effect size, magnitude band).
+    pub rows: Vec<(String, f64, f64, EffectMagnitude)>,
+    /// Significance threshold used (paper: 0.05).
+    pub alpha: f64,
+}
+
+/// Compute Table 7.
+pub fn table7(obs: &Observations) -> Table7 {
+    let personas = Persona::echo_personas();
+    let slots = common_slots(obs, &personas, obs.post_window());
+    let vanilla = slot_means(obs, Persona::Vanilla, obs.post_window(), &slots);
+    let rows = SkillCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let treated =
+                slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+            let r = mann_whitney_u(&treated, &vanilla, Alternative::Greater, MwuMethod::Asymptotic)
+                .expect("non-empty samples");
+            (
+                cat.label().to_string(),
+                r.p_value,
+                r.effect_size,
+                EffectMagnitude::classify(r.effect_size),
+            )
+        })
+        .collect();
+    Table7 { rows, alpha: 0.05 }
+}
+
+impl Table7 {
+    /// Personas with p below the threshold.
+    pub fn significant(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.1 < self.alpha)
+            .map(|r| r.0.as_str())
+            .collect()
+    }
+
+    /// Row lookup by persona name: (p, effect size).
+    pub fn get(&self, persona: &str) -> Option<(f64, f64)> {
+        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2))
+    }
+
+    /// Personas still significant after correcting over the nine
+    /// simultaneous tests (the paper reports raw p-values; the strong-six
+    /// finding should survive correction).
+    pub fn significant_corrected(&self, correction: Correction) -> Vec<&str> {
+        let raw: Vec<f64> = self.rows.iter().map(|r| r.1).collect();
+        let adjusted = match correction {
+            Correction::HolmBonferroni => holm_bonferroni(&raw),
+            Correction::BenjaminiHochberg => benjamini_hochberg(&raw),
+        };
+        self.rows
+            .iter()
+            .zip(adjusted)
+            .filter(|(_, p)| *p < self.alpha)
+            .map(|(r, _)| r.0.as_str())
+            .collect()
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 7: Statistical significance between vanilla (control) and interest personas",
+            &["Persona", "p-value", "Effect size", "Magnitude"],
+        );
+        for (p, pv, es, mag) in &self.rows {
+            t.row(vec![p.clone(), format!("{pv:.3}"), format!("{es:.3}"), mag.to_string()]);
+        }
+        t.render()
+    }
+}
+
+/// Table 11: Echo interest personas vs web interest personas (two-sided).
+#[derive(Debug, Clone)]
+pub struct Table11 {
+    /// Rows: (echo persona, p vs Web Health, p vs Web Science,
+    /// p vs Web Computers).
+    pub rows: Vec<(String, f64, f64, f64)>,
+    /// Significance threshold used.
+    pub alpha: f64,
+}
+
+/// Compute Table 11.
+pub fn table11(obs: &Observations) -> Table11 {
+    let everyone = Persona::all();
+    let slots = common_slots(obs, &everyone, obs.post_window());
+    let web: Vec<Vec<f64>> = Persona::web_personas()
+        .iter()
+        .map(|&p| slot_means(obs, p, obs.post_window(), &slots))
+        .collect();
+    let rows = SkillCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let echo = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+            let ps: Vec<f64> = web
+                .iter()
+                .map(|w| {
+                    mann_whitney_u(&echo, w, Alternative::TwoSided, MwuMethod::Asymptotic)
+                        .expect("non-empty samples")
+                        .p_value
+                })
+                .collect();
+            (cat.label().to_string(), ps[0], ps[1], ps[2])
+        })
+        .collect();
+    Table11 { rows, alpha: 0.05 }
+}
+
+impl Table11 {
+    /// Number of (echo, web) pairs whose distributions differ significantly.
+    pub fn significant_pairs(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| [r.1, r.2, r.3])
+            .filter(|p| *p < self.alpha)
+            .count()
+    }
+
+    /// Significant pairs after a family-wise/FDR correction over all 27
+    /// simultaneous tests — the paper reports raw p-values; this is the
+    /// robustness check.
+    pub fn significant_pairs_corrected(&self, correction: Correction) -> usize {
+        let raw: Vec<f64> = self.rows.iter().flat_map(|r| [r.1, r.2, r.3]).collect();
+        let adjusted = match correction {
+            Correction::HolmBonferroni => holm_bonferroni(&raw),
+            Correction::BenjaminiHochberg => benjamini_hochberg(&raw),
+        };
+        adjusted.iter().filter(|p| **p < self.alpha).count()
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 11: Echo interest vs web interest personas (two-sided Mann-Whitney U)",
+            &["Persona", "Health", "Science", "Computers"],
+        );
+        for (p, h, s, c) in &self.rows {
+            t.row(vec![p.clone(), format!("{h:.3}"), format!("{s:.3}"), format!("{c:.3}")]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::test_support::obs;
+
+    #[test]
+    fn table7_has_nine_rows_with_valid_stats() {
+        let t7 = table7(obs());
+        assert_eq!(t7.rows.len(), 9);
+        for (p, pv, es, _) in &t7.rows {
+            assert!((0.0..=1.0).contains(pv), "{p}: p {pv}");
+            assert!((-1.0..=1.0).contains(es), "{p}: r {es}");
+        }
+    }
+
+    #[test]
+    fn strong_categories_are_significant() {
+        // Even at the reduced test scale, the strongest uplift categories
+        // must separate from vanilla.
+        let t7 = table7(obs());
+        let sig = t7.significant();
+        assert!(sig.contains(&"Pets & Animals"), "significant: {sig:?}");
+    }
+
+    #[test]
+    fn effect_sizes_positive_for_interest_personas() {
+        let t7 = table7(obs());
+        let positive = t7.rows.iter().filter(|r| r.2 > 0.0).count();
+        assert!(positive >= 8, "{positive}/9 positive effects");
+    }
+
+    #[test]
+    fn echo_vs_web_mostly_indistinguishable() {
+        let t11 = table11(obs());
+        assert_eq!(t11.rows.len(), 9);
+        // The paper finds 1 of 27 pairs significant; allow a small count.
+        assert!(t11.significant_pairs() <= 8, "pairs: {}", t11.significant_pairs());
+    }
+
+    #[test]
+    fn corrections_only_shrink_the_significant_set() {
+        let t7 = table7(obs());
+        let raw = t7.significant().len();
+        let holm = t7.significant_corrected(Correction::HolmBonferroni).len();
+        let bh = t7.significant_corrected(Correction::BenjaminiHochberg).len();
+        assert!(holm <= bh, "holm {holm} > bh {bh}");
+        assert!(bh <= raw, "bh {bh} > raw {raw}");
+
+        let t11 = table11(obs());
+        assert!(
+            t11.significant_pairs_corrected(Correction::HolmBonferroni)
+                <= t11.significant_pairs()
+        );
+    }
+
+    #[test]
+    fn strong_findings_survive_correction() {
+        // The core Table 7 result must not be a multiple-testing artifact.
+        let t7 = table7(obs());
+        let surviving = t7.significant_corrected(Correction::HolmBonferroni);
+        assert!(
+            surviving.contains(&"Pets & Animals"),
+            "strongest persona lost to correction: {surviving:?}"
+        );
+    }
+
+    #[test]
+    fn renders() {
+        assert!(table7(obs()).render().contains("p-value"));
+        assert!(table11(obs()).render().contains("Computers"));
+    }
+}

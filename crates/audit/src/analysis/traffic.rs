@@ -1,0 +1,485 @@
+//! RQ1 — network-traffic analysis: who collects and propagates user data.
+//!
+//! Reproduces Table 1 (domains contacted by skills, grouped by organization
+//! class), Table 2 (advertising & tracking vs functional traffic share),
+//! Table 3 (third-party domain counts per persona), Table 4 (top skills by
+//! contacted A&T services), and Figure 2 (the persona → domain → purpose →
+//! organization flow distribution).
+//!
+//! Everything is computed from the **encrypted router captures** plus the
+//! auditor's public databases (org map, filter lists) — exactly the paper's
+//! §4 inputs.
+
+use crate::observations::Observations;
+use crate::table::{pct, TextTable};
+use alexa_net::{Domain, FilterList, OrgClass, TrafficPurpose};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-skill traffic view derived from captures.
+#[derive(Debug, Clone)]
+pub struct SkillTraffic {
+    /// Skill id (capture label).
+    pub skill_id: String,
+    /// Persona whose device produced the captures.
+    pub persona: String,
+    /// Distinct endpoints contacted.
+    pub endpoints: BTreeSet<Domain>,
+    /// Total packets observed.
+    pub packets: usize,
+}
+
+/// Flatten router captures into per-skill traffic records.
+pub fn skill_traffic(obs: &Observations) -> Vec<SkillTraffic> {
+    let mut out = Vec::new();
+    for (persona, captures) in &obs.router_captures {
+        let mut merged: BTreeMap<String, SkillTraffic> = BTreeMap::new();
+        for cap in captures {
+            let entry = merged.entry(cap.label.clone()).or_insert_with(|| SkillTraffic {
+                skill_id: cap.label.clone(),
+                persona: persona.clone(),
+                endpoints: BTreeSet::new(),
+                packets: 0,
+            });
+            entry.packets += cap.packets.len();
+            entry.endpoints.extend(cap.packets.iter().map(|p| p.remote.clone()));
+        }
+        // Capture sessions with zero packets (failed installs) carry no
+        // endpoint evidence; the paper excludes the 4 failed skills from
+        // the 446 active ones.
+        out.extend(merged.into_values().filter(|t| t.packets > 0));
+    }
+    out
+}
+
+/// Classify an endpoint relative to a skill's vendor.
+fn classify(obs: &Observations, domain: &Domain, vendor: &str) -> OrgClass {
+    obs.orgs.classify(domain, vendor)
+}
+
+/// One Table 1 row: a domain group and how many skills contacted it.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Organization class (Amazon / skill vendor / third party).
+    pub class: OrgClass,
+    /// Display name: `host` or `*(n).registrable` for subdomain groups.
+    pub display: String,
+    /// Number of skills contacting the group.
+    pub skills: usize,
+    /// Whether the group is advertising/tracking (grey rows in the paper).
+    pub ad_tracking: bool,
+}
+
+/// Table 1 plus its headline counts.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Domain-group rows, ordered by class then descending skill count.
+    pub rows: Vec<Table1Row>,
+    /// Skills contacting ≥1 Amazon endpoint.
+    pub skills_amazon: usize,
+    /// Skills contacting their vendor's own endpoints.
+    pub skills_vendor: usize,
+    /// Skills contacting third-party endpoints.
+    pub skills_third_party: usize,
+    /// Skills that failed to load (no traffic at all).
+    pub skills_failed: usize,
+    /// Total skills audited.
+    pub skills_total: usize,
+}
+
+/// Compute Table 1.
+pub fn table1(obs: &Observations) -> Table1 {
+    let fl = FilterList::new();
+    let traffic = skill_traffic(obs);
+
+    // Per (class, group display) → set of skills.
+    let mut groups: BTreeMap<(OrgClass, String, bool), BTreeSet<String>> = BTreeMap::new();
+    // Track subdomain multiplicity per (class, registrable).
+    let mut subdomains: BTreeMap<(OrgClass, String, bool), BTreeSet<String>> = BTreeMap::new();
+
+    let mut amazon_skills = BTreeSet::new();
+    let mut vendor_skills = BTreeSet::new();
+    let mut third_skills = BTreeSet::new();
+    let mut seen_skills = BTreeSet::new();
+
+    for t in &traffic {
+        seen_skills.insert(t.skill_id.clone());
+        let vendor = obs
+            .skill_meta(&t.skill_id)
+            .map(|m| m.vendor.clone())
+            .unwrap_or_default();
+        for d in &t.endpoints {
+            let class = classify(obs, d, &vendor);
+            match class {
+                OrgClass::Amazon => {
+                    amazon_skills.insert(t.skill_id.clone());
+                }
+                OrgClass::SkillVendor => {
+                    vendor_skills.insert(t.skill_id.clone());
+                }
+                OrgClass::ThirdParty => {
+                    third_skills.insert(t.skill_id.clone());
+                }
+            }
+            let reg = d.registrable().map(|r| r.as_str().to_string()).unwrap_or_else(|| d.as_str().to_string());
+            let at = fl.is_ad_tracking(d);
+            let key = (class, reg, at);
+            subdomains.entry(key.clone()).or_default().insert(d.as_str().to_string());
+            groups.entry(key).or_default().insert(t.skill_id.clone());
+        }
+    }
+
+    let mut rows: Vec<Table1Row> = groups
+        .into_iter()
+        .map(|((class, reg, at), skills)| {
+            let subs = subdomains.get(&(class, reg.clone(), at)).unwrap();
+            let display = if subs.len() == 1 {
+                subs.iter().next().unwrap().clone()
+            } else {
+                format!("*({}).{reg}", subs.len())
+            };
+            Table1Row { class, display, skills: skills.len(), ad_tracking: at }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.class.cmp(&b.class).then(b.skills.cmp(&a.skills)));
+
+    // Failed skills: installed by a persona but produced no traffic.
+    let skills_failed: usize = obs.failed_installs.values().map(Vec::len).sum();
+    let audited: BTreeSet<&str> = obs
+        .catalog
+        .iter()
+        .map(|m| m.id.as_str())
+        .collect();
+
+    Table1 {
+        rows,
+        skills_amazon: amazon_skills.len(),
+        skills_vendor: vendor_skills.len(),
+        skills_third_party: third_skills.len(),
+        skills_failed,
+        skills_total: audited.len(),
+    }
+}
+
+impl Table1 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 1: Amazon, skill vendor, and third-party domains contacted by skills",
+            &["Org.", "Domains", "Skills", "A&T"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.class.to_string(),
+                r.display.clone(),
+                r.skills.to_string(),
+                if r.ad_tracking { "*".to_string() } else { String::new() },
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "\nSkills contacting: Amazon {} | vendor {} | third party {} | failed {} (of {})\n",
+            self.skills_amazon,
+            self.skills_vendor,
+            self.skills_third_party,
+            self.skills_failed,
+            self.skills_total,
+        ));
+        out
+    }
+}
+
+/// Table 2: traffic share by organization class and purpose.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// (class, functional share, A&T share) — shares of all packets.
+    pub rows: Vec<(OrgClass, f64, f64)>,
+    /// Total A&T share.
+    pub total_ad_tracking: f64,
+}
+
+/// Compute Table 2 from packet counts.
+pub fn table2(obs: &Observations) -> Table2 {
+    let fl = FilterList::new();
+    let mut counts: BTreeMap<(OrgClass, TrafficPurpose), usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for (_, captures) in &obs.router_captures {
+        for cap in captures {
+            let vendor = obs
+                .skill_meta(&cap.label)
+                .map(|m| m.vendor.clone())
+                .unwrap_or_default();
+            for p in &cap.packets {
+                let class = classify(obs, &p.remote, &vendor);
+                let purpose = fl.classify(&p.remote);
+                *counts.entry((class, purpose)).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    let share = |class, purpose| -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            *counts.get(&(class, purpose)).unwrap_or(&0) as f64 / total as f64
+        }
+    };
+    let rows: Vec<(OrgClass, f64, f64)> =
+        [OrgClass::Amazon, OrgClass::SkillVendor, OrgClass::ThirdParty]
+            .into_iter()
+            .map(|c| {
+                (c, share(c, TrafficPurpose::Functional), share(c, TrafficPurpose::AdvertisingTracking))
+            })
+            .collect();
+    let total_ad_tracking = rows.iter().map(|r| r.2).sum();
+    Table2 { rows, total_ad_tracking }
+}
+
+impl Table2 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 2: Distribution of advertising/tracking and functional traffic by organization",
+            &["Organization", "Functional", "Advertising & Tracking", "Total"],
+        );
+        for (class, func, at) in &self.rows {
+            t.row(vec![class.to_string(), pct(*func), pct(*at), pct(func + at)]);
+        }
+        t.row(vec![
+            "Total".to_string(),
+            pct(1.0 - self.total_ad_tracking),
+            pct(self.total_ad_tracking),
+            pct(1.0),
+        ]);
+        t.render()
+    }
+}
+
+/// Table 3: per-persona third-party domain counts by purpose.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// (persona, A&T domain count, functional domain count), only personas
+    /// with any third-party contact, sorted by A&T count descending.
+    pub rows: Vec<(String, usize, usize)>,
+}
+
+/// Compute Table 3.
+pub fn table3(obs: &Observations) -> Table3 {
+    let fl = FilterList::new();
+    let mut per_persona: BTreeMap<String, (BTreeSet<String>, BTreeSet<String>)> = BTreeMap::new();
+    for t in skill_traffic(obs) {
+        let vendor = obs
+            .skill_meta(&t.skill_id)
+            .map(|m| m.vendor.clone())
+            .unwrap_or_default();
+        for d in &t.endpoints {
+            if classify(obs, d, &vendor) != OrgClass::ThirdParty {
+                continue;
+            }
+            let entry = per_persona.entry(t.persona.clone()).or_default();
+            match fl.classify(d) {
+                TrafficPurpose::AdvertisingTracking => entry.0.insert(d.as_str().to_string()),
+                TrafficPurpose::Functional => entry.1.insert(d.as_str().to_string()),
+            };
+        }
+    }
+    let mut rows: Vec<(String, usize, usize)> = per_persona
+        .into_iter()
+        .filter(|(_, (at, f))| !at.is_empty() || !f.is_empty())
+        .map(|(p, (at, f))| (p, at.len(), f.len()))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 3: Third-party advertising/tracking and functional domains per persona",
+            &["Persona", "Advertising & Tracking", "Functional"],
+        );
+        for (p, at, f) in &self.rows {
+            t.row(vec![p.clone(), at.to_string(), f.to_string()]);
+        }
+        t.render()
+    }
+}
+
+/// Table 4: top skills by contacted A&T services.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// (skill name, A&T endpoints contacted), top-5 by count.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+/// Compute Table 4. Skills are ranked by the number of distinct A&T
+/// *services* (registrable domains) they contact, as the paper groups
+/// subdomains of one service into a single entry.
+pub fn table4(obs: &Observations) -> Table4 {
+    let fl = FilterList::new();
+    let mut per_skill: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut services: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for t in skill_traffic(obs) {
+        for d in &t.endpoints {
+            if fl.is_ad_tracking(d) && obs.orgs.org_of(d) != Some(alexa_net::orgmap::AMAZON) {
+                per_skill.entry(t.skill_id.clone()).or_default().insert(d.as_str().to_string());
+                let reg = d
+                    .registrable()
+                    .map(|r| r.as_str().to_string())
+                    .unwrap_or_else(|| d.as_str().to_string());
+                services.entry(t.skill_id.clone()).or_default().insert(reg);
+            }
+        }
+    }
+    let mut rows: Vec<(String, usize, Vec<String>)> = per_skill
+        .into_iter()
+        .map(|(id, doms)| {
+            let n_services = services.get(&id).map(BTreeSet::len).unwrap_or(0);
+            let name = obs.skill_meta(&id).map(|m| m.name.clone()).unwrap_or(id);
+            (name, n_services, doms.into_iter().collect())
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows.dedup_by(|a, b| a.0 == b.0); // same skill observed under several personas
+    rows.truncate(5);
+    Table4 { rows: rows.into_iter().map(|(n, _, d)| (n, d)).collect() }
+}
+
+impl Table4 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 4: Top-5 skills contacting third-party advertising & tracking services",
+            &["Skill name", "Advertising & Tracking"],
+        );
+        for (name, doms) in &self.rows {
+            t.row(vec![name.clone(), doms.join(", ")]);
+        }
+        t.render()
+    }
+}
+
+/// Figure 2: persona → registrable domain → purpose → organization flows.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// (persona, registrable domain, purpose, organization, packet count).
+    pub flows: Vec<(String, String, TrafficPurpose, String, usize)>,
+}
+
+/// Compute Figure 2's flow series.
+pub fn figure2(obs: &Observations) -> Figure2 {
+    let fl = FilterList::new();
+    let mut counts: BTreeMap<(String, String, TrafficPurpose, String), usize> = BTreeMap::new();
+    for (persona, captures) in &obs.router_captures {
+        for cap in captures {
+            for p in &cap.packets {
+                let reg = p
+                    .remote
+                    .registrable()
+                    .map(|r| r.as_str().to_string())
+                    .unwrap_or_else(|| p.remote.as_str().to_string());
+                let org = obs
+                    .orgs
+                    .org_of(&p.remote)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| reg.clone());
+                let purpose = fl.classify(&p.remote);
+                *counts.entry((persona.clone(), reg, purpose, org)).or_insert(0) += 1;
+            }
+        }
+    }
+    let flows = counts
+        .into_iter()
+        .map(|((p, d, pu, o), n)| (p, d, pu, o, n))
+        .collect();
+    Figure2 { flows }
+}
+
+impl Figure2 {
+    /// Render the flow series (sankey input data).
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Figure 2: Network traffic distribution by persona, domain, purpose, organization",
+            &["Persona", "Domain", "Purpose", "Organization", "Packets"],
+        );
+        for (p, d, pu, o, n) in &self.flows {
+            t.row(vec![p.clone(), d.clone(), pu.to_string(), o.clone(), n.to_string()]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::test_support::obs;
+
+    #[test]
+    fn every_active_skill_contacts_amazon() {
+        let t1 = table1(obs());
+        // All skills that produced traffic contacted Amazon (§4.1: Amazon
+        // mediates everything).
+        let traffic = skill_traffic(obs());
+        let skills_with_traffic: std::collections::BTreeSet<&str> =
+            traffic.iter().map(|t| t.skill_id.as_str()).collect();
+        assert_eq!(t1.skills_amazon, skills_with_traffic.len());
+        assert!(t1.skills_amazon > 0);
+    }
+
+    #[test]
+    fn vendor_domains_are_rare() {
+        let t1 = table1(obs());
+        // Only Garmin / YouVersion-class skills contact vendor domains.
+        assert!(t1.skills_vendor <= 3, "vendor skills: {}", t1.skills_vendor);
+    }
+
+    #[test]
+    fn table1_has_amazon_subdomain_group() {
+        let t1 = table1(obs());
+        assert!(
+            t1.rows.iter().any(|r| r.class == OrgClass::Amazon && r.display.contains("amazon.com")),
+            "rows: {:?}",
+            t1.rows.iter().map(|r| &r.display).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn table2_shares_sum_to_one() {
+        let t2 = table2(obs());
+        let sum: f64 = t2.rows.iter().map(|r| r.1 + r.2).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        // Amazon dominates traffic (paper: 96.84%).
+        let amazon = t2.rows.iter().find(|r| r.0 == OrgClass::Amazon).unwrap();
+        assert!(amazon.1 + amazon.2 > 0.85, "amazon share {}", amazon.1 + amazon.2);
+    }
+
+    #[test]
+    fn table3_excludes_personas_without_third_parties() {
+        let t3 = table3(obs());
+        for (p, _, _) in &t3.rows {
+            assert_ne!(p, "Vanilla");
+            assert_ne!(p, "Smart Home");
+            assert_ne!(p, "Wine & Beverages");
+            assert_ne!(p, "Navigation & Trip Planners");
+        }
+        assert!(!t3.rows.is_empty());
+    }
+
+    #[test]
+    fn table4_garmin_leads() {
+        // Garmin contacts 4 A&T services — the paper's Table 4 leader.
+        let t4 = table4(obs());
+        assert!(!t4.rows.is_empty());
+        assert_eq!(t4.rows[0].0, "Garmin");
+        assert_eq!(t4.rows[0].1.len(), 4);
+        assert!(t4.rows.len() <= 5);
+    }
+
+    #[test]
+    fn figure2_flows_nonempty_and_render() {
+        let f2 = figure2(obs());
+        assert!(!f2.flows.is_empty());
+        let rendered = f2.render();
+        assert!(rendered.contains("amazon.com"));
+    }
+}

@@ -1,0 +1,455 @@
+//! End-to-end experiment orchestration (§3, Figure 1).
+//!
+//! [`AuditRun::execute`] drives the full study with a single seed:
+//!
+//! 1. generate the marketplace and the AVS-Echo **plaintext pass** over all
+//!    450 skills (data-type visibility, Amazon-only endpoints);
+//! 2. provision the nine interest personas + vanilla, each with its own
+//!    Amazon account, Echo, fresh browser profile and unique IP;
+//! 3. **install phase**: each interest persona installs its category's
+//!    top-50 skills, one router-tap capture per skill; first DSAR;
+//! 4. **pre-interaction crawls** (6 iterations over the prebid sites);
+//! 5. **interaction phase**: replay each skill's sample utterances through
+//!    the Echo, one capture per skill; second DSAR;
+//! 6. **post-interaction crawls** (25 iterations), recording bids,
+//!    creatives and sync redirects; third DSAR;
+//! 7. **audio sessions** on Amazon Music / Spotify / Pandora for the
+//!    Connected Car, Fashion & Style and vanilla personas;
+//! 8. **policy download** for every catalog skill.
+//!
+//! The output is an [`Observations`] bundle containing only observables.
+
+use crate::observations::{Observations, SkillMeta};
+use crate::persona::Persona;
+use alexa_adtech::bidding::{standard_roster, SeasonModel, UserState};
+use alexa_adtech::{
+    Auction, BrowserProfile, Crawler, StreamingService, SyncGraph, Transcriber, WebEcosystem,
+};
+use alexa_net::{AvsTap, OrgMap, RouterTap};
+use alexa_platform::storepage::{parse_invocation, parse_sample_utterances, render_store_page};
+use alexa_platform::{AlexaCloud, AvsEcho, DsarPhase, EchoDevice, Marketplace, SkillCategory};
+use alexa_policy::PolicyGenerator;
+use std::collections::BTreeMap;
+
+/// User-side defenses from the paper's §8.1, applied during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefenseMode {
+    /// No defense — the paper's measurement condition.
+    #[default]
+    None,
+    /// Router firewall blocking advertising & tracking endpoints
+    /// ("Blocking without Breaking"-style selective filtering).
+    Firewall,
+    /// On-device transcription: only the text of commands leaves the
+    /// device, never the voice recording.
+    TextOnly,
+}
+
+/// Tunable parameters of an audit run.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Master seed: two runs with equal configs are bit-identical.
+    pub seed: u64,
+    /// Skills installed per category (the paper's top-50).
+    pub skills_per_category: usize,
+    /// Prebid-supported sites crawled per iteration.
+    ///
+    /// The paper crawls 200 real sites but obtains a much smaller *common
+    /// slot* set (real slot loading is flaky). Our simulated slots load
+    /// reliably, so the default keeps the effective common-slot sample near
+    /// the paper's statistical scale (≈ 50 slots).
+    pub crawl_sites: usize,
+    /// Size of the ranked web the prebid probe scans.
+    pub web_size: usize,
+    /// Crawl iterations before skill interaction (paper: 6).
+    pub pre_iterations: usize,
+    /// Crawl iterations after skill interaction (paper: 25).
+    pub post_iterations: usize,
+    /// Hours of audio streamed per (persona, service) session (paper: 6).
+    pub audio_hours: f64,
+    /// Maximum utterances replayed per skill during interaction.
+    pub utterances_per_skill: usize,
+    /// User-side defense active during the run (§8.1 evaluation).
+    pub defense: DefenseMode,
+}
+
+impl AuditConfig {
+    /// The paper-scale configuration.
+    pub fn paper(seed: u64) -> AuditConfig {
+        AuditConfig {
+            seed,
+            skills_per_category: 50,
+            crawl_sites: 7,
+            web_size: 700,
+            pre_iterations: 6,
+            post_iterations: 25,
+            audio_hours: 6.0,
+            utterances_per_skill: 4,
+            defense: DefenseMode::None,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn small(seed: u64) -> AuditConfig {
+        AuditConfig {
+            seed,
+            skills_per_category: 10,
+            crawl_sites: 6,
+            web_size: 120,
+            pre_iterations: 2,
+            post_iterations: 6,
+            audio_hours: 1.0,
+            utterances_per_skill: 2,
+            defense: DefenseMode::None,
+        }
+    }
+
+    /// The same configuration with a defense enabled.
+    pub fn with_defense(mut self, defense: DefenseMode) -> AuditConfig {
+        self.defense = defense;
+        self
+    }
+}
+
+/// Apply the configured defense to a device's outgoing packet batch.
+///
+/// * `Firewall`: drop packets to advertising & tracking endpoints at the
+///   router (they never reach the network, so they never reach a tap).
+/// * `TextOnly`: replace every voice-recording record with the locally
+///   transcribed text command — the content needed for functionality, minus
+///   the acoustic channel (mood, health, accent, …) the paper warns about.
+fn apply_defense(defense: DefenseMode, packets: Vec<alexa_net::Packet>) -> Vec<alexa_net::Packet> {
+    use alexa_net::{DataType, Firewall, Payload, Record};
+    match defense {
+        DefenseMode::None => packets,
+        DefenseMode::Firewall => {
+            let mut fw = Firewall::new();
+            fw.filter_batch(packets)
+        }
+        DefenseMode::TextOnly => packets
+            .into_iter()
+            .map(|mut p| {
+                if let Payload::Plain(records) = &mut p.payload {
+                    for r in records.iter_mut() {
+                        if r.data_type == DataType::VoiceRecording {
+                            *r = Record::new(DataType::TextCommand, r.value.clone());
+                        }
+                    }
+                }
+                p
+            })
+            .collect(),
+    }
+}
+
+/// The experiment driver.
+pub struct AuditRun;
+
+impl AuditRun {
+    /// Execute the full audit and return the observable record.
+    pub fn execute(config: AuditConfig) -> Observations {
+        let market = Marketplace::generate(config.seed);
+        let mut orgs = OrgMap::new();
+        market.register_orgs(&mut orgs);
+
+        let mut cloud = AlexaCloud::new();
+        let mut obs = Observations {
+            seed: config.seed,
+            pre_iterations: config.pre_iterations,
+            post_iterations: config.post_iterations,
+            orgs,
+            ..Observations::default()
+        };
+
+        // Public marketplace metadata (the store pages).
+        obs.catalog = market
+            .all()
+            .iter()
+            .map(|s| SkillMeta {
+                id: s.id.0.clone(),
+                name: s.name.clone(),
+                vendor: s.vendor.clone(),
+                category: s.category,
+                reviews: s.reviews,
+                streaming: s.streaming,
+                policy_link: s.policy.has_link,
+            })
+            .collect();
+
+        // ---- AVS Echo plaintext pass over the full catalog (§3.2) -------
+        let mut avs = AvsEcho::new("avs-lab", config.seed ^ 0xa5a5);
+        let mut avs_tap = AvsTap::new();
+        for cat in SkillCategory::ALL {
+            for skill in market.top_skills(cat, config.skills_per_category) {
+                avs_tap.start(skill.id.0.clone());
+                if let Ok(install_packets) = avs.install(&mut cloud, skill) {
+                    for p in &apply_defense(config.defense, install_packets) {
+                        avs_tap.observe(p);
+                    }
+                    for utterance in
+                        scraped_script(skill).iter().take(config.utterances_per_skill)
+                    {
+                        let spoken = format!("Alexa, {utterance}");
+                        if let Ok(packets) = avs.interact(&mut cloud, skill, &spoken) {
+                            for p in &apply_defense(config.defense, packets) {
+                                avs_tap.observe(p);
+                            }
+                        }
+                    }
+                    let uninstall = avs.uninstall(&mut cloud, skill);
+                    for p in &apply_defense(config.defense, uninstall) {
+                        avs_tap.observe(p);
+                    }
+                }
+                avs_tap.stop();
+            }
+        }
+        obs.avs_captures = avs_tap.into_captures();
+
+        // ---- Echo persona provisioning ----------------------------------
+        let mut devices: BTreeMap<String, EchoDevice> = BTreeMap::new();
+        let mut taps: BTreeMap<String, RouterTap> = BTreeMap::new();
+        for (i, persona) in Persona::echo_personas().into_iter().enumerate() {
+            devices.insert(
+                persona.name(),
+                EchoDevice::new(&persona.account(), config.seed ^ (i as u64 + 1)),
+            );
+            taps.insert(persona.name(), RouterTap::new());
+        }
+
+        // ---- Install phase ----------------------------------------------
+        for persona in Persona::echo_personas() {
+            let Some(cat) = persona.category() else { continue };
+            let device = devices.get_mut(&persona.name()).unwrap();
+            let tap = taps.get_mut(&persona.name()).unwrap();
+            for skill in market.top_skills(cat, config.skills_per_category) {
+                tap.start(skill.id.0.clone());
+                match device.install(&mut cloud, skill) {
+                    Ok(packets) => {
+                        for p in &apply_defense(config.defense, packets) {
+                            tap.observe(p);
+                        }
+                    }
+                    Err(_) => {
+                        obs.failed_installs
+                            .entry(persona.name())
+                            .or_default()
+                            .push(skill.id.0.clone());
+                    }
+                }
+                tap.stop();
+            }
+        }
+        // First DSAR: after installation (§6.1).
+        for persona in Persona::echo_personas() {
+            obs.dsar.insert(
+                (persona.name(), DsarPhase::AfterInstall),
+                cloud.profiler.dsar_export(&persona.account(), DsarPhase::AfterInstall),
+            );
+        }
+
+        // ---- Web + ad ecosystem -----------------------------------------
+        let sync_graph = SyncGraph::generate(config.seed);
+        let web = WebEcosystem::generate(config.seed, config.web_size);
+        let auction = Auction { bidders: standard_roster(sync_graph.partners()), season: SeasonModel::new(config.pre_iterations) };
+        let crawler = Crawler::new(auction, sync_graph);
+        let sites = web.prebid_sites(config.crawl_sites);
+
+        let mut profiles: BTreeMap<String, BrowserProfile> = BTreeMap::new();
+        for (i, persona) in Persona::all().into_iter().enumerate() {
+            let account = persona.account();
+            profiles.insert(
+                persona.name(),
+                BrowserProfile::fresh(&persona.name(), i as u8 + 1, Some(&account)),
+            );
+        }
+
+        let crawl_once = |obs: &mut Observations,
+                              cloud: &AlexaCloud,
+                              profiles: &mut BTreeMap<String, BrowserProfile>,
+                              iteration: usize| {
+            for persona in Persona::all() {
+                let user = user_state(persona, cloud);
+                let profile = profiles.get_mut(&persona.name()).unwrap();
+                let visits = obs.crawl.entry(persona.name()).or_default();
+                for site in &sites {
+                    visits.push(crawler.visit(site, profile, &user, iteration, config.seed));
+                }
+            }
+        };
+
+        // ---- Pre-interaction crawls --------------------------------------
+        for iteration in 0..config.pre_iterations {
+            crawl_once(&mut obs, &cloud, &mut profiles, iteration);
+        }
+
+        // ---- Interaction phase -------------------------------------------
+        for persona in Persona::echo_personas() {
+            let Some(cat) = persona.category() else { continue };
+            let device = devices.get_mut(&persona.name()).unwrap();
+            let tap = taps.get_mut(&persona.name()).unwrap();
+            for skill in market.top_skills(cat, config.skills_per_category) {
+                if !device.has_skill(&skill.id) {
+                    continue; // failed install
+                }
+                tap.start(skill.id.0.clone());
+                for utterance in
+                    scraped_script(skill).iter().take(config.utterances_per_skill)
+                {
+                    let spoken = format!("Alexa, {utterance}");
+                    if let Ok(packets) = device.interact(&mut cloud, skill, &spoken) {
+                        for p in &apply_defense(config.defense, packets) {
+                            tap.observe(p);
+                        }
+                    }
+                }
+                tap.stop();
+            }
+        }
+        // Second DSAR: after interaction.
+        for persona in Persona::echo_personas() {
+            obs.dsar.insert(
+                (persona.name(), DsarPhase::AfterInteraction1),
+                cloud.profiler.dsar_export(&persona.account(), DsarPhase::AfterInteraction1),
+            );
+        }
+
+        // ---- Post-interaction crawls --------------------------------------
+        for iteration in
+            config.pre_iterations..config.pre_iterations + config.post_iterations
+        {
+            crawl_once(&mut obs, &cloud, &mut profiles, iteration);
+        }
+        // Third DSAR: second request after interaction.
+        for persona in Persona::echo_personas() {
+            obs.dsar.insert(
+                (persona.name(), DsarPhase::AfterInteraction2),
+                cloud.profiler.dsar_export(&persona.account(), DsarPhase::AfterInteraction2),
+            );
+        }
+
+        // ---- Router captures ----------------------------------------------
+        for (name, tap) in taps {
+            obs.router_captures.insert(name, tap.into_captures());
+        }
+
+        // ---- Audio-ad sessions (§3.3: two interest personas + vanilla) ----
+        let audio_personas = [
+            Persona::Interest(SkillCategory::ConnectedCar),
+            Persona::Interest(SkillCategory::FashionStyle),
+            Persona::Vanilla,
+        ];
+        let transcriber = Transcriber::default();
+        for (pi, persona) in audio_personas.into_iter().enumerate() {
+            // Audio targeting keys off the segments the profiler actually
+            // holds — the same ground-truth channel the web auctions use —
+            // not off the persona label.
+            let segment = cloud
+                .profiler
+                .targeting_segments(&persona.account())
+                .into_iter()
+                .next();
+            for (si, service) in StreamingService::ALL.into_iter().enumerate() {
+                let session_seed =
+                    config.seed ^ ((pi as u64 + 1) << 8) ^ ((si as u64 + 1) << 16);
+                let session = alexa_adtech::audio::simulate_session(
+                    service,
+                    segment,
+                    config.audio_hours,
+                    session_seed,
+                );
+                let transcripts = transcriber.transcribe(&session, session_seed);
+                obs.audio.insert((persona.name(), service), transcripts);
+            }
+        }
+
+        // ---- Policy download ----------------------------------------------
+        let generator = PolicyGenerator::new();
+        for skill in market.all() {
+            obs.policies.insert(skill.id.0.clone(), generator.render(skill));
+        }
+
+        obs
+    }
+}
+
+/// The interaction script for a skill, scraped from its marketplace store
+/// page exactly as the paper's crawler did (§3.1.1) — the audit never reads
+/// the simulation's ground-truth utterance list.
+fn scraped_script(skill: &alexa_platform::Skill) -> Vec<String> {
+    let page = render_store_page(skill);
+    let mut script = Vec::new();
+    if let Some(invocation) = parse_invocation(&page) {
+        script.push(format!("open {invocation}"));
+    }
+    script.extend(parse_sample_utterances(&page));
+    script
+}
+
+/// Build the ecosystem-visible user state for a persona at crawl time.
+///
+/// For Echo personas the interest segments come from Amazon's profiler
+/// (hidden from the auditor; visible to the ad stack). Web personas carry
+/// their priming topic.
+fn user_state(persona: Persona, cloud: &AlexaCloud) -> UserState {
+    let mut user = UserState::blank(&persona.name());
+    match persona {
+        Persona::Interest(_) | Persona::Vanilla => {
+            user.amazon_customer = true;
+            user.echo_segments = cloud.profiler.targeting_segments(&persona.account());
+        }
+        Persona::WebHealth | Persona::WebScience | Persona::WebComputers => {
+            user.amazon_customer = true; // crawls run logged into Amazon (§3.3)
+            user.web_segments.insert(persona.web_topic().unwrap().to_string());
+        }
+    }
+    user
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_all_observables() {
+        let obs = AuditRun::execute(AuditConfig::small(3));
+        assert_eq!(obs.catalog.len(), 450);
+        assert_eq!(obs.router_captures.len(), 10);
+        assert!(!obs.avs_captures.is_empty());
+        assert_eq!(obs.crawl.len(), 13);
+        assert_eq!(obs.audio.len(), 9);
+        assert_eq!(obs.dsar.len(), 30);
+        assert_eq!(obs.policies.len(), 450);
+    }
+
+    #[test]
+    fn vanilla_has_no_skill_captures() {
+        let obs = AuditRun::execute(AuditConfig::small(3));
+        assert!(obs.router_captures["Vanilla"].is_empty());
+        assert!(!obs.router_captures["Connected Car"].is_empty());
+    }
+
+    #[test]
+    fn crawl_covers_all_iterations() {
+        let cfg = AuditConfig::small(3);
+        let total = cfg.pre_iterations + cfg.post_iterations;
+        let obs = AuditRun::execute(cfg.clone());
+        let visits = &obs.crawl["Vanilla"];
+        assert_eq!(visits.len(), total * cfg.crawl_sites);
+        let max_iter = visits.iter().map(|v| v.iteration).max().unwrap();
+        assert_eq!(max_iter, total - 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = AuditRun::execute(AuditConfig::small(11));
+        let b = AuditRun::execute(AuditConfig::small(11));
+        let bids = |o: &Observations| {
+            o.crawl["Fashion & Style"]
+                .iter()
+                .flat_map(|v| v.bids.iter().map(|b| (b.slot_id.clone(), b.cpm)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bids(&a), bids(&b));
+    }
+}

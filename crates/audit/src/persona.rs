@@ -1,0 +1,134 @@
+//! Personas: the experiment's treatment and control arms (§3.1).
+
+use alexa_platform::SkillCategory;
+
+/// One experimental persona.
+///
+/// Nine *interest* personas (one per skill category), one *vanilla* control
+/// (Amazon account + Echo, no skill interaction), and three *web* controls
+/// primed by browsing topical websites instead of using an Echo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Persona {
+    /// Treatment: installs and interacts with one category's top-50 skills.
+    Interest(SkillCategory),
+    /// Control: Amazon account and Echo, no skill installed or used.
+    Vanilla,
+    /// Control: primed by browsing top health websites.
+    WebHealth,
+    /// Control: primed by browsing top science websites.
+    WebScience,
+    /// Control: primed by browsing top computers websites.
+    WebComputers,
+}
+
+impl Persona {
+    /// All 13 personas: 9 interest + vanilla + 3 web controls.
+    pub fn all() -> Vec<Persona> {
+        let mut v: Vec<Persona> =
+            SkillCategory::ALL.iter().map(|&c| Persona::Interest(c)).collect();
+        v.push(Persona::Vanilla);
+        v.push(Persona::WebHealth);
+        v.push(Persona::WebScience);
+        v.push(Persona::WebComputers);
+        v
+    }
+
+    /// The 10 Echo personas (interest + vanilla) that own devices.
+    pub fn echo_personas() -> Vec<Persona> {
+        let mut v: Vec<Persona> =
+            SkillCategory::ALL.iter().map(|&c| Persona::Interest(c)).collect();
+        v.push(Persona::Vanilla);
+        v
+    }
+
+    /// The three web control personas.
+    pub fn web_personas() -> [Persona; 3] {
+        [Persona::WebHealth, Persona::WebScience, Persona::WebComputers]
+    }
+
+    /// Display name, matching the paper's tables.
+    pub fn name(self) -> String {
+        match self {
+            Persona::Interest(c) => c.label().to_string(),
+            Persona::Vanilla => "Vanilla".to_string(),
+            Persona::WebHealth => "Web Health".to_string(),
+            Persona::WebScience => "Web Science".to_string(),
+            Persona::WebComputers => "Web Computers".to_string(),
+        }
+    }
+
+    /// The dedicated Amazon account name for this persona.
+    pub fn account(self) -> String {
+        match self {
+            Persona::Interest(c) => format!("persona-{}", c.slug()),
+            Persona::Vanilla => "persona-vanilla".to_string(),
+            Persona::WebHealth => "persona-web-health".to_string(),
+            Persona::WebScience => "persona-web-science".to_string(),
+            Persona::WebComputers => "persona-web-computers".to_string(),
+        }
+    }
+
+    /// The interest category, for interest personas.
+    pub fn category(self) -> Option<SkillCategory> {
+        match self {
+            Persona::Interest(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The web priming topic, for web personas.
+    pub fn web_topic(self) -> Option<&'static str> {
+        match self {
+            Persona::WebHealth => Some("health"),
+            Persona::WebScience => Some("science"),
+            Persona::WebComputers => Some("computers"),
+            _ => None,
+        }
+    }
+
+    /// Whether this persona owns an Echo device.
+    pub fn has_echo(self) -> bool {
+        matches!(self, Persona::Interest(_) | Persona::Vanilla)
+    }
+}
+
+impl std::fmt::Display for Persona {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_personas_total() {
+        assert_eq!(Persona::all().len(), 13);
+        assert_eq!(Persona::echo_personas().len(), 10);
+    }
+
+    #[test]
+    fn accounts_are_unique() {
+        let mut accounts: Vec<String> = Persona::all().iter().map(|p| p.account()).collect();
+        accounts.sort();
+        let n = accounts.len();
+        accounts.dedup();
+        assert_eq!(accounts.len(), n);
+    }
+
+    #[test]
+    fn echo_and_web_split() {
+        assert!(Persona::Vanilla.has_echo());
+        assert!(Persona::Interest(SkillCategory::Dating).has_echo());
+        assert!(!Persona::WebHealth.has_echo());
+        assert_eq!(Persona::WebScience.web_topic(), Some("science"));
+        assert_eq!(Persona::Vanilla.web_topic(), None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Persona::Interest(SkillCategory::FashionStyle).name(), "Fashion & Style");
+        assert_eq!(Persona::Vanilla.name(), "Vanilla");
+    }
+}

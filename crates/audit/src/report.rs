@@ -1,0 +1,81 @@
+//! Full-report assembly: every table and figure in one document.
+
+use crate::analysis::{audio, bids, creatives, partners, policy, profiling, significance, traffic};
+use crate::observations::Observations;
+
+/// Render the complete audit report (all tables and figures, in paper
+/// order) as one text document.
+pub fn full_report(obs: &Observations) -> String {
+    let mut out = String::new();
+    let mut push = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    push(format!(
+        "ECHO AUDIT REPORT (seed {}, {} pre + {} post crawl iterations)\n",
+        obs.seed, obs.pre_iterations, obs.post_iterations
+    ));
+
+    push("== RQ1: Which organizations collect and propagate user data? ==\n".into());
+    push(traffic::table1(obs).render());
+    push(traffic::table2(obs).render());
+    push(traffic::table3(obs).render());
+    push(traffic::table4(obs).render());
+
+    push("== RQ2: Is voice data used beyond functional purposes? ==\n".into());
+    push(bids::table5(obs).render());
+    push(bids::table6(obs).render());
+    push(bids::figure3(obs).render());
+    push(significance::table7(obs).render());
+    push(creatives::table8(obs).render());
+    push(audio::table9(obs).render());
+    push(audio::figure5(obs).render());
+    push(partners::sync_analysis(obs).render());
+    push(partners::table10(obs).render());
+    push(partners::figure6(obs).render());
+    push(significance::table11(obs).render());
+    push(bids::figure7(obs).render());
+    push(profiling::table12(obs).render());
+
+    push(bids::render_table5_cis(&bids::table5_median_cis(obs)));
+
+    push("== RQ3: Are practices consistent with privacy policies? ==\n".into());
+    push(policy::policy_stats(obs).render());
+    push(policy::table13(obs, false).render());
+    push(policy::table14(obs).render());
+    push(policy::validation(obs).render());
+
+    let liars = policy::incorrect_flows(obs);
+    if !liars.is_empty() {
+        push(format!(
+            "Policies denying observed flows (PoliCheck 'incorrect'): {}\n",
+            liars
+                .iter()
+                .map(|(s, dt)| format!("{s} ({dt})"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::test_support::obs;
+
+    #[test]
+    fn full_report_contains_every_artifact() {
+        let r = full_report(obs());
+        for needle in [
+            "Table 1:", "Table 2:", "Table 3:", "Table 4:", "Table 5:", "Table 6:",
+            "Figure 3a", "Figure 3b", "Table 7:", "Table 8:", "Table 9:", "Figure 5:",
+            "Table 10:", "Figure 6:", "Table 11:", "Figure 7:", "Table 12:", "Table 13:",
+            "Table 14:", "Cookie syncing", "PoliCheck validation",
+        ] {
+            assert!(r.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text table rendering for analysis outputs.
+//!
+//! Every analysis struct has a `render()` that goes through [`TextTable`],
+//! producing aligned monospace tables like the paper's.
+
+/// A titled, column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the column set.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a title line, and a separator.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(cell);
+                if i + 1 < widths.len() {
+                    out.push_str(&" ".repeat(w.saturating_sub(cell.chars().count()) + 2));
+                }
+            }
+            out.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total.max(self.title.chars().count())));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals (the paper's bid-value precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a share as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["Name", "Value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["a-much-longer-name", "22"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].starts_with("Name"));
+        // Both value cells start in the same column.
+        let col = lines[3].find('1').unwrap();
+        assert_eq!(lines[4].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new("R", &["A"]);
+        t.row(vec!["x", "extra", "more"]);
+        t.row(vec!["y"]);
+        let out = t.render();
+        assert!(out.contains("extra"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.0301), "0.030");
+        assert_eq!(pct(0.0940), "9.40%");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new("E", &["H1", "H2"]);
+        let out = t.render();
+        assert!(out.contains("H1"));
+        assert_eq!(out.lines().count(), 3);
+    }
+}

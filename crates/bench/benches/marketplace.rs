@@ -1,0 +1,29 @@
+//! Ecosystem generation costs: marketplace catalog, sync graph, web, and a
+//! full streaming session.
+
+use alexa_adtech::{audio, StreamingService, SyncGraph, WebEcosystem};
+use alexa_platform::Marketplace;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.bench_function("marketplace_450_skills", |b| {
+        b.iter(|| Marketplace::generate(42))
+    });
+    group.bench_function("sync_graph_41_partners", |b| b.iter(|| SyncGraph::generate(42)));
+    group.bench_function("web_700_sites", |b| b.iter(|| WebEcosystem::generate(42, 700)));
+    group.bench_function("audio_session_6h", |b| {
+        b.iter(|| {
+            audio::simulate_session(
+                StreamingService::Pandora,
+                Some(alexa_platform::SkillCategory::FashionStyle),
+                6.0,
+                42,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

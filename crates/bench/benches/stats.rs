@@ -1,0 +1,43 @@
+//! Statistics scaling: Mann–Whitney U (exact vs asymptotic) and summary
+//! computation across sample sizes.
+
+use alexa_stats::{five_number_summary, mann_whitney_u, Alternative, MwuMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..10.0)).collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mann_whitney");
+    for &n in &[10usize, 20, 25] {
+        let x = sample(n, 1);
+        let y = sample(n, 2);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| mann_whitney_u(&x, &y, Alternative::Greater, MwuMethod::Exact))
+        });
+    }
+    for &n in &[25usize, 100, 1000, 10_000] {
+        let x = sample(n, 1);
+        let y = sample(n, 2);
+        group.bench_with_input(BenchmarkId::new("asymptotic", n), &n, |b, _| {
+            b.iter(|| mann_whitney_u(&x, &y, Alternative::Greater, MwuMethod::Asymptotic))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("descriptive");
+    for &n in &[100usize, 10_000] {
+        let x = sample(n, 3);
+        group.bench_with_input(BenchmarkId::new("five_number_summary", n), &n, |b, _| {
+            b.iter(|| five_number_summary(&x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro all                 # everything, in paper order
+//! repro table5 figure3      # specific artifacts
+//! repro --seed 11 table7    # different seed
+//! repro --list              # list artifact names
+//! ```
+
+use alexa_audit::analysis::{
+    audio, bids, creatives, defense, partners, policy, profiling, significance, traffic,
+};
+use alexa_audit::{AuditConfig, AuditRun, DefenseMode, Observations};
+
+const ARTIFACTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "figure2", "table5", "table6", "figure3",
+    "table7", "table8", "table9", "figure5", "sync", "table10", "figure6", "table11",
+    "figure7", "table12", "stats71", "table13", "table13p", "table14", "validate",
+    "liars", "defenses",
+];
+
+fn render(obs: &Observations, artifact: &str) -> Option<String> {
+    Some(match artifact {
+        "table1" => traffic::table1(obs).render(),
+        "table2" => traffic::table2(obs).render(),
+        "table3" => traffic::table3(obs).render(),
+        "table4" => traffic::table4(obs).render(),
+        "figure2" => traffic::figure2(obs).render(),
+        "table5" => bids::table5(obs).render(),
+        "table6" => bids::table6(obs).render(),
+        "figure3" => bids::figure3(obs).render(),
+        "table7" => significance::table7(obs).render(),
+        "table8" => creatives::table8(obs).render(),
+        "table9" => audio::table9(obs).render(),
+        "figure5" => audio::figure5(obs).render(),
+        "sync" => partners::sync_analysis(obs).render(),
+        "table10" => partners::table10(obs).render(),
+        "figure6" => partners::figure6(obs).render(),
+        "table11" => significance::table11(obs).render(),
+        "figure7" => bids::figure7(obs).render(),
+        "table12" => profiling::table12(obs).render(),
+        "stats71" => policy::policy_stats(obs).render(),
+        "table13" => policy::table13(obs, false).render(),
+        "table13p" => {
+            let t = policy::table13(obs, true);
+            let mut s = t.render();
+            s.push_str(&format!(
+                "(platform policy included — all flows disclosed: {})\n",
+                t.all_disclosed()
+            ));
+            s
+        }
+        "table14" => policy::table14(obs).render(),
+        "validate" => policy::validation(obs).render(),
+        "liars" => {
+            let flows = policy::incorrect_flows(obs);
+            let mut s = String::from(
+                "Policies that DENY flows their traffic shows (PoliCheck 'incorrect'):\n",
+            );
+            for (skill, dt) in &flows {
+                s.push_str(&format!("  {skill}: denies collecting {dt}\n"));
+            }
+            if flows.is_empty() {
+                s.push_str("  (none)\n");
+            }
+            s
+        }
+        _ => return None,
+    })
+}
+
+/// The `defenses` artifact needs its own defended runs.
+fn render_defenses(seed: u64, baseline: &Observations) -> String {
+    eprintln!("running defended audits (firewall, text-only) ...");
+    let firewalled =
+        AuditRun::execute(AuditConfig::paper(seed).with_defense(DefenseMode::Firewall));
+    let text_only =
+        AuditRun::execute(AuditConfig::paper(seed).with_defense(DefenseMode::TextOnly));
+    format!(
+        "{}\n{}",
+        defense::compare("A&T firewall (blocking without breaking)", baseline, &firewalled)
+            .render(),
+        defense::compare("on-device transcription (text-only)", baseline, &text_only).render(),
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 7u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = args.remove(pos).parse().unwrap_or_else(|_| {
+                eprintln!("--seed expects an integer");
+                std::process::exit(2);
+            });
+        }
+    }
+    if args.iter().any(|a| a == "--list") {
+        for a in ARTIFACTS {
+            println!("{a}");
+        }
+        return;
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--seed N] <artifact>... | all | --list");
+        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ARTIFACTS.to_vec()
+    } else {
+        let mut v = Vec::new();
+        for a in &args {
+            if !ARTIFACTS.contains(&a.as_str()) {
+                eprintln!("unknown artifact {a:?} (try --list)");
+                std::process::exit(2);
+            }
+            v.push(a.as_str());
+        }
+        v
+    };
+
+    eprintln!("running paper-scale audit (seed {seed}) ...");
+    let obs = AuditRun::execute(AuditConfig::paper(seed));
+    for artifact in wanted {
+        if artifact == "defenses" {
+            println!("{}", render_defenses(seed, &obs));
+        } else {
+            println!("{}", render(&obs, artifact).expect("artifact known"));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Benchmark and reproduction harness.
+//!
+//! Two deliverables live here:
+//!
+//! * the **`repro` binary** (`src/bin/repro.rs`) — regenerates every table
+//!   and figure of the paper's evaluation from a fresh paper-scale audit
+//!   run (`repro all`, or `repro table5`, `repro figure3`, …);
+//! * the **criterion benches** (`benches/`) — performance characterization
+//!   of the framework's hot paths (auction, capture pipeline, statistics,
+//!   PoliCheck matching, catalog generation, end-to-end run) plus the
+//!   ablation studies called out in DESIGN.md §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use alexa_audit::{AuditConfig, AuditRun, Observations};
+use std::sync::OnceLock;
+
+/// A shared paper-scale run for benches that only *read* observations
+/// (computed once per process).
+pub fn shared_paper_run() -> &'static Observations {
+    static OBS: OnceLock<Observations> = OnceLock::new();
+    OBS.get_or_init(|| AuditRun::execute(AuditConfig::paper(7)))
+}
+
+/// A shared reduced run for cheaper benches.
+pub fn shared_small_run() -> &'static Observations {
+    static OBS: OnceLock<Observations> = OnceLock::new();
+    OBS.get_or_init(|| AuditRun::execute(AuditConfig::small(7)))
+}

@@ -1,0 +1,276 @@
+//! Capture taps: the two vantage points of the paper's methodology.
+//!
+//! * [`RouterTap`] — the RPi bridged-AP router. Sees **every** packet the
+//!   device exchanges, but cannot decrypt TLS: each captured [`FlowRecord`]
+//!   carries only endpoint, direction, timing and ciphertext size.
+//! * [`AvsTap`] — the instrumented AVS Device SDK. Logs payloads **before**
+//!   encryption, so captured packets retain their typed records. The AVS
+//!   Echo's limitations are enforced by the device model in
+//!   `alexa-platform` (Amazon-only endpoints, no streaming skills); this tap
+//!   faithfully records whatever that device emits.
+//!
+//! Both taps support the paper's per-skill capture discipline: `tcpdump` was
+//! enabled before each skill install and disabled after uninstall, so every
+//! capture is cleanly attributable to one skill. [`Capture::label`] carries
+//! that attribution.
+
+use crate::domain::Domain;
+use crate::packet::{Direction, Packet};
+use std::net::Ipv4Addr;
+
+/// One flow observation from the router vantage point: everything `tcpdump`
+/// can say about an encrypted exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Milliseconds since the start of the experiment.
+    pub ts_ms: u64,
+    /// Direction relative to the device.
+    pub direction: Direction,
+    /// Remote endpoint name (from DNS packets in the same capture).
+    pub remote: Domain,
+    /// Remote endpoint address.
+    pub remote_ip: Ipv4Addr,
+    /// Ciphertext bytes on the wire.
+    pub bytes: usize,
+}
+
+/// A labelled set of packets recorded by one tap session.
+///
+/// `label` identifies the workload the capture is attributed to (in the
+/// paper: one skill per capture session).
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// Attribution label (e.g. a skill ID) for this capture session.
+    pub label: String,
+    /// Captured packets, in timestamp order.
+    pub packets: Vec<Packet>,
+}
+
+impl Capture {
+    /// Create an empty capture with an attribution label.
+    pub fn new(label: impl Into<String>) -> Capture {
+        Capture { label: label.into(), packets: Vec::new() }
+    }
+
+    /// Total bytes across all packets.
+    pub fn total_bytes(&self) -> usize {
+        self.packets.iter().map(|p| p.payload.wire_len()).sum()
+    }
+
+    /// Distinct remote endpoints contacted, sorted.
+    pub fn endpoints(&self) -> Vec<Domain> {
+        let mut set: Vec<Domain> = self.packets.iter().map(|p| p.remote.clone()).collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+}
+
+/// The RPi router tap: records every packet, encrypted view only.
+#[derive(Debug, Default)]
+pub struct RouterTap {
+    session: Option<Capture>,
+    finished: Vec<Capture>,
+}
+
+impl RouterTap {
+    /// Create a tap with no active session.
+    pub fn new() -> RouterTap {
+        RouterTap::default()
+    }
+
+    /// Begin a capture session (the paper's "enable tcpdump").
+    ///
+    /// Any in-progress session is finalized first.
+    pub fn start(&mut self, label: impl Into<String>) {
+        self.stop();
+        self.session = Some(Capture::new(label));
+    }
+
+    /// Observe one packet. No-op unless a session is active. The payload is
+    /// opacified: the router sees TLS ciphertext only.
+    pub fn observe(&mut self, packet: &Packet) {
+        if let Some(session) = &mut self.session {
+            let mut p = packet.clone();
+            p.payload = p.payload.encrypt();
+            session.packets.push(p);
+        }
+    }
+
+    /// End the active session (the paper's "disable tcpdump").
+    pub fn stop(&mut self) {
+        if let Some(s) = self.session.take() {
+            self.finished.push(s);
+        }
+    }
+
+    /// All finalized captures, in session order.
+    pub fn captures(&self) -> &[Capture] {
+        &self.finished
+    }
+
+    /// Consume the tap, returning its captures.
+    pub fn into_captures(mut self) -> Vec<Capture> {
+        self.stop();
+        self.finished
+    }
+
+    /// Flatten all captures into router-view flow records.
+    pub fn flow_records(&self) -> Vec<(String, FlowRecord)> {
+        let mut out = Vec::new();
+        for c in &self.finished {
+            for p in &c.packets {
+                out.push((
+                    c.label.clone(),
+                    FlowRecord {
+                        ts_ms: p.ts_ms,
+                        direction: p.direction,
+                        remote: p.remote.clone(),
+                        remote_ip: p.remote_ip,
+                        bytes: p.payload.wire_len(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The AVS Echo tap: records payloads before encryption.
+#[derive(Debug, Default)]
+pub struct AvsTap {
+    session: Option<Capture>,
+    finished: Vec<Capture>,
+}
+
+impl AvsTap {
+    /// Create a tap with no active session.
+    pub fn new() -> AvsTap {
+        AvsTap::default()
+    }
+
+    /// Begin a capture session.
+    pub fn start(&mut self, label: impl Into<String>) {
+        self.stop();
+        self.session = Some(Capture::new(label));
+    }
+
+    /// Observe one packet with full plaintext visibility.
+    pub fn observe(&mut self, packet: &Packet) {
+        if let Some(session) = &mut self.session {
+            session.packets.push(packet.clone());
+        }
+    }
+
+    /// End the active session.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.session.take() {
+            self.finished.push(s);
+        }
+    }
+
+    /// All finalized captures.
+    pub fn captures(&self) -> &[Capture] {
+        &self.finished
+    }
+
+    /// Consume the tap, returning its captures.
+    pub fn into_captures(mut self) -> Vec<Capture> {
+        self.stop();
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{DataType, Payload, Record};
+
+    fn pkt(ts: u64, name: &str, records: Vec<Record>) -> Packet {
+        Packet::outgoing(
+            ts,
+            Domain::parse(name).unwrap(),
+            Ipv4Addr::new(10, 1, 2, 3),
+            Payload::Plain(records),
+        )
+    }
+
+    #[test]
+    fn router_tap_hides_payloads() {
+        let mut tap = RouterTap::new();
+        tap.start("skill-a");
+        tap.observe(&pkt(1, "amazon.com", vec![Record::new(DataType::VoiceRecording, "hello")]));
+        tap.stop();
+        let caps = tap.captures();
+        assert_eq!(caps.len(), 1);
+        assert!(caps[0].packets[0].payload.records().is_none());
+        // ...but preserves size.
+        assert_eq!(caps[0].packets[0].payload.wire_len(), 8 + 5);
+    }
+
+    #[test]
+    fn avs_tap_preserves_payloads() {
+        let mut tap = AvsTap::new();
+        tap.start("skill-a");
+        tap.observe(&pkt(1, "amazon.com", vec![Record::new(DataType::CustomerId, "A1")]));
+        tap.stop();
+        let records = tap.captures()[0].packets[0].payload.records().unwrap();
+        assert_eq!(records[0].data_type, DataType::CustomerId);
+    }
+
+    #[test]
+    fn observe_without_session_is_dropped() {
+        let mut tap = RouterTap::new();
+        tap.observe(&pkt(1, "amazon.com", vec![]));
+        tap.start("s");
+        tap.stop();
+        assert_eq!(tap.captures().len(), 1);
+        assert!(tap.captures()[0].packets.is_empty());
+    }
+
+    #[test]
+    fn sessions_attribute_traffic_to_labels() {
+        let mut tap = RouterTap::new();
+        tap.start("garmin");
+        tap.observe(&pkt(1, "static.garmincdn.com", vec![]));
+        tap.start("sonos"); // implicit stop of garmin session
+        tap.observe(&pkt(2, "amazon.com", vec![]));
+        tap.stop();
+        let caps = tap.captures();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0].label, "garmin");
+        assert_eq!(caps[1].label, "sonos");
+        assert_eq!(caps[0].packets[0].remote.as_str(), "static.garmincdn.com");
+    }
+
+    #[test]
+    fn flow_records_flatten_with_labels() {
+        let mut tap = RouterTap::new();
+        tap.start("a");
+        tap.observe(&pkt(1, "amazon.com", vec![Record::new(DataType::SkillId, "x")]));
+        tap.observe(&pkt(2, "chtbl.com", vec![]));
+        tap.stop();
+        let flows = tap.flow_records();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].0, "a");
+        assert_eq!(flows[1].1.remote.as_str(), "chtbl.com");
+    }
+
+    #[test]
+    fn capture_endpoint_dedup() {
+        let mut c = Capture::new("x");
+        c.packets.push(pkt(1, "amazon.com", vec![]));
+        c.packets.push(pkt(2, "amazon.com", vec![]));
+        c.packets.push(pkt(3, "api.amazon.com", vec![]));
+        assert_eq!(c.endpoints().len(), 2);
+    }
+
+    #[test]
+    fn into_captures_finalizes_open_session() {
+        let mut tap = AvsTap::new();
+        tap.start("open");
+        tap.observe(&pkt(1, "amazon.com", vec![]));
+        let caps = tap.into_captures();
+        assert_eq!(caps.len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Validated domain names and eTLD+1 extraction.
+//!
+//! The paper groups contacted endpoints by registrable domain (e.g. the 11
+//! subdomains of `amazon.com` in Table 1 collapse to one row). We implement
+//! that grouping with an embedded subset of the public-suffix list covering
+//! every suffix observed in the simulated ecosystem.
+
+use std::fmt;
+
+/// Public suffixes known to the embedded list. A real deployment would load
+/// the full Mozilla PSL; the simulation only ever mints names under these.
+const PUBLIC_SUFFIXES: &[&str] = &[
+    "com", "net", "org", "io", "fm", "us", "de", "ai", "app", "dev", "tv", "info", "biz",
+    "co.uk", "org.uk", "ac.uk", "com.au", "co.jp",
+];
+
+/// Errors produced when parsing a [`Domain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The name was empty or consisted only of dots.
+    Empty,
+    /// A label was empty, too long, or contained an invalid character.
+    BadLabel(String),
+    /// The name as a whole exceeded 253 characters.
+    TooLong,
+    /// The name is only a public suffix (no registrable part).
+    OnlySuffix,
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "empty domain name"),
+            DomainError::BadLabel(l) => write!(f, "invalid label {l:?}"),
+            DomainError::TooLong => write!(f, "domain name exceeds 253 characters"),
+            DomainError::OnlySuffix => write!(f, "name is a bare public suffix"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// A validated, lower-cased fully-qualified domain name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Domain {
+    name: String,
+}
+
+impl Domain {
+    /// Parse and validate a domain name. Lower-cases the input and rejects
+    /// empty/invalid labels, overlong names, and bare public suffixes.
+    pub fn parse(s: &str) -> Result<Domain, DomainError> {
+        let name = s.trim().trim_end_matches('.').to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(DomainError::Empty);
+        }
+        if name.len() > 253 {
+            return Err(DomainError::TooLong);
+        }
+        for label in name.split('.') {
+            if label.is_empty()
+                || label.len() > 63
+                || label.starts_with('-')
+                || label.ends_with('-')
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+            {
+                return Err(DomainError::BadLabel(label.to_string()));
+            }
+        }
+        let d = Domain { name };
+        if d.registrable().is_none() {
+            return Err(DomainError::OnlySuffix);
+        }
+        Ok(d)
+    }
+
+    /// The full name, always lower-case, no trailing dot.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Labels from leftmost (most specific) to rightmost (TLD).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// The public suffix of this name, if the embedded list knows it.
+    pub fn public_suffix(&self) -> Option<&str> {
+        // Longest matching suffix wins (so `co.uk` beats `uk`).
+        let mut best: Option<&str> = None;
+        for &suffix in PUBLIC_SUFFIXES {
+            if self.name == suffix || self.name.ends_with(&format!(".{suffix}")) {
+                match best {
+                    Some(b) if b.len() >= suffix.len() => {}
+                    _ => best = Some(suffix),
+                }
+            }
+        }
+        best
+    }
+
+    /// The registrable domain (eTLD+1), e.g. `device-metrics-us-2.amazon.com`
+    /// → `amazon.com`. `None` when the name *is* a public suffix.
+    pub fn registrable(&self) -> Option<Domain> {
+        let suffix = self.public_suffix()?;
+        if self.name == suffix {
+            return None;
+        }
+        let prefix = &self.name[..self.name.len() - suffix.len() - 1];
+        let owner = prefix.rsplit('.').next()?;
+        Some(Domain { name: format!("{owner}.{suffix}") })
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &Domain) -> bool {
+        self.name == other.name || self.name.ends_with(&format!(".{}", other.name))
+    }
+
+    /// Number of labels.
+    pub fn depth(&self) -> usize {
+        self.name.split('.').count()
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl std::str::FromStr for Domain {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Domain::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_lowercases() {
+        let d = Domain::parse("Device-Metrics-US-2.Amazon.COM.").unwrap();
+        assert_eq!(d.as_str(), "device-metrics-us-2.amazon.com");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(Domain::parse(""), Err(DomainError::Empty));
+        assert!(matches!(Domain::parse("a..b.com"), Err(DomainError::BadLabel(_))));
+        assert!(matches!(Domain::parse("-bad.com"), Err(DomainError::BadLabel(_))));
+        assert!(matches!(Domain::parse("bad-.com"), Err(DomainError::BadLabel(_))));
+        assert!(matches!(Domain::parse("sp ace.com"), Err(DomainError::BadLabel(_))));
+        assert_eq!(Domain::parse("com"), Err(DomainError::OnlySuffix));
+        assert_eq!(Domain::parse("co.uk"), Err(DomainError::OnlySuffix));
+    }
+
+    #[test]
+    fn rejects_overlong() {
+        let long = format!("{}.com", "a".repeat(260));
+        assert_eq!(Domain::parse(&long), Err(DomainError::TooLong));
+        let long_label = format!("{}.com", "a".repeat(64));
+        assert!(matches!(Domain::parse(&long_label), Err(DomainError::BadLabel(_))));
+    }
+
+    #[test]
+    fn registrable_extraction() {
+        let cases = [
+            ("device-metrics-us-2.amazon.com", "amazon.com"),
+            ("amazon.com", "amazon.com"),
+            ("ingestion.us-east-1.prod.arteries.alexa.a2z.com", "a2z.com"),
+            ("play.podtrac.com", "podtrac.com"),
+            ("pod.npr.org", "npr.org"),
+            ("cdn2.voiceapps.com", "voiceapps.com"),
+            ("bbc.co.uk", "bbc.co.uk"),
+            ("news.bbc.co.uk", "bbc.co.uk"),
+            ("traffic.omny.fm", "omny.fm"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(Domain::parse(input).unwrap().registrable().unwrap().as_str(), want);
+        }
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let parent = Domain::parse("amazon.com").unwrap();
+        let child = Domain::parse("api.amazon.com").unwrap();
+        let other = Domain::parse("notamazon.com").unwrap();
+        assert!(child.is_subdomain_of(&parent));
+        assert!(parent.is_subdomain_of(&parent));
+        assert!(!other.is_subdomain_of(&parent));
+        // Suffix-string trap: "xamazon.com" is NOT a subdomain of "amazon.com".
+        let trap = Domain::parse("xamazon.com").unwrap();
+        assert!(!trap.is_subdomain_of(&parent));
+    }
+
+    #[test]
+    fn labels_and_depth() {
+        let d = Domain::parse("a.b.example.com").unwrap();
+        assert_eq!(d.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(d.depth(), 4);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let d: Domain = "megaphone.fm".parse().unwrap();
+        assert_eq!(d.to_string(), "megaphone.fm");
+    }
+}

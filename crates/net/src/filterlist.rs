@@ -1,0 +1,226 @@
+//! Pi-hole-style filter lists for advertising & tracking classification.
+//!
+//! The paper detects advertising and tracking endpoints with blocklists
+//! (firebog.net's Pi-hole collection) plus manual investigation. We embed the
+//! equivalent rules for every A&T service observed in the study (the
+//! grey-shaded rows of Table 1) plus the web-advertising domains the ad-tech
+//! simulation uses. Rules are of two kinds, matching Pi-hole semantics:
+//!
+//! * **suffix rules** match a registrable domain and all its subdomains
+//!   (`podtrac.com` matches `dts.podtrac.com`);
+//! * **exact-host rules** match one fully-qualified name only
+//!   (`device-metrics-us-2.amazon.com` is tracking, but `amazon.com` as a
+//!   whole stays functional).
+
+use crate::domain::Domain;
+use std::collections::HashSet;
+
+/// Purpose classification of one traffic flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficPurpose {
+    /// Ordinary functional traffic.
+    Functional,
+    /// Advertising and/or tracking traffic.
+    AdvertisingTracking,
+}
+
+impl std::fmt::Display for TrafficPurpose {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrafficPurpose::Functional => "Functional",
+            TrafficPurpose::AdvertisingTracking => "Advertising & Tracking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Audio / smart-speaker advertising & tracking services (suffix rules) —
+/// the grey rows of Table 1 plus the services of Table 4.
+const BUILTIN_SUFFIX: &[&str] = &[
+    // Audio advertising & tracking observed on skills.
+    "megaphone.fm",
+    "podtrac.com",
+    "chtbl.com",
+    "libsyn.com",
+    "streamtheworld.com",
+    "tritondigital.com",
+    "omny.fm",
+    // Spotify's audio-ads / analytics SDK endpoints (Table 14 labels
+    // Spotify AB an analytic provider and advertising network).
+    "spotify.com",
+    // Web advertising & tracking used by the crawl simulation.
+    "amazon-adsystem.com",
+    "doubleclick.net",
+    "criteo.com",
+    "pubmatic.com",
+    "rubiconproject.com",
+    "adnxs.com",
+    "openx.net",
+    "indexexchange.com",
+    "sharethrough.com",
+    "triplelift.com",
+    "sovrn.com",
+    "33across.com",
+    "smartadserver.com",
+    "medianet.com",
+    "taboola.com",
+    "outbrain.com",
+    "bidswitch.net",
+    "casalemedia.com",
+    "gumgum.com",
+    "yieldmo.com",
+];
+
+/// Exact-host tracking rules: specific hostnames under otherwise functional
+/// registrable domains.
+const BUILTIN_EXACT: &[&str] = &["device-metrics-us-2.amazon.com"];
+
+/// A compiled filter list.
+#[derive(Debug, Clone)]
+pub struct FilterList {
+    suffixes: HashSet<String>,
+    exact: HashSet<String>,
+}
+
+impl Default for FilterList {
+    fn default() -> FilterList {
+        FilterList::new()
+    }
+}
+
+impl FilterList {
+    /// The built-in list covering every A&T service in the paper.
+    pub fn new() -> FilterList {
+        let mut fl = FilterList::empty();
+        for &s in BUILTIN_SUFFIX {
+            fl.add_suffix(s);
+        }
+        for &e in BUILTIN_EXACT {
+            fl.add_exact(e);
+        }
+        fl
+    }
+
+    /// An empty list.
+    pub fn empty() -> FilterList {
+        FilterList { suffixes: HashSet::new(), exact: HashSet::new() }
+    }
+
+    /// Add a suffix rule (domain + all subdomains).
+    pub fn add_suffix(&mut self, domain: &str) {
+        self.suffixes.insert(domain.to_ascii_lowercase());
+    }
+
+    /// Add an exact-host rule.
+    pub fn add_exact(&mut self, host: &str) {
+        self.exact.insert(host.to_ascii_lowercase());
+    }
+
+    /// Whether a domain is an advertising/tracking endpoint.
+    pub fn is_ad_tracking(&self, domain: &Domain) -> bool {
+        if self.exact.contains(domain.as_str()) {
+            return true;
+        }
+        // Walk the suffix chain: a.b.c.com → a.b.c.com, b.c.com, c.com, com.
+        let name = domain.as_str();
+        let mut idx = 0;
+        loop {
+            let candidate = &name[idx..];
+            if self.suffixes.contains(candidate) {
+                return true;
+            }
+            match name[idx..].find('.') {
+                Some(dot) => idx += dot + 1,
+                None => return false,
+            }
+        }
+    }
+
+    /// Classify a domain's traffic purpose.
+    pub fn classify(&self, domain: &Domain) -> TrafficPurpose {
+        if self.is_ad_tracking(domain) {
+            TrafficPurpose::AdvertisingTracking
+        } else {
+            TrafficPurpose::Functional
+        }
+    }
+
+    /// Number of rules (suffix + exact).
+    pub fn len(&self) -> usize {
+        self.suffixes.len() + self.exact.len()
+    }
+
+    /// Whether the list has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.suffixes.is_empty() && self.exact.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::parse(s).unwrap()
+    }
+
+    #[test]
+    fn suffix_rules_cover_subdomains() {
+        let fl = FilterList::new();
+        assert!(fl.is_ad_tracking(&d("megaphone.fm")));
+        assert!(fl.is_ad_tracking(&d("dcs.megaphone.fm")));
+        assert!(fl.is_ad_tracking(&d("dts.podtrac.com")));
+        assert!(fl.is_ad_tracking(&d("play.podtrac.com")));
+        assert!(fl.is_ad_tracking(&d("turnernetworksales.mc.tritondigital.com")));
+    }
+
+    #[test]
+    fn exact_rule_does_not_taint_parent() {
+        let fl = FilterList::new();
+        assert!(fl.is_ad_tracking(&d("device-metrics-us-2.amazon.com")));
+        assert!(!fl.is_ad_tracking(&d("amazon.com")));
+        assert!(!fl.is_ad_tracking(&d("api.amazon.com")));
+    }
+
+    #[test]
+    fn functional_domains_pass() {
+        let fl = FilterList::new();
+        for name in ["amazonalexa.com", "static.garmincdn.com", "discovery.meethue.com"] {
+            assert_eq!(fl.classify(&d(name)), TrafficPurpose::Functional, "{name}");
+        }
+    }
+
+    #[test]
+    fn no_partial_label_match() {
+        let fl = FilterList::new();
+        // "notpodtrac.com" must not match the "podtrac.com" suffix rule.
+        assert!(!fl.is_ad_tracking(&d("notpodtrac.com")));
+    }
+
+    #[test]
+    fn custom_rules() {
+        let mut fl = FilterList::empty();
+        assert!(fl.is_empty());
+        fl.add_suffix("tracker.example.net");
+        fl.add_exact("pixel.site.com");
+        assert_eq!(fl.len(), 2);
+        assert!(fl.is_ad_tracking(&d("x.tracker.example.net")));
+        assert!(fl.is_ad_tracking(&d("pixel.site.com")));
+        assert!(!fl.is_ad_tracking(&d("site.com")));
+    }
+
+    #[test]
+    fn table4_services_all_flagged() {
+        // Every A&T service from Table 4 must classify as A&T.
+        let fl = FilterList::new();
+        for name in [
+            "chtbl.com",
+            "traffic.omny.fm",
+            "dts.podtrac.com",
+            "turnernetworksales.mc.tritondigital.com",
+            "play.podtrac.com",
+        ] {
+            assert_eq!(fl.classify(&d(name)), TrafficPurpose::AdvertisingTracking, "{name}");
+        }
+    }
+}

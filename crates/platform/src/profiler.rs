@@ -1,0 +1,345 @@
+//! Amazon's interest-inference model and the DSAR export interface.
+//!
+//! The paper's §6 requests each persona's data from Amazon three times
+//! (after skill installation, and twice after interaction) and reads the
+//! *advertising interests* files in the export. Two separate views exist:
+//!
+//! * **Internal targeting segments** — what Amazon's ad stack actually uses.
+//!   In the simulation, every category a persona installs/interacts with
+//!   becomes a targeting segment (this is what drives the bid uplift the
+//!   paper measures for *all nine* interest personas).
+//! * **DSAR-visible interests** — what the data export reveals. The paper
+//!   found this view partial and flaky: only some personas' interest files
+//!   are present (Table 12), and repeated requests sometimes return *no*
+//!   advertising-interest file at all. Both behaviours are reproduced.
+//!
+//! The gap between the two views is itself a finding of the paper ("Amazon
+//! cannot be reliably trusted to provide transparency").
+
+use crate::category::SkillCategory;
+use crate::skill::Skill;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// An advertising interest as it appears in Amazon's DSAR export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Interest {
+    /// "Electronics".
+    Electronics,
+    /// "Home & Garden: DIY & Tools".
+    DiyTools,
+    /// "Home & Garden: Home & Kitchen".
+    HomeKitchen,
+    /// "Beauty & Personal Care".
+    BeautyPersonalCare,
+    /// "Fashion".
+    Fashion,
+    /// "Video Entertainment".
+    VideoEntertainment,
+    /// "Pet Supplies".
+    PetSupplies,
+}
+
+impl Interest {
+    /// The label as printed in the export (and in Table 12).
+    pub fn label(self) -> &'static str {
+        match self {
+            Interest::Electronics => "Electronics",
+            Interest::DiyTools => "Home & Garden: DIY & Tools",
+            Interest::HomeKitchen => "Home & Garden: Home & Kitchen",
+            Interest::BeautyPersonalCare => "Beauty & Personal Care",
+            Interest::Fashion => "Fashion",
+            Interest::VideoEntertainment => "Video Entertainment",
+            Interest::PetSupplies => "Pet Supplies",
+        }
+    }
+}
+
+impl std::fmt::Display for Interest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The experiment phase at which a DSAR is issued (§6.1 requests thrice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DsarPhase {
+    /// After skill installation, before any interaction.
+    AfterInstall,
+    /// First request after skill interaction.
+    AfterInteraction1,
+    /// Second request after skill interaction.
+    AfterInteraction2,
+}
+
+/// One data export returned to a DSAR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsarExport {
+    /// Account the export belongs to.
+    pub account: String,
+    /// Advertising interests file. `None` models the file being absent from
+    /// the export (observed by the paper for five personas on the second
+    /// post-interaction request).
+    pub advertising_interests: Option<Vec<Interest>>,
+    /// Alexa interaction history (utterance transcripts) — always present.
+    pub interaction_history: Vec<String>,
+}
+
+/// Amazon's profiling engine.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    installs: HashMap<String, BTreeMap<SkillCategory, usize>>,
+    interactions: HashMap<String, BTreeMap<SkillCategory, usize>>,
+    history: HashMap<String, Vec<String>>,
+}
+
+impl Profiler {
+    /// Create an empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Record a skill installation on an account.
+    pub fn record_install(&mut self, account: &str, skill: &Skill) {
+        *self
+            .installs
+            .entry(account.to_string())
+            .or_default()
+            .entry(skill.category)
+            .or_insert(0) += 1;
+    }
+
+    /// Record one voice interaction with a skill.
+    pub fn record_interaction(&mut self, account: &str, skill: &Skill, transcript: &str) {
+        *self
+            .interactions
+            .entry(account.to_string())
+            .or_default()
+            .entry(skill.category)
+            .or_insert(0) += 1;
+        self.history.entry(account.to_string()).or_default().push(transcript.to_string());
+    }
+
+    /// The account's dominant skill category, if any.
+    pub fn dominant_category(&self, account: &str) -> Option<SkillCategory> {
+        let installs = self.installs.get(account)?;
+        installs.iter().max_by_key(|&(_, &n)| n).map(|(&c, _)| c)
+    }
+
+    /// **Internal** targeting segments: every category the account has
+    /// *interacted* with. Installation alone creates no targeting segment —
+    /// the paper's Figure 3a shows no bid difference before interaction,
+    /// even though all skills were already installed (and Table 12 shows
+    /// install-time inference exists in the DSAR view). The ad stack only
+    /// consumes interaction-derived segments.
+    pub fn targeting_segments(&self, account: &str) -> BTreeSet<SkillCategory> {
+        let mut segs = BTreeSet::new();
+        if let Some(m) = self.interactions.get(account) {
+            segs.extend(m.keys().copied());
+        }
+        segs
+    }
+
+    /// Whether the account has interacted with skills at all.
+    pub fn has_interacted(&self, account: &str) -> bool {
+        self.interactions.get(account).map(|m| !m.is_empty()).unwrap_or(false)
+    }
+
+    /// Produce the DSAR export for an account at a given phase, reproducing
+    /// Table 12's inference evolution and the missing-file flakiness.
+    pub fn dsar_export(&self, account: &str, phase: DsarPhase) -> DsarExport {
+        let dominant = self.dominant_category(account);
+        let interacted = self.has_interacted(account);
+        let advertising_interests = dominant.and_then(|cat| match phase {
+            DsarPhase::AfterInstall => match cat {
+                // Install-time inference exists only for Health & Fitness
+                // (Table 12, "Installation" row).
+                SkillCategory::HealthFitness => {
+                    Some(vec![Interest::Electronics, Interest::DiyTools])
+                }
+                _ => Some(vec![]), // file present but empty: nothing inferred yet
+            },
+            DsarPhase::AfterInteraction1 if interacted => match cat {
+                SkillCategory::HealthFitness => Some(vec![Interest::DiyTools]),
+                SkillCategory::FashionStyle => Some(vec![
+                    Interest::BeautyPersonalCare,
+                    Interest::Fashion,
+                    Interest::VideoEntertainment,
+                ]),
+                SkillCategory::SmartHome => Some(vec![
+                    Interest::Electronics,
+                    Interest::DiyTools,
+                    Interest::HomeKitchen,
+                ]),
+                _ => Some(vec![]),
+            },
+            DsarPhase::AfterInteraction2 if interacted => match cat {
+                SkillCategory::FashionStyle => {
+                    Some(vec![Interest::Fashion, Interest::VideoEntertainment])
+                }
+                SkillCategory::SmartHome => Some(vec![
+                    Interest::PetSupplies,
+                    Interest::DiyTools,
+                    Interest::HomeKitchen,
+                ]),
+                // The paper observed the advertising-interest file *absent*
+                // for Health & Fitness, Wine & Beverages, Religion &
+                // Spirituality and Dating on the second request.
+                SkillCategory::HealthFitness
+                | SkillCategory::WineBeverages
+                | SkillCategory::ReligionSpirituality
+                | SkillCategory::Dating => None,
+                _ => Some(vec![]),
+            },
+            _ => Some(vec![]),
+        });
+        // Vanilla persona (no installs): interest file absent on the second
+        // post-interaction request, like the paper observed.
+        let advertising_interests = if dominant.is_none() {
+            match phase {
+                DsarPhase::AfterInteraction2 => None,
+                _ => Some(vec![]),
+            }
+        } else {
+            advertising_interests
+        };
+        DsarExport {
+            account: account.to_string(),
+            advertising_interests,
+            interaction_history: self.history.get(account).cloned().unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skill::{PolicySpec, SkillId};
+
+    fn skill_in(cat: SkillCategory, n: &str) -> Skill {
+        Skill {
+            id: SkillId(n.into()),
+            name: n.into(),
+            vendor: "V".into(),
+            category: cat,
+            invocation: n.to_ascii_lowercase(),
+            sample_utterances: vec![],
+            reviews: 1,
+            streaming: false,
+            fails_to_load: false,
+            requires_account_linking: false,
+            permissions: vec![],
+            backends: vec![],
+            collects: vec![],
+            policy: PolicySpec::none(),
+        }
+    }
+
+    fn primed(cat: SkillCategory) -> Profiler {
+        let mut p = Profiler::new();
+        for i in 0..50 {
+            let s = skill_in(cat, &format!("s{i}"));
+            p.record_install("acct", &s);
+            p.record_interaction("acct", &s, "open skill");
+        }
+        p
+    }
+
+    #[test]
+    fn install_only_infers_for_health() {
+        let mut p = Profiler::new();
+        for i in 0..50 {
+            p.record_install("acct", &skill_in(SkillCategory::HealthFitness, &format!("s{i}")));
+        }
+        let e = p.dsar_export("acct", DsarPhase::AfterInstall);
+        assert_eq!(
+            e.advertising_interests,
+            Some(vec![Interest::Electronics, Interest::DiyTools])
+        );
+        // Fashion install-only: file present but empty.
+        let mut q = Profiler::new();
+        for i in 0..50 {
+            q.record_install("b", &skill_in(SkillCategory::FashionStyle, &format!("s{i}")));
+        }
+        assert_eq!(q.dsar_export("b", DsarPhase::AfterInstall).advertising_interests, Some(vec![]));
+    }
+
+    #[test]
+    fn interaction_unlocks_fashion_and_smarthome_interests() {
+        let p = primed(SkillCategory::FashionStyle);
+        let e = p.dsar_export("acct", DsarPhase::AfterInteraction1);
+        assert_eq!(
+            e.advertising_interests.unwrap(),
+            vec![Interest::BeautyPersonalCare, Interest::Fashion, Interest::VideoEntertainment]
+        );
+        let p = primed(SkillCategory::SmartHome);
+        let e = p.dsar_export("acct", DsarPhase::AfterInteraction2);
+        assert_eq!(
+            e.advertising_interests.unwrap(),
+            vec![Interest::PetSupplies, Interest::DiyTools, Interest::HomeKitchen]
+        );
+    }
+
+    #[test]
+    fn second_request_files_go_missing() {
+        for cat in [
+            SkillCategory::HealthFitness,
+            SkillCategory::WineBeverages,
+            SkillCategory::ReligionSpirituality,
+            SkillCategory::Dating,
+        ] {
+            let p = primed(cat);
+            let e = p.dsar_export("acct", DsarPhase::AfterInteraction2);
+            assert_eq!(e.advertising_interests, None, "{cat}");
+        }
+    }
+
+    #[test]
+    fn vanilla_account_has_no_interests_then_missing_file() {
+        let p = Profiler::new();
+        assert_eq!(p.dsar_export("v", DsarPhase::AfterInstall).advertising_interests, Some(vec![]));
+        assert_eq!(p.dsar_export("v", DsarPhase::AfterInteraction2).advertising_interests, None);
+    }
+
+    #[test]
+    fn targeting_segments_are_broader_than_dsar() {
+        // Wine persona: DSAR shows nothing, but the internal segment exists —
+        // this gap drives the bid uplift the paper measures.
+        let p = primed(SkillCategory::WineBeverages);
+        assert!(p.targeting_segments("acct").contains(&SkillCategory::WineBeverages));
+        let e = p.dsar_export("acct", DsarPhase::AfterInteraction1);
+        assert_eq!(e.advertising_interests, Some(vec![]));
+    }
+
+    #[test]
+    fn installs_alone_never_create_targeting_segments() {
+        // Figure 3a: no bid uplift before interaction, even with 50 skills
+        // installed. Only interaction creates a targeting segment.
+        let mut p = Profiler::new();
+        for i in 0..50 {
+            p.record_install("a", &skill_in(SkillCategory::Dating, &format!("s{i}")));
+        }
+        assert!(p.targeting_segments("a").is_empty());
+        p.record_interaction("a", &skill_in(SkillCategory::Dating, "s0"), "hi");
+        assert!(p.targeting_segments("a").contains(&SkillCategory::Dating));
+    }
+
+    #[test]
+    fn interaction_history_is_returned() {
+        let mut p = Profiler::new();
+        let s = skill_in(SkillCategory::Dating, "s");
+        p.record_interaction("a", &s, "give me a dating tip");
+        let e = p.dsar_export("a", DsarPhase::AfterInteraction1);
+        assert_eq!(e.interaction_history, vec!["give me a dating tip"]);
+    }
+
+    #[test]
+    fn dominant_category_follows_installs() {
+        let mut p = Profiler::new();
+        for i in 0..3 {
+            p.record_install("a", &skill_in(SkillCategory::Dating, &format!("d{i}")));
+        }
+        p.record_install("a", &skill_in(SkillCategory::SmartHome, "s"));
+        assert_eq!(p.dominant_category("a"), Some(SkillCategory::Dating));
+        assert_eq!(p.dominant_category("nobody"), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! Entity and data ontologies.
+//!
+//! PoliCheck's consistency model matches traffic-derived tuples against
+//! policy statements **through ontologies**: a statement that discloses
+//! sharing with "analytics providers" vaguely covers any endpoint whose
+//! organization is an *analytic provider*; a statement disclosing collection
+//! of "device information" vaguely covers the *timezone* data type; and so
+//! on. The paper rebuilt both ontologies for the smart-speaker domain
+//! (§7.2.2 adds `voice recording`); this module embeds the equivalents.
+
+use alexa_net::DataType;
+use std::collections::BTreeMap;
+
+/// Categories an endpoint organization can belong to (Table 14's ontology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OntologyCategory {
+    /// Collects usage/analytics data.
+    AnalyticProvider,
+    /// Buys/serves advertising.
+    AdvertisingNetwork,
+    /// Hosts or distributes content.
+    ContentProvider,
+    /// Operates the platform itself (Amazon only).
+    PlatformProvider,
+    /// The voice assistant service (Amazon only).
+    VoiceAssistantService,
+}
+
+impl OntologyCategory {
+    /// Label as printed in Table 14.
+    pub fn label(self) -> &'static str {
+        match self {
+            OntologyCategory::AnalyticProvider => "analytic provider",
+            OntologyCategory::AdvertisingNetwork => "advertising network",
+            OntologyCategory::ContentProvider => "content provider",
+            OntologyCategory::PlatformProvider => "platform provider",
+            OntologyCategory::VoiceAssistantService => "voice assistant service",
+        }
+    }
+}
+
+/// The entity ontology: organization → categories, with subsumption of every
+/// non-platform org under the "third party" umbrella term.
+#[derive(Debug, Clone)]
+pub struct EntityOntology {
+    categories: BTreeMap<String, Vec<OntologyCategory>>,
+}
+
+/// Built-in organization categorization (Table 14).
+const BUILTIN_ENTITIES: &[(&str, &[OntologyCategory])] = &[
+    (
+        "Amazon Technologies, Inc.",
+        &[
+            OntologyCategory::AnalyticProvider,
+            OntologyCategory::AdvertisingNetwork,
+            OntologyCategory::ContentProvider,
+            OntologyCategory::PlatformProvider,
+            OntologyCategory::VoiceAssistantService,
+        ],
+    ),
+    ("Chartable Holding Inc", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    ("DataCamp Limited", &[OntologyCategory::ContentProvider]),
+    ("Dilli Labs LLC", &[OntologyCategory::ContentProvider]),
+    ("Garmin International", &[OntologyCategory::ContentProvider]),
+    ("Liberated Syndication", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    ("National Public Radio, Inc.", &[OntologyCategory::ContentProvider]),
+    ("Philips International B.V.", &[OntologyCategory::ContentProvider]),
+    ("Podtrac Inc", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    ("Spotify AB", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    ("Triton Digital, Inc.", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    ("Voice Apps LLC", &[OntologyCategory::ContentProvider]),
+    ("Life Covenant Church, Inc.", &[OntologyCategory::ContentProvider]),
+];
+
+impl Default for EntityOntology {
+    fn default() -> EntityOntology {
+        EntityOntology::new()
+    }
+}
+
+impl EntityOntology {
+    /// Ontology preloaded with every organization the paper categorizes.
+    pub fn new() -> EntityOntology {
+        let mut categories = BTreeMap::new();
+        for &(org, cats) in BUILTIN_ENTITIES {
+            categories.insert(org.to_string(), cats.to_vec());
+        }
+        EntityOntology { categories }
+    }
+
+    /// Register (or override) an organization's categories.
+    pub fn register(&mut self, org: &str, cats: &[OntologyCategory]) {
+        self.categories.insert(org.to_string(), cats.to_vec());
+    }
+
+    /// Categories of an organization. Unknown orgs default to content
+    /// provider (the conservative choice for functional backends).
+    pub fn categories_of(&self, org: &str) -> Vec<OntologyCategory> {
+        self.categories
+            .get(org)
+            .cloned()
+            .unwrap_or_else(|| vec![OntologyCategory::ContentProvider])
+    }
+
+    /// Whether the org is the platform party.
+    pub fn is_platform(&self, org: &str) -> bool {
+        self.categories_of(org).contains(&OntologyCategory::PlatformProvider)
+    }
+
+    /// Whether the umbrella term "third party" subsumes this org — true for
+    /// every organization except the platform party.
+    pub fn is_third_party_term_match(&self, org: &str) -> bool {
+        !self.is_platform(org)
+    }
+
+    /// Vague category phrases (as found in policy text) that subsume an org.
+    pub fn vague_phrases_for(&self, org: &str) -> Vec<&'static str> {
+        let mut phrases = Vec::new();
+        for cat in self.categories_of(org) {
+            phrases.extend(match cat {
+                OntologyCategory::AnalyticProvider => {
+                    ["analytics tool", "analytics provider", "analytics providers"].as_slice()
+                }
+                OntologyCategory::AdvertisingNetwork => {
+                    ["advertising partner", "advertising partners", "ad network"].as_slice()
+                }
+                OntologyCategory::ContentProvider => {
+                    ["service provider", "service providers", "external service providers"].as_slice()
+                }
+                OntologyCategory::PlatformProvider => {
+                    ["platform provider", "smart speaker platform"].as_slice()
+                }
+                OntologyCategory::VoiceAssistantService => {
+                    ["voice partner", "voice assistant platform"].as_slice()
+                }
+            });
+        }
+        if self.is_third_party_term_match(org) {
+            phrases.push("third party");
+            phrases.push("third parties");
+            phrases.push("third-parties");
+        }
+        phrases
+    }
+}
+
+/// The data ontology: data type → exact terms and vague hypernyms.
+#[derive(Debug, Clone, Default)]
+pub struct DataOntology;
+
+impl DataOntology {
+    /// Create the ontology.
+    pub fn new() -> DataOntology {
+        DataOntology
+    }
+
+    /// Exact (clear) terms disclosing a data type, per Table 13's examples.
+    pub fn clear_terms(&self, dt: DataType) -> &'static [&'static str] {
+        match dt {
+            DataType::VoiceRecording => {
+                &["voice recording", "voice recordings", "audio recording", "audio recordings"]
+            }
+            DataType::TextCommand => &["text command", "transcribed command"],
+            DataType::CustomerId => {
+                &["unique identifier", "anonymized id", "uuid", "customer id", "user id"]
+            }
+            DataType::SkillId => &["skill identifier", "skill id"],
+            DataType::Language => &["language preference"],
+            DataType::Timezone => &["time zone setting", "timezone setting"],
+            DataType::Preference => &["settings preferences", "app settings"],
+            DataType::AudioPlayerEvent => &["audio player events", "playback events"],
+            DataType::DeviceMetric => &["device metrics", "amazon services metrics"],
+        }
+    }
+
+    /// Vague hypernyms that cover a data type without naming it.
+    pub fn vague_terms(&self, dt: DataType) -> &'static [&'static str] {
+        match dt {
+            DataType::VoiceRecording => &["sensory information", "sensory info"],
+            DataType::TextCommand => &["commands", "requests you make"],
+            DataType::CustomerId | DataType::SkillId => &["cookie", "identifiers", "persistent identifiers"],
+            DataType::Language | DataType::Timezone => {
+                &["regional and language settings", "device settings"]
+            }
+            DataType::Preference => &["preferences", "settings"],
+            DataType::AudioPlayerEvent | DataType::DeviceMetric => {
+                &["usage data", "interaction data", "device information"]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amazon_has_all_five_categories() {
+        let o = EntityOntology::new();
+        assert_eq!(o.categories_of("Amazon Technologies, Inc.").len(), 5);
+        assert!(o.is_platform("Amazon Technologies, Inc."));
+    }
+
+    #[test]
+    fn podtrac_is_analytic_and_advertising() {
+        let o = EntityOntology::new();
+        let cats = o.categories_of("Podtrac Inc");
+        assert!(cats.contains(&OntologyCategory::AnalyticProvider));
+        assert!(cats.contains(&OntologyCategory::AdvertisingNetwork));
+        assert!(!cats.contains(&OntologyCategory::ContentProvider));
+    }
+
+    #[test]
+    fn unknown_org_defaults_to_content_provider() {
+        let o = EntityOntology::new();
+        assert_eq!(o.categories_of("Mystery Corp"), vec![OntologyCategory::ContentProvider]);
+    }
+
+    #[test]
+    fn third_party_term_subsumes_everyone_but_amazon() {
+        let o = EntityOntology::new();
+        assert!(o.is_third_party_term_match("Podtrac Inc"));
+        assert!(o.is_third_party_term_match("Mystery Corp"));
+        assert!(!o.is_third_party_term_match("Amazon Technologies, Inc."));
+    }
+
+    #[test]
+    fn vague_phrases_follow_categories() {
+        let o = EntityOntology::new();
+        let phrases = o.vague_phrases_for("Podtrac Inc");
+        assert!(phrases.contains(&"analytics tool"));
+        assert!(phrases.contains(&"advertising partners"));
+        assert!(phrases.contains(&"third parties"));
+        // Amazon's vague phrases include the voice-partner wording but not
+        // the third-party umbrella.
+        let amazon = o.vague_phrases_for("Amazon Technologies, Inc.");
+        assert!(amazon.contains(&"voice partner"));
+        assert!(!amazon.contains(&"third party"));
+    }
+
+    #[test]
+    fn registration_overrides_default() {
+        let mut o = EntityOntology::new();
+        o.register("Mystery Corp", &[OntologyCategory::AdvertisingNetwork]);
+        assert_eq!(o.categories_of("Mystery Corp"), vec![OntologyCategory::AdvertisingNetwork]);
+    }
+
+    #[test]
+    fn data_ontology_voice_terms() {
+        let d = DataOntology::new();
+        assert!(d.clear_terms(alexa_net::DataType::VoiceRecording).contains(&"voice recording"));
+        assert!(d.vague_terms(alexa_net::DataType::VoiceRecording).contains(&"sensory information"));
+    }
+
+    #[test]
+    fn clear_and_vague_terms_disjoint() {
+        let d = DataOntology::new();
+        for dt in alexa_net::DataType::ALL {
+            for c in d.clear_terms(dt) {
+                assert!(!d.vague_terms(dt).contains(c), "{dt:?}: {c}");
+            }
+        }
+    }
+}

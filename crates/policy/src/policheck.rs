@@ -1,0 +1,360 @@
+//! The PoliCheck reimplementation: disclosure classification.
+//!
+//! Given a policy document and an observed flow, classify the disclosure as
+//! **clear** (the policy names the exact data type / organization),
+//! **vague** (a category term or "third party" subsumes it through the
+//! ontologies), **omitted** (no statement covers it), or **no policy**.
+//! Negated sentences ("we do *not* sell…") are never read as disclosures.
+//!
+//! §7.2.2's platform-policy experiment is supported: with
+//! [`PoliCheck::include_platform_policy`], Amazon's own privacy notice is
+//! consulted in addition to the skill's — the paper finds this turns every
+//! data-type flow into a clear or vague disclosure.
+
+use crate::document::PolicyDoc;
+use crate::generator::PolicyGenerator;
+use crate::ontology::{DataOntology, EntityOntology};
+use alexa_net::DataType;
+
+/// PoliCheck's disclosure classification (§7.2.1).
+///
+/// `Incorrect` is the original PoliCheck's contradiction class: the policy
+/// *denies* a flow that the traffic demonstrates. The paper's endpoint
+/// analysis drops it (contradictions need data types); the full-tuple
+/// analysis here supports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DisclosureClass {
+    /// The flow is disclosed with the exact organization name / data term.
+    Clear,
+    /// The flow is disclosed with a category term or "third party".
+    Vague,
+    /// The policy denies the flow that the traffic shows.
+    Incorrect,
+    /// No statement covers the flow.
+    Omitted,
+    /// The skill provides no (retrievable) policy.
+    NoPolicy,
+}
+
+impl std::fmt::Display for DisclosureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DisclosureClass::Clear => "clear",
+            DisclosureClass::Vague => "vague",
+            DisclosureClass::Incorrect => "incorrect",
+            DisclosureClass::Omitted => "omitted",
+            DisclosureClass::NoPolicy => "no policy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Negation cues: a sentence containing one is not a disclosure.
+const NEGATIONS: &[&str] = &["do not", "does not", "don't", "never", "will not", "won't"];
+
+/// Data-practice verbs: a sentence only discloses a flow to an entity if it
+/// states a practice, not if it merely mentions the entity ("this skill
+/// works with Amazon Alexa" is not a collection disclosure).
+const PRACTICE_VERBS: &[&str] = &[
+    "collect", "share", "send", "sent", "receive", "process", "disclose", "transmit", "store",
+];
+
+fn states_practice(sentence: &str) -> bool {
+    PRACTICE_VERBS.iter().any(|v| sentence.contains(v))
+}
+
+/// The adapted PoliCheck analyzer.
+///
+/// ```
+/// use alexa_policy::{DisclosureClass, PoliCheck, PolicyDoc};
+/// let pc = PoliCheck::new();
+/// let doc = PolicyDoc::new("demo", "We may share data with third parties.");
+/// assert_eq!(pc.classify_endpoint(Some(&doc), "Podtrac Inc"), DisclosureClass::Vague);
+/// assert_eq!(pc.classify_endpoint(None, "Podtrac Inc"), DisclosureClass::NoPolicy);
+/// ```
+#[derive(Debug)]
+pub struct PoliCheck {
+    entities: EntityOntology,
+    data: DataOntology,
+    /// Consult Amazon's own policy in addition to the skill's (§7.2.2).
+    pub include_platform_policy: bool,
+    amazon_policy: PolicyDoc,
+}
+
+impl Default for PoliCheck {
+    fn default() -> PoliCheck {
+        PoliCheck::new()
+    }
+}
+
+impl PoliCheck {
+    /// Analyzer with built-in ontologies, platform policy not included.
+    pub fn new() -> PoliCheck {
+        PoliCheck {
+            entities: EntityOntology::new(),
+            data: DataOntology::new(),
+            include_platform_policy: false,
+            amazon_policy: PolicyGenerator::new().amazon_policy(),
+        }
+    }
+
+    /// Analyzer that also consults the platform's policy (§7.2.2).
+    pub fn with_platform_policy() -> PoliCheck {
+        PoliCheck { include_platform_policy: true, ..PoliCheck::new() }
+    }
+
+    /// Mutable access to the entity ontology (to register ecosystem orgs).
+    pub fn entities_mut(&mut self) -> &mut EntityOntology {
+        &mut self.entities
+    }
+
+    /// Non-negated sentences of a document, lower-cased.
+    fn statements(doc: &PolicyDoc) -> Vec<String> {
+        doc.sentences()
+            .map(|s| s.to_ascii_lowercase())
+            .filter(|s| !NEGATIONS.iter().any(|n| s.contains(n)))
+            .collect()
+    }
+
+    /// Negated sentences of a document, lower-cased — candidates for
+    /// `Incorrect` classifications.
+    fn denials(doc: &PolicyDoc) -> Vec<String> {
+        doc.sentences()
+            .map(|s| s.to_ascii_lowercase())
+            .filter(|s| NEGATIONS.iter().any(|n| s.contains(n)))
+            .collect()
+    }
+
+    /// Classify the disclosure of a contacted endpoint organization.
+    ///
+    /// With [`PoliCheck::include_platform_policy`], the platform's policy is
+    /// consulted even for skills without any policy of their own — §7.2.2's
+    /// experiment finds that this alone turns every flow into a clear or
+    /// vague disclosure.
+    pub fn classify_endpoint(&self, doc: Option<&PolicyDoc>, org: &str) -> DisclosureClass {
+        let own = match doc {
+            Some(doc) => self.classify_endpoint_in(doc, org),
+            None => DisclosureClass::NoPolicy,
+        };
+        if self.include_platform_policy {
+            own.min(self.classify_endpoint_in(&self.amazon_policy, org))
+        } else {
+            own
+        }
+    }
+
+    fn classify_endpoint_in(&self, doc: &PolicyDoc, org: &str) -> DisclosureClass {
+        let org_lower = org.to_ascii_lowercase();
+        let statements = Self::statements(doc);
+        if statements.iter().any(|s| states_practice(s) && s.contains(&org_lower)) {
+            return DisclosureClass::Clear;
+        }
+        // Amazon is also clearly disclosed by its informal names — but only
+        // in sentences stating a data practice ("works with Amazon Alexa"
+        // does not disclose collection).
+        if org == alexa_net::orgmap::AMAZON
+            && statements
+                .iter()
+                .any(|s| states_practice(s) && (s.contains("amazon") || s.contains("alexa")))
+        {
+            return DisclosureClass::Clear;
+        }
+        let phrases = self.entities.vague_phrases_for(org);
+        if statements
+            .iter()
+            .any(|s| states_practice(s) && phrases.iter().any(|p| s.contains(p)))
+        {
+            return DisclosureClass::Vague;
+        }
+        DisclosureClass::Omitted
+    }
+
+    /// Classify the disclosure of a collected data type (see
+    /// [`PoliCheck::classify_endpoint`] for the platform-policy semantics).
+    pub fn classify_data_type(&self, doc: Option<&PolicyDoc>, dt: DataType) -> DisclosureClass {
+        let own = match doc {
+            Some(doc) => self.classify_data_type_in(doc, dt),
+            None => DisclosureClass::NoPolicy,
+        };
+        if self.include_platform_policy {
+            own.min(self.classify_data_type_in(&self.amazon_policy, dt))
+        } else {
+            own
+        }
+    }
+
+    fn classify_data_type_in(&self, doc: &PolicyDoc, dt: DataType) -> DisclosureClass {
+        let statements = Self::statements(doc);
+        let clear = self.data.clear_terms(dt);
+        if statements.iter().any(|s| clear.iter().any(|t| s.contains(t))) {
+            return DisclosureClass::Clear;
+        }
+        let vague = self.data.vague_terms(dt);
+        if statements.iter().any(|s| vague.iter().any(|t| s.contains(t))) {
+            return DisclosureClass::Vague;
+        }
+        // No positive statement — does the policy outright deny a flow the
+        // traffic demonstrates? (PoliCheck's "incorrect" class.)
+        let denials = Self::denials(doc);
+        if denials
+            .iter()
+            .any(|s| states_practice(s) && clear.iter().any(|t| s.contains(t)))
+        {
+            return DisclosureClass::Incorrect;
+        }
+        DisclosureClass::Omitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> PolicyDoc {
+        PolicyDoc::new("t", text)
+    }
+
+    #[test]
+    fn no_policy_classifies_no_policy() {
+        let pc = PoliCheck::new();
+        assert_eq!(pc.classify_endpoint(None, "Podtrac Inc"), DisclosureClass::NoPolicy);
+        assert_eq!(
+            pc.classify_data_type(None, DataType::VoiceRecording),
+            DisclosureClass::NoPolicy
+        );
+    }
+
+    #[test]
+    fn exact_org_name_is_clear() {
+        let pc = PoliCheck::new();
+        let d = doc("We share information with Podtrac Inc.");
+        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Clear);
+    }
+
+    #[test]
+    fn sonos_style_amazon_disclosure_is_clear() {
+        // The paper's example: Sonos states voice recordings are sent to the
+        // voice partner "for example, Amazon" — a clear platform disclosure.
+        let pc = PoliCheck::new();
+        let d = doc("The actual recording of your voice command is then sent to the voice partner you have authorized, for example Amazon.");
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), alexa_net::orgmap::AMAZON),
+            DisclosureClass::Clear
+        );
+    }
+
+    #[test]
+    fn category_term_is_vague() {
+        let pc = PoliCheck::new();
+        // Harmony's wording: analytics tool → vague for Amazon (analytic provider).
+        let d = doc("Products may send pseudonymous information to an analytics tool.");
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), alexa_net::orgmap::AMAZON),
+            DisclosureClass::Vague
+        );
+        // Charles Stanley Radio's wording for third parties.
+        let d2 = doc("We may also share your personal information with external service providers who help us better serve you.");
+        assert_eq!(pc.classify_endpoint(Some(&d2), "Voice Apps LLC"), DisclosureClass::Vague);
+    }
+
+    #[test]
+    fn third_party_umbrella_is_vague_for_nonplatform_only() {
+        let pc = PoliCheck::new();
+        let d = doc("We may share data with third parties.");
+        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Vague);
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), alexa_net::orgmap::AMAZON),
+            DisclosureClass::Omitted
+        );
+    }
+
+    #[test]
+    fn silence_is_omitted() {
+        let pc = PoliCheck::new();
+        let d = doc("We respect your privacy.");
+        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Omitted);
+        assert_eq!(pc.classify_data_type(Some(&d), DataType::SkillId), DisclosureClass::Omitted);
+    }
+
+    #[test]
+    fn negated_statements_do_not_disclose() {
+        // Endpoint analysis drops the incorrect class (a contradiction
+        // cannot be determined without data types, §7.2.1): a denial reads
+        // as omitted.
+        let pc = PoliCheck::new();
+        let d = doc("We do not share your data with third parties.");
+        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Omitted);
+    }
+
+    #[test]
+    fn data_type_denials_are_incorrect() {
+        // classify_data_type is only called for flows the traffic shows, so
+        // an explicit denial is a contradiction — PoliCheck's "incorrect".
+        let pc = PoliCheck::new();
+        let d = doc("We never collect your voice recordings.");
+        assert_eq!(
+            pc.classify_data_type(Some(&d), DataType::VoiceRecording),
+            DisclosureClass::Incorrect
+        );
+        // A denial of something else does not contaminate other types.
+        assert_eq!(
+            pc.classify_data_type(Some(&d), DataType::SkillId),
+            DisclosureClass::Omitted
+        );
+        // The generic "we do not sell personal information" boilerplate
+        // names no data type and stays omitted.
+        let boiler = doc("We do not sell your personal information to anyone.");
+        assert_eq!(
+            pc.classify_data_type(Some(&boiler), DataType::VoiceRecording),
+            DisclosureClass::Omitted
+        );
+    }
+
+    #[test]
+    fn data_type_clear_and_vague() {
+        let pc = PoliCheck::new();
+        let clear = doc("We collect your voice recordings to respond to requests.");
+        assert_eq!(
+            pc.classify_data_type(Some(&clear), DataType::VoiceRecording),
+            DisclosureClass::Clear
+        );
+        let vague = doc("We may collect sensory information from the device.");
+        assert_eq!(
+            pc.classify_data_type(Some(&vague), DataType::VoiceRecording),
+            DisclosureClass::Vague
+        );
+    }
+
+    #[test]
+    fn platform_policy_upgrades_data_disclosures() {
+        // §7.2.2: with Amazon's policy consulted, every data flow becomes
+        // clear or vague.
+        let pc = PoliCheck::with_platform_policy();
+        let silent = doc("We respect your privacy.");
+        for dt in DataType::ALL {
+            let cls = pc.classify_data_type(Some(&silent), dt);
+            assert!(
+                cls == DisclosureClass::Clear || cls == DisclosureClass::Vague,
+                "{dt:?} classified {cls}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_ordering_supports_min_merge() {
+        assert!(DisclosureClass::Clear < DisclosureClass::Vague);
+        assert!(DisclosureClass::Vague < DisclosureClass::Incorrect);
+        assert!(DisclosureClass::Incorrect < DisclosureClass::Omitted);
+        assert!(DisclosureClass::Omitted < DisclosureClass::NoPolicy);
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let pc = PoliCheck::new();
+        let d = doc("WE COLLECT YOUR VOICE RECORDINGS.");
+        assert_eq!(
+            pc.classify_data_type(Some(&d), DataType::VoiceRecording),
+            DisclosureClass::Clear
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded bootstrap confidence intervals.
+//!
+//! The paper reports point medians/means for heavily skewed CPM samples
+//! (Tables 5, 6, 10). Percentile-bootstrap intervals quantify how stable
+//! those points are — used by the audit's robustness checks and the
+//! ablation benches. Resampling is fully seeded for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval for a resampled statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+impl BootstrapCi {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// Returns `None` for an empty sample, a non-positive resample count, or a
+/// level outside (0, 1).
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if xs.is_empty() || resamples == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return None;
+    }
+    let estimate = statistic(xs);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x626f6f74);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::descriptive::quantile_sorted(&stats, alpha);
+    let hi = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha);
+    Some(BootstrapCi { estimate, lo, hi, level })
+}
+
+/// Bootstrap CI for the sample median.
+pub fn bootstrap_median_ci(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    bootstrap_ci(xs, |s| crate::descriptive::median(s).unwrap_or(f64::NAN), resamples, level, seed)
+}
+
+/// Bootstrap CI for the sample mean.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    bootstrap_ci(xs, |s| crate::descriptive::mean(s).unwrap_or(f64::NAN), resamples, level, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (rng.gen_range(-1.0..1.0f64) * 2.0).exp()).collect()
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let xs = skewed_sample(200, 1);
+        let ci = bootstrap_median_ci(&xs, 500, 0.95, 7).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs = skewed_sample(100, 2);
+        let a = bootstrap_mean_ci(&xs, 300, 0.9, 11).unwrap();
+        let b = bootstrap_mean_ci(&xs, 300, 0.9, 11).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&xs, 300, 0.9, 12).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn higher_level_widens_interval() {
+        let xs = skewed_sample(100, 3);
+        let narrow = bootstrap_median_ci(&xs, 800, 0.80, 5).unwrap();
+        let wide = bootstrap_median_ci(&xs, 800, 0.99, 5).unwrap();
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn more_data_tightens_interval() {
+        let small = bootstrap_mean_ci(&skewed_sample(30, 4), 500, 0.95, 5).unwrap();
+        let large = bootstrap_mean_ci(&skewed_sample(3000, 4), 500, 0.95, 5).unwrap();
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(bootstrap_median_ci(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_median_ci(&[1.0], 0, 0.95, 1).is_none());
+        assert!(bootstrap_median_ci(&[1.0], 100, 1.5, 1).is_none());
+        assert!(bootstrap_median_ci(&[1.0], 100, 0.0, 1).is_none());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let xs = [3.0; 50];
+        let ci = bootstrap_mean_ci(&xs, 200, 0.95, 1).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.estimate, 3.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Standard normal distribution functions.
+//!
+//! Implements the error function with the rational Chebyshev approximation of
+//! W. J. Cody (as popularised by Numerical Recipes' `erfc` routine), accurate
+//! to better than 1.2e-7 everywhere — more than enough for p-values reported
+//! to three decimals, as in the paper's Tables 7 and 11.
+
+/// Complementary error function, `erfc(x) = 1 − erf(x)`.
+///
+/// Absolute error below 1.2e-7 over the whole real line.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Numerical Recipes 6.2: erfc via a Chebyshev fit to a transformed range.
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function, `erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal cumulative distribution function Φ(z).
+pub fn phi(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function, `1 − Φ(z)`, computed without
+/// cancellation for large `z`.
+pub fn phi_complement(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from standard tables.
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_known_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-6);
+        assert!((phi(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((phi(-1.0) - 0.1586552539).abs() < 1e-6);
+        assert!((phi(1.959963985) - 0.975).abs() < 1e-6);
+        assert!((phi(2.575829304) - 0.995).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_and_complement_sum_to_one() {
+        for z in [-3.0, -1.5, 0.0, 0.7, 2.2, 4.0] {
+            assert!((phi(z) + phi_complement(z) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for z in [0.1, 0.9, 1.7, 3.3] {
+            assert!((phi(-z) - phi_complement(z)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tails_are_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let z = -5.0 + i as f64 * 0.1;
+            let p = phi(z);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Evaluate the paper's proposed defenses (§8.1) by re-running the audit
+//! with each one enabled and comparing the observable record:
+//!
+//! * a router **firewall** that blocks advertising & tracking endpoints;
+//! * **on-device transcription** (text-only voice channel).
+//!
+//! ```sh
+//! cargo run --release --example defenses
+//! ```
+
+use alexa_audit::analysis::defense;
+use alexa_audit::{AuditConfig, AuditRun, DefenseMode};
+
+fn main() {
+    let seed = 42;
+    println!("Running baseline audit (seed {seed}) ...");
+    let baseline = AuditRun::execute(AuditConfig::small(seed));
+
+    println!("Running audit with the A&T firewall ...");
+    let firewalled =
+        AuditRun::execute(AuditConfig::small(seed).with_defense(DefenseMode::Firewall));
+
+    println!("Running audit with on-device transcription ...\n");
+    let text_only =
+        AuditRun::execute(AuditConfig::small(seed).with_defense(DefenseMode::TextOnly));
+
+    println!("{}", defense::compare("A&T firewall (blocking without breaking)", &baseline, &firewalled).render());
+    println!("{}", defense::compare("on-device transcription (text-only)", &baseline, &text_only).render());
+
+    println!(
+        "Takeaway: both defenses remove their target observable (tracker traffic;\n\
+         raw voice recordings) without breaking skill functionality — but neither\n\
+         touches the bid uplift, because interest inference happens server-side\n\
+         from content the platform necessarily receives. Transparency and control\n\
+         at the platform level remain necessary, as the paper argues."
+    );
+}

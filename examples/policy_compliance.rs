@@ -1,0 +1,29 @@
+//! Privacy-policy compliance check: run the adapted PoliCheck over the
+//! observed flows and print the disclosure breakdown, with and without the
+//! platform's own policy (§7.2.2).
+//!
+//! ```sh
+//! cargo run --release --example policy_compliance
+//! ```
+
+use alexa_audit::analysis::policy;
+use alexa_audit::{AuditConfig, AuditRun};
+
+fn main() {
+    let obs = AuditRun::execute(AuditConfig::small(42));
+
+    println!("{}", policy::policy_stats(&obs).render());
+
+    println!("{}", policy::table13(&obs, false).render());
+
+    println!("--- With Amazon's platform policy consulted (§7.2.2) ---\n");
+    let upgraded = policy::table13(&obs, true);
+    println!("{}", upgraded.render());
+    println!(
+        "All flows disclosed once the platform policy is included: {}\n",
+        upgraded.all_disclosed()
+    );
+
+    println!("{}", policy::table14(&obs).render());
+    println!("{}", policy::validation(&obs).render());
+}

