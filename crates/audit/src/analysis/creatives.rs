@@ -46,8 +46,8 @@ const SKILL_VENDOR_ADVERTISERS: &[&str] =
 /// Compute Table 8 from the post-interaction crawl creatives.
 pub fn table8(obs: &Observations) -> Table8 {
     // (advertiser, product) → persona → (appearances, iterations)
-    let mut seen: BTreeMap<(String, String), BTreeMap<String, (usize, BTreeSet<usize>)>> =
-        BTreeMap::new();
+    type PerPersona = BTreeMap<String, (usize, BTreeSet<usize>)>;
+    let mut seen: BTreeMap<(String, String), PerPersona> = BTreeMap::new();
     let mut total = 0usize;
     for persona in Persona::echo_personas() {
         for visit in obs.visits_in(persona, obs.post_window()) {

@@ -144,14 +144,14 @@ mod tests {
     fn firewalled() -> &'static Observations {
         static OBS: OnceLock<Observations> = OnceLock::new();
         OBS.get_or_init(|| {
-            AuditRun::execute(AuditConfig::small(1234).with_defense(DefenseMode::Firewall))
+            AuditRun::execute(AuditConfig::small(2222).with_defense(DefenseMode::Firewall))
         })
     }
 
     fn text_only() -> &'static Observations {
         static OBS: OnceLock<Observations> = OnceLock::new();
         OBS.get_or_init(|| {
-            AuditRun::execute(AuditConfig::small(1234).with_defense(DefenseMode::TextOnly))
+            AuditRun::execute(AuditConfig::small(2222).with_defense(DefenseMode::TextOnly))
         })
     }
 

@@ -20,6 +20,6 @@ pub(crate) mod test_support {
     /// A shared small audit run for analysis unit tests (computed once).
     pub fn obs() -> &'static Observations {
         static OBS: OnceLock<Observations> = OnceLock::new();
-        OBS.get_or_init(|| AuditRun::execute(AuditConfig::small(1234)))
+        OBS.get_or_init(|| AuditRun::execute(AuditConfig::small(2222)))
     }
 }

@@ -202,7 +202,7 @@ pub fn table2(obs: &Observations) -> Table2 {
     let fl = FilterList::new();
     let mut counts: BTreeMap<(OrgClass, TrafficPurpose), usize> = BTreeMap::new();
     let mut total = 0usize;
-    for (_, captures) in &obs.router_captures {
+    for captures in obs.router_captures.values() {
         for cap in captures {
             let vendor = obs
                 .skill_meta(&cap.label)

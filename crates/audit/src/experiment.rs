@@ -18,18 +18,39 @@
 //! 8. **policy download** for every catalog skill.
 //!
 //! The output is an [`Observations`] bundle containing only observables.
+//!
+//! # Sharded parallel execution
+//!
+//! The run decomposes into independent units of work — 13 persona shards,
+//! one AVS pass per skill category, one policy download per skill — and the
+//! engine executes each kind of unit through an order-preserving parallel
+//! map ([`alexa_exec::par_map`]). Every shard owns its complete device-side
+//! state: its own [`AlexaCloud`] (per-account profiler slice, clock, DNS
+//! table), its own [`EchoDevice`] / [`RouterTap`] / [`BrowserProfile`], all
+//! seeded from the master seed and the shard's *fixed index* in the persona
+//! (or category) list, never from execution order. Shared inputs — the
+//! marketplace, the web ecosystem, the crawler and its sync graph — are
+//! borrowed read-only by all shards.
+//!
+//! The invariant this buys: for a fixed [`AuditConfig`], the produced
+//! [`Observations`] are **byte-identical for every `jobs` value**, including
+//! fully sequential `Some(1)`. The determinism regression tests enforce this
+//! by hashing complete runs ([`Observations::digest`]).
 
 use crate::observations::{Observations, SkillMeta};
 use crate::persona::Persona;
 use alexa_adtech::bidding::{standard_roster, SeasonModel, UserState};
 use alexa_adtech::{
     Auction, BrowserProfile, Crawler, StreamingService, SyncGraph, Transcriber, WebEcosystem,
+    Website,
 };
-use alexa_net::{AvsTap, OrgMap, RouterTap};
+use alexa_exec::par_map;
+use alexa_net::{AvsTap, Capture, OrgMap, RouterTap};
 use alexa_platform::storepage::{parse_invocation, parse_sample_utterances, render_store_page};
-use alexa_platform::{AlexaCloud, AvsEcho, DsarPhase, EchoDevice, Marketplace, SkillCategory};
+use alexa_platform::{
+    AlexaCloud, AvsEcho, DsarExport, DsarPhase, EchoDevice, Marketplace, SkillCategory,
+};
 use alexa_policy::PolicyGenerator;
-use std::collections::BTreeMap;
 
 /// User-side defenses from the paper's §8.1, applied during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +92,10 @@ pub struct AuditConfig {
     pub utterances_per_skill: usize,
     /// User-side defense active during the run (§8.1 evaluation).
     pub defense: DefenseMode,
+    /// Worker threads for the sharded engine: `None` = one per hardware
+    /// thread, `Some(1)` = fully sequential. The produced [`Observations`]
+    /// are byte-identical for every value.
+    pub jobs: Option<usize>,
 }
 
 impl AuditConfig {
@@ -86,6 +111,7 @@ impl AuditConfig {
             audio_hours: 6.0,
             utterances_per_skill: 4,
             defense: DefenseMode::None,
+            jobs: None,
         }
     }
 
@@ -101,12 +127,19 @@ impl AuditConfig {
             audio_hours: 1.0,
             utterances_per_skill: 2,
             defense: DefenseMode::None,
+            jobs: None,
         }
     }
 
     /// The same configuration with a defense enabled.
     pub fn with_defense(mut self, defense: DefenseMode) -> AuditConfig {
         self.defense = defense;
+        self
+    }
+
+    /// The same configuration with an explicit worker-thread count.
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> AuditConfig {
+        self.jobs = jobs;
         self
     }
 }
@@ -142,17 +175,192 @@ fn apply_defense(defense: DefenseMode, packets: Vec<alexa_net::Packet>) -> Vec<a
     }
 }
 
+/// The three personas that run audio-ad sessions (§3.3), in the fixed order
+/// their session seeds are derived from.
+const AUDIO_PERSONAS: [Persona; 3] = [
+    Persona::Interest(SkillCategory::ConnectedCar),
+    Persona::Interest(SkillCategory::FashionStyle),
+    Persona::Vanilla,
+];
+
+/// Everything one persona shard produces; merged into [`Observations`] in
+/// fixed persona order after all shards finish.
+#[derive(Default)]
+struct PersonaShard {
+    /// Router-tap captures (`Some` for Echo personas, even when empty).
+    router_captures: Option<Vec<Capture>>,
+    /// Skills whose install failed.
+    failed_installs: Vec<String>,
+    /// DSAR exports, one per request phase (Echo personas only).
+    dsar: Vec<(DsarPhase, DsarExport)>,
+    /// All crawl visits, all iterations, in crawl order.
+    crawl: Vec<alexa_adtech::VisitRecord>,
+    /// Audio transcripts per streaming service (audio personas only).
+    audio: Vec<(StreamingService, Vec<String>)>,
+}
+
+/// Run one persona's complete timeline against its own cloud + device stack.
+///
+/// `all_index` is the persona's fixed position in [`Persona::all`]; every
+/// seed and identifier below derives from such fixed indices so the shard's
+/// output is independent of which worker runs it and when.
+fn run_persona_shard(
+    config: &AuditConfig,
+    market: &Marketplace,
+    crawler: &Crawler,
+    sites: &[&Website],
+    persona: Persona,
+    all_index: usize,
+) -> PersonaShard {
+    let mut out = PersonaShard::default();
+    let account = persona.account();
+    // Per-shard cloud: the profiler only ever holds per-account state and no
+    // persona reads another's account, so giving each shard its own cloud
+    // preserves every observable relationship while removing all sharing.
+    let mut cloud = AlexaCloud::new();
+    let echo_index = Persona::echo_personas().into_iter().position(|p| p == persona);
+    let mut device = echo_index
+        .map(|i| EchoDevice::new(&account, config.seed ^ (i as u64 + 1)));
+    let mut tap = RouterTap::new();
+    let mut profile = BrowserProfile::fresh(&persona.name(), all_index as u8 + 1, Some(&account));
+
+    // ---- Install phase (§3.1: top skills of the persona's category) -----
+    if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
+        for skill in market.top_skills(cat, config.skills_per_category) {
+            tap.start(skill.id.0.clone());
+            match device.install(&mut cloud, skill) {
+                Ok(packets) => tap.observe_batch(apply_defense(config.defense, packets)),
+                Err(_) => out.failed_installs.push(skill.id.0.clone()),
+            }
+            tap.stop();
+        }
+    }
+    // First DSAR: after installation (§6.1).
+    if persona.has_echo() {
+        out.dsar.push((
+            DsarPhase::AfterInstall,
+            cloud.profiler.dsar_export(&account, DsarPhase::AfterInstall),
+        ));
+    }
+
+    // ---- Pre-interaction crawls ------------------------------------------
+    for iteration in 0..config.pre_iterations {
+        let user = user_state(persona, &cloud);
+        for site in sites {
+            out.crawl.push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
+        }
+    }
+
+    // ---- Interaction phase -----------------------------------------------
+    if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
+        for skill in market.top_skills(cat, config.skills_per_category) {
+            if !device.has_skill(&skill.id) {
+                continue; // failed install
+            }
+            tap.start(skill.id.0.clone());
+            for utterance in scraped_script(skill).iter().take(config.utterances_per_skill) {
+                let spoken = format!("Alexa, {utterance}");
+                if let Ok(packets) = device.interact(&mut cloud, skill, &spoken) {
+                    tap.observe_batch(apply_defense(config.defense, packets));
+                }
+            }
+            tap.stop();
+        }
+    }
+    // Second DSAR: after interaction.
+    if persona.has_echo() {
+        out.dsar.push((
+            DsarPhase::AfterInteraction1,
+            cloud.profiler.dsar_export(&account, DsarPhase::AfterInteraction1),
+        ));
+    }
+
+    // ---- Post-interaction crawls -----------------------------------------
+    for iteration in config.pre_iterations..config.pre_iterations + config.post_iterations {
+        let user = user_state(persona, &cloud);
+        for site in sites {
+            out.crawl.push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
+        }
+    }
+    // Third DSAR: second request after interaction.
+    if persona.has_echo() {
+        out.dsar.push((
+            DsarPhase::AfterInteraction2,
+            cloud.profiler.dsar_export(&account, DsarPhase::AfterInteraction2),
+        ));
+    }
+
+    out.router_captures = persona.has_echo().then(|| tap.into_captures());
+
+    // ---- Audio-ad sessions (§3.3: two interest personas + vanilla) -------
+    if let Some(pi) = AUDIO_PERSONAS.iter().position(|p| *p == persona) {
+        // Audio targeting keys off the segments the profiler actually holds
+        // — the same ground-truth channel the web auctions use — not off the
+        // persona label.
+        let segment = cloud.profiler.targeting_segments(&account).into_iter().next();
+        let transcriber = Transcriber::default();
+        for (si, service) in StreamingService::ALL.into_iter().enumerate() {
+            let session_seed = config.seed ^ ((pi as u64 + 1) << 8) ^ ((si as u64 + 1) << 16);
+            let session = alexa_adtech::audio::simulate_session(
+                service,
+                segment,
+                config.audio_hours,
+                session_seed,
+            );
+            let transcripts = transcriber.transcribe(&session, session_seed);
+            out.audio.push((service, transcripts));
+        }
+    }
+
+    out
+}
+
+/// The AVS Echo plaintext pass for one skill category (§3.2), with its own
+/// lab device and cloud seeded from the category's fixed index.
+fn run_avs_shard(
+    config: &AuditConfig,
+    market: &Marketplace,
+    cat_index: usize,
+    cat: SkillCategory,
+) -> Vec<Capture> {
+    let mut cloud = AlexaCloud::new();
+    let mut avs = AvsEcho::new(
+        "avs-lab",
+        config.seed ^ 0xa5a5 ^ ((cat_index as u64 + 1) << 32),
+    );
+    let mut tap = AvsTap::new();
+    for skill in market.top_skills(cat, config.skills_per_category) {
+        tap.start(skill.id.0.clone());
+        if let Ok(install_packets) = avs.install(&mut cloud, skill) {
+            tap.observe_batch(apply_defense(config.defense, install_packets));
+            for utterance in scraped_script(skill).iter().take(config.utterances_per_skill) {
+                let spoken = format!("Alexa, {utterance}");
+                if let Ok(packets) = avs.interact(&mut cloud, skill, &spoken) {
+                    tap.observe_batch(apply_defense(config.defense, packets));
+                }
+            }
+            let uninstall = avs.uninstall(&mut cloud, skill);
+            tap.observe_batch(apply_defense(config.defense, uninstall));
+        }
+        tap.stop();
+    }
+    tap.into_captures()
+}
+
 /// The experiment driver.
 pub struct AuditRun;
 
 impl AuditRun {
     /// Execute the full audit and return the observable record.
+    ///
+    /// Work is distributed over `config.jobs` worker threads; the result is
+    /// byte-identical for every worker count (see the module docs).
     pub fn execute(config: AuditConfig) -> Observations {
+        let config = &config;
         let market = Marketplace::generate(config.seed);
         let mut orgs = OrgMap::new();
         market.register_orgs(&mut orgs);
 
-        let mut cloud = AlexaCloud::new();
         let mut obs = Observations {
             seed: config.seed,
             pre_iterations: config.pre_iterations,
@@ -176,198 +384,54 @@ impl AuditRun {
             })
             .collect();
 
-        // ---- AVS Echo plaintext pass over the full catalog (§3.2) -------
-        let mut avs = AvsEcho::new("avs-lab", config.seed ^ 0xa5a5);
-        let mut avs_tap = AvsTap::new();
-        for cat in SkillCategory::ALL {
-            for skill in market.top_skills(cat, config.skills_per_category) {
-                avs_tap.start(skill.id.0.clone());
-                if let Ok(install_packets) = avs.install(&mut cloud, skill) {
-                    for p in &apply_defense(config.defense, install_packets) {
-                        avs_tap.observe(p);
-                    }
-                    for utterance in
-                        scraped_script(skill).iter().take(config.utterances_per_skill)
-                    {
-                        let spoken = format!("Alexa, {utterance}");
-                        if let Ok(packets) = avs.interact(&mut cloud, skill, &spoken) {
-                            for p in &apply_defense(config.defense, packets) {
-                                avs_tap.observe(p);
-                            }
-                        }
-                    }
-                    let uninstall = avs.uninstall(&mut cloud, skill);
-                    for p in &apply_defense(config.defense, uninstall) {
-                        avs_tap.observe(p);
-                    }
-                }
-                avs_tap.stop();
-            }
-        }
-        obs.avs_captures = avs_tap.into_captures();
+        // ---- AVS Echo plaintext pass, one shard per category (§3.2) -----
+        let avs_captures = par_map(
+            config.jobs,
+            SkillCategory::ALL.to_vec(),
+            |ci, cat| run_avs_shard(config, &market, ci, cat),
+        );
+        obs.avs_captures = avs_captures.into_iter().flatten().collect();
 
-        // ---- Echo persona provisioning ----------------------------------
-        let mut devices: BTreeMap<String, EchoDevice> = BTreeMap::new();
-        let mut taps: BTreeMap<String, RouterTap> = BTreeMap::new();
-        for (i, persona) in Persona::echo_personas().into_iter().enumerate() {
-            devices.insert(
-                persona.name(),
-                EchoDevice::new(&persona.account(), config.seed ^ (i as u64 + 1)),
-            );
-            taps.insert(persona.name(), RouterTap::new());
-        }
-
-        // ---- Install phase ----------------------------------------------
-        for persona in Persona::echo_personas() {
-            let Some(cat) = persona.category() else { continue };
-            let device = devices.get_mut(&persona.name()).unwrap();
-            let tap = taps.get_mut(&persona.name()).unwrap();
-            for skill in market.top_skills(cat, config.skills_per_category) {
-                tap.start(skill.id.0.clone());
-                match device.install(&mut cloud, skill) {
-                    Ok(packets) => {
-                        for p in &apply_defense(config.defense, packets) {
-                            tap.observe(p);
-                        }
-                    }
-                    Err(_) => {
-                        obs.failed_installs
-                            .entry(persona.name())
-                            .or_default()
-                            .push(skill.id.0.clone());
-                    }
-                }
-                tap.stop();
-            }
-        }
-        // First DSAR: after installation (§6.1).
-        for persona in Persona::echo_personas() {
-            obs.dsar.insert(
-                (persona.name(), DsarPhase::AfterInstall),
-                cloud.profiler.dsar_export(&persona.account(), DsarPhase::AfterInstall),
-            );
-        }
-
-        // ---- Web + ad ecosystem -----------------------------------------
+        // ---- Shared read-only web + ad ecosystem -------------------------
         let sync_graph = SyncGraph::generate(config.seed);
         let web = WebEcosystem::generate(config.seed, config.web_size);
-        let auction = Auction { bidders: standard_roster(sync_graph.partners()), season: SeasonModel::new(config.pre_iterations) };
+        let auction = Auction {
+            bidders: standard_roster(sync_graph.partners()),
+            season: SeasonModel::new(config.pre_iterations),
+        };
         let crawler = Crawler::new(auction, sync_graph);
         let sites = web.prebid_sites(config.crawl_sites);
 
-        let mut profiles: BTreeMap<String, BrowserProfile> = BTreeMap::new();
-        for (i, persona) in Persona::all().into_iter().enumerate() {
-            let account = persona.account();
-            profiles.insert(
-                persona.name(),
-                BrowserProfile::fresh(&persona.name(), i as u8 + 1, Some(&account)),
-            );
-        }
+        // ---- Persona shards ----------------------------------------------
+        let shards = par_map(config.jobs, Persona::all(), |i, persona| {
+            run_persona_shard(config, &market, &crawler, &sites, persona, i)
+        });
 
-        let crawl_once = |obs: &mut Observations,
-                              cloud: &AlexaCloud,
-                              profiles: &mut BTreeMap<String, BrowserProfile>,
-                              iteration: usize| {
-            for persona in Persona::all() {
-                let user = user_state(persona, cloud);
-                let profile = profiles.get_mut(&persona.name()).unwrap();
-                let visits = obs.crawl.entry(persona.name()).or_default();
-                for site in &sites {
-                    visits.push(crawler.visit(site, profile, &user, iteration, config.seed));
-                }
+        // Merge in fixed persona order (par_map preserves input order).
+        for (persona, shard) in Persona::all().into_iter().zip(shards) {
+            let name = persona.name();
+            if let Some(captures) = shard.router_captures {
+                obs.router_captures.insert(name.clone(), captures);
             }
-        };
-
-        // ---- Pre-interaction crawls --------------------------------------
-        for iteration in 0..config.pre_iterations {
-            crawl_once(&mut obs, &cloud, &mut profiles, iteration);
-        }
-
-        // ---- Interaction phase -------------------------------------------
-        for persona in Persona::echo_personas() {
-            let Some(cat) = persona.category() else { continue };
-            let device = devices.get_mut(&persona.name()).unwrap();
-            let tap = taps.get_mut(&persona.name()).unwrap();
-            for skill in market.top_skills(cat, config.skills_per_category) {
-                if !device.has_skill(&skill.id) {
-                    continue; // failed install
-                }
-                tap.start(skill.id.0.clone());
-                for utterance in
-                    scraped_script(skill).iter().take(config.utterances_per_skill)
-                {
-                    let spoken = format!("Alexa, {utterance}");
-                    if let Ok(packets) = device.interact(&mut cloud, skill, &spoken) {
-                        for p in &apply_defense(config.defense, packets) {
-                            tap.observe(p);
-                        }
-                    }
-                }
-                tap.stop();
+            if !shard.failed_installs.is_empty() {
+                obs.failed_installs.insert(name.clone(), shard.failed_installs);
             }
-        }
-        // Second DSAR: after interaction.
-        for persona in Persona::echo_personas() {
-            obs.dsar.insert(
-                (persona.name(), DsarPhase::AfterInteraction1),
-                cloud.profiler.dsar_export(&persona.account(), DsarPhase::AfterInteraction1),
-            );
-        }
-
-        // ---- Post-interaction crawls --------------------------------------
-        for iteration in
-            config.pre_iterations..config.pre_iterations + config.post_iterations
-        {
-            crawl_once(&mut obs, &cloud, &mut profiles, iteration);
-        }
-        // Third DSAR: second request after interaction.
-        for persona in Persona::echo_personas() {
-            obs.dsar.insert(
-                (persona.name(), DsarPhase::AfterInteraction2),
-                cloud.profiler.dsar_export(&persona.account(), DsarPhase::AfterInteraction2),
-            );
-        }
-
-        // ---- Router captures ----------------------------------------------
-        for (name, tap) in taps {
-            obs.router_captures.insert(name, tap.into_captures());
-        }
-
-        // ---- Audio-ad sessions (§3.3: two interest personas + vanilla) ----
-        let audio_personas = [
-            Persona::Interest(SkillCategory::ConnectedCar),
-            Persona::Interest(SkillCategory::FashionStyle),
-            Persona::Vanilla,
-        ];
-        let transcriber = Transcriber::default();
-        for (pi, persona) in audio_personas.into_iter().enumerate() {
-            // Audio targeting keys off the segments the profiler actually
-            // holds — the same ground-truth channel the web auctions use —
-            // not off the persona label.
-            let segment = cloud
-                .profiler
-                .targeting_segments(&persona.account())
-                .into_iter()
-                .next();
-            for (si, service) in StreamingService::ALL.into_iter().enumerate() {
-                let session_seed =
-                    config.seed ^ ((pi as u64 + 1) << 8) ^ ((si as u64 + 1) << 16);
-                let session = alexa_adtech::audio::simulate_session(
-                    service,
-                    segment,
-                    config.audio_hours,
-                    session_seed,
-                );
-                let transcripts = transcriber.transcribe(&session, session_seed);
-                obs.audio.insert((persona.name(), service), transcripts);
+            for (phase, export) in shard.dsar {
+                obs.dsar.insert((name.clone(), phase), export);
+            }
+            obs.crawl.insert(name.clone(), shard.crawl);
+            for (service, transcripts) in shard.audio {
+                obs.audio.insert((name.clone(), service), transcripts);
             }
         }
 
-        // ---- Policy download ----------------------------------------------
+        // ---- Policy download ---------------------------------------------
         let generator = PolicyGenerator::new();
-        for skill in market.all() {
-            obs.policies.insert(skill.id.0.clone(), generator.render(skill));
-        }
+        let skills: Vec<&alexa_platform::Skill> = market.all().iter().collect();
+        let policies = par_map(config.jobs, skills, |_, skill| {
+            (skill.id.0.clone(), generator.render(skill))
+        });
+        obs.policies = policies.into_iter().collect();
 
         obs
     }

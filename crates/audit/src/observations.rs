@@ -95,6 +95,55 @@ impl Observations {
     pub fn post_window(&self) -> std::ops::Range<usize> {
         self.pre_iterations..self.pre_iterations + self.post_iterations
     }
+
+    /// A stable content hash of the complete observable record.
+    ///
+    /// Two runs produce the same digest iff every observable — captures,
+    /// bids, transcripts, DSAR exports, policies, catalog, org database —
+    /// rendered identically. The determinism tests use this to enforce the
+    /// engine's core invariant: for a fixed config, sequential and parallel
+    /// execution are byte-identical.
+    ///
+    /// All fields except `orgs` are `Vec`s or `BTreeMap`s, whose `Debug`
+    /// rendering is already canonical; `orgs` is backed by a `HashMap` and
+    /// is hashed through its sorted-entries view instead.
+    pub fn digest(&self) -> u64 {
+        use std::fmt::Write as _;
+
+        /// Streams formatted text straight into an FNV-1a accumulator, so
+        /// the canonical rendering is never materialized.
+        struct FnvWriter(u64);
+
+        impl std::fmt::Write for FnvWriter {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x100000001b3);
+                }
+                Ok(())
+            }
+        }
+
+        let mut w = FnvWriter(0xcbf29ce484222325);
+        write!(
+            w,
+            "{}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.seed,
+            self.pre_iterations,
+            self.post_iterations,
+            self.router_captures,
+            self.avs_captures,
+            self.crawl,
+            self.audio,
+            self.dsar,
+            self.policies,
+            self.catalog,
+            self.failed_installs,
+            self.orgs.entries_sorted(),
+        )
+        .expect("infallible writer");
+        w.0
+    }
 }
 
 #[cfg(test)]

@@ -4,13 +4,19 @@
 //! repro all                 # everything, in paper order
 //! repro table5 figure3      # specific artifacts
 //! repro --seed 11 table7    # different seed
+//! repro --jobs 4 all        # cap the engine's worker threads
+//! repro --bench             # time a paper-scale run, write BENCH_audit.json
 //! repro --list              # list artifact names
 //! ```
+//!
+//! Output is byte-identical for every `--jobs` value (the engine's
+//! determinism invariant); `--jobs 1` is the sequential reference.
 
 use alexa_audit::analysis::{
     audio, bids, creatives, defense, partners, policy, profiling, significance, traffic,
 };
 use alexa_audit::{AuditConfig, AuditRun, DefenseMode, Observations};
+use std::time::Instant;
 
 const ARTIFACTS: &[&str] = &[
     "table1", "table2", "table3", "table4", "figure2", "table5", "table6", "figure3",
@@ -70,18 +76,72 @@ fn render(obs: &Observations, artifact: &str) -> Option<String> {
 }
 
 /// The `defenses` artifact needs its own defended runs.
-fn render_defenses(seed: u64, baseline: &Observations) -> String {
+fn render_defenses(seed: u64, jobs: Option<usize>, baseline: &Observations) -> String {
     eprintln!("running defended audits (firewall, text-only) ...");
-    let firewalled =
-        AuditRun::execute(AuditConfig::paper(seed).with_defense(DefenseMode::Firewall));
-    let text_only =
-        AuditRun::execute(AuditConfig::paper(seed).with_defense(DefenseMode::TextOnly));
+    let firewalled = AuditRun::execute(
+        AuditConfig::paper(seed).with_defense(DefenseMode::Firewall).with_jobs(jobs),
+    );
+    let text_only = AuditRun::execute(
+        AuditConfig::paper(seed).with_defense(DefenseMode::TextOnly).with_jobs(jobs),
+    );
     format!(
         "{}\n{}",
         defense::compare("A&T firewall (blocking without breaking)", baseline, &firewalled)
             .render(),
         defense::compare("on-device transcription (text-only)", baseline, &text_only).render(),
     )
+}
+
+/// `--bench`: time the paper-scale execute plus a full `repro all` rendering
+/// pass and append the data point to `BENCH_audit.json` at the repo root.
+fn run_bench(seed: u64, jobs: Option<usize>) {
+    let workers = alexa_exec::effective_jobs(jobs);
+    eprintln!("benchmarking paper-scale audit (seed {seed}, {workers} worker(s)) ...");
+
+    let t0 = Instant::now();
+    let obs = AuditRun::execute(AuditConfig::paper(seed).with_jobs(jobs));
+    let execute_ms = t0.elapsed().as_millis();
+
+    let t1 = Instant::now();
+    let rendered = render_all(&obs, ARTIFACTS, seed, jobs);
+    let render_ms = t1.elapsed().as_millis();
+    let rendered_bytes: usize = rendered.iter().map(String::len).sum();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    let entry = format!(
+        "{{\"seed\": {seed}, \"jobs\": {}, \"hardware_threads\": {}, \
+         \"execute_ms\": {execute_ms}, \"render_all_ms\": {render_ms}, \
+         \"total_ms\": {}, \"rendered_bytes\": {rendered_bytes}}}",
+        match jobs {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        },
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        execute_ms + render_ms,
+    );
+    // Append as JSON lines so successive benchmark points accumulate.
+    let mut log = std::fs::read_to_string(path).unwrap_or_default();
+    log.push_str(&entry);
+    log.push('\n');
+    std::fs::write(path, log).expect("write BENCH_audit.json");
+    eprintln!("execute: {execute_ms} ms, render all: {render_ms} ms");
+    println!("{entry}");
+}
+
+/// Render the wanted artifacts concurrently, returning them in input order.
+fn render_all(
+    obs: &Observations,
+    wanted: &[&str],
+    seed: u64,
+    jobs: Option<usize>,
+) -> Vec<String> {
+    alexa_exec::par_map(jobs, wanted.to_vec(), |_, artifact| {
+        if artifact == "defenses" {
+            render_defenses(seed, jobs, obs)
+        } else {
+            render(obs, artifact).expect("artifact known")
+        }
+    })
 }
 
 fn main() {
@@ -96,6 +156,20 @@ fn main() {
             });
         }
     }
+    let mut jobs: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        args.remove(pos);
+        if pos < args.len() {
+            jobs = Some(args.remove(pos).parse().unwrap_or_else(|_| {
+                eprintln!("--jobs expects an integer");
+                std::process::exit(2);
+            }));
+        }
+    }
+    if args.iter().any(|a| a == "--bench") {
+        run_bench(seed, jobs);
+        return;
+    }
     if args.iter().any(|a| a == "--list") {
         for a in ARTIFACTS {
             println!("{a}");
@@ -103,7 +177,7 @@ fn main() {
         return;
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--seed N] <artifact>... | all | --list");
+        eprintln!("usage: repro [--seed N] [--jobs N] <artifact>... | all | --bench | --list");
         eprintln!("artifacts: {}", ARTIFACTS.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -123,12 +197,8 @@ fn main() {
     };
 
     eprintln!("running paper-scale audit (seed {seed}) ...");
-    let obs = AuditRun::execute(AuditConfig::paper(seed));
-    for artifact in wanted {
-        if artifact == "defenses" {
-            println!("{}", render_defenses(seed, &obs));
-        } else {
-            println!("{}", render(&obs, artifact).expect("artifact known"));
-        }
+    let obs = AuditRun::execute(AuditConfig::paper(seed).with_jobs(jobs));
+    for artifact in render_all(&obs, &wanted, seed, jobs) {
+        println!("{artifact}");
     }
 }

@@ -97,6 +97,19 @@ impl RouterTap {
         }
     }
 
+    /// Observe a whole packet batch in one call, taking ownership so the
+    /// payloads are encrypted in place instead of cloned packet-by-packet.
+    /// No-op unless a session is active.
+    pub fn observe_batch(&mut self, packets: Vec<Packet>) {
+        if let Some(session) = &mut self.session {
+            session.packets.reserve(packets.len());
+            for mut p in packets {
+                p.payload = p.payload.encrypt();
+                session.packets.push(p);
+            }
+        }
+    }
+
     /// End the active session (the paper's "disable tcpdump").
     pub fn stop(&mut self) {
         if let Some(s) = self.session.take() {
@@ -159,6 +172,18 @@ impl AvsTap {
     pub fn observe(&mut self, packet: &Packet) {
         if let Some(session) = &mut self.session {
             session.packets.push(packet.clone());
+        }
+    }
+
+    /// Observe a whole packet batch in one call, taking ownership to avoid
+    /// per-packet clones. No-op unless a session is active.
+    pub fn observe_batch(&mut self, packets: Vec<Packet>) {
+        if let Some(session) = &mut self.session {
+            if session.packets.is_empty() {
+                session.packets = packets;
+            } else {
+                session.packets.extend(packets);
+            }
         }
     }
 
@@ -263,6 +288,49 @@ mod tests {
         c.packets.push(pkt(2, "amazon.com", vec![]));
         c.packets.push(pkt(3, "api.amazon.com", vec![]));
         assert_eq!(c.endpoints().len(), 2);
+    }
+
+    #[test]
+    fn observe_batch_matches_per_packet_observe() {
+        let batch = vec![
+            pkt(1, "amazon.com", vec![Record::new(DataType::VoiceRecording, "hi")]),
+            pkt(2, "chtbl.com", vec![]),
+        ];
+        let mut one = RouterTap::new();
+        one.start("s");
+        for p in &batch {
+            one.observe(p);
+        }
+        one.stop();
+        let mut many = RouterTap::new();
+        many.start("s");
+        many.observe_batch(batch.clone());
+        many.stop();
+        assert_eq!(format!("{:?}", one.captures()), format!("{:?}", many.captures()));
+
+        let mut avs_one = AvsTap::new();
+        avs_one.start("s");
+        for p in &batch {
+            avs_one.observe(p);
+        }
+        avs_one.stop();
+        let mut avs_many = AvsTap::new();
+        avs_many.start("s");
+        avs_many.observe_batch(batch);
+        avs_many.stop();
+        assert_eq!(
+            format!("{:?}", avs_one.captures()),
+            format!("{:?}", avs_many.captures())
+        );
+    }
+
+    #[test]
+    fn observe_batch_without_session_is_dropped() {
+        let mut tap = RouterTap::new();
+        tap.observe_batch(vec![pkt(1, "amazon.com", vec![])]);
+        tap.start("s");
+        tap.stop();
+        assert!(tap.captures()[0].packets.is_empty());
     }
 
     #[test]

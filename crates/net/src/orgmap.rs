@@ -138,6 +138,16 @@ impl OrgMap {
     pub fn is_empty(&self) -> bool {
         self.by_registrable.is_empty()
     }
+
+    /// All (registrable domain, organization) pairs in lexicographic domain
+    /// order — the canonical view used for hashing and diffing (the backing
+    /// map's iteration order is unspecified).
+    pub fn entries_sorted(&self) -> Vec<(&str, &str)> {
+        let mut entries: Vec<(&str, &str)> =
+            self.by_registrable.iter().map(|(d, o)| (d.as_str(), o.as_str())).collect();
+        entries.sort_unstable();
+        entries
+    }
 }
 
 #[cfg(test)]

@@ -87,7 +87,7 @@ fn hex_encode(s: &str) -> String {
 }
 
 fn hex_decode(s: &str) -> Option<String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut bytes = Vec::with_capacity(s.len() / 2);

@@ -86,7 +86,7 @@ pub fn dynamic_review(skill: &Skill, observed_endpoints: &[alexa_net::Domain]) -
         review.violations.push(Violation::AdPolicyViolation { endpoints: at });
     }
     if !skill.policy.has_link
-        && observed_endpoints.len() > 0
+        && !observed_endpoints.is_empty()
         && skill.collects_type(alexa_net::DataType::CustomerId)
         && skill.has_non_amazon_backend()
     {

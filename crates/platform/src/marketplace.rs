@@ -515,7 +515,7 @@ fn assign_permissions(skills: &mut [Skill], rng: &mut StdRng) {
 }
 
 /// Assign collected data types to match Table 13 marginals.
-fn assign_data_collection(skills: &mut Vec<Skill>, rng: &mut StdRng) {
+fn assign_data_collection(skills: &mut [Skill], rng: &mut StdRng) {
     let active: Vec<usize> = skills
         .iter()
         .enumerate()
@@ -562,7 +562,7 @@ fn assign_data_collection(skills: &mut Vec<Skill>, rng: &mut StdRng) {
 }
 
 /// Assign privacy-policy ground truth to match §7.1 and Table 13 marginals.
-fn assign_policies(skills: &mut Vec<Skill>, rng: &mut StdRng) {
+fn assign_policies(skills: &mut [Skill], rng: &mut StdRng) {
     // Pinned skills already carry their documented policy shape. Distribute
     // the remainder over synthetic skills to hit the global marginals:
     // 214 links, 188 retrievable, 59 mention platform, 10 link its policy.
@@ -605,7 +605,7 @@ fn assign_policies(skills: &mut Vec<Skill>, rng: &mut StdRng) {
 }
 
 /// Per-data-type clear/vague targets from Table 13; everything else omitted.
-fn assign_data_disclosures(skills: &mut Vec<Skill>, rng: &mut StdRng) {
+fn assign_data_disclosures(skills: &mut [Skill], rng: &mut StdRng) {
     let targets: &[(DataType, usize, usize)] = &[
         (DataType::VoiceRecording, 20, 18),
         (DataType::CustomerId, 11, 9),
@@ -661,7 +661,7 @@ fn assign_data_disclosures(skills: &mut Vec<Skill>, rng: &mut StdRng) {
 /// Endpoint disclosure ground truth (§7.2.1): 10 clear / 136 vague about
 /// Amazon; Garmin & YouVersion clear about their own orgs; a few skills
 /// vague about third parties, the rest omitted.
-fn assign_endpoint_disclosures(skills: &mut Vec<Skill>, rng: &mut StdRng) {
+fn assign_endpoint_disclosures(skills: &mut [Skill], rng: &mut StdRng) {
     use crate::cloud::AMAZON_ORG;
     // Pinned Platform{..} skills already disclose Amazon. Count them.
     let have_clear = skills
@@ -727,24 +727,23 @@ fn assign_endpoint_disclosures(skills: &mut Vec<Skill>, rng: &mut StdRng) {
 
     // Third-party disclosures: Charles Stanley Radio and VCA use vague
     // blanket terms; every other document omits its third parties.
-    for i in 0..skills.len() {
-        let (has_doc, vendor) = (skills[i].policy.has_document(), skills[i].vendor.clone());
-        if !has_doc {
+    for skill in skills.iter_mut() {
+        if !skill.policy.has_document() {
             continue;
         }
-        let orgs: Vec<String> = skills[i]
+        let orgs: Vec<String> = skill
             .backends
             .iter()
-            .filter_map(|b| third_party_org(b, &vendor))
+            .filter_map(|b| third_party_org(b, &skill.vendor))
             .collect();
-        let vague_all = matches!(skills[i].name.as_str(), "Charles Stanley Radio" | "VCA Animal Hospitals");
+        let vague_all = matches!(skill.name.as_str(), "Charles Stanley Radio" | "VCA Animal Hospitals");
         for org in orgs {
             let level = if vague_all {
                 DisclosureLevel::Vague
             } else {
                 DisclosureLevel::Omitted
             };
-            skills[i].policy.endpoint_disclosures.entry(org).or_insert(level);
+            skill.policy.endpoint_disclosures.entry(org).or_insert(level);
         }
     }
     let _ = rng;

@@ -65,7 +65,7 @@ impl PolicyGenerator {
             let key = fnv(&format!("{}|data|{dt:?}", skill.id.0));
             match level {
                 DisclosureLevel::Clear => {
-                    if key % 13 == 0 {
+                    if key.is_multiple_of(13) {
                         // Off-lexicon quirk: clearly about the data type, but
                         // phrased outside the analyzer's term list.
                         push(&quirky_clear_sentence(dt));
@@ -76,7 +76,7 @@ impl PolicyGenerator {
                     }
                 }
                 DisclosureLevel::Vague => {
-                    if key % 10 == 0 {
+                    if key.is_multiple_of(10) {
                         push("We may gather certain information to improve our services.");
                     } else {
                         let terms = self.data.vague_terms(dt);
@@ -103,7 +103,7 @@ impl PolicyGenerator {
                     ));
                 }
                 DisclosureLevel::Vague => {
-                    if key % 10 == 0 {
+                    if key.is_multiple_of(10) {
                         // Off-lexicon quirk: "trusted partners" is not in the
                         // analyzer's vague-phrase lists.
                         push("We may also share information with our trusted partners.");

@@ -5,8 +5,14 @@
 //! those points are — used by the audit's robustness checks and the
 //! ablation benches. Resampling is fully seeded for reproducibility.
 
+use alexa_exec::par_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Resamples per parallel chunk. Fixed (never derived from the worker
+/// count), so the chunk decomposition — and therefore every chunk's derived
+/// RNG stream — is identical no matter how many threads execute it.
+const CHUNK: usize = 256;
 
 /// A two-sided confidence interval for a resampled statistic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +42,12 @@ impl BootstrapCi {
 /// Percentile bootstrap for an arbitrary statistic.
 ///
 /// Returns `None` for an empty sample, a non-positive resample count, or a
-/// level outside (0, 1).
+/// level outside the open interval (0, 1): a 0% interval is degenerate and a
+/// 100% interval is unbounded, so both endpoints are excluded.
+///
+/// Resampling runs in fixed-size chunks, each with an RNG derived from
+/// `(seed, chunk index)`, distributed over all available cores — the result
+/// is identical to a sequential evaluation of the same chunks.
 pub fn bootstrap_ci<F>(
     xs: &[f64],
     statistic: F,
@@ -45,21 +56,27 @@ pub fn bootstrap_ci<F>(
     seed: u64,
 ) -> Option<BootstrapCi>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
 {
-    if xs.is_empty() || resamples == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+    if xs.is_empty() || resamples == 0 || !(level > 0.0 && level < 1.0) {
         return None;
     }
     let estimate = statistic(xs);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x626f6f74);
-    let mut stats = Vec::with_capacity(resamples);
-    let mut buf = vec![0.0; xs.len()];
-    for _ in 0..resamples {
-        for slot in buf.iter_mut() {
-            *slot = xs[rng.gen_range(0..xs.len())];
+    let chunks: Vec<usize> = (0..resamples.div_ceil(CHUNK)).collect();
+    let chunked = par_map(None, chunks, |c, _| {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x626f6f74 ^ ((c as u64 + 1) << 24));
+        let count = CHUNK.min(resamples - c * CHUNK);
+        let mut buf = vec![0.0; xs.len()];
+        let mut stats = Vec::with_capacity(count);
+        for _ in 0..count {
+            for slot in buf.iter_mut() {
+                *slot = xs[rng.gen_range(0..xs.len())];
+            }
+            stats.push(statistic(&buf));
         }
-        stats.push(statistic(&buf));
-    }
+        stats
+    });
+    let mut stats: Vec<f64> = chunked.into_iter().flatten().collect();
     stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::descriptive::quantile_sorted(&stats, alpha);
@@ -136,6 +153,25 @@ mod tests {
         assert!(bootstrap_median_ci(&[1.0], 0, 0.95, 1).is_none());
         assert!(bootstrap_median_ci(&[1.0], 100, 1.5, 1).is_none());
         assert!(bootstrap_median_ci(&[1.0], 100, 0.0, 1).is_none());
+        // Both endpoints of (0, 1) are excluded; interior values near them
+        // are accepted.
+        assert!(bootstrap_median_ci(&[1.0], 100, 1.0, 1).is_none());
+        assert!(bootstrap_median_ci(&[1.0], 100, -0.5, 1).is_none());
+        assert!(bootstrap_median_ci(&[1.0], 100, 0.0001, 1).is_some());
+        assert!(bootstrap_median_ci(&[1.0], 100, 0.9999, 1).is_some());
+    }
+
+    #[test]
+    fn chunked_resampling_spans_chunk_boundaries() {
+        // Resample counts straddling the parallel chunk size must all be
+        // deterministic and well-formed.
+        let xs = skewed_sample(60, 9);
+        for resamples in [1, 255, 256, 257, 1000] {
+            let a = bootstrap_mean_ci(&xs, resamples, 0.9, 3).unwrap();
+            let b = bootstrap_mean_ci(&xs, resamples, 0.9, 3).unwrap();
+            assert_eq!(a, b, "{resamples} resamples not deterministic");
+            assert!(a.lo <= a.hi);
+        }
     }
 
     #[test]

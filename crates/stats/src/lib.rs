@@ -42,5 +42,7 @@ pub use classify::{ConfusionMatrix, PrfScores};
 pub use correction::{benjamini_hochberg, holm_bonferroni, significant_after};
 pub use descriptive::{five_number_summary, mean, median, quantile, stddev, variance, Summary};
 pub use effect::{rank_biserial, EffectMagnitude};
-pub use mannwhitney::{mann_whitney_u, Alternative, MwuMethod, MwuResult};
+pub use mannwhitney::{
+    mann_whitney_permutation, mann_whitney_u, Alternative, MwuMethod, MwuResult,
+};
 pub use rank::midranks;

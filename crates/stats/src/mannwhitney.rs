@@ -36,6 +36,11 @@ pub enum MwuMethod {
     /// Exact when both samples are small (≤ 25) and tie-free, otherwise
     /// asymptotic — mirroring SciPy's `method="auto"`.
     Auto,
+    /// Seeded Monte-Carlo permutation distribution.
+    ///
+    /// Only produced by [`mann_whitney_permutation`] (which needs a seed and
+    /// a permutation count); [`mann_whitney_u`] resolves it to `Asymptotic`.
+    Permutation,
 }
 
 /// Result of a Mann–Whitney U test.
@@ -105,6 +110,7 @@ pub fn mann_whitney_u(
             }
         }
         MwuMethod::Exact if has_ties => MwuMethod::Asymptotic,
+        MwuMethod::Permutation => MwuMethod::Asymptotic,
         m => m,
     };
 
@@ -167,6 +173,83 @@ fn asymptotic_p(
             ((2.0 * phi_complement(z)).min(1.0), z)
         }
     }
+}
+
+/// Monte-Carlo permutation p-value for the Mann–Whitney U statistic.
+///
+/// Shuffles the pooled sample `permutations` times under the null and counts
+/// permuted U statistics at least as extreme as the observed one, with the
+/// standard `+1` correction so the p-value is never exactly zero. Handles
+/// ties naturally (ranks are recomputed per shuffle), making it the
+/// reference check for both the exact DP and the tie-corrected asymptotic
+/// path.
+///
+/// Permutations run in fixed-size chunks with per-chunk RNGs derived from
+/// `(seed, chunk index)`, distributed over all cores; the p-value is
+/// identical for any worker count. Returns `None` if either sample is empty
+/// or `permutations` is zero.
+pub fn mann_whitney_permutation(
+    x: &[f64],
+    y: &[f64],
+    alternative: Alternative,
+    permutations: usize,
+    seed: u64,
+) -> Option<MwuResult> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    const CHUNK: usize = 512;
+
+    let n1 = x.len();
+    let n2 = y.len();
+    if n1 == 0 || n2 == 0 || permutations == 0 {
+        return None;
+    }
+
+    let mut pooled: Vec<f64> = Vec::with_capacity(n1 + n2);
+    pooled.extend_from_slice(x);
+    pooled.extend_from_slice(y);
+    let u_of = |sample: &[f64]| {
+        let ranks = midranks(sample);
+        let r1: f64 = ranks[..n1].iter().sum();
+        r1 - (n1 * (n1 + 1)) as f64 / 2.0
+    };
+    let u1 = u_of(&pooled);
+    let u2 = (n1 * n2) as f64 - u1;
+    let mu = (n1 * n2) as f64 / 2.0;
+
+    let chunks: Vec<usize> = (0..permutations.div_ceil(CHUNK)).collect();
+    let extreme_counts = alexa_exec::par_map(None, chunks, |c, _| {
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ 0x6d77755f ^ ((c as u64 + 1) << 24));
+        let count = CHUNK.min(permutations - c * CHUNK);
+        let mut shuffled = pooled.clone();
+        let mut extreme = 0usize;
+        for _ in 0..count {
+            shuffled.shuffle(&mut rng);
+            let u = u_of(&shuffled);
+            let hit = match alternative {
+                Alternative::Greater => u >= u1,
+                Alternative::Less => u <= u1,
+                Alternative::TwoSided => (u - mu).abs() >= (u1 - mu).abs(),
+            };
+            if hit {
+                extreme += 1;
+            }
+        }
+        extreme
+    });
+    let extreme: usize = extreme_counts.into_iter().sum();
+    let p_value = (extreme + 1) as f64 / (permutations + 1) as f64;
+
+    Some(MwuResult {
+        u1,
+        u2,
+        p_value: p_value.min(1.0),
+        effect_size: 2.0 * u1 / (n1 * n2) as f64 - 1.0,
+        z: None,
+        method_used: MwuMethod::Permutation,
+    })
 }
 
 /// Exact p-value by enumerating the tie-free null distribution of U.
@@ -303,6 +386,45 @@ mod tests {
         let g = mann_whitney_u(&x, &y, Alternative::Greater, MwuMethod::Exact).unwrap();
         let l = mann_whitney_u(&y, &x, Alternative::Less, MwuMethod::Exact).unwrap();
         assert!((g.p_value - l.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_close_to_exact() {
+        let x = [19.0, 22.0, 16.0, 29.0, 24.0];
+        let y = [20.0, 11.0, 17.0, 12.0];
+        let e = mann_whitney_u(&x, &y, Alternative::Greater, MwuMethod::Exact).unwrap();
+        let p = mann_whitney_permutation(&x, &y, Alternative::Greater, 20_000, 5).unwrap();
+        assert_eq!(p.method_used, MwuMethod::Permutation);
+        assert_eq!(p.u1, e.u1);
+        assert!(
+            (p.p_value - e.p_value).abs() < 0.01,
+            "exact {} vs permutation {}",
+            e.p_value,
+            p.p_value
+        );
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed_and_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0, 5.0, 5.0];
+        let y = [2.0, 2.0, 4.0, 5.0];
+        let a = mann_whitney_permutation(&x, &y, Alternative::TwoSided, 3_000, 11).unwrap();
+        let b = mann_whitney_permutation(&x, &y, Alternative::TwoSided, 3_000, 11).unwrap();
+        assert_eq!(a, b);
+        let c = mann_whitney_permutation(&x, &y, Alternative::TwoSided, 3_000, 12).unwrap();
+        assert!(a.p_value > 0.0 && a.p_value <= 1.0);
+        // Different seeds may agree by chance on p, but the asymptotic path
+        // should be in the same neighbourhood.
+        let asym = mann_whitney_u(&x, &y, Alternative::TwoSided, MwuMethod::Asymptotic).unwrap();
+        assert!((a.p_value - asym.p_value).abs() < 0.1, "{} vs {}", a.p_value, asym.p_value);
+        let _ = c;
+    }
+
+    #[test]
+    fn permutation_degenerate_inputs_return_none() {
+        assert!(mann_whitney_permutation(&[], &[1.0], Alternative::Greater, 100, 1).is_none());
+        assert!(mann_whitney_permutation(&[1.0], &[], Alternative::Greater, 100, 1).is_none());
+        assert!(mann_whitney_permutation(&[1.0], &[2.0], Alternative::Greater, 0, 1).is_none());
     }
 
     #[test]

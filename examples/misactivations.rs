@@ -60,7 +60,7 @@ fn main() {
         VoiceConfig { misactivation_rate: 0.001, ..VoiceConfig::default() },
     );
     let strict_activations = (0..total)
-        .filter(|i| strict.wakes(CONVERSATION[(*i as usize) % CONVERSATION.len()]))
+        .filter(|i| strict.wakes(CONVERSATION[*i % CONVERSATION.len()]))
         .count();
     println!(
         "\nWith a 10x better wake-word model: {strict_activations} misactivations \

@@ -142,7 +142,7 @@ fn rq3_most_flows_undisclosed() {
     let t13 = policy::table13(obs(), false);
     let mut disclosed = 0usize;
     let mut hidden = 0usize;
-    for (_, (c, v, o, n)) in &t13.rows {
+    for (c, v, o, n) in t13.rows.values() {
         disclosed += c + v;
         hidden += o + n;
     }
