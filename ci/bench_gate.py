@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Bench regression gate for BENCH_audit.json.
+
+`repro --bench` appends one JSON line per run, so after the CI bench job the
+file holds the committed baseline entries followed by the fresh ones. This
+script compares each fresh entry against the latest committed entry with the
+same (seed, jobs) pair and fails if total wall time regressed beyond the
+threshold.
+
+usage: bench_gate.py BASELINE CURRENT [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    entries = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: malformed JSON line: {e}")
+    return entries
+
+
+def key(entry):
+    return (entry.get("seed"), entry.get("jobs"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="snapshot of the committed BENCH_audit.json")
+    ap.add_argument("current", help="BENCH_audit.json after the bench runs")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional total_ms regression (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
+    fresh = current[len(baseline):]
+    if not fresh:
+        sys.exit("no new bench entries found — did the bench runs happen?")
+
+    # Latest committed entry per (seed, jobs) wins.
+    committed = {}
+    for entry in baseline:
+        committed[key(entry)] = entry
+
+    failures = []
+    for entry in fresh:
+        k = key(entry)
+        base = committed.get(k)
+        label = f"seed={k[0]} jobs={k[1]}"
+        if base is None:
+            print(f"{label}: no committed baseline, recording "
+                  f"{entry['total_ms']} ms (not gated)")
+            continue
+        ratio = entry["total_ms"] / base["total_ms"] if base["total_ms"] else float("inf")
+        verdict = "ok" if ratio <= 1 + args.threshold else "REGRESSION"
+        print(f"{label}: {base['total_ms']} ms -> {entry['total_ms']} ms "
+              f"({ratio - 1:+.1%} vs baseline) {verdict}")
+        for stage, ms in entry.get("stages", {}).items():
+            base_ms = base.get("stages", {}).get(stage)
+            if base_ms is not None:
+                print(f"  {stage}: {base_ms} ms -> {ms} ms")
+        if verdict == "REGRESSION":
+            failures.append(label)
+
+    if failures:
+        sys.exit(
+            f"total wall time regressed >{args.threshold:.0%} vs committed "
+            f"baseline for: {', '.join(failures)}"
+        )
+    print("bench gate passed")
+
+
+if __name__ == "__main__":
+    main()

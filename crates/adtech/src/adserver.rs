@@ -32,10 +32,22 @@ const AMAZON_EXCLUSIVES: &[(SkillCategory, &str, f64)] = &[
     (SkillCategory::HealthFitness, "Essential oils", 0.04), // once
     (SkillCategory::SmartHome, "Dyson vacuum cleaner", 0.04),
     (SkillCategory::SmartHome, "Vacuum cleaner accessories", 0.04),
-    (SkillCategory::ReligionSpirituality, "Eero WiFi router", 0.42), // 12 / 8 iterations
-    (SkillCategory::ReligionSpirituality, "Kindle", 0.5),            // 14 / 4 iterations
-    (SkillCategory::ReligionSpirituality, "Swarovski bracelet", 0.08),
-    (SkillCategory::PetsAnimals, "PC files copying/switching software", 0.14),
+    (
+        SkillCategory::ReligionSpirituality,
+        "Eero WiFi router",
+        0.42,
+    ), // 12 / 8 iterations
+    (SkillCategory::ReligionSpirituality, "Kindle", 0.5), // 14 / 4 iterations
+    (
+        SkillCategory::ReligionSpirituality,
+        "Swarovski bracelet",
+        0.08,
+    ),
+    (
+        SkillCategory::PetsAnimals,
+        "PC files copying/switching software",
+        0.14,
+    ),
 ];
 
 /// Skill-vendor advertisers running broad (non-exclusive) campaigns, with
@@ -78,12 +90,18 @@ impl AdServer {
         let n = rng.gen_range(1..=3);
         for _ in 0..n {
             let (adv, prod) = GENERIC_CAMPAIGNS[rng.gen_range(0..GENERIC_CAMPAIGNS.len())];
-            out.push(Creative { advertiser: adv.into(), product: prod.into() });
+            out.push(Creative {
+                advertiser: adv.into(),
+                product: prod.into(),
+            });
         }
         // Vendor campaigns reach everyone (broad targeting).
         for &(adv, prod, weight) in VENDOR_CAMPAIGNS {
             if rng.gen_bool(weight / 10.0) {
-                out.push(Creative { advertiser: adv.into(), product: prod.into() });
+                out.push(Creative {
+                    advertiser: adv.into(),
+                    product: prod.into(),
+                });
             }
         }
         // Amazon's own retargeting: exclusive to the matching Echo segment.
@@ -92,7 +110,10 @@ impl AdServer {
                 // p is a per-iteration rate; a persona visits ~hundreds of
                 // pages per iteration, so the per-page rate is scaled down
                 // and the crawler deduplicates per iteration.
-                out.push(Creative { advertiser: "Amazon".into(), product: prod.into() });
+                out.push(Creative {
+                    advertiser: "Amazon".into(),
+                    product: prod.into(),
+                });
             }
         }
         out
@@ -144,8 +165,11 @@ mod tests {
 
     #[test]
     fn religion_gets_eero_and_kindle() {
-        let rel =
-            collect_products(&user_with(Some(SkillCategory::ReligionSpirituality)), 500, 3);
+        let rel = collect_products(
+            &user_with(Some(SkillCategory::ReligionSpirituality)),
+            500,
+            3,
+        );
         assert!(rel.contains("Amazon:Eero WiFi router"));
         assert!(rel.contains("Amazon:Kindle"));
         assert!(!rel.contains("Amazon:Dehumidifier"));

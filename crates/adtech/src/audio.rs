@@ -33,8 +33,11 @@ pub enum StreamingService {
 
 impl StreamingService {
     /// All services in Table 9 column order.
-    pub const ALL: [StreamingService; 3] =
-        [StreamingService::AmazonMusic, StreamingService::Spotify, StreamingService::Pandora];
+    pub const ALL: [StreamingService; 3] = [
+        StreamingService::AmazonMusic,
+        StreamingService::Spotify,
+        StreamingService::Pandora,
+    ];
 
     /// Display name.
     pub fn label(self) -> &'static str {
@@ -144,8 +147,16 @@ fn persona_weight(row: &BrandRow, persona: AudioPersona) -> f64 {
 }
 
 const SONG_TITLES: &[&str] = &[
-    "Midnight Drive", "Golden Hour", "Paper Hearts", "Neon Skyline", "Wildflower",
-    "Gravity Falls", "Silver Lining", "Echo Chamber", "Summer Static", "Violet Rain",
+    "Midnight Drive",
+    "Golden Hour",
+    "Paper Hearts",
+    "Neon Skyline",
+    "Wildflower",
+    "Gravity Falls",
+    "Silver Lining",
+    "Echo Chamber",
+    "Summer Static",
+    "Violet Rain",
 ];
 
 /// Simulate one recorded streaming session.
@@ -164,7 +175,11 @@ pub fn simulate_session(
 
     let mut events = Vec::with_capacity(songs + target);
     // Distribute ad breaks uniformly between songs.
-    let every = if target > 0 { songs.max(1) / target.max(1) } else { usize::MAX };
+    let every = if target > 0 {
+        songs.max(1) / target.max(1)
+    } else {
+        usize::MAX
+    };
     let mut ads_placed = 0usize;
     for i in 0..songs {
         events.push(AudioEvent::Song(
@@ -186,17 +201,27 @@ pub fn simulate_session(
                 "{brand}. Shop now at {} dot com. Limited time offer, terms apply.",
                 brand.to_ascii_lowercase().replace([' ', '\''], "")
             );
-            events.push(AudioEvent::Ad { brand: brand.to_string(), script });
+            events.push(AudioEvent::Ad {
+                brand: brand.to_string(),
+                script,
+            });
             ads_placed += 1;
         }
     }
-    StreamingSession { service, hours, events }
+    StreamingSession {
+        service,
+        hours,
+        events,
+    }
 }
 
 impl StreamingSession {
     /// Number of ad events in the session (ground truth).
     pub fn ad_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, AudioEvent::Ad { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, AudioEvent::Ad { .. }))
+            .count()
     }
 }
 
@@ -264,9 +289,7 @@ impl AudioAdExtractor {
                 let lower = line.to_ascii_lowercase();
                 AD_MARKERS.iter().any(|m| lower.contains(m))
             })
-            .filter_map(|line| {
-                line.split('.').next().map(|brand| brand.trim().to_string())
-            })
+            .filter_map(|line| line.split('.').next().map(|brand| brand.trim().to_string()))
             .filter(|b| !b.is_empty() && !b.contains("[inaudible]"))
             .collect()
     }
@@ -292,7 +315,12 @@ mod tests {
     fn spotify_starves_connected_car() {
         let cc = simulate_session(StreamingService::Spotify, Some(ConnectedCar), 6.0, 2);
         let fs = simulate_session(StreamingService::Spotify, Some(FashionStyle), 6.0, 2);
-        assert!(cc.ad_count() * 5 <= fs.ad_count(), "{} vs {}", cc.ad_count(), fs.ad_count());
+        assert!(
+            cc.ad_count() * 5 <= fs.ad_count(),
+            "{} vs {}",
+            cc.ad_count(),
+            fs.ad_count()
+        );
     }
 
     #[test]
@@ -333,7 +361,11 @@ mod tests {
         let transcripts = Transcriber::default().transcribe(&s, 5);
         let ads = AudioAdExtractor::new().extract(&transcripts);
         let truth = s.ad_count();
-        assert!(ads.len() >= truth * 8 / 10, "extracted {} of {truth}", ads.len());
+        assert!(
+            ads.len() >= truth * 8 / 10,
+            "extracted {} of {truth}",
+            ads.len()
+        );
         assert!(ads.len() <= truth);
     }
 

@@ -233,7 +233,11 @@ impl Bidder {
                 .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
                 .unwrap();
             // Downstream knowledge is diluted relative to a direct sync.
-            let strength = if self.is_partner { median_u } else { median_u.powf(0.75) };
+            let strength = if self.is_partner {
+                median_u
+            } else {
+                median_u.powf(0.75)
+            };
             let ctx = contextual_factor(&slot.id, &user.persona, ctx_sigma);
             // Knowing a segment never *lowers* a bid below the untargeted
             // level: contextual irrelevance just means no premium.
@@ -257,7 +261,11 @@ impl Bidder {
         }
 
         let cpm = base * slot.quality * season.factor(iteration) * uplift;
-        Some(Bid { bidder: self.org.clone(), slot_id: slot.id.clone(), cpm })
+        Some(Bid {
+            bidder: self.org.clone(),
+            slot_id: slot.id.clone(),
+            cpm,
+        })
     }
 }
 
@@ -319,7 +327,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn slot() -> AdSlot {
-        AdSlot { id: "site#1".into(), site: "site".into(), quality: 1.0 }
+        AdSlot {
+            id: "site#1".into(),
+            site: "site".into(),
+            quality: 1.0,
+        }
     }
 
     fn partner() -> Bidder {
@@ -362,7 +374,11 @@ mod tests {
         // uplift ratio across several slots.
         let mut log_ratio = 0.0;
         for i in 0..8 {
-            let s = AdSlot { id: format!("site#{i}"), site: "site".into(), quality: 1.0 };
+            let s = AdSlot {
+                id: format!("site#{i}"),
+                site: "site".into(),
+                quality: 1.0,
+            };
             let b = partner();
             let mut rng = StdRng::seed_from_u64(2 + i);
             let med = |user: &UserState, rng: &mut StdRng| -> f64 {
@@ -385,19 +401,32 @@ mod tests {
     #[test]
     fn weak_categories_get_smaller_uplift() {
         let strong = median_cpm(&partner(), &echo_user(SkillCategory::PetsAnimals), 4000, 3);
-        let weak = median_cpm(&partner(), &echo_user(SkillCategory::HealthFitness), 4000, 3);
+        let weak = median_cpm(
+            &partner(),
+            &echo_user(SkillCategory::HealthFitness),
+            4000,
+            3,
+        );
         assert!(strong > weak * 1.5, "strong {strong} weak {weak}");
     }
 
     #[test]
     fn nonpartner_without_reach_never_knows() {
-        let b = Bidder { is_partner: false, downstream_reach: 0.0, ..partner() };
+        let b = Bidder {
+            is_partner: false,
+            downstream_reach: 0.0,
+            ..partner()
+        };
         assert!(!b.knows_echo_segments(&echo_user(SkillCategory::Dating)));
     }
 
     #[test]
     fn nonpartner_knowledge_is_deterministic_per_persona() {
-        let b = Bidder { is_partner: false, downstream_reach: 0.5, ..partner() };
+        let b = Bidder {
+            is_partner: false,
+            downstream_reach: 0.5,
+            ..partner()
+        };
         let u = echo_user(SkillCategory::Dating);
         assert_eq!(b.knows_echo_segments(&u), b.knows_echo_segments(&u));
     }
@@ -415,11 +444,22 @@ mod tests {
     fn slot_quality_scales_bids() {
         let mut rng = StdRng::seed_from_u64(9);
         let user = UserState::blank("x");
-        let cheap = AdSlot { id: "a".into(), site: "s".into(), quality: 0.5 };
-        let pricey = AdSlot { id: "b".into(), site: "s".into(), quality: 2.0 };
+        let cheap = AdSlot {
+            id: "a".into(),
+            site: "s".into(),
+            quality: 0.5,
+        };
+        let pricey = AdSlot {
+            id: "b".into(),
+            site: "s".into(),
+            quality: 2.0,
+        };
         let b = partner();
         let avg = |slot: &AdSlot, rng: &mut StdRng| -> f64 {
-            (0..2000).filter_map(|_| b.bid(slot, &user, 20, SeasonModel::default(), rng)).map(|x| x.cpm).sum::<f64>()
+            (0..2000)
+                .filter_map(|_| b.bid(slot, &user, 20, SeasonModel::default(), rng))
+                .map(|x| x.cpm)
+                .sum::<f64>()
                 / 2000.0
         };
         assert!(avg(&pricey, &mut rng) > 2.0 * avg(&cheap, &mut rng));
@@ -451,10 +491,15 @@ mod tests {
     #[test]
     fn participation_thins_bids() {
         let mut rng = StdRng::seed_from_u64(11);
-        let b = Bidder { participation: 0.3, ..partner() };
+        let b = Bidder {
+            participation: 0.3,
+            ..partner()
+        };
         let s = slot();
         let u = UserState::blank("x");
-        let n = (0..1000).filter(|_| b.bid(&s, &u, 0, SeasonModel::default(), &mut rng).is_some()).count();
+        let n = (0..1000)
+            .filter(|_| b.bid(&s, &u, 0, SeasonModel::default(), &mut rng).is_some())
+            .count();
         assert!((200..400).contains(&n), "participated {n}");
     }
 

@@ -60,11 +60,36 @@ pub struct Crawler {
 impl Crawler {
     /// Build a crawler over an auction roster and sync graph.
     pub fn new(auction: Auction, sync_graph: SyncGraph) -> Crawler {
-        Crawler { auction, adserver: AdServer::new(), sync_graph, slot_load_rate: 0.8 }
+        Crawler {
+            auction,
+            adserver: AdServer::new(),
+            sync_graph,
+            slot_load_rate: 0.8,
+        }
     }
 
     /// Visit one site as a persona and record the observables.
     pub fn visit(
+        &self,
+        site: &Website,
+        profile: &mut BrowserProfile,
+        user: &UserState,
+        iteration: usize,
+        seed: u64,
+    ) -> VisitRecord {
+        let record = alexa_obs::agg_time("crawler.visit", || {
+            self.visit_uninstrumented(site, profile, user, iteration, seed)
+        });
+        alexa_obs::agg_count("crawler.visits", 1);
+        alexa_obs::agg_count("crawler.bids", record.bids.len() as u64);
+        alexa_obs::agg_count("crawler.creatives", record.creatives.len() as u64);
+        alexa_obs::agg_count("crawler.syncs", record.syncs.len() as u64);
+        record
+    }
+
+    /// The visit itself, free of observability hooks. Recording happens in
+    /// [`Crawler::visit`] and never feeds back into the visit's RNG streams.
+    fn visit_uninstrumented(
         &self,
         site: &Website,
         profile: &mut BrowserProfile,
@@ -94,7 +119,12 @@ impl Crawler {
         page.request_bids(user, iteration, h.wrapping_add(iteration as u64), |_| {
             rng.gen_bool(self.slot_load_rate)
         });
-        record.bids = page.get_bid_responses().values().flatten().cloned().collect();
+        record.bids = page
+            .get_bid_responses()
+            .values()
+            .flatten()
+            .cloned()
+            .collect();
 
         record.creatives = self.adserver.select(user, &mut rng);
 
@@ -160,7 +190,10 @@ mod tests {
 
     fn setup() -> (Crawler, WebEcosystem) {
         let graph = SyncGraph::generate(1);
-        let auction = Auction { bidders: standard_roster(graph.partners()), season: SeasonModel::default() };
+        let auction = Auction {
+            bidders: standard_roster(graph.partners()),
+            season: SeasonModel::default(),
+        };
         (Crawler::new(auction, graph), WebEcosystem::generate(1, 700))
     }
 

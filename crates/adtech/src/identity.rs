@@ -50,11 +50,19 @@ impl BrowserProfile {
             return c.clone();
         }
         let mut h: u64 = 0xcbf29ce484222325;
-        for b in self.persona.bytes().chain(b":".iter().copied()).chain(org.bytes()) {
+        for b in self
+            .persona
+            .bytes()
+            .chain(b":".iter().copied())
+            .chain(org.bytes())
+        {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        let c = Cookie { org: org.to_string(), value: format!("uid-{h:016x}") };
+        let c = Cookie {
+            org: org.to_string(),
+            value: format!("uid-{h:016x}"),
+        };
         self.jar.insert(org.to_string(), c.clone());
         c
     }

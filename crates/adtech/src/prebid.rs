@@ -32,7 +32,11 @@ pub struct PrebidPage<'a> {
 /// would find no `pbjs` object).
 pub fn probe<'a>(site: &'a Website, auction: &'a Auction) -> Option<PrebidPage<'a>> {
     if site.prebid {
-        Some(PrebidPage { site, auction, responses: BTreeMap::new() })
+        Some(PrebidPage {
+            site,
+            auction,
+            responses: BTreeMap::new(),
+        })
     } else {
         None
     }
@@ -76,7 +80,10 @@ impl<'a> PrebidPage<'a> {
             }
             let bids = self.auction.request_bids(slot, user, iteration, &mut rng);
             total += bids.len();
-            self.responses.entry(slot.id.clone()).or_default().extend(bids);
+            self.responses
+                .entry(slot.id.clone())
+                .or_default()
+                .extend(bids);
         }
         total
     }
@@ -86,7 +93,8 @@ impl<'a> PrebidPage<'a> {
         self.responses
             .values()
             .filter_map(|bids| {
-                bids.iter().max_by(|a, b| a.cpm.partial_cmp(&b.cpm).expect("finite cpm"))
+                bids.iter()
+                    .max_by(|a, b| a.cpm.partial_cmp(&b.cpm).expect("finite cpm"))
             })
             .collect()
     }
@@ -102,7 +110,10 @@ mod tests {
     fn setup() -> (Auction, WebEcosystem) {
         let graph = SyncGraph::generate(1);
         (
-            Auction { bidders: standard_roster(graph.partners()), season: SeasonModel::default() },
+            Auction {
+                bidders: standard_roster(graph.partners()),
+                season: SeasonModel::default(),
+            },
             WebEcosystem::generate(1, 400),
         )
     }

@@ -55,14 +55,14 @@ impl SyncGraph {
     /// from at least one partner.
     pub fn generate(seed: u64) -> SyncGraph {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x73796e63);
-        let mut partners: Vec<String> =
-            NAMED_PARTNERS.iter().map(|s| s.to_string()).collect();
+        let mut partners: Vec<String> = NAMED_PARTNERS.iter().map(|s| s.to_string()).collect();
         for i in 0..(PARTNER_COUNT - NAMED_PARTNERS.len()) {
             partners.push(format!("adpartner{:02}.com", i + 1));
         }
 
-        let pool: Vec<String> =
-            (0..DOWNSTREAM_COUNT).map(|i| format!("thirdparty{i:03}.net")).collect();
+        let pool: Vec<String> = (0..DOWNSTREAM_COUNT)
+            .map(|i| format!("thirdparty{i:03}.net"))
+            .collect();
 
         // Every downstream org gets at least one upstream partner; partners
         // fan out to 2–14 downstream orgs each.
@@ -84,7 +84,10 @@ impl SyncGraph {
                 downstream[p].1.push(d);
             }
         }
-        SyncGraph { partners, downstream }
+        SyncGraph {
+            partners,
+            downstream,
+        }
     }
 
     /// Organizations that sync their cookies with Amazon.
@@ -108,7 +111,10 @@ impl SyncGraph {
 
     /// All downstream third parties, deduplicated.
     pub fn all_downstream(&self) -> BTreeSet<String> {
-        self.downstream.iter().flat_map(|(_, d)| d.iter().cloned()).collect()
+        self.downstream
+            .iter()
+            .flat_map(|(_, d)| d.iter().cloned())
+            .collect()
     }
 }
 
@@ -135,7 +141,10 @@ mod tests {
     fn every_partner_has_downstream() {
         let g = SyncGraph::generate(2);
         for p in g.partners() {
-            assert!(!g.downstream_of(p).is_empty(), "partner {p} has no downstream");
+            assert!(
+                !g.downstream_of(p).is_empty(),
+                "partner {p} has no downstream"
+            );
         }
     }
 

@@ -48,8 +48,7 @@ impl WebEcosystem {
                         // common slots only).
                         let u1: f64 = rng.gen_range(1e-12..1.0);
                         let u2: f64 = rng.gen_range(0.0..1.0);
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         AdSlot {
                             id: format!("{name}#slot{i}"),
                             site: name.clone(),
@@ -60,7 +59,12 @@ impl WebEcosystem {
             } else {
                 Vec::new()
             };
-            websites.push(Website { domain, rank, prebid, slots });
+            websites.push(Website {
+                domain,
+                rank,
+                prebid,
+                slots,
+            });
         }
         WebEcosystem { websites }
     }

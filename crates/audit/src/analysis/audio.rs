@@ -45,10 +45,20 @@ pub fn table9(obs: &Observations) -> Table9 {
     let mut fractions: BTreeMap<String, BTreeMap<StreamingService, f64>> = BTreeMap::new();
     for ((persona, service), list) in &ads {
         let denom = *per_service_total.get(service).unwrap_or(&0);
-        let share = if denom == 0 { 0.0 } else { list.len() as f64 / denom as f64 };
-        fractions.entry(persona.clone()).or_default().insert(*service, share);
+        let share = if denom == 0 {
+            0.0
+        } else {
+            list.len() as f64 / denom as f64
+        };
+        fractions
+            .entry(persona.clone())
+            .or_default()
+            .insert(*service, share);
     }
-    Table9 { fractions, total_ads }
+    Table9 {
+        fractions,
+        total_ads,
+    }
 }
 
 impl Table9 {
@@ -64,7 +74,10 @@ impl Table9 {
     /// Render in the paper's layout.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
-            &format!("Table 9: Fraction of audio ads (n={}) per service per persona", self.total_ads),
+            &format!(
+                "Table 9: Fraction of audio ads (n={}) per service per persona",
+                self.total_ads
+            ),
             &["Persona", "Amazon", "Spotify", "Pandora"],
         );
         for persona in AUDIO_PERSONAS {

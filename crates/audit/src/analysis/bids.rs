@@ -100,13 +100,19 @@ pub fn table5(obs: &Observations) -> Table5 {
             )
         })
         .collect();
-    Table5 { rows, common_slots: slots.len() }
+    Table5 {
+        rows,
+        common_slots: slots.len(),
+    }
 }
 
 impl Table5 {
     /// Median/mean for a persona by name.
     pub fn get(&self, persona: &str) -> Option<(f64, f64)> {
-        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2))
+        self.rows
+            .iter()
+            .find(|r| r.0 == persona)
+            .map(|r| (r.1, r.2))
     }
 
     /// Render in the paper's layout.
@@ -170,7 +176,8 @@ pub struct Table6 {
 pub fn table6(obs: &Observations) -> Table6 {
     let personas = Persona::echo_personas();
     let pre_tail = obs.pre_iterations.saturating_sub(3)..obs.pre_iterations;
-    let post_head = obs.pre_iterations..(obs.pre_iterations + 3).min(obs.pre_iterations + obs.post_iterations);
+    let post_head =
+        obs.pre_iterations..(obs.pre_iterations + 3).min(obs.pre_iterations + obs.post_iterations);
     let slots_pre = common_slots(obs, &personas, pre_tail.clone());
     let slots_post = common_slots(obs, &personas, post_head.clone());
     let rows = personas
@@ -178,7 +185,11 @@ pub fn table6(obs: &Observations) -> Table6 {
         .map(|&p| {
             let pre = pooled_bids(obs, p, pre_tail.clone(), &slots_pre);
             let post = pooled_bids(obs, p, post_head.clone(), &slots_post);
-            (p.name(), mean(&pre).unwrap_or(0.0), mean(&post).unwrap_or(0.0))
+            (
+                p.name(),
+                mean(&pre).unwrap_or(0.0),
+                mean(&post).unwrap_or(0.0),
+            )
         })
         .collect();
     Table6 { rows }
@@ -187,7 +198,10 @@ pub fn table6(obs: &Observations) -> Table6 {
 impl Table6 {
     /// Means for a persona by name: (no interaction, interaction).
     pub fn get(&self, persona: &str) -> Option<(f64, f64)> {
-        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2))
+        self.rows
+            .iter()
+            .find(|r| r.0 == persona)
+            .map(|r| (r.1, r.2))
     }
 
     /// Render in the paper's layout.
@@ -216,7 +230,10 @@ pub struct Figure3 {
 /// Compute Figure 3's series.
 pub fn figure3(obs: &Observations) -> Figure3 {
     let personas = Persona::echo_personas();
-    let mut fig = Figure3 { without_interaction: Vec::new(), with_interaction: Vec::new() };
+    let mut fig = Figure3 {
+        without_interaction: Vec::new(),
+        with_interaction: Vec::new(),
+    };
     for (window, out) in [
         (obs.pre_window(), &mut fig.without_interaction),
         (obs.post_window(), &mut fig.with_interaction),
@@ -237,10 +254,19 @@ impl Figure3 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (title, series) in [
-            ("Figure 3a: Bidding behavior without user interaction", &self.without_interaction),
-            ("Figure 3b: Bidding behavior with user interaction", &self.with_interaction),
+            (
+                "Figure 3a: Bidding behavior without user interaction",
+                &self.without_interaction,
+            ),
+            (
+                "Figure 3b: Bidding behavior with user interaction",
+                &self.with_interaction,
+            ),
         ] {
-            let mut t = TextTable::new(title, &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"]);
+            let mut t = TextTable::new(
+                title,
+                &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
+            );
             for (p, s) in series {
                 t.row(vec![
                     p.clone(),
@@ -273,7 +299,11 @@ pub fn figure7(obs: &Observations) -> Figure7 {
     let personas = Persona::all();
     let slots = common_slots(obs, &personas, obs.post_window());
     let mut ordered = vec![Persona::Vanilla];
-    ordered.extend(Persona::echo_personas().into_iter().filter(|p| *p != Persona::Vanilla));
+    ordered.extend(
+        Persona::echo_personas()
+            .into_iter()
+            .filter(|p| *p != Persona::Vanilla),
+    );
     ordered.extend(Persona::web_personas());
     let series = ordered
         .into_iter()
@@ -293,7 +323,15 @@ impl Figure7 {
             &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
         );
         for (p, s) in &self.series {
-            t.row(vec![p.clone(), f3(s.min), f3(s.q1), f3(s.median), f3(s.q3), f3(s.max), f3(s.mean)]);
+            t.row(vec![
+                p.clone(),
+                f3(s.min),
+                f3(s.q1),
+                f3(s.median),
+                f3(s.q3),
+                f3(s.max),
+                f3(s.mean),
+            ]);
         }
         t.render()
     }
@@ -322,14 +360,20 @@ mod tests {
                 higher += 1;
             }
         }
-        assert!(higher >= 8, "only {higher}/9 interest personas above vanilla");
+        assert!(
+            higher >= 8,
+            "only {higher}/9 interest personas above vanilla"
+        );
     }
 
     #[test]
     fn no_discernible_difference_before_interaction() {
         let f3 = figure3(obs());
-        let medians: Vec<f64> =
-            f3.without_interaction.iter().map(|(_, s)| s.median).collect();
+        let medians: Vec<f64> = f3
+            .without_interaction
+            .iter()
+            .map(|(_, s)| s.median)
+            .collect();
         let vanilla = f3
             .without_interaction
             .iter()
@@ -338,7 +382,10 @@ mod tests {
             .unwrap();
         // Pre-interaction, every persona's median is within 2× of vanilla.
         for m in &medians {
-            assert!(*m < vanilla * 2.0 && *m > vanilla / 2.0, "median {m} vs vanilla {vanilla}");
+            assert!(
+                *m < vanilla * 2.0 && *m > vanilla / 2.0,
+                "median {m} vs vanilla {vanilla}"
+            );
         }
     }
 
@@ -346,7 +393,11 @@ mod tests {
     fn post_interaction_difference_is_visible() {
         let fig = figure3(obs());
         let get = |series: &[(String, Summary)], name: &str| {
-            series.iter().find(|(p, _)| p == name).map(|(_, s)| s.median).unwrap()
+            series
+                .iter()
+                .find(|(p, _)| p == name)
+                .map(|(_, s)| s.median)
+                .unwrap()
         };
         let vanilla = get(&fig.with_interaction, "Vanilla");
         let pets = get(&fig.with_interaction, "Pets & Animals");
@@ -362,14 +413,23 @@ mod tests {
         let (van_pre, van_post) = t6.get("Vanilla").unwrap();
         assert!(van_pre > van_post, "vanilla pre {van_pre} post {van_post}");
         let (pets_pre, pets_post) = t6.get("Pets & Animals").unwrap();
-        assert!(pets_post > van_post, "pets post {pets_post} vanilla post {van_post}");
+        assert!(
+            pets_post > van_post,
+            "pets post {pets_post} vanilla post {van_post}"
+        );
         let _ = pets_pre;
     }
 
     #[test]
     fn echo_and_web_personas_look_alike() {
         let f7 = figure7(obs());
-        let get = |name: &str| f7.series.iter().find(|(p, _)| p == name).map(|(_, s)| s.median).unwrap();
+        let get = |name: &str| {
+            f7.series
+                .iter()
+                .find(|(p, _)| p == name)
+                .map(|(_, s)| s.median)
+                .unwrap()
+        };
         let web = get("Web Health");
         let echo = get("Dating");
         let ratio = echo / web;
@@ -388,7 +448,12 @@ mod tests {
     fn bootstrap_cis_separate_strong_personas_from_vanilla() {
         let cis = table5_median_cis(obs());
         assert_eq!(cis.len(), 10);
-        let get = |name: &str| cis.iter().find(|(p, _)| p == name).map(|(_, c)| *c).unwrap();
+        let get = |name: &str| {
+            cis.iter()
+                .find(|(p, _)| p == name)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
         let vanilla = get("Vanilla");
         let pets = get("Pets & Animals");
         // The strongest persona's median CI sits entirely above vanilla's.

@@ -84,9 +84,15 @@ pub fn table8(obs: &Observations) -> Table8 {
         }
     }
     amazon_exclusive.sort_by(|a, b| a.persona.cmp(&b.persona).then(a.product.cmp(&b.product)));
-    let vendor_reach =
-        vendor_personas.into_iter().map(|(v, ps)| (v, ps.len())).collect();
-    Table8 { amazon_exclusive, vendor_reach, total_creatives: total }
+    let vendor_reach = vendor_personas
+        .into_iter()
+        .map(|(v, ps)| (v, ps.len()))
+        .collect();
+    Table8 {
+        amazon_exclusive,
+        vendor_reach,
+        total_creatives: total,
+    }
 }
 
 impl Table8 {
@@ -118,7 +124,10 @@ impl Table8 {
         for (v, n) in &self.vendor_reach {
             out.push_str(&format!("  {v}: {n} personas\n"));
         }
-        out.push_str(&format!("Total creatives observed: {}\n", self.total_creatives));
+        out.push_str(&format!(
+            "Total creatives observed: {}\n",
+            self.total_creatives
+        ));
         out
     }
 }

@@ -71,7 +71,9 @@ fn third_party_domains(obs: &Observations) -> (usize, usize) {
 
 fn max_median_uplift(obs: &Observations) -> f64 {
     let t5 = bids::table5(obs);
-    let Some((vanilla, _)) = t5.get(&Persona::Vanilla.name()) else { return 0.0 };
+    let Some((vanilla, _)) = t5.get(&Persona::Vanilla.name()) else {
+        return 0.0;
+    };
     if vanilla == 0.0 {
         return 0.0;
     }
@@ -133,8 +135,8 @@ impl DefenseReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AuditConfig, AuditRun};
     use crate::experiment::DefenseMode;
+    use crate::{AuditConfig, AuditRun};
     use std::sync::OnceLock;
 
     fn baseline() -> &'static Observations {
@@ -159,7 +161,10 @@ mod tests {
     fn firewall_removes_ad_tracking_without_breaking() {
         let r = compare("firewall", baseline(), firewalled());
         assert!(r.ad_tracking_share.0 > 0.0);
-        assert_eq!(r.ad_tracking_share.1, 0.0, "A&T traffic survived the firewall");
+        assert_eq!(
+            r.ad_tracking_share.1, 0.0,
+            "A&T traffic survived the firewall"
+        );
         assert_eq!(r.ad_tracking_domains.1, 0);
         // Functionality preserved: functional third-party domains intact.
         assert_eq!(r.functional_domains.0, r.functional_domains.1);

@@ -4,8 +4,8 @@
 
 pub mod audio;
 pub mod bids;
-pub mod defense;
 pub mod creatives;
+pub mod defense;
 pub mod partners;
 pub mod policy;
 pub mod profiling;

@@ -54,7 +54,11 @@ pub fn sync_analysis(obs: &Observations) -> SyncAnalysis {
             }
         }
     }
-    SyncAnalysis { amazon_partners: partners, amazon_syncs_out: amazon_out, downstream_parties: downstream }
+    SyncAnalysis {
+        amazon_partners: partners,
+        amazon_syncs_out: amazon_out,
+        downstream_parties: downstream,
+    }
 }
 
 impl SyncAnalysis {
@@ -116,14 +120,23 @@ impl Table10 {
     /// Lookup by persona: (partner median, partner mean, non-partner median,
     /// non-partner mean).
     pub fn get(&self, persona: &str) -> Option<(f64, f64, f64, f64)> {
-        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2, r.3, r.4))
+        self.rows
+            .iter()
+            .find(|r| r.0 == persona)
+            .map(|r| (r.1, r.2, r.3, r.4))
     }
 
     /// Render in the paper's layout.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 10: Bid values from Amazon's partner vs non-partner advertisers",
-            &["Persona", "Partner median", "Partner mean", "Non-p. median", "Non-p. mean"],
+            &[
+                "Persona",
+                "Partner median",
+                "Partner mean",
+                "Non-p. median",
+                "Non-p. mean",
+            ],
         );
         for (p, pm, pa, nm, na) in &self.rows {
             t.row(vec![p.clone(), f3(*pm), f3(*pa), f3(*nm), f3(*na)]);
@@ -168,7 +181,15 @@ impl Figure6 {
             &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
         );
         for (p, s) in &self.series {
-            t.row(vec![p.clone(), f3(s.min), f3(s.q1), f3(s.median), f3(s.q3), f3(s.max), f3(s.mean)]);
+            t.row(vec![
+                p.clone(),
+                f3(s.min),
+                f3(s.q1),
+                f3(s.median),
+                f3(s.q3),
+                f3(s.max),
+                f3(s.mean),
+            ]);
         }
         t.render()
     }
@@ -211,7 +232,11 @@ mod tests {
     fn downstream_propagation_recovered() {
         let sa = sync_analysis(obs());
         // 247 planted; the small test run sees most of them.
-        assert!(sa.downstream_parties.len() > 200, "{}", sa.downstream_parties.len());
+        assert!(
+            sa.downstream_parties.len() > 200,
+            "{}",
+            sa.downstream_parties.len()
+        );
         assert!(sa.downstream_parties.len() <= 247);
     }
 
@@ -227,7 +252,10 @@ mod tests {
             }
         }
         // Paper: partners' medians beat non-partners for most personas.
-        assert!(wins >= 5, "partner median higher for only {wins}/9 personas");
+        assert!(
+            wins >= 5,
+            "partner median higher for only {wins}/9 personas"
+        );
     }
 
     #[test]

@@ -18,9 +18,7 @@
 use crate::observations::Observations;
 use crate::table::TextTable;
 use alexa_net::DataType;
-use alexa_policy::{
-    DisclosureClass, EntityOntology, FlowExtractor, PoliCheck, PolicyDoc,
-};
+use alexa_policy::{DisclosureClass, EntityOntology, FlowExtractor, PoliCheck, PolicyDoc};
 use alexa_stats::PrfScores;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -58,7 +56,10 @@ impl PolicyStats {
         format!(
             "Policy availability (§7.1): {} of {} skills link a policy; {} retrievable; \
              {} mention Amazon/Alexa; {} link Amazon's policy.\n",
-            self.with_link, self.total, self.retrievable, self.mention_platform,
+            self.with_link,
+            self.total,
+            self.retrievable,
+            self.mention_platform,
             self.link_platform_policy,
         )
     }
@@ -147,7 +148,9 @@ impl Table13 {
     /// Whether every flow is clearly or vaguely disclosed (the §7.2.2
     /// platform-policy outcome).
     pub fn all_disclosed(&self) -> bool {
-        self.rows.values().all(|&(_, _, omitted, nopol)| omitted == 0 && nopol == 0)
+        self.rows
+            .values()
+            .all(|&(_, _, omitted, nopol)| omitted == 0 && nopol == 0)
     }
 
     /// Render in the paper's layout.
@@ -236,18 +239,32 @@ impl Table14 {
 
     /// Disclosure class of one (org, skill) pair.
     pub fn class_of(&self, org: &str, skill_name: &str) -> Option<DisclosureClass> {
-        self.rows.get(org).and_then(|(_, m)| m.get(skill_name)).copied()
+        self.rows
+            .get(org)
+            .and_then(|(_, m)| m.get(skill_name))
+            .copied()
     }
 
     /// Render in the paper's layout (counts per class instead of colors).
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 14: Endpoint organizations observed in Amazon Echo traffic",
-            &["Endpoint Organization", "Categories", "Clear", "Vague", "Omitted", "No policy"],
+            &[
+                "Endpoint Organization",
+                "Categories",
+                "Clear",
+                "Vague",
+                "Omitted",
+                "No policy",
+            ],
         );
         for (org, (cats, per_skill)) in &self.rows {
             let count = |class: DisclosureClass| {
-                per_skill.values().filter(|&&c| c == class).count().to_string()
+                per_skill
+                    .values()
+                    .filter(|&&c| c == class)
+                    .count()
+                    .to_string()
             };
             t.row(vec![
                 org.clone(),
@@ -359,7 +376,11 @@ mod tests {
     #[test]
     fn validation_in_paper_regime() {
         let v = validation(obs());
-        assert!(v.micro.f1 > 0.8 && v.micro.f1 < 1.0, "micro F1 {}", v.micro.f1);
+        assert!(
+            v.micro.f1 > 0.8 && v.micro.f1 < 1.0,
+            "micro F1 {}",
+            v.micro.f1
+        );
         assert!(v.flows > 100);
     }
 
@@ -371,7 +392,11 @@ mod tests {
         let flows = incorrect_flows(obs());
         assert!(!flows.is_empty(), "no incorrect flows recovered");
         for (skill, dt) in &flows {
-            assert_eq!(*dt, DataType::VoiceRecording, "{skill}: unexpected denied type {dt:?}");
+            assert_eq!(
+                *dt,
+                DataType::VoiceRecording,
+                "{skill}: unexpected denied type {dt:?}"
+            );
         }
         // Consistency with Table 13's separate incorrect tally.
         let t13 = table13(obs(), false);

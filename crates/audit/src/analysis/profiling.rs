@@ -45,11 +45,15 @@ fn phase_label(phase: DsarPhase) -> &'static str {
 pub fn table12(obs: &Observations) -> Table12 {
     let mut rows = Vec::new();
     let mut missing = Vec::new();
-    for phase in
-        [DsarPhase::AfterInstall, DsarPhase::AfterInteraction1, DsarPhase::AfterInteraction2]
-    {
+    for phase in [
+        DsarPhase::AfterInstall,
+        DsarPhase::AfterInteraction1,
+        DsarPhase::AfterInteraction2,
+    ] {
         for persona in Persona::echo_personas() {
-            let Some(export) = obs.dsar.get(&(persona.name(), phase)) else { continue };
+            let Some(export) = obs.dsar.get(&(persona.name(), phase)) else {
+                continue;
+            };
             match &export.advertising_interests {
                 Some(interests) if !interests.is_empty() => rows.push(InterestRow {
                     phase,
@@ -65,7 +69,10 @@ pub fn table12(obs: &Observations) -> Table12 {
             }
         }
     }
-    Table12 { rows, missing_files: missing }
+    Table12 {
+        rows,
+        missing_files: missing,
+    }
 }
 
 impl Table12 {
@@ -112,11 +119,17 @@ mod tests {
     #[test]
     fn install_phase_infers_only_health() {
         let t12 = table12(obs());
-        let install_rows: Vec<&InterestRow> =
-            t12.rows.iter().filter(|r| r.phase == DsarPhase::AfterInstall).collect();
+        let install_rows: Vec<&InterestRow> = t12
+            .rows
+            .iter()
+            .filter(|r| r.phase == DsarPhase::AfterInstall)
+            .collect();
         assert_eq!(install_rows.len(), 1);
         assert_eq!(install_rows[0].persona, "Health & Fitness");
-        assert_eq!(install_rows[0].interests, vec!["Electronics", "Home & Garden: DIY & Tools"]);
+        assert_eq!(
+            install_rows[0].interests,
+            vec!["Electronics", "Home & Garden: DIY & Tools"]
+        );
     }
 
     #[test]
@@ -128,7 +141,11 @@ mod tests {
         );
         assert_eq!(
             t12.interests(DsarPhase::AfterInteraction2, "Smart Home"),
-            vec!["Pet Supplies", "Home & Garden: DIY & Tools", "Home & Garden: Home & Kitchen"]
+            vec![
+                "Pet Supplies",
+                "Home & Garden: DIY & Tools",
+                "Home & Garden: Home & Kitchen"
+            ]
         );
     }
 

@@ -45,10 +45,14 @@ pub fn table7(obs: &Observations) -> Table7 {
     let rows = SkillCategory::ALL
         .iter()
         .map(|&cat| {
-            let treated =
-                slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
-            let r = mann_whitney_u(&treated, &vanilla, Alternative::Greater, MwuMethod::Asymptotic)
-                .expect("non-empty samples");
+            let treated = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+            let r = mann_whitney_u(
+                &treated,
+                &vanilla,
+                Alternative::Greater,
+                MwuMethod::Asymptotic,
+            )
+            .expect("non-empty samples");
             (
                 cat.label().to_string(),
                 r.p_value,
@@ -72,7 +76,10 @@ impl Table7 {
 
     /// Row lookup by persona name: (p, effect size).
     pub fn get(&self, persona: &str) -> Option<(f64, f64)> {
-        self.rows.iter().find(|r| r.0 == persona).map(|r| (r.1, r.2))
+        self.rows
+            .iter()
+            .find(|r| r.0 == persona)
+            .map(|r| (r.1, r.2))
     }
 
     /// Personas still significant after correcting over the nine
@@ -99,7 +106,12 @@ impl Table7 {
             &["Persona", "p-value", "Effect size", "Magnitude"],
         );
         for (p, pv, es, mag) in &self.rows {
-            t.row(vec![p.clone(), format!("{pv:.3}"), format!("{es:.3}"), mag.to_string()]);
+            t.row(vec![
+                p.clone(),
+                format!("{pv:.3}"),
+                format!("{es:.3}"),
+                mag.to_string(),
+            ]);
         }
         t.render()
     }
@@ -170,7 +182,12 @@ impl Table11 {
             &["Persona", "Health", "Science", "Computers"],
         );
         for (p, h, s, c) in &self.rows {
-            t.row(vec![p.clone(), format!("{h:.3}"), format!("{s:.3}"), format!("{c:.3}")]);
+            t.row(vec![
+                p.clone(),
+                format!("{h:.3}"),
+                format!("{s:.3}"),
+                format!("{c:.3}"),
+            ]);
         }
         t.render()
     }
@@ -212,7 +229,11 @@ mod tests {
         let t11 = table11(obs());
         assert_eq!(t11.rows.len(), 9);
         // The paper finds 1 of 27 pairs significant; allow a small count.
-        assert!(t11.significant_pairs() <= 8, "pairs: {}", t11.significant_pairs());
+        assert!(
+            t11.significant_pairs() <= 8,
+            "pairs: {}",
+            t11.significant_pairs()
+        );
     }
 
     #[test]
@@ -220,14 +241,15 @@ mod tests {
         let t7 = table7(obs());
         let raw = t7.significant().len();
         let holm = t7.significant_corrected(Correction::HolmBonferroni).len();
-        let bh = t7.significant_corrected(Correction::BenjaminiHochberg).len();
+        let bh = t7
+            .significant_corrected(Correction::BenjaminiHochberg)
+            .len();
         assert!(holm <= bh, "holm {holm} > bh {bh}");
         assert!(bh <= raw, "bh {bh} > raw {raw}");
 
         let t11 = table11(obs());
         assert!(
-            t11.significant_pairs_corrected(Correction::HolmBonferroni)
-                <= t11.significant_pairs()
+            t11.significant_pairs_corrected(Correction::HolmBonferroni) <= t11.significant_pairs()
         );
     }
 

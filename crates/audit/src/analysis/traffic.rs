@@ -34,14 +34,18 @@ pub fn skill_traffic(obs: &Observations) -> Vec<SkillTraffic> {
     for (persona, captures) in &obs.router_captures {
         let mut merged: BTreeMap<String, SkillTraffic> = BTreeMap::new();
         for cap in captures {
-            let entry = merged.entry(cap.label.clone()).or_insert_with(|| SkillTraffic {
-                skill_id: cap.label.clone(),
-                persona: persona.clone(),
-                endpoints: BTreeSet::new(),
-                packets: 0,
-            });
+            let entry = merged
+                .entry(cap.label.clone())
+                .or_insert_with(|| SkillTraffic {
+                    skill_id: cap.label.clone(),
+                    persona: persona.clone(),
+                    endpoints: BTreeSet::new(),
+                    packets: 0,
+                });
             entry.packets += cap.packets.len();
-            entry.endpoints.extend(cap.packets.iter().map(|p| p.remote.clone()));
+            entry
+                .endpoints
+                .extend(cap.packets.iter().map(|p| p.remote.clone()));
         }
         // Capture sessions with zero packets (failed installs) carry no
         // endpoint evidence; the paper excludes the 4 failed skills from
@@ -120,10 +124,16 @@ pub fn table1(obs: &Observations) -> Table1 {
                     third_skills.insert(t.skill_id.clone());
                 }
             }
-            let reg = d.registrable().map(|r| r.as_str().to_string()).unwrap_or_else(|| d.as_str().to_string());
+            let reg = d
+                .registrable()
+                .map(|r| r.as_str().to_string())
+                .unwrap_or_else(|| d.as_str().to_string());
             let at = fl.is_ad_tracking(d);
             let key = (class, reg, at);
-            subdomains.entry(key.clone()).or_default().insert(d.as_str().to_string());
+            subdomains
+                .entry(key.clone())
+                .or_default()
+                .insert(d.as_str().to_string());
             groups.entry(key).or_default().insert(t.skill_id.clone());
         }
     }
@@ -137,18 +147,19 @@ pub fn table1(obs: &Observations) -> Table1 {
             } else {
                 format!("*({}).{reg}", subs.len())
             };
-            Table1Row { class, display, skills: skills.len(), ad_tracking: at }
+            Table1Row {
+                class,
+                display,
+                skills: skills.len(),
+                ad_tracking: at,
+            }
         })
         .collect();
     rows.sort_by(|a, b| a.class.cmp(&b.class).then(b.skills.cmp(&a.skills)));
 
     // Failed skills: installed by a persona but produced no traffic.
     let skills_failed: usize = obs.failed_installs.values().map(Vec::len).sum();
-    let audited: BTreeSet<&str> = obs
-        .catalog
-        .iter()
-        .map(|m| m.id.as_str())
-        .collect();
+    let audited: BTreeSet<&str> = obs.catalog.iter().map(|m| m.id.as_str()).collect();
 
     Table1 {
         rows,
@@ -172,7 +183,11 @@ impl Table1 {
                 r.class.to_string(),
                 r.display.clone(),
                 r.skills.to_string(),
-                if r.ad_tracking { "*".to_string() } else { String::new() },
+                if r.ad_tracking {
+                    "*".to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
         let mut out = t.render();
@@ -223,15 +238,25 @@ pub fn table2(obs: &Observations) -> Table2 {
             *counts.get(&(class, purpose)).unwrap_or(&0) as f64 / total as f64
         }
     };
-    let rows: Vec<(OrgClass, f64, f64)> =
-        [OrgClass::Amazon, OrgClass::SkillVendor, OrgClass::ThirdParty]
-            .into_iter()
-            .map(|c| {
-                (c, share(c, TrafficPurpose::Functional), share(c, TrafficPurpose::AdvertisingTracking))
-            })
-            .collect();
+    let rows: Vec<(OrgClass, f64, f64)> = [
+        OrgClass::Amazon,
+        OrgClass::SkillVendor,
+        OrgClass::ThirdParty,
+    ]
+    .into_iter()
+    .map(|c| {
+        (
+            c,
+            share(c, TrafficPurpose::Functional),
+            share(c, TrafficPurpose::AdvertisingTracking),
+        )
+    })
+    .collect();
     let total_ad_tracking = rows.iter().map(|r| r.2).sum();
-    Table2 { rows, total_ad_tracking }
+    Table2 {
+        rows,
+        total_ad_tracking,
+    }
 }
 
 impl Table2 {
@@ -239,10 +264,20 @@ impl Table2 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 2: Distribution of advertising/tracking and functional traffic by organization",
-            &["Organization", "Functional", "Advertising & Tracking", "Total"],
+            &[
+                "Organization",
+                "Functional",
+                "Advertising & Tracking",
+                "Total",
+            ],
         );
         for (class, func, at) in &self.rows {
-            t.row(vec![class.to_string(), pct(*func), pct(*at), pct(func + at)]);
+            t.row(vec![
+                class.to_string(),
+                pct(*func),
+                pct(*at),
+                pct(func + at),
+            ]);
         }
         t.row(vec![
             "Total".to_string(),
@@ -322,7 +357,10 @@ pub fn table4(obs: &Observations) -> Table4 {
     for t in skill_traffic(obs) {
         for d in &t.endpoints {
             if fl.is_ad_tracking(d) && obs.orgs.org_of(d) != Some(alexa_net::orgmap::AMAZON) {
-                per_skill.entry(t.skill_id.clone()).or_default().insert(d.as_str().to_string());
+                per_skill
+                    .entry(t.skill_id.clone())
+                    .or_default()
+                    .insert(d.as_str().to_string());
                 let reg = d
                     .registrable()
                     .map(|r| r.as_str().to_string())
@@ -342,7 +380,9 @@ pub fn table4(obs: &Observations) -> Table4 {
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     rows.dedup_by(|a, b| a.0 == b.0); // same skill observed under several personas
     rows.truncate(5);
-    Table4 { rows: rows.into_iter().map(|(n, _, d)| (n, d)).collect() }
+    Table4 {
+        rows: rows.into_iter().map(|(n, _, d)| (n, d)).collect(),
+    }
 }
 
 impl Table4 {
@@ -384,7 +424,9 @@ pub fn figure2(obs: &Observations) -> Figure2 {
                     .map(str::to_string)
                     .unwrap_or_else(|| reg.clone());
                 let purpose = fl.classify(&p.remote);
-                *counts.entry((persona.clone(), reg, purpose, org)).or_insert(0) += 1;
+                *counts
+                    .entry((persona.clone(), reg, purpose, org))
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -403,7 +445,13 @@ impl Figure2 {
             &["Persona", "Domain", "Purpose", "Organization", "Packets"],
         );
         for (p, d, pu, o, n) in &self.flows {
-            t.row(vec![p.clone(), d.clone(), pu.to_string(), o.clone(), n.to_string()]);
+            t.row(vec![
+                p.clone(),
+                d.clone(),
+                pu.to_string(),
+                o.clone(),
+                n.to_string(),
+            ]);
         }
         t.render()
     }
@@ -437,7 +485,9 @@ mod tests {
     fn table1_has_amazon_subdomain_group() {
         let t1 = table1(obs());
         assert!(
-            t1.rows.iter().any(|r| r.class == OrgClass::Amazon && r.display.contains("amazon.com")),
+            t1.rows
+                .iter()
+                .any(|r| r.class == OrgClass::Amazon && r.display.contains("amazon.com")),
             "rows: {:?}",
             t1.rows.iter().map(|r| &r.display).collect::<Vec<_>>()
         );
@@ -450,7 +500,11 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
         // Amazon dominates traffic (paper: 96.84%).
         let amazon = t2.rows.iter().find(|r| r.0 == OrgClass::Amazon).unwrap();
-        assert!(amazon.1 + amazon.2 > 0.85, "amazon share {}", amazon.1 + amazon.2);
+        assert!(
+            amazon.1 + amazon.2 > 0.85,
+            "amazon share {}",
+            amazon.1 + amazon.2
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ use alexa_adtech::{
 };
 use alexa_exec::par_map;
 use alexa_net::{AvsTap, Capture, OrgMap, RouterTap};
+use alexa_obs::{Recorder, ShardLog};
 use alexa_platform::storepage::{parse_invocation, parse_sample_utterances, render_store_page};
 use alexa_platform::{
     AlexaCloud, AvsEcho, DsarExport, DsarPhase, EchoDevice, Marketplace, SkillCategory,
@@ -204,6 +205,10 @@ struct PersonaShard {
 /// `all_index` is the persona's fixed position in [`Persona::all`]; every
 /// seed and identifier below derives from such fixed indices so the shard's
 /// output is independent of which worker runs it and when.
+///
+/// `log` is the shard's private event log (span taxonomy in DESIGN.md §9).
+/// Recording never reads or advances any RNG, so the produced shard is
+/// byte-identical whether the log is enabled or not.
 fn run_persona_shard(
     config: &AuditConfig,
     market: &Marketplace,
@@ -211,6 +216,7 @@ fn run_persona_shard(
     sites: &[&Website],
     persona: Persona,
     all_index: usize,
+    log: &mut ShardLog,
 ) -> PersonaShard {
     let mut out = PersonaShard::default();
     let account = persona.account();
@@ -218,99 +224,160 @@ fn run_persona_shard(
     // persona reads another's account, so giving each shard its own cloud
     // preserves every observable relationship while removing all sharing.
     let mut cloud = AlexaCloud::new();
-    let echo_index = Persona::echo_personas().into_iter().position(|p| p == persona);
-    let mut device = echo_index
-        .map(|i| EchoDevice::new(&account, config.seed ^ (i as u64 + 1)));
-    let mut tap = RouterTap::new();
-    let mut profile = BrowserProfile::fresh(&persona.name(), all_index as u8 + 1, Some(&account));
+    let echo_index = Persona::echo_personas()
+        .into_iter()
+        .position(|p| p == persona);
+    let (mut device, mut tap, mut profile) = log.span("boot", |_| {
+        let device = echo_index.map(|i| EchoDevice::new(&account, config.seed ^ (i as u64 + 1)));
+        let tap = RouterTap::new();
+        let profile = BrowserProfile::fresh(&persona.name(), all_index as u8 + 1, Some(&account));
+        (device, tap, profile)
+    });
 
     // ---- Install phase (§3.1: top skills of the persona's category) -----
-    if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
-        for skill in market.top_skills(cat, config.skills_per_category) {
-            tap.start(skill.id.0.clone());
-            match device.install(&mut cloud, skill) {
-                Ok(packets) => tap.observe_batch(apply_defense(config.defense, packets)),
-                Err(_) => out.failed_installs.push(skill.id.0.clone()),
+    log.span("install", |_| {
+        if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
+            for skill in market.top_skills(cat, config.skills_per_category) {
+                tap.start(skill.id.0.clone());
+                match device.install(&mut cloud, skill) {
+                    Ok(packets) => tap.observe_batch(apply_defense(config.defense, packets)),
+                    Err(_) => out.failed_installs.push(skill.id.0.clone()),
+                }
+                tap.stop();
             }
-            tap.stop();
         }
-    }
+    });
     // First DSAR: after installation (§6.1).
     if persona.has_echo() {
-        out.dsar.push((
-            DsarPhase::AfterInstall,
-            cloud.profiler.dsar_export(&account, DsarPhase::AfterInstall),
-        ));
+        log.span("dsar.after_install", |_| {
+            out.dsar.push((
+                DsarPhase::AfterInstall,
+                cloud
+                    .profiler
+                    .dsar_export(&account, DsarPhase::AfterInstall),
+            ));
+        });
     }
 
     // ---- Pre-interaction crawls ------------------------------------------
-    for iteration in 0..config.pre_iterations {
-        let user = user_state(persona, &cloud);
-        for site in sites {
-            out.crawl.push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
+    log.span("crawl.pre", |_| {
+        for iteration in 0..config.pre_iterations {
+            let user = user_state(persona, &cloud);
+            for site in sites {
+                out.crawl
+                    .push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
+            }
         }
-    }
+    });
 
     // ---- Interaction phase -----------------------------------------------
-    if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
-        for skill in market.top_skills(cat, config.skills_per_category) {
-            if !device.has_skill(&skill.id) {
-                continue; // failed install
-            }
-            tap.start(skill.id.0.clone());
-            for utterance in scraped_script(skill).iter().take(config.utterances_per_skill) {
-                let spoken = format!("Alexa, {utterance}");
-                if let Ok(packets) = device.interact(&mut cloud, skill, &spoken) {
-                    tap.observe_batch(apply_defense(config.defense, packets));
+    log.span("interact", |_| {
+        if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
+            for skill in market.top_skills(cat, config.skills_per_category) {
+                if !device.has_skill(&skill.id) {
+                    continue; // failed install
                 }
+                tap.start(skill.id.0.clone());
+                for utterance in scraped_script(skill)
+                    .iter()
+                    .take(config.utterances_per_skill)
+                {
+                    let spoken = format!("Alexa, {utterance}");
+                    if let Ok(packets) = device.interact(&mut cloud, skill, &spoken) {
+                        tap.observe_batch(apply_defense(config.defense, packets));
+                    }
+                }
+                tap.stop();
             }
-            tap.stop();
         }
-    }
+    });
     // Second DSAR: after interaction.
     if persona.has_echo() {
-        out.dsar.push((
-            DsarPhase::AfterInteraction1,
-            cloud.profiler.dsar_export(&account, DsarPhase::AfterInteraction1),
-        ));
+        log.span("dsar.after_interaction1", |_| {
+            out.dsar.push((
+                DsarPhase::AfterInteraction1,
+                cloud
+                    .profiler
+                    .dsar_export(&account, DsarPhase::AfterInteraction1),
+            ));
+        });
     }
 
     // ---- Post-interaction crawls -----------------------------------------
-    for iteration in config.pre_iterations..config.pre_iterations + config.post_iterations {
-        let user = user_state(persona, &cloud);
-        for site in sites {
-            out.crawl.push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
+    log.span("crawl.post", |_| {
+        for iteration in config.pre_iterations..config.pre_iterations + config.post_iterations {
+            let user = user_state(persona, &cloud);
+            for site in sites {
+                out.crawl
+                    .push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
+            }
         }
-    }
+    });
     // Third DSAR: second request after interaction.
     if persona.has_echo() {
-        out.dsar.push((
-            DsarPhase::AfterInteraction2,
-            cloud.profiler.dsar_export(&account, DsarPhase::AfterInteraction2),
-        ));
+        log.span("dsar.after_interaction2", |_| {
+            out.dsar.push((
+                DsarPhase::AfterInteraction2,
+                cloud
+                    .profiler
+                    .dsar_export(&account, DsarPhase::AfterInteraction2),
+            ));
+        });
     }
 
+    let tap_stats = tap.stats();
     out.router_captures = persona.has_echo().then(|| tap.into_captures());
 
     // ---- Audio-ad sessions (§3.3: two interest personas + vanilla) -------
     if let Some(pi) = AUDIO_PERSONAS.iter().position(|p| *p == persona) {
-        // Audio targeting keys off the segments the profiler actually holds
-        // — the same ground-truth channel the web auctions use — not off the
-        // persona label.
-        let segment = cloud.profiler.targeting_segments(&account).into_iter().next();
-        let transcriber = Transcriber::default();
-        for (si, service) in StreamingService::ALL.into_iter().enumerate() {
-            let session_seed = config.seed ^ ((pi as u64 + 1) << 8) ^ ((si as u64 + 1) << 16);
-            let session = alexa_adtech::audio::simulate_session(
-                service,
-                segment,
-                config.audio_hours,
-                session_seed,
-            );
-            let transcripts = transcriber.transcribe(&session, session_seed);
-            out.audio.push((service, transcripts));
-        }
+        log.span("audio", |_| {
+            // Audio targeting keys off the segments the profiler actually
+            // holds — the same ground-truth channel the web auctions use —
+            // not off the persona label.
+            let segment = cloud
+                .profiler
+                .targeting_segments(&account)
+                .into_iter()
+                .next();
+            let transcriber = Transcriber::default();
+            for (si, service) in StreamingService::ALL.into_iter().enumerate() {
+                let session_seed = config.seed ^ ((pi as u64 + 1) << 8) ^ ((si as u64 + 1) << 16);
+                let session = alexa_adtech::audio::simulate_session(
+                    service,
+                    segment,
+                    config.audio_hours,
+                    session_seed,
+                );
+                let transcripts = transcriber.transcribe(&session, session_seed);
+                out.audio.push((service, transcripts));
+            }
+        });
     }
+
+    // Shard-level counts: what the tap captured, what the crawls observed,
+    // and what the persona's timeline produced.
+    log.add("tap.sessions", tap_stats.sessions as u64);
+    log.add("tap.flows", tap_stats.packets as u64);
+    log.add("tap.bytes", tap_stats.bytes as u64);
+    log.add("install.failed", out.failed_installs.len() as u64);
+    log.add("dsar.exports", out.dsar.len() as u64);
+    log.add("crawl.visits", out.crawl.len() as u64);
+    log.add(
+        "crawl.bids",
+        out.crawl.iter().map(|v| v.bids.len() as u64).sum(),
+    );
+    log.add(
+        "crawl.creatives",
+        out.crawl.iter().map(|v| v.creatives.len() as u64).sum(),
+    );
+    log.add(
+        "crawl.syncs",
+        out.crawl.iter().map(|v| v.syncs.len() as u64).sum(),
+    );
+    log.add(
+        "audio.transcripts",
+        out.audio.iter().map(|(_, t)| t.len() as u64).sum(),
+    );
 
     out
 }
@@ -322,6 +389,7 @@ fn run_avs_shard(
     market: &Marketplace,
     cat_index: usize,
     cat: SkillCategory,
+    log: &mut ShardLog,
 ) -> Vec<Capture> {
     let mut cloud = AlexaCloud::new();
     let mut avs = AvsEcho::new(
@@ -329,21 +397,30 @@ fn run_avs_shard(
         config.seed ^ 0xa5a5 ^ ((cat_index as u64 + 1) << 32),
     );
     let mut tap = AvsTap::new();
-    for skill in market.top_skills(cat, config.skills_per_category) {
-        tap.start(skill.id.0.clone());
-        if let Ok(install_packets) = avs.install(&mut cloud, skill) {
-            tap.observe_batch(apply_defense(config.defense, install_packets));
-            for utterance in scraped_script(skill).iter().take(config.utterances_per_skill) {
-                let spoken = format!("Alexa, {utterance}");
-                if let Ok(packets) = avs.interact(&mut cloud, skill, &spoken) {
-                    tap.observe_batch(apply_defense(config.defense, packets));
+    log.span("skills", |_| {
+        for skill in market.top_skills(cat, config.skills_per_category) {
+            tap.start(skill.id.0.clone());
+            if let Ok(install_packets) = avs.install(&mut cloud, skill) {
+                tap.observe_batch(apply_defense(config.defense, install_packets));
+                for utterance in scraped_script(skill)
+                    .iter()
+                    .take(config.utterances_per_skill)
+                {
+                    let spoken = format!("Alexa, {utterance}");
+                    if let Ok(packets) = avs.interact(&mut cloud, skill, &spoken) {
+                        tap.observe_batch(apply_defense(config.defense, packets));
+                    }
                 }
+                let uninstall = avs.uninstall(&mut cloud, skill);
+                tap.observe_batch(apply_defense(config.defense, uninstall));
             }
-            let uninstall = avs.uninstall(&mut cloud, skill);
-            tap.observe_batch(apply_defense(config.defense, uninstall));
+            tap.stop();
         }
-        tap.stop();
-    }
+    });
+    let stats = tap.stats();
+    log.add("tap.sessions", stats.sessions as u64);
+    log.add("tap.flows", stats.packets as u64);
+    log.add("tap.bytes", stats.bytes as u64);
     tap.into_captures()
 }
 
@@ -356,8 +433,21 @@ impl AuditRun {
     /// Work is distributed over `config.jobs` worker threads; the result is
     /// byte-identical for every worker count (see the module docs).
     pub fn execute(config: AuditConfig) -> Observations {
+        Self::execute_with(config, &Recorder::disabled())
+    }
+
+    /// Execute the full audit with an observability [`Recorder`] attached.
+    ///
+    /// Every pipeline stage is timed via [`Recorder::stage`] and every
+    /// persona / AVS-category shard fills its own [`ShardLog`], submitted
+    /// under the shard's fixed structural index so the merged report is
+    /// deterministic in everything but wall-clock values. Recording never
+    /// touches an RNG or a control-flow decision: the produced
+    /// [`Observations`] — and its digest — are identical to an untraced run
+    /// (enforced by `crates/audit/tests/observability.rs`).
+    pub fn execute_with(config: AuditConfig, rec: &Recorder) -> Observations {
         let config = &config;
-        let market = Marketplace::generate(config.seed);
+        let market = rec.stage("marketplace", || Marketplace::generate(config.seed));
         let mut orgs = OrgMap::new();
         market.register_orgs(&mut orgs);
 
@@ -385,53 +475,70 @@ impl AuditRun {
             .collect();
 
         // ---- AVS Echo plaintext pass, one shard per category (§3.2) -----
-        let avs_captures = par_map(
-            config.jobs,
-            SkillCategory::ALL.to_vec(),
-            |ci, cat| run_avs_shard(config, &market, ci, cat),
-        );
+        let avs_captures = rec.stage("avs-pass", || {
+            par_map(config.jobs, SkillCategory::ALL.to_vec(), |ci, cat| {
+                let mut log = rec.shard("avs", ci, cat.label());
+                let captures = run_avs_shard(config, &market, ci, cat, &mut log);
+                rec.submit(log);
+                captures
+            })
+        });
         obs.avs_captures = avs_captures.into_iter().flatten().collect();
 
         // ---- Shared read-only web + ad ecosystem -------------------------
-        let sync_graph = SyncGraph::generate(config.seed);
-        let web = WebEcosystem::generate(config.seed, config.web_size);
-        let auction = Auction {
-            bidders: standard_roster(sync_graph.partners()),
-            season: SeasonModel::new(config.pre_iterations),
-        };
-        let crawler = Crawler::new(auction, sync_graph);
+        let (web, crawler) = rec.stage("web-ecosystem", || {
+            let sync_graph = SyncGraph::generate(config.seed);
+            let web = WebEcosystem::generate(config.seed, config.web_size);
+            let auction = Auction {
+                bidders: standard_roster(sync_graph.partners()),
+                season: SeasonModel::new(config.pre_iterations),
+            };
+            (web, Crawler::new(auction, sync_graph))
+        });
         let sites = web.prebid_sites(config.crawl_sites);
 
         // ---- Persona shards ----------------------------------------------
-        let shards = par_map(config.jobs, Persona::all(), |i, persona| {
-            run_persona_shard(config, &market, &crawler, &sites, persona, i)
+        let shards = rec.stage("persona-shards", || {
+            par_map(config.jobs, Persona::all(), |i, persona| {
+                let mut log = rec.shard("persona", i, &persona.name());
+                let shard =
+                    run_persona_shard(config, &market, &crawler, &sites, persona, i, &mut log);
+                rec.submit(log);
+                shard
+            })
         });
 
         // Merge in fixed persona order (par_map preserves input order).
-        for (persona, shard) in Persona::all().into_iter().zip(shards) {
-            let name = persona.name();
-            if let Some(captures) = shard.router_captures {
-                obs.router_captures.insert(name.clone(), captures);
+        rec.stage("merge", || {
+            for (persona, shard) in Persona::all().into_iter().zip(shards) {
+                let name = persona.name();
+                if let Some(captures) = shard.router_captures {
+                    obs.router_captures.insert(name.clone(), captures);
+                }
+                if !shard.failed_installs.is_empty() {
+                    obs.failed_installs
+                        .insert(name.clone(), shard.failed_installs);
+                }
+                for (phase, export) in shard.dsar {
+                    obs.dsar.insert((name.clone(), phase), export);
+                }
+                obs.crawl.insert(name.clone(), shard.crawl);
+                for (service, transcripts) in shard.audio {
+                    obs.audio.insert((name.clone(), service), transcripts);
+                }
             }
-            if !shard.failed_installs.is_empty() {
-                obs.failed_installs.insert(name.clone(), shard.failed_installs);
-            }
-            for (phase, export) in shard.dsar {
-                obs.dsar.insert((name.clone(), phase), export);
-            }
-            obs.crawl.insert(name.clone(), shard.crawl);
-            for (service, transcripts) in shard.audio {
-                obs.audio.insert((name.clone(), service), transcripts);
-            }
-        }
+        });
 
         // ---- Policy download ---------------------------------------------
-        let generator = PolicyGenerator::new();
-        let skills: Vec<&alexa_platform::Skill> = market.all().iter().collect();
-        let policies = par_map(config.jobs, skills, |_, skill| {
-            (skill.id.0.clone(), generator.render(skill))
+        obs.policies = rec.stage("policy-download", || {
+            let generator = PolicyGenerator::new();
+            let skills: Vec<&alexa_platform::Skill> = market.all().iter().collect();
+            let policies = par_map(config.jobs, skills, |_, skill| {
+                (skill.id.0.clone(), generator.render(skill))
+            });
+            policies.into_iter().collect()
         });
-        obs.policies = policies.into_iter().collect();
+        rec.count("policy.documents", obs.policies.len() as u64);
 
         obs
     }
@@ -464,7 +571,8 @@ fn user_state(persona: Persona, cloud: &AlexaCloud) -> UserState {
         }
         Persona::WebHealth | Persona::WebScience | Persona::WebComputers => {
             user.amazon_customer = true; // crawls run logged into Amazon (§3.3)
-            user.web_segments.insert(persona.web_topic().unwrap().to_string());
+            user.web_segments
+                .insert(persona.web_topic().unwrap().to_string());
         }
     }
     user

@@ -82,7 +82,11 @@ impl Observations {
     ) -> Vec<&VisitRecord> {
         self.crawl
             .get(&persona.name())
-            .map(|v| v.iter().filter(|r| iterations.contains(&r.iteration)).collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|r| iterations.contains(&r.iteration))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -182,8 +186,12 @@ mod tests {
     #[test]
     fn visits_in_filters_by_iteration() {
         let mut obs = Observations::default();
-        let mk = |iteration| VisitRecord { iteration, ..VisitRecord::default() };
-        obs.crawl.insert("Vanilla".into(), vec![mk(0), mk(3), mk(9)]);
+        let mk = |iteration| VisitRecord {
+            iteration,
+            ..VisitRecord::default()
+        };
+        obs.crawl
+            .insert("Vanilla".into(), vec![mk(0), mk(3), mk(9)]);
         assert_eq!(obs.visits_in(Persona::Vanilla, 0..4).len(), 2);
         assert_eq!(obs.visits_in(Persona::Vanilla, 4..20).len(), 1);
         assert!(obs.visits_in(Persona::WebHealth, 0..20).is_empty());

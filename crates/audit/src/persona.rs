@@ -24,8 +24,10 @@ pub enum Persona {
 impl Persona {
     /// All 13 personas: 9 interest + vanilla + 3 web controls.
     pub fn all() -> Vec<Persona> {
-        let mut v: Vec<Persona> =
-            SkillCategory::ALL.iter().map(|&c| Persona::Interest(c)).collect();
+        let mut v: Vec<Persona> = SkillCategory::ALL
+            .iter()
+            .map(|&c| Persona::Interest(c))
+            .collect();
         v.push(Persona::Vanilla);
         v.push(Persona::WebHealth);
         v.push(Persona::WebScience);
@@ -35,15 +37,21 @@ impl Persona {
 
     /// The 10 Echo personas (interest + vanilla) that own devices.
     pub fn echo_personas() -> Vec<Persona> {
-        let mut v: Vec<Persona> =
-            SkillCategory::ALL.iter().map(|&c| Persona::Interest(c)).collect();
+        let mut v: Vec<Persona> = SkillCategory::ALL
+            .iter()
+            .map(|&c| Persona::Interest(c))
+            .collect();
         v.push(Persona::Vanilla);
         v
     }
 
     /// The three web control personas.
     pub fn web_personas() -> [Persona; 3] {
-        [Persona::WebHealth, Persona::WebScience, Persona::WebComputers]
+        [
+            Persona::WebHealth,
+            Persona::WebScience,
+            Persona::WebComputers,
+        ]
     }
 
     /// Display name, matching the paper's tables.
@@ -128,7 +136,10 @@ mod tests {
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(Persona::Interest(SkillCategory::FashionStyle).name(), "Fashion & Style");
+        assert_eq!(
+            Persona::Interest(SkillCategory::FashionStyle).name(),
+            "Fashion & Style"
+        );
         assert_eq!(Persona::Vanilla.name(), "Vanilla");
     }
 }

@@ -70,10 +70,27 @@ mod tests {
     fn full_report_contains_every_artifact() {
         let r = full_report(obs());
         for needle in [
-            "Table 1:", "Table 2:", "Table 3:", "Table 4:", "Table 5:", "Table 6:",
-            "Figure 3a", "Figure 3b", "Table 7:", "Table 8:", "Table 9:", "Figure 5:",
-            "Table 10:", "Figure 6:", "Table 11:", "Figure 7:", "Table 12:", "Table 13:",
-            "Table 14:", "Cookie syncing", "PoliCheck validation",
+            "Table 1:",
+            "Table 2:",
+            "Table 3:",
+            "Table 4:",
+            "Table 5:",
+            "Table 6:",
+            "Figure 3a",
+            "Figure 3b",
+            "Table 7:",
+            "Table 8:",
+            "Table 9:",
+            "Figure 5:",
+            "Table 10:",
+            "Figure 6:",
+            "Table 11:",
+            "Figure 7:",
+            "Table 12:",
+            "Table 13:",
+            "Table 14:",
+            "Cookie syncing",
+            "PoliCheck validation",
         ] {
             assert!(r.contains(needle), "missing {needle}");
         }

@@ -24,8 +24,16 @@ fn worker_count_is_invisible_in_the_output() {
     let sequential = AuditRun::execute(AuditConfig::small(7).with_jobs(Some(1)));
     let parallel = AuditRun::execute(AuditConfig::small(7).with_jobs(Some(4)));
     let all_cores = AuditRun::execute(AuditConfig::small(7).with_jobs(None));
-    assert_eq!(sequential.digest(), parallel.digest(), "jobs=1 vs jobs=4 diverged");
-    assert_eq!(sequential.digest(), all_cores.digest(), "jobs=1 vs jobs=None diverged");
+    assert_eq!(
+        sequential.digest(),
+        parallel.digest(),
+        "jobs=1 vs jobs=4 diverged"
+    );
+    assert_eq!(
+        sequential.digest(),
+        all_cores.digest(),
+        "jobs=1 vs jobs=None diverged"
+    );
 
     // Digest equality should imply artifact equality; spot-check the
     // rendering path end to end on a bid table and a traffic table.

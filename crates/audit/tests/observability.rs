@@ -1,0 +1,96 @@
+//! The observability layer's determinism contract: tracing is invisible in
+//! the observable record, and the trace itself is structurally deterministic
+//! across worker counts.
+
+use alexa_audit::{AuditConfig, AuditRun};
+use alexa_obs::Recorder;
+
+#[test]
+fn tracing_does_not_change_the_digest() {
+    let untraced = AuditRun::execute(AuditConfig::small(7));
+    let rec = Recorder::new();
+    let traced = AuditRun::execute_with(AuditConfig::small(7), &rec);
+    assert_eq!(
+        untraced.digest(),
+        traced.digest(),
+        "enabling the recorder changed the observable record"
+    );
+}
+
+#[test]
+fn report_covers_every_stage_and_shard() {
+    let rec = Recorder::new();
+    AuditRun::execute_with(AuditConfig::small(5), &rec);
+    let report = rec.report();
+
+    for stage in [
+        "marketplace",
+        "avs-pass",
+        "web-ecosystem",
+        "persona-shards",
+        "merge",
+        "policy-download",
+    ] {
+        assert!(report.stage(stage).is_some(), "missing stage {stage}");
+    }
+
+    // All 13 persona shards, keyed by their fixed Persona::all index.
+    let personas = report.shards_in("persona");
+    assert_eq!(personas.len(), 13);
+    assert_eq!(personas[0].label, "Connected Car");
+    assert_eq!(personas[12].label, "Web Computers");
+    for shard in &personas {
+        assert!(
+            shard.counter("crawl.visits") > 0,
+            "{}: no crawl visits",
+            shard.label
+        );
+        assert!(
+            shard.spans.iter().any(|s| s.name == "crawl.post"),
+            "{}: missing crawl.post span",
+            shard.label
+        );
+    }
+    // Echo personas capture flows through the router tap; web personas
+    // never own a device.
+    let connected_car = &personas[0];
+    assert!(connected_car.counter("tap.flows") > 0);
+    assert!(connected_car.counter("crawl.bids") > 0);
+    assert_eq!(
+        personas[10].counter("tap.flows"),
+        0,
+        "web persona saw tap flows"
+    );
+
+    // One AVS shard per skill category.
+    assert_eq!(report.shards_in("avs").len(), 9);
+
+    // Leaf-library aggregates only flow through the *global* recorder (the
+    // repro binary installs one); a locally attached recorder must still
+    // have the pipeline's own counts.
+    assert!(report.aggregates.contains_key("policy.documents"));
+}
+
+#[test]
+fn trace_structure_is_identical_across_worker_counts() {
+    let sequential = Recorder::new();
+    AuditRun::execute_with(AuditConfig::small(7).with_jobs(Some(1)), &sequential);
+    let parallel = Recorder::new();
+    AuditRun::execute_with(AuditConfig::small(7).with_jobs(Some(4)), &parallel);
+    assert_eq!(
+        sequential.report().structure(),
+        parallel.report().structure(),
+        "trace structure depends on worker count"
+    );
+}
+
+// Small helper so the assertions above read naturally.
+trait CounterExt {
+    fn counter(&self, name: &str) -> u64;
+}
+
+impl CounterExt for alexa_obs::ShardReport {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}

@@ -10,7 +10,7 @@
 //! results are visible alongside the timings.
 
 use alexa_audit::analysis::bids::{common_slots, pooled_bids, slot_means};
-use alexa_audit::{Persona, Observations};
+use alexa_audit::{Observations, Persona};
 use alexa_bench::shared_paper_run;
 use alexa_stats::{mann_whitney_u, Alternative, MwuMethod};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -19,7 +19,11 @@ use std::collections::BTreeSet;
 fn all_slots(obs: &Observations) -> BTreeSet<String> {
     obs.crawl
         .values()
-        .flat_map(|visits| visits.iter().flat_map(|v| v.bids.iter().map(|b| b.slot_id.clone())))
+        .flat_map(|visits| {
+            visits
+                .iter()
+                .flat_map(|v| v.bids.iter().map(|b| b.slot_id.clone()))
+        })
         .collect()
 }
 
@@ -51,8 +55,13 @@ fn print_value_ablations(obs: &Observations) {
 
     let pooled_t = pooled_bids(obs, fashion, obs.post_window(), &common);
     let pooled_v = pooled_bids(obs, Persona::Vanilla, obs.post_window(), &common);
-    let pooled =
-        mann_whitney_u(&pooled_t, &pooled_v, Alternative::Greater, MwuMethod::Asymptotic).unwrap();
+    let pooled = mann_whitney_u(
+        &pooled_t,
+        &pooled_v,
+        Alternative::Greater,
+        MwuMethod::Asymptotic,
+    )
+    .unwrap();
     eprintln!(
         "[ablation] slot-mean sample: p={:.4} (n={}) | pooled-bid sample: p={:.6} (n={})",
         with_filter.p_value,

@@ -10,8 +10,15 @@ use rand::SeedableRng;
 
 fn bench_auction(c: &mut Criterion) {
     let graph = SyncGraph::generate(1);
-    let auction = Auction { bidders: standard_roster(graph.partners()), season: SeasonModel::default() };
-    let slot = AdSlot { id: "bench#1".into(), site: "bench".into(), quality: 1.0 };
+    let auction = Auction {
+        bidders: standard_roster(graph.partners()),
+        season: SeasonModel::default(),
+    };
+    let slot = AdSlot {
+        id: "bench#1".into(),
+        site: "bench".into(),
+        quality: 1.0,
+    };
 
     let blank = UserState::blank("bench");
     let mut targeted = UserState::blank("bench");

@@ -10,8 +10,12 @@ fn bench_generation(c: &mut Criterion) {
     group.bench_function("marketplace_450_skills", |b| {
         b.iter(|| Marketplace::generate(42))
     });
-    group.bench_function("sync_graph_41_partners", |b| b.iter(|| SyncGraph::generate(42)));
-    group.bench_function("web_700_sites", |b| b.iter(|| WebEcosystem::generate(42, 700)));
+    group.bench_function("sync_graph_41_partners", |b| {
+        b.iter(|| SyncGraph::generate(42))
+    });
+    group.bench_function("web_700_sites", |b| {
+        b.iter(|| WebEcosystem::generate(42, 700))
+    });
     group.bench_function("audio_session_6h", |b| {
         b.iter(|| {
             audio::simulate_session(

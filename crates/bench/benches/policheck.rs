@@ -9,7 +9,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_policheck(c: &mut Criterion) {
     let market = Marketplace::generate(42);
     let generator = PolicyGenerator::new();
-    let docs: Vec<_> = market.all().iter().filter_map(|s| generator.render(s)).collect();
+    let docs: Vec<_> = market
+        .all()
+        .iter()
+        .filter_map(|s| generator.render(s))
+        .collect();
     let checker = PoliCheck::new();
     let checker_platform = PoliCheck::with_platform_policy();
 

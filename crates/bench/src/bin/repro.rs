@@ -5,24 +5,32 @@
 //! repro table5 figure3      # specific artifacts
 //! repro --seed 11 table7    # different seed
 //! repro --jobs 4 all        # cap the engine's worker threads
+//! repro --trace all         # human-readable span tree on stderr
+//! repro --metrics-out m.json all   # JSON metrics export
 //! repro --bench             # time a paper-scale run, write BENCH_audit.json
 //! repro --list              # list artifact names
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value (the engine's
-//! determinism invariant); `--jobs 1` is the sequential reference.
+//! determinism invariant); `--jobs 1` is the sequential reference. The
+//! observability flags never change stdout: the trace goes to stderr and the
+//! metrics to their own file, so traced and untraced runs stay diffable.
+//!
+//! Any unknown artifact name or flag is a hard error (exit 2) — including
+//! alongside `all` — so a typo in a CI invocation can never pass green.
 
 use alexa_audit::analysis::{
     audio, bids, creatives, defense, partners, policy, profiling, significance, traffic,
 };
 use alexa_audit::{AuditConfig, AuditRun, DefenseMode, Observations};
+use alexa_obs::{Json, Recorder};
+use std::sync::Arc;
 use std::time::Instant;
 
 const ARTIFACTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "figure2", "table5", "table6", "figure3",
-    "table7", "table8", "table9", "figure5", "sync", "table10", "figure6", "table11",
-    "figure7", "table12", "stats71", "table13", "table13p", "table14", "validate",
-    "liars", "defenses",
+    "table1", "table2", "table3", "table4", "figure2", "table5", "table6", "figure3", "table7",
+    "table8", "table9", "figure5", "sync", "table10", "figure6", "table11", "figure7", "table12",
+    "stats71", "table13", "table13p", "table14", "validate", "liars", "defenses",
 ];
 
 fn render(obs: &Observations, artifact: &str) -> Option<String> {
@@ -75,50 +83,81 @@ fn render(obs: &Observations, artifact: &str) -> Option<String> {
     })
 }
 
-/// The `defenses` artifact needs its own defended runs.
+/// The `defenses` artifact needs its own defended runs (untraced: their
+/// wall time shows up inside the `defenses` artifact shard).
 fn render_defenses(seed: u64, jobs: Option<usize>, baseline: &Observations) -> String {
     eprintln!("running defended audits (firewall, text-only) ...");
     let firewalled = AuditRun::execute(
-        AuditConfig::paper(seed).with_defense(DefenseMode::Firewall).with_jobs(jobs),
+        AuditConfig::paper(seed)
+            .with_defense(DefenseMode::Firewall)
+            .with_jobs(jobs),
     );
     let text_only = AuditRun::execute(
-        AuditConfig::paper(seed).with_defense(DefenseMode::TextOnly).with_jobs(jobs),
+        AuditConfig::paper(seed)
+            .with_defense(DefenseMode::TextOnly)
+            .with_jobs(jobs),
     );
     format!(
         "{}\n{}",
-        defense::compare("A&T firewall (blocking without breaking)", baseline, &firewalled)
-            .render(),
+        defense::compare(
+            "A&T firewall (blocking without breaking)",
+            baseline,
+            &firewalled
+        )
+        .render(),
         defense::compare("on-device transcription (text-only)", baseline, &text_only).render(),
     )
 }
 
 /// `--bench`: time the paper-scale execute plus a full `repro all` rendering
-/// pass and append the data point to `BENCH_audit.json` at the repo root.
-fn run_bench(seed: u64, jobs: Option<usize>) {
+/// pass and append the data point — with the recorder's per-stage breakdown
+/// — to `BENCH_audit.json` at the repo root.
+fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) {
     let workers = alexa_exec::effective_jobs(jobs);
     eprintln!("benchmarking paper-scale audit (seed {seed}, {workers} worker(s)) ...");
 
     let t0 = Instant::now();
-    let obs = AuditRun::execute(AuditConfig::paper(seed).with_jobs(jobs));
-    let execute_ms = t0.elapsed().as_millis();
+    let obs = AuditRun::execute_with(AuditConfig::paper(seed).with_jobs(jobs), rec);
+    let execute_ms = t0.elapsed().as_millis() as u64;
 
     let t1 = Instant::now();
-    let rendered = render_all(&obs, ARTIFACTS, seed, jobs);
-    let render_ms = t1.elapsed().as_millis();
+    let rendered = render_all(&obs, ARTIFACTS, seed, jobs, rec);
+    let render_ms = t1.elapsed().as_millis() as u64;
     let rendered_bytes: usize = rendered.iter().map(String::len).sum();
 
+    // Per-stage wall times from the recorder, millisecond precision — the
+    // breakdown future perf PRs regress against.
+    let report = rec.report();
+    let stages: Vec<(String, Json)> = report
+        .stages
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| (s.name.clone(), Json::Int(s.dur_us / 1000)))
+        .collect();
+
+    let entry = Json::Obj(vec![
+        ("seed".into(), Json::Int(seed)),
+        (
+            "jobs".into(),
+            jobs.map_or(Json::Null, |n| Json::Int(n as u64)),
+        ),
+        (
+            "hardware_threads".into(),
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as u64,
+            ),
+        ),
+        ("execute_ms".into(), Json::Int(execute_ms)),
+        ("render_all_ms".into(), Json::Int(render_ms)),
+        ("total_ms".into(), Json::Int(execute_ms + render_ms)),
+        ("rendered_bytes".into(), Json::Int(rendered_bytes as u64)),
+        ("stages".into(), Json::Obj(stages)),
+    ])
+    .render();
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
-    let entry = format!(
-        "{{\"seed\": {seed}, \"jobs\": {}, \"hardware_threads\": {}, \
-         \"execute_ms\": {execute_ms}, \"render_all_ms\": {render_ms}, \
-         \"total_ms\": {}, \"rendered_bytes\": {rendered_bytes}}}",
-        match jobs {
-            Some(n) => n.to_string(),
-            None => "null".to_string(),
-        },
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        execute_ms + render_ms,
-    );
     // Append as JSON lines so successive benchmark points accumulate.
     let mut log = std::fs::read_to_string(path).unwrap_or_default();
     log.push_str(&entry);
@@ -129,76 +168,195 @@ fn run_bench(seed: u64, jobs: Option<usize>) {
 }
 
 /// Render the wanted artifacts concurrently, returning them in input order.
+/// Each artifact render is its own observability shard.
 fn render_all(
     obs: &Observations,
     wanted: &[&str],
     seed: u64,
     jobs: Option<usize>,
+    rec: &Recorder,
 ) -> Vec<String> {
-    alexa_exec::par_map(jobs, wanted.to_vec(), |_, artifact| {
-        if artifact == "defenses" {
-            render_defenses(seed, jobs, obs)
-        } else {
-            render(obs, artifact).expect("artifact known")
-        }
+    rec.stage("render-all", || {
+        alexa_exec::par_map(jobs, wanted.to_vec(), |i, artifact| {
+            let mut log = rec.shard("artifact", i, artifact);
+            let rendered = log.span("render", |_| {
+                if artifact == "defenses" {
+                    render_defenses(seed, jobs, obs)
+                } else {
+                    render(obs, artifact).expect("artifact known")
+                }
+            });
+            log.add("bytes", rendered.len() as u64);
+            rec.submit(log);
+            rendered
+        })
     })
 }
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = 7u64;
-    if let Some(pos) = args.iter().position(|a| a == "--seed") {
-        args.remove(pos);
-        if pos < args.len() {
-            seed = args.remove(pos).parse().unwrap_or_else(|_| {
-                eprintln!("--seed expects an integer");
-                std::process::exit(2);
-            });
-        }
-    }
-    let mut jobs: Option<usize> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
-        args.remove(pos);
-        if pos < args.len() {
-            jobs = Some(args.remove(pos).parse().unwrap_or_else(|_| {
-                eprintln!("--jobs expects an integer");
-                std::process::exit(2);
-            }));
-        }
-    }
-    if args.iter().any(|a| a == "--bench") {
-        run_bench(seed, jobs);
+/// Write the trace / metrics the observability flags asked for.
+fn emit_observability(
+    rec: &Recorder,
+    trace: bool,
+    metrics_out: Option<&str>,
+    seed: u64,
+    jobs: Option<usize>,
+) {
+    if !rec.is_enabled() {
         return;
     }
-    if args.iter().any(|a| a == "--list") {
+    let report = rec.report();
+    if trace {
+        eprint!("{}", report.render_tree());
+    }
+    if let Some(path) = metrics_out {
+        let mut fields = vec![
+            ("seed".to_string(), Json::Int(seed)),
+            (
+                "jobs".to_string(),
+                jobs.map_or(Json::Null, |n| Json::Int(n as u64)),
+            ),
+        ];
+        match report.to_json() {
+            Json::Obj(inner) => fields.extend(inner),
+            other => fields.push(("report".to_string(), other)),
+        }
+        let doc = Json::Obj(fields).render();
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("error: cannot write metrics to {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: repro [--seed N] [--jobs N] [--trace] [--metrics-out PATH] \
+         <artifact>... | all | --bench | --list"
+    );
+    eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+    std::process::exit(code);
+}
+
+struct Cli {
+    seed: u64,
+    jobs: Option<usize>,
+    trace: bool,
+    metrics_out: Option<String>,
+    bench: bool,
+    list: bool,
+    all: bool,
+    artifacts: Vec<String>,
+}
+
+/// Parse and *fully validate* the command line: every artifact name is
+/// checked against the known list (even when `all` is also present) and
+/// unknown flags are rejected, so a typo exits 2 instead of silently
+/// rendering nothing.
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        seed: 7,
+        jobs: None,
+        trace: false,
+        metrics_out: None,
+        bench: false,
+        list: false,
+        all: false,
+        artifacts: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} expects a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                cli.seed = value(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--jobs" => {
+                cli.jobs = Some(value(&mut args, "--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --jobs expects an integer");
+                    std::process::exit(2);
+                }))
+            }
+            "--trace" => cli.trace = true,
+            "--metrics-out" => cli.metrics_out = Some(value(&mut args, "--metrics-out")),
+            "--bench" => cli.bench = true,
+            "--list" => cli.list = true,
+            "--help" | "-h" => usage(0),
+            "all" => cli.all = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag:?}");
+                usage(2);
+            }
+            artifact => {
+                if !ARTIFACTS.contains(&artifact) {
+                    eprintln!("error: unknown artifact {artifact:?} (try --list)");
+                    std::process::exit(2);
+                }
+                cli.artifacts.push(artifact.to_string());
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    if cli.list {
         for a in ARTIFACTS {
             println!("{a}");
         }
         return;
     }
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--seed N] [--jobs N] <artifact>... | all | --bench | --list");
-        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+
+    // The recorder: enabled whenever any observability surface is on, and
+    // installed globally so leaf libraries (stats, crawler) feed it too.
+    let observing = cli.trace || cli.metrics_out.is_some() || cli.bench;
+    let rec = Arc::new(if observing {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    });
+    alexa_obs::install_global(rec.clone());
+
+    if cli.bench {
+        run_bench(cli.seed, cli.jobs, &rec);
+        emit_observability(
+            &rec,
+            cli.trace,
+            cli.metrics_out.as_deref(),
+            cli.seed,
+            cli.jobs,
+        );
+        return;
+    }
+    if cli.artifacts.is_empty() && !cli.all {
+        usage(2);
     }
 
-    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let wanted: Vec<&str> = if cli.all {
         ARTIFACTS.to_vec()
     } else {
-        let mut v = Vec::new();
-        for a in &args {
-            if !ARTIFACTS.contains(&a.as_str()) {
-                eprintln!("unknown artifact {a:?} (try --list)");
-                std::process::exit(2);
-            }
-            v.push(a.as_str());
-        }
-        v
+        cli.artifacts.iter().map(String::as_str).collect()
     };
 
-    eprintln!("running paper-scale audit (seed {seed}) ...");
-    let obs = AuditRun::execute(AuditConfig::paper(seed).with_jobs(jobs));
-    for artifact in render_all(&obs, &wanted, seed, jobs) {
+    eprintln!("running paper-scale audit (seed {}) ...", cli.seed);
+    let obs = AuditRun::execute_with(AuditConfig::paper(cli.seed).with_jobs(cli.jobs), &rec);
+    for artifact in render_all(&obs, &wanted, cli.seed, cli.jobs, &rec) {
         println!("{artifact}");
     }
+    emit_observability(
+        &rec,
+        cli.trace,
+        cli.metrics_out.as_deref(),
+        cli.seed,
+        cli.jobs,
+    );
 }

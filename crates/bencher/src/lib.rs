@@ -43,7 +43,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `name/parameter`.
     pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -123,7 +125,10 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher { samples: self.samples, measured: None };
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
         f(&mut b);
         self.report(&id.id, b.measured);
         self
@@ -136,7 +141,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &P),
     {
         let id = id.into();
-        let mut b = Bencher { samples: self.samples, measured: None };
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
         f(&mut b, input);
         self.report(&id.id, b.measured);
         self
@@ -164,7 +172,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Start a named group of benchmarks (default 20 samples each).
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), samples: 20, _criterion: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 20,
+            _criterion: self,
+        }
     }
 }
 
@@ -201,7 +213,11 @@ mod tests {
             b.iter(|| (0..n).sum::<u64>())
         });
         group.bench_function("batched", |b| {
-            b.iter_batched(|| vec![3u8; 64], |v| v.iter().map(|&x| x as u32).sum::<u32>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![3u8; 64],
+                |v| v.iter().map(|&x| x as u32).sum::<u32>(),
+                BatchSize::SmallInput,
+            )
         });
         group.finish();
     }

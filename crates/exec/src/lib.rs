@@ -26,7 +26,9 @@ use std::sync::Mutex;
 pub fn effective_jobs(jobs: Option<usize>) -> usize {
     match jobs {
         Some(n) => n.max(1),
-        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     }
 }
 
@@ -48,7 +50,11 @@ where
     let n = items.len();
     let workers = effective_jobs(jobs).min(n);
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
 
     // Each slot is taken exactly once by exactly one worker via the atomic
@@ -95,7 +101,11 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_results() {
         let items: Vec<u64> = (0..257).collect();
-        let run = |jobs| par_map(jobs, items.clone(), |i, x| x.wrapping_mul(31).wrapping_add(i as u64));
+        let run = |jobs| {
+            par_map(jobs, items.clone(), |i, x| {
+                x.wrapping_mul(31).wrapping_add(i as u64)
+            })
+        };
         let sequential = run(Some(1));
         assert_eq!(sequential, run(Some(2)));
         assert_eq!(sequential, run(Some(16)));

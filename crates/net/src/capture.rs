@@ -49,7 +49,10 @@ pub struct Capture {
 impl Capture {
     /// Create an empty capture with an attribution label.
     pub fn new(label: impl Into<String>) -> Capture {
-        Capture { label: label.into(), packets: Vec::new() }
+        Capture {
+            label: label.into(),
+            packets: Vec::new(),
+        }
     }
 
     /// Total bytes across all packets.
@@ -66,11 +69,34 @@ impl Capture {
     }
 }
 
+/// Running totals a tap accumulates across its whole life.
+///
+/// The observability layer reads these out once per shard — the counters are
+/// plain integers updated on the capture hot path, so instrumentation costs
+/// nothing beyond the additions and never touches the captured data itself.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TapStats {
+    /// Capture sessions opened (`start` calls).
+    pub sessions: usize,
+    /// Packets observed inside a session.
+    pub packets: usize,
+    /// Wire bytes across all observed packets.
+    pub bytes: usize,
+}
+
+impl TapStats {
+    fn observe(&mut self, wire_len: usize) {
+        self.packets += 1;
+        self.bytes += wire_len;
+    }
+}
+
 /// The RPi router tap: records every packet, encrypted view only.
 #[derive(Debug, Default)]
 pub struct RouterTap {
     session: Option<Capture>,
     finished: Vec<Capture>,
+    stats: TapStats,
 }
 
 impl RouterTap {
@@ -84,6 +110,7 @@ impl RouterTap {
     /// Any in-progress session is finalized first.
     pub fn start(&mut self, label: impl Into<String>) {
         self.stop();
+        self.stats.sessions += 1;
         self.session = Some(Capture::new(label));
     }
 
@@ -93,6 +120,7 @@ impl RouterTap {
         if let Some(session) = &mut self.session {
             let mut p = packet.clone();
             p.payload = p.payload.encrypt();
+            self.stats.observe(p.payload.wire_len());
             session.packets.push(p);
         }
     }
@@ -105,9 +133,15 @@ impl RouterTap {
             session.packets.reserve(packets.len());
             for mut p in packets {
                 p.payload = p.payload.encrypt();
+                self.stats.observe(p.payload.wire_len());
                 session.packets.push(p);
             }
         }
+    }
+
+    /// Running totals across the tap's whole life.
+    pub fn stats(&self) -> TapStats {
+        self.stats
     }
 
     /// End the active session (the paper's "disable tcpdump").
@@ -154,6 +188,7 @@ impl RouterTap {
 pub struct AvsTap {
     session: Option<Capture>,
     finished: Vec<Capture>,
+    stats: TapStats,
 }
 
 impl AvsTap {
@@ -165,12 +200,14 @@ impl AvsTap {
     /// Begin a capture session.
     pub fn start(&mut self, label: impl Into<String>) {
         self.stop();
+        self.stats.sessions += 1;
         self.session = Some(Capture::new(label));
     }
 
     /// Observe one packet with full plaintext visibility.
     pub fn observe(&mut self, packet: &Packet) {
         if let Some(session) = &mut self.session {
+            self.stats.observe(packet.payload.wire_len());
             session.packets.push(packet.clone());
         }
     }
@@ -179,12 +216,20 @@ impl AvsTap {
     /// per-packet clones. No-op unless a session is active.
     pub fn observe_batch(&mut self, packets: Vec<Packet>) {
         if let Some(session) = &mut self.session {
+            for p in &packets {
+                self.stats.observe(p.payload.wire_len());
+            }
             if session.packets.is_empty() {
                 session.packets = packets;
             } else {
                 session.packets.extend(packets);
             }
         }
+    }
+
+    /// Running totals across the tap's whole life.
+    pub fn stats(&self) -> TapStats {
+        self.stats
     }
 
     /// End the active session.
@@ -224,7 +269,11 @@ mod tests {
     fn router_tap_hides_payloads() {
         let mut tap = RouterTap::new();
         tap.start("skill-a");
-        tap.observe(&pkt(1, "amazon.com", vec![Record::new(DataType::VoiceRecording, "hello")]));
+        tap.observe(&pkt(
+            1,
+            "amazon.com",
+            vec![Record::new(DataType::VoiceRecording, "hello")],
+        ));
         tap.stop();
         let caps = tap.captures();
         assert_eq!(caps.len(), 1);
@@ -237,7 +286,11 @@ mod tests {
     fn avs_tap_preserves_payloads() {
         let mut tap = AvsTap::new();
         tap.start("skill-a");
-        tap.observe(&pkt(1, "amazon.com", vec![Record::new(DataType::CustomerId, "A1")]));
+        tap.observe(&pkt(
+            1,
+            "amazon.com",
+            vec![Record::new(DataType::CustomerId, "A1")],
+        ));
         tap.stop();
         let records = tap.captures()[0].packets[0].payload.records().unwrap();
         assert_eq!(records[0].data_type, DataType::CustomerId);
@@ -272,7 +325,11 @@ mod tests {
     fn flow_records_flatten_with_labels() {
         let mut tap = RouterTap::new();
         tap.start("a");
-        tap.observe(&pkt(1, "amazon.com", vec![Record::new(DataType::SkillId, "x")]));
+        tap.observe(&pkt(
+            1,
+            "amazon.com",
+            vec![Record::new(DataType::SkillId, "x")],
+        ));
         tap.observe(&pkt(2, "chtbl.com", vec![]));
         tap.stop();
         let flows = tap.flow_records();
@@ -293,7 +350,11 @@ mod tests {
     #[test]
     fn observe_batch_matches_per_packet_observe() {
         let batch = vec![
-            pkt(1, "amazon.com", vec![Record::new(DataType::VoiceRecording, "hi")]),
+            pkt(
+                1,
+                "amazon.com",
+                vec![Record::new(DataType::VoiceRecording, "hi")],
+            ),
             pkt(2, "chtbl.com", vec![]),
         ];
         let mut one = RouterTap::new();
@@ -306,7 +367,10 @@ mod tests {
         many.start("s");
         many.observe_batch(batch.clone());
         many.stop();
-        assert_eq!(format!("{:?}", one.captures()), format!("{:?}", many.captures()));
+        assert_eq!(
+            format!("{:?}", one.captures()),
+            format!("{:?}", many.captures())
+        );
 
         let mut avs_one = AvsTap::new();
         avs_one.start("s");
@@ -331,6 +395,50 @@ mod tests {
         tap.start("s");
         tap.stop();
         assert!(tap.captures()[0].packets.is_empty());
+    }
+
+    #[test]
+    fn tap_stats_track_sessions_packets_bytes() {
+        let mut tap = RouterTap::new();
+        assert_eq!(tap.stats(), TapStats::default());
+        tap.observe(&pkt(0, "amazon.com", vec![])); // no session: not counted
+        tap.start("a");
+        tap.observe(&pkt(
+            1,
+            "amazon.com",
+            vec![Record::new(DataType::VoiceRecording, "hello")],
+        ));
+        tap.start("b");
+        tap.observe_batch(vec![
+            pkt(2, "chtbl.com", vec![]),
+            pkt(3, "amazon.com", vec![]),
+        ]);
+        tap.stop();
+        let s = tap.stats();
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.packets, 3);
+        // Bytes are post-encryption wire lengths, so they match the capture.
+        let captured: usize = tap.captures().iter().map(Capture::total_bytes).sum();
+        assert_eq!(s.bytes, captured);
+
+        let mut avs = AvsTap::new();
+        avs.start("s");
+        avs.observe_batch(vec![pkt(
+            1,
+            "amazon.com",
+            vec![Record::new(DataType::CustomerId, "A1")],
+        )]);
+        avs.observe(&pkt(2, "amazon.com", vec![]));
+        let s = avs.stats();
+        assert_eq!((s.sessions, s.packets), (1, 2));
+        assert_eq!(
+            s.bytes,
+            avs.captures()
+                .iter()
+                .chain(avs.session.iter())
+                .map(Capture::total_bytes)
+                .sum::<usize>()
+        );
     }
 
     #[test]

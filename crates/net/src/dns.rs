@@ -89,7 +89,10 @@ mod tests {
     fn allocation_is_deterministic() {
         let mut a = DnsTable::new();
         let mut b = DnsTable::new();
-        assert_eq!(a.resolve(&d("api.amazon.com")), b.resolve(&d("api.amazon.com")));
+        assert_eq!(
+            a.resolve(&d("api.amazon.com")),
+            b.resolve(&d("api.amazon.com"))
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use std::fmt;
 /// Public suffixes known to the embedded list. A real deployment would load
 /// the full Mozilla PSL; the simulation only ever mints names under these.
 const PUBLIC_SUFFIXES: &[&str] = &[
-    "com", "net", "org", "io", "fm", "us", "de", "ai", "app", "dev", "tv", "info", "biz",
-    "co.uk", "org.uk", "ac.uk", "com.au", "co.jp",
+    "com", "net", "org", "io", "fm", "us", "de", "ai", "app", "dev", "tv", "info", "biz", "co.uk",
+    "org.uk", "ac.uk", "com.au", "co.jp",
 ];
 
 /// Errors produced when parsing a [`Domain`].
@@ -108,7 +108,9 @@ impl Domain {
         }
         let prefix = &self.name[..self.name.len() - suffix.len() - 1];
         let owner = prefix.rsplit('.').next()?;
-        Some(Domain { name: format!("{owner}.{suffix}") })
+        Some(Domain {
+            name: format!("{owner}.{suffix}"),
+        })
     }
 
     /// Whether `self` equals `other` or is a subdomain of it.
@@ -148,10 +150,22 @@ mod tests {
     #[test]
     fn rejects_bad_names() {
         assert_eq!(Domain::parse(""), Err(DomainError::Empty));
-        assert!(matches!(Domain::parse("a..b.com"), Err(DomainError::BadLabel(_))));
-        assert!(matches!(Domain::parse("-bad.com"), Err(DomainError::BadLabel(_))));
-        assert!(matches!(Domain::parse("bad-.com"), Err(DomainError::BadLabel(_))));
-        assert!(matches!(Domain::parse("sp ace.com"), Err(DomainError::BadLabel(_))));
+        assert!(matches!(
+            Domain::parse("a..b.com"),
+            Err(DomainError::BadLabel(_))
+        ));
+        assert!(matches!(
+            Domain::parse("-bad.com"),
+            Err(DomainError::BadLabel(_))
+        ));
+        assert!(matches!(
+            Domain::parse("bad-.com"),
+            Err(DomainError::BadLabel(_))
+        ));
+        assert!(matches!(
+            Domain::parse("sp ace.com"),
+            Err(DomainError::BadLabel(_))
+        ));
         assert_eq!(Domain::parse("com"), Err(DomainError::OnlySuffix));
         assert_eq!(Domain::parse("co.uk"), Err(DomainError::OnlySuffix));
     }
@@ -161,7 +175,10 @@ mod tests {
         let long = format!("{}.com", "a".repeat(260));
         assert_eq!(Domain::parse(&long), Err(DomainError::TooLong));
         let long_label = format!("{}.com", "a".repeat(64));
-        assert!(matches!(Domain::parse(&long_label), Err(DomainError::BadLabel(_))));
+        assert!(matches!(
+            Domain::parse(&long_label),
+            Err(DomainError::BadLabel(_))
+        ));
     }
 
     #[test]
@@ -178,7 +195,14 @@ mod tests {
             ("traffic.omny.fm", "omny.fm"),
         ];
         for (input, want) in cases {
-            assert_eq!(Domain::parse(input).unwrap().registrable().unwrap().as_str(), want);
+            assert_eq!(
+                Domain::parse(input)
+                    .unwrap()
+                    .registrable()
+                    .unwrap()
+                    .as_str(),
+                want
+            );
         }
     }
 
@@ -198,7 +222,10 @@ mod tests {
     #[test]
     fn labels_and_depth() {
         let d = Domain::parse("a.b.example.com").unwrap();
-        assert_eq!(d.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(
+            d.labels().collect::<Vec<_>>(),
+            vec!["a", "b", "example", "com"]
+        );
         assert_eq!(d.depth(), 4);
     }
 

@@ -103,7 +103,10 @@ impl FilterList {
 
     /// An empty list.
     pub fn empty() -> FilterList {
-        FilterList { suffixes: HashSet::new(), exact: HashSet::new() }
+        FilterList {
+            suffixes: HashSet::new(),
+            exact: HashSet::new(),
+        }
     }
 
     /// Add a suffix rule (domain + all subdomains).
@@ -185,7 +188,11 @@ mod tests {
     #[test]
     fn functional_domains_pass() {
         let fl = FilterList::new();
-        for name in ["amazonalexa.com", "static.garmincdn.com", "discovery.meethue.com"] {
+        for name in [
+            "amazonalexa.com",
+            "static.garmincdn.com",
+            "discovery.meethue.com",
+        ] {
             assert_eq!(fl.classify(&d(name)), TrafficPurpose::Functional, "{name}");
         }
     }
@@ -220,7 +227,11 @@ mod tests {
             "turnernetworksales.mc.tritondigital.com",
             "play.podtrac.com",
         ] {
-            assert_eq!(fl.classify(&d(name)), TrafficPurpose::AdvertisingTracking, "{name}");
+            assert_eq!(
+                fl.classify(&d(name)),
+                TrafficPurpose::AdvertisingTracking,
+                "{name}"
+            );
         }
     }
 }

@@ -85,7 +85,11 @@ impl Firewall {
 
     /// Firewall over a custom blocklist.
     pub fn with_blocklist(blocklist: FilterList) -> Firewall {
-        Firewall { blocklist, allowlist: Vec::new(), stats: FirewallStats::default() }
+        Firewall {
+            blocklist,
+            allowlist: Vec::new(),
+            stats: FirewallStats::default(),
+        }
     }
 
     /// Always allow a domain (and its subdomains), even if blocklisted.
@@ -95,7 +99,11 @@ impl Firewall {
 
     /// Decide a packet's fate without forwarding it.
     pub fn judge(&self, packet: &Packet) -> Verdict {
-        if self.allowlist.iter().any(|a| packet.remote.is_subdomain_of(a)) {
+        if self
+            .allowlist
+            .iter()
+            .any(|a| packet.remote.is_subdomain_of(a))
+        {
             return Verdict::Allow;
         }
         if self.blocklist.is_ad_tracking(&packet.remote) {
@@ -193,10 +201,20 @@ mod tests {
     #[test]
     fn batch_filter_partitions() {
         let mut fw = Firewall::new();
-        let batch = vec![pkt("api.amazon.com"), pkt("chtbl.com"), pkt("dillilabs.com")];
+        let batch = vec![
+            pkt("api.amazon.com"),
+            pkt("chtbl.com"),
+            pkt("dillilabs.com"),
+        ];
         let kept = fw.filter_batch(batch);
         assert_eq!(kept.len(), 2);
-        assert_eq!(fw.stats(), FirewallStats { allowed: 2, blocked: 1 });
+        assert_eq!(
+            fw.stats(),
+            FirewallStats {
+                allowed: 2,
+                blocked: 1
+            }
+        );
         assert!((fw.stats().blocked_share() - 1.0 / 3.0).abs() < 1e-12);
     }
 

@@ -122,7 +122,11 @@ mod tests {
     fn directions_and_bytes_aggregate() {
         let captures = vec![cap(
             "a",
-            vec![out(1, "x.amazon.com", 100), inc(5, "x.amazon.com", 400), out(9, "chtbl.com", 50)],
+            vec![
+                out(1, "x.amazon.com", 100),
+                inc(5, "x.amazon.com", 400),
+                out(9, "chtbl.com", 50),
+            ],
         )];
         let stats = aggregate(&captures);
         let amazon = &stats[&Domain::parse("x.amazon.com").unwrap()];
@@ -138,7 +142,10 @@ mod tests {
     #[test]
     fn sessions_count_capture_blocks_not_packets() {
         let captures = vec![
-            cap("a", vec![out(1, "x.amazon.com", 10), out(2, "x.amazon.com", 10)]),
+            cap(
+                "a",
+                vec![out(1, "x.amazon.com", 10), out(2, "x.amazon.com", 10)],
+            ),
             cap("b", vec![out(3, "x.amazon.com", 10)]),
         ];
         let stats = aggregate(&captures);
@@ -161,7 +168,11 @@ mod tests {
     fn top_by_bytes_orders_descending() {
         let captures = vec![cap(
             "a",
-            vec![out(1, "big.amazon.com", 1000), out(2, "small.amazon.com", 10), out(3, "mid.amazon.com", 100)],
+            vec![
+                out(1, "big.amazon.com", 1000),
+                out(2, "small.amazon.com", 10),
+                out(3, "mid.amazon.com", 100),
+            ],
         )];
         let stats = aggregate(&captures);
         let top = top_by_bytes(&stats, 2);

@@ -30,7 +30,7 @@ pub mod orgmap;
 pub mod packet;
 pub mod trace;
 
-pub use capture::{AvsTap, Capture, FlowRecord, RouterTap};
+pub use capture::{AvsTap, Capture, FlowRecord, RouterTap, TapStats};
 pub use dns::DnsTable;
 pub use domain::Domain;
 pub use filterlist::{FilterList, TrafficPurpose};

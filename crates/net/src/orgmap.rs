@@ -97,12 +97,15 @@ impl OrgMap {
 
     /// Create an empty map (for tests and custom ecosystems).
     pub fn empty() -> OrgMap {
-        OrgMap { by_registrable: HashMap::new() }
+        OrgMap {
+            by_registrable: HashMap::new(),
+        }
     }
 
     /// Register an organization for a registrable domain.
     pub fn register(&mut self, registrable: &str, org: &str) {
-        self.by_registrable.insert(registrable.to_ascii_lowercase(), org.to_string());
+        self.by_registrable
+            .insert(registrable.to_ascii_lowercase(), org.to_string());
     }
 
     /// Resolve a (sub)domain to its organization, if known.
@@ -143,8 +146,11 @@ impl OrgMap {
     /// order — the canonical view used for hashing and diffing (the backing
     /// map's iteration order is unspecified).
     pub fn entries_sorted(&self) -> Vec<(&str, &str)> {
-        let mut entries: Vec<(&str, &str)> =
-            self.by_registrable.iter().map(|(d, o)| (d.as_str(), o.as_str())).collect();
+        let mut entries: Vec<(&str, &str)> = self
+            .by_registrable
+            .iter()
+            .map(|(d, o)| (d.as_str(), o.as_str()))
+            .collect();
         entries.sort_unstable();
         entries
     }
@@ -167,7 +173,10 @@ mod tests {
             m.org_of(&d("turnernetworksales.mc.tritondigital.com")),
             Some("Triton Digital, Inc.")
         );
-        assert_eq!(m.org_of(&d("ingestion.us-east-1.prod.arteries.alexa.a2z.com")), Some(AMAZON));
+        assert_eq!(
+            m.org_of(&d("ingestion.us-east-1.prod.arteries.alexa.a2z.com")),
+            Some(AMAZON)
+        );
     }
 
     #[test]
@@ -179,7 +188,10 @@ mod tests {
     #[test]
     fn classify_amazon_vendor_third() {
         let m = OrgMap::new();
-        assert_eq!(m.classify(&d("api.amazon.com"), "Garmin International"), OrgClass::Amazon);
+        assert_eq!(
+            m.classify(&d("api.amazon.com"), "Garmin International"),
+            OrgClass::Amazon
+        );
         assert_eq!(
             m.classify(&d("static.garmincdn.com"), "Garmin International"),
             OrgClass::SkillVendor
@@ -189,7 +201,10 @@ mod tests {
             OrgClass::ThirdParty
         );
         // Unknown endpoints conservatively classify as third party.
-        assert_eq!(m.classify(&d("mystery.example.com"), "Garmin"), OrgClass::ThirdParty);
+        assert_eq!(
+            m.classify(&d("mystery.example.com"), "Garmin"),
+            OrgClass::ThirdParty
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub struct Record {
 impl Record {
     /// Convenience constructor.
     pub fn new(data_type: DataType, value: impl Into<String>) -> Record {
-        Record { data_type, value: value.into() }
+        Record {
+            data_type,
+            value: value.into(),
+        }
     }
 
     /// Approximate wire size of this record in bytes.
@@ -142,7 +145,9 @@ impl Payload {
 
     /// Encrypt (opacify) the payload: what a router sees of plaintext.
     pub fn encrypt(&self) -> Payload {
-        Payload::Encrypted { len: self.wire_len() }
+        Payload::Encrypted {
+            len: self.wire_len(),
+        }
     }
 
     /// The plaintext records, if visible.
@@ -172,12 +177,24 @@ pub struct Packet {
 impl Packet {
     /// Construct an outgoing packet.
     pub fn outgoing(ts_ms: u64, remote: Domain, remote_ip: Ipv4Addr, payload: Payload) -> Packet {
-        Packet { ts_ms, direction: Direction::Outgoing, remote, remote_ip, payload }
+        Packet {
+            ts_ms,
+            direction: Direction::Outgoing,
+            remote,
+            remote_ip,
+            payload,
+        }
     }
 
     /// Construct an incoming packet.
     pub fn incoming(ts_ms: u64, remote: Domain, remote_ip: Ipv4Addr, payload: Payload) -> Packet {
-        Packet { ts_ms, direction: Direction::Incoming, remote, remote_ip, payload }
+        Packet {
+            ts_ms,
+            direction: Direction::Incoming,
+            remote,
+            remote_ip,
+            payload,
+        }
     }
 }
 

@@ -138,7 +138,10 @@ pub fn read_trace(text: &str) -> Result<Vec<Capture>, TraceError> {
         if line.is_empty() {
             continue;
         }
-        let err = |reason: &str| TraceError::Malformed { line: line_no, reason: reason.into() };
+        let err = |reason: &str| TraceError::Malformed {
+            line: line_no,
+            reason: reason.into(),
+        };
         if line == "CAPTURE" || line.starts_with("CAPTURE ") {
             // `line` is right-trimmed, so an empty label leaves a bare
             // "CAPTURE" keyword.
@@ -152,7 +155,9 @@ pub fn read_trace(text: &str) -> Result<Vec<Capture>, TraceError> {
             let cap = current.take().ok_or_else(|| err("END outside capture"))?;
             captures.push(cap);
         } else if let Some(rest) = line.strip_prefix("P ") {
-            let cap = current.as_mut().ok_or_else(|| err("packet outside capture"))?;
+            let cap = current
+                .as_mut()
+                .ok_or_else(|| err("packet outside capture"))?;
             let mut parts = rest.split_whitespace();
             let ts_ms: u64 = parts
                 .next()
@@ -192,13 +197,22 @@ pub fn read_trace(text: &str) -> Result<Vec<Capture>, TraceError> {
                         let dt = tag_type(tag).ok_or_else(|| err("unknown record type"))?;
                         let value =
                             hex_decode(value_hex).ok_or_else(|| err("bad record encoding"))?;
-                        records.push(Record { data_type: dt, value });
+                        records.push(Record {
+                            data_type: dt,
+                            value,
+                        });
                     }
                     Payload::Plain(records)
                 }
                 _ => return Err(err("bad payload tag")),
             };
-            cap.packets.push(Packet { ts_ms, direction, remote, remote_ip, payload });
+            cap.packets.push(Packet {
+                ts_ms,
+                direction,
+                remote,
+                remote_ip,
+                payload,
+            });
         } else {
             return Err(err("unknown line"));
         }
@@ -226,7 +240,12 @@ mod tests {
                 Record::new(DataType::CustomerId, "amzn1.account.ABC=="),
             ]),
         ));
-        a.packets.push(Packet::incoming(15, d("chtbl.com"), ip, Payload::Encrypted { len: 512 }));
+        a.packets.push(Packet::incoming(
+            15,
+            d("chtbl.com"),
+            ip,
+            Payload::Encrypted { len: 512 },
+        ));
         let b = Capture::new("empty, with spaces & symbols!");
         vec![a, b]
     }
@@ -265,13 +284,22 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert!(matches!(read_trace("garbage"), Err(TraceError::Malformed { line: 1, .. })));
+        assert!(matches!(
+            read_trace("garbage"),
+            Err(TraceError::Malformed { line: 1, .. })
+        ));
         assert!(matches!(
             read_trace("CAPTURE 61\nP not-a-ts out a.com 10.0.0.1 E 5\nEND"),
             Err(TraceError::Malformed { line: 2, .. })
         ));
-        assert!(matches!(read_trace("END"), Err(TraceError::Malformed { .. })));
-        assert!(matches!(read_trace("CAPTURE 61"), Err(TraceError::UnexpectedEof)));
+        assert!(matches!(
+            read_trace("END"),
+            Err(TraceError::Malformed { .. })
+        ));
+        assert!(matches!(
+            read_trace("CAPTURE 61"),
+            Err(TraceError::UnexpectedEof)
+        ));
         assert!(matches!(
             read_trace("CAPTURE 61\nCAPTURE 62\nEND"),
             Err(TraceError::Malformed { line: 2, .. })
@@ -281,7 +309,10 @@ mod tests {
     #[test]
     fn rejects_unknown_record_type() {
         let text = "CAPTURE 61\nP 1 out a.com 10.0.0.1 R 1 bogus=61\nEND";
-        assert!(matches!(read_trace(text), Err(TraceError::Malformed { line: 2, .. })));
+        assert!(matches!(
+            read_trace(text),
+            Err(TraceError::Malformed { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Property-based tests for the network substrate.
 
-use alexa_net::{read_trace, write_trace, Capture, DataType, DnsTable, Domain, FilterList, Packet, Payload, Record};
+use alexa_net::{
+    read_trace, write_trace, Capture, DataType, DnsTable, Domain, FilterList, Packet, Payload,
+    Record,
+};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 /// Strategy producing syntactically valid domain names under known suffixes.
 fn valid_domain() -> impl Strategy<Value = String> {
     let label = "[a-z][a-z0-9]{0,10}";
-    (prop::collection::vec(label, 1..4), prop::sample::select(vec!["com", "net", "org", "fm"]))
+    (
+        prop::collection::vec(label, 1..4),
+        prop::sample::select(vec!["com", "net", "org", "fm"]),
+    )
         .prop_map(|(labels, tld)| format!("{}.{}", labels.join("."), tld))
 }
 

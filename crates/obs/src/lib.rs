@@ -1,0 +1,46 @@
+//! `alexa-obs` — structured observability for the audit pipeline.
+//!
+//! The reproduction's core invariant is that a fixed seed produces a
+//! byte-identical [`Observations`] record for any worker count. That rules
+//! out any tracing design where the *act of observing* can perturb the run
+//! (global sequence numbers feeding RNGs, interleaved logs merged in arrival
+//! order, ...). This crate provides the observability primitives that stay
+//! on the right side of the line:
+//!
+//! * [`ShardLog`] — a single-threaded event log owned by one structural unit
+//!   of work (a persona shard, an AVS category shard, an artifact render).
+//!   Spans carry monotonic timing; counters are plain named `u64`s. A shard
+//!   log never takes a lock while the shard runs.
+//! * [`Recorder`] — the thread-safe collector. Shard logs are submitted
+//!   under their `(group, structural index)` key and merged in **key order**,
+//!   never in completion order, so the report's *structure* (groups, labels,
+//!   span names, counter values) is identical for `jobs = 1` and `jobs = N`;
+//!   only the wall-clock numbers differ. Top-level pipeline stages are timed
+//!   with [`Recorder::stage`], and leaf libraries (stats, crawler) feed
+//!   name-keyed [`Aggregate`]s whose totals are order-independent sums.
+//! * [`Report`] — an immutable snapshot with a human-readable span tree
+//!   ([`Report::render_tree`], the `repro --trace` output) and a JSON export
+//!   ([`Report::to_json`], the `repro --metrics-out` payload) built on the
+//!   dependency-free [`Json`] value type.
+//!
+//! **Determinism contract.** Recording never reads or advances any RNG,
+//! never influences control flow of the instrumented code, and the disabled
+//! recorder ([`Recorder::disabled`], the default for plain
+//! `AuditRun::execute`) is a no-op. The integration test
+//! `crates/audit/tests/observability.rs` pins the contract by asserting the
+//! observations digest is identical with tracing enabled and disabled.
+//!
+//! `Observations`: the observable bundle in `alexa-audit`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod recorder;
+mod report;
+mod shard;
+
+pub use json::Json;
+pub use recorder::{agg_count, agg_time, global, install_global, Recorder};
+pub use report::{Aggregate, Report, ShardReport, StageRec};
+pub use shard::{ShardLog, SpanRec};

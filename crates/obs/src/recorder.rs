@@ -1,0 +1,284 @@
+//! The thread-safe collector and the process-wide recorder handle.
+
+use crate::report::{Aggregate, Report, ShardReport, StageRec};
+use crate::shard::ShardLog;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Default)]
+struct Inner {
+    stages: Vec<StageRec>,
+    stage_depth: usize,
+    shards: BTreeMap<(String, usize), ShardReport>,
+    aggregates: BTreeMap<String, Aggregate>,
+}
+
+/// Thread-safe trace/metrics collector.
+///
+/// One recorder observes one pipeline run. Shard logs submitted from worker
+/// threads are keyed by `(group, structural index)` and merged in key order;
+/// stage spans are recorded from the (sequential) orchestration thread;
+/// aggregates are name-keyed order-independent sums. A disabled recorder
+/// makes every operation a no-op, so instrumented code needs no `if`s.
+pub struct Recorder {
+    enabled: bool,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder that collects everything.
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: true,
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A recorder that collects nothing (the default for untraced runs).
+    pub fn disabled() -> Recorder {
+        Recorder {
+            enabled: false,
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether this recorder collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Time `f` as a named top-level pipeline stage.
+    ///
+    /// Stages nest (a `stage` call inside `f` records one level deeper) and
+    /// are intended for the *sequential* orchestration path — per-worker
+    /// events belong in a [`ShardLog`]. The lock is released while `f` runs,
+    /// so nested stage calls do not deadlock.
+    pub fn stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let idx = {
+            let mut g = self.inner.lock().unwrap();
+            let idx = g.stages.len();
+            let depth = g.stage_depth;
+            g.stages.push(StageRec {
+                name: name.to_string(),
+                depth,
+                start_us: start.duration_since(self.epoch).as_micros() as u64,
+                dur_us: 0,
+            });
+            g.stage_depth += 1;
+            idx
+        };
+        let out = f();
+        let mut g = self.inner.lock().unwrap();
+        g.stage_depth -= 1;
+        g.stages[idx].dur_us = start.elapsed().as_micros() as u64;
+        out
+    }
+
+    /// Open a shard log for the unit of work at `index` within `group`.
+    ///
+    /// The log is filled lock-free by the owning worker and handed back via
+    /// [`Recorder::submit`].
+    pub fn shard(&self, group: &str, index: usize, label: &str) -> ShardLog {
+        ShardLog::new(group, index, label, self.enabled)
+    }
+
+    /// Merge a finished shard log into the recorder.
+    ///
+    /// Storage is keyed by `(group, index)`, so the merged order — and
+    /// therefore the report structure — is independent of submission order.
+    pub fn submit(&self, log: ShardLog) {
+        if !self.enabled || !log.is_enabled() {
+            return;
+        }
+        let total_us = log.origin.elapsed().as_micros() as u64;
+        let mut g = self.inner.lock().unwrap();
+        g.shards.insert(
+            (log.group.clone(), log.index),
+            ShardReport {
+                group: log.group,
+                index: log.index,
+                label: log.label,
+                total_us,
+                spans: log.spans,
+                counters: log.counters,
+            },
+        );
+    }
+
+    /// Add `n` to a name-keyed aggregate counter.
+    pub fn count(&self, name: &str, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.aggregates.entry(name.to_string()).or_default().count += n;
+    }
+
+    /// Time `f` into a name-keyed aggregate (one call, its duration added).
+    ///
+    /// This is the instrumentation point for leaf libraries (bootstrap
+    /// resampling, MWU permutation, crawler visits) where per-call spans
+    /// would be noise: totals are order-independent sums, so the aggregate
+    /// is deterministic in everything but wall time.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        let mut g = self.inner.lock().unwrap();
+        let a = g.aggregates.entry(name.to_string()).or_default();
+        a.calls += 1;
+        a.total_us += elapsed_us;
+        out
+    }
+
+    /// An immutable snapshot of everything recorded so far.
+    pub fn report(&self) -> Report {
+        let g = self.inner.lock().unwrap();
+        Report {
+            stages: g.stages.clone(),
+            shards: g.shards.values().cloned().collect(),
+            aggregates: g.aggregates.clone(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Recorder>> = OnceLock::new();
+
+/// Install the process-wide recorder handle (first caller wins).
+///
+/// Libraries too deep to thread a recorder through (stats, the crawler)
+/// report to this handle via [`agg_count`] / [`agg_time`]; when nothing is
+/// installed those are no-ops. Returns `false` if a handle was already
+/// installed.
+pub fn install_global(rec: Arc<Recorder>) -> bool {
+    GLOBAL.set(rec).is_ok()
+}
+
+/// The installed process-wide recorder, if any.
+pub fn global() -> Option<&'static Recorder> {
+    GLOBAL.get().map(|a| a.as_ref())
+}
+
+/// Add to a name-keyed aggregate on the global recorder (no-op when absent).
+pub fn agg_count(name: &str, n: u64) {
+    if let Some(rec) = global() {
+        rec.count(name, n);
+    }
+}
+
+/// Time `f` into a name-keyed aggregate on the global recorder.
+///
+/// When no recorder is installed (or it is disabled) `f` runs directly with
+/// zero overhead beyond the `OnceLock` load.
+pub fn agg_time<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    match global() {
+        Some(rec) => rec.time(name, f),
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_nest_and_close() {
+        let rec = Recorder::new();
+        let v = rec.stage("outer", || {
+            rec.stage("inner", || 1) + rec.stage("inner2", || 2)
+        });
+        assert_eq!(v, 3);
+        let r = rec.report();
+        let shape: Vec<(&str, usize)> = r
+            .stages
+            .iter()
+            .map(|s| (s.name.as_str(), s.depth))
+            .collect();
+        assert_eq!(shape, vec![("outer", 0), ("inner", 1), ("inner2", 1)]);
+        assert!(r.stages.iter().all(|s| s.dur_us > 0 || s.name != "outer"));
+    }
+
+    #[test]
+    fn submit_order_does_not_matter() {
+        let order_a = Recorder::new();
+        let order_b = Recorder::new();
+        for (rec, order) in [(&order_a, [0usize, 1, 2]), (&order_b, [2, 0, 1])] {
+            for i in order {
+                let mut log = rec.shard("persona", i, &format!("p{i}"));
+                log.add("flows", (i as u64 + 1) * 10);
+                log.span("work", |_| {});
+                rec.submit(log);
+            }
+        }
+        let (a, b) = (order_a.report(), order_b.report());
+        assert_eq!(a.structure(), b.structure());
+        assert_eq!(a.shards.len(), 3);
+        assert_eq!(a.shards[0].label, "p0");
+        assert_eq!(a.shards[2].counters["flows"], 30);
+    }
+
+    #[test]
+    fn aggregates_sum_across_calls() {
+        let rec = Recorder::new();
+        rec.count("resamples", 256);
+        rec.count("resamples", 44);
+        let v = rec.time("visit", || 5);
+        assert_eq!(v, 5);
+        rec.time("visit", || ());
+        let r = rec.report();
+        assert_eq!(r.aggregates["resamples"].count, 300);
+        assert_eq!(r.aggregates["visit"].calls, 2);
+    }
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.stage("s", || {
+            rec.count("c", 1);
+        });
+        let mut log = rec.shard("g", 0, "l");
+        log.add("c", 1);
+        rec.submit(log);
+        rec.time("t", || ());
+        let r = rec.report();
+        assert!(r.stages.is_empty() && r.shards.is_empty() && r.aggregates.is_empty());
+    }
+
+    #[test]
+    fn global_install_is_first_wins() {
+        // The global is process-wide; this test only checks the flow, not
+        // exclusivity against other tests.
+        let rec = Arc::new(Recorder::new());
+        let first = install_global(rec.clone());
+        let second = install_global(Arc::new(Recorder::new()));
+        assert!(
+            !second || first,
+            "second install cannot succeed after a first"
+        );
+        agg_count("global.counter", 2);
+        agg_time("global.timer", || ());
+        if first {
+            let r = rec.report();
+            assert_eq!(r.aggregates["global.counter"].count, 2);
+            assert_eq!(r.aggregates["global.timer"].calls, 1);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Immutable report snapshots: span-tree rendering and JSON export.
+
+use crate::json::Json;
+use crate::shard::SpanRec;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One top-level pipeline stage span (see [`Recorder::stage`]).
+///
+/// [`Recorder::stage`]: crate::Recorder::stage
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRec {
+    /// Stage name from the fixed taxonomy (see DESIGN.md §9).
+    pub name: String,
+    /// Nesting depth (0 = top level of the pipeline).
+    pub depth: usize,
+    /// Microseconds between recorder creation and stage entry.
+    pub start_us: u64,
+    /// Stage duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A name-keyed aggregate fed by leaf libraries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Aggregate {
+    /// Accumulated units (resamples, permutations, bids, ...).
+    pub count: u64,
+    /// Timed invocations recorded into this aggregate.
+    pub calls: u64,
+    /// Total time across timed invocations, microseconds.
+    pub total_us: u64,
+}
+
+/// The merged record of one finished shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Structural group ("persona", "avs", "artifact").
+    pub group: String,
+    /// Fixed index within the group's work list.
+    pub index: usize,
+    /// Human label (persona name, category label, artifact name).
+    pub label: String,
+    /// Wall time from shard start to submission, microseconds.
+    pub total_us: u64,
+    /// Closed spans in pre-order.
+    pub spans: Vec<SpanRec>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// An immutable snapshot of everything a [`Recorder`] collected.
+///
+/// Shards are sorted by `(group, index)` — the deterministic merge order —
+/// regardless of the order they were submitted in.
+///
+/// [`Recorder`]: crate::Recorder
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Top-level stages in entry order.
+    pub stages: Vec<StageRec>,
+    /// Shard reports sorted by `(group, index)`.
+    pub shards: Vec<ShardReport>,
+    /// Name-keyed aggregates.
+    pub aggregates: BTreeMap<String, Aggregate>,
+}
+
+impl Report {
+    /// The shard reports of one group, in index order.
+    pub fn shards_in(&self, group: &str) -> Vec<&ShardReport> {
+        self.shards.iter().filter(|s| s.group == group).collect()
+    }
+
+    /// The first stage with this name, if recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageRec> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Everything except wall-clock numbers: stage names/depths, shard keys,
+    /// labels, span shapes, and counter values.
+    ///
+    /// Two runs of the same pipeline — at any worker counts — must produce
+    /// equal structures; the tests enforce this.
+    #[allow(clippy::type_complexity)]
+    pub fn structure(
+        &self,
+    ) -> (
+        Vec<(String, usize)>,
+        Vec<(
+            String,
+            usize,
+            String,
+            Vec<(String, usize)>,
+            BTreeMap<String, u64>,
+        )>,
+        Vec<(String, u64)>,
+    ) {
+        (
+            self.stages
+                .iter()
+                .map(|s| (s.name.clone(), s.depth))
+                .collect(),
+            self.shards
+                .iter()
+                .map(|s| {
+                    (
+                        s.group.clone(),
+                        s.index,
+                        s.label.clone(),
+                        s.spans.iter().map(|p| (p.name.clone(), p.depth)).collect(),
+                        s.counters.clone(),
+                    )
+                })
+                .collect(),
+            self.aggregates
+                .iter()
+                .map(|(k, a)| (k.clone(), a.count))
+                .collect(),
+        )
+    }
+
+    /// Human-readable span tree (the `repro --trace` output).
+    ///
+    /// Structure is deterministic; the millisecond figures are this run's
+    /// wall clock.
+    pub fn render_tree(&self) -> String {
+        let ms = |us: u64| us as f64 / 1000.0;
+        let mut out = String::from("── trace (structure deterministic, times wall-clock) ──\n");
+        out.push_str("stages:\n");
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {}{:<28} {:>10.1} ms",
+                "  ".repeat(s.depth),
+                s.name,
+                ms(s.dur_us)
+            );
+        }
+        let mut group = None::<&str>;
+        for sh in &self.shards {
+            if group != Some(sh.group.as_str()) {
+                group = Some(sh.group.as_str());
+                let _ = writeln!(out, "shards [{}]:", sh.group);
+            }
+            let _ = writeln!(
+                out,
+                "  #{:<3} {:<26} {:>10.1} ms",
+                sh.index,
+                sh.label,
+                ms(sh.total_us)
+            );
+            for sp in &sh.spans {
+                let _ = writeln!(
+                    out,
+                    "    {}{:<26} {:>8.1} ms",
+                    "  ".repeat(sp.depth),
+                    sp.name,
+                    ms(sp.dur_us)
+                );
+            }
+            if !sh.counters.is_empty() {
+                let counters: Vec<String> = sh
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let _ = writeln!(out, "      [{}]", counters.join(", "));
+            }
+        }
+        if !self.aggregates.is_empty() {
+            out.push_str("aggregates:\n");
+            for (name, a) in &self.aggregates {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} count={:<10} calls={:<8} {:>10.1} ms",
+                    name,
+                    a.count,
+                    a.calls,
+                    ms(a.total_us)
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON export (the `repro --metrics-out` payload).
+    ///
+    /// Top-level keys: `stages` (per-stage wall time), `shards` (per-shard
+    /// wall time, spans, counters — persona shards carry the flow/bid/
+    /// creative counts), `aggregates`.
+    pub fn to_json(&self) -> Json {
+        let ms = |us: u64| Json::Float(us as f64 / 1000.0);
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("depth".into(), Json::Int(s.depth as u64)),
+                    ("ms".into(), ms(s.dur_us)),
+                ])
+            })
+            .collect();
+        let shards = self
+            .shards
+            .iter()
+            .map(|sh| {
+                let spans = sh
+                    .spans
+                    .iter()
+                    .map(|sp| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(sp.name.clone())),
+                            ("depth".into(), Json::Int(sp.depth as u64)),
+                            ("ms".into(), ms(sp.dur_us)),
+                        ])
+                    })
+                    .collect();
+                let counters = sh
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                    .collect();
+                Json::Obj(vec![
+                    ("group".into(), Json::Str(sh.group.clone())),
+                    ("index".into(), Json::Int(sh.index as u64)),
+                    ("label".into(), Json::Str(sh.label.clone())),
+                    ("ms".into(), ms(sh.total_us)),
+                    ("spans".into(), Json::Arr(spans)),
+                    ("counters".into(), Json::Obj(counters)),
+                ])
+            })
+            .collect();
+        let aggregates = self
+            .aggregates
+            .iter()
+            .map(|(name, a)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Int(a.count)),
+                        ("calls".into(), Json::Int(a.calls)),
+                        ("ms".into(), ms(a.total_us)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("stages".into(), Json::Arr(stages)),
+            ("shards".into(), Json::Arr(shards)),
+            ("aggregates".into(), Json::Obj(aggregates)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample() -> Report {
+        let rec = Recorder::new();
+        rec.stage("marketplace", || {});
+        rec.stage("persona-shards", || {
+            for (i, name) in ["Connected Car", "Vanilla"].iter().enumerate() {
+                let mut log = rec.shard("persona", i, name);
+                log.span("install", |log| log.add("tap.packets", 12));
+                rec.submit(log);
+            }
+        });
+        rec.count("crawler.bids", 7);
+        rec.report()
+    }
+
+    #[test]
+    fn tree_renders_all_sections() {
+        let tree = sample().render_tree();
+        assert!(tree.contains("marketplace"));
+        assert!(tree.contains("shards [persona]"));
+        assert!(tree.contains("Connected Car"));
+        assert!(tree.contains("install"));
+        assert!(tree.contains("tap.packets=12"));
+        assert!(tree.contains("crawler.bids"));
+    }
+
+    #[test]
+    fn json_exports_all_sections() {
+        let j = sample().to_json().render();
+        assert!(j.contains("\"stages\""));
+        assert!(j.contains("\"persona\""));
+        assert!(j.contains("\"Connected Car\""));
+        assert!(j.contains("\"tap.packets\": 12"));
+        assert!(j.contains("\"crawler.bids\""));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let r = sample();
+        assert_eq!(r.shards_in("persona").len(), 2);
+        assert!(r.shards_in("nope").is_empty());
+        assert!(r.stage("marketplace").is_some());
+        assert!(r.stage("nope").is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-shard event logs: spans and counters owned by one unit of work.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One closed span inside a shard log.
+///
+/// Spans are stored in **pre-order** (order of entry), with an explicit
+/// nesting depth — a flat encoding of the span tree that is cheap to record
+/// and trivial to render. All times are monotonic microseconds relative to
+/// the shard's start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span name from the fixed taxonomy (see DESIGN.md §9).
+    pub name: String,
+    /// Nesting depth (0 = top level of the shard).
+    pub depth: usize,
+    /// Microseconds between shard start and span entry.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A single-threaded event log owned by one structural unit of work.
+///
+/// Created by [`Recorder::shard`](crate::Recorder::shard) inside a
+/// `par_map` closure, filled without any locking while the shard runs, and
+/// handed back via [`Recorder::submit`](crate::Recorder::submit) when the
+/// shard finishes. The recorder merges logs by `(group, index)` key, so the
+/// merged order is a pure function of the structural decomposition — never
+/// of which worker ran the shard or when it completed.
+#[derive(Debug)]
+pub struct ShardLog {
+    pub(crate) group: String,
+    pub(crate) index: usize,
+    pub(crate) label: String,
+    pub(crate) origin: Instant,
+    pub(crate) spans: Vec<SpanRec>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    depth: usize,
+    enabled: bool,
+}
+
+impl ShardLog {
+    pub(crate) fn new(group: &str, index: usize, label: &str, enabled: bool) -> ShardLog {
+        ShardLog {
+            group: group.to_string(),
+            index,
+            label: label.to_string(),
+            origin: Instant::now(),
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            depth: 0,
+            enabled,
+        }
+    }
+
+    /// A log that records nothing; every operation is a no-op.
+    ///
+    /// Useful as the explicit "tracing off" value in code paths that always
+    /// thread a log through.
+    pub fn disabled() -> ShardLog {
+        ShardLog::new("", 0, "", false)
+    }
+
+    /// Whether this log records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Run `f` inside a named span, recording its monotonic duration.
+    ///
+    /// Spans nest: a `span` call inside `f` records one level deeper. When
+    /// the log is disabled `f` runs directly with zero bookkeeping.
+    pub fn span<R>(&mut self, name: &str, f: impl FnOnce(&mut ShardLog) -> R) -> R {
+        if !self.enabled {
+            return f(self);
+        }
+        let idx = self.spans.len();
+        let start = Instant::now();
+        self.spans.push(SpanRec {
+            name: name.to_string(),
+            depth: self.depth,
+            start_us: start.duration_since(self.origin).as_micros() as u64,
+            dur_us: 0,
+        });
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        self.spans[idx].dur_us = start.elapsed().as_micros() as u64;
+        out
+    }
+
+    /// Add `n` to a named counter.
+    pub fn add(&mut self, counter: &str, n: u64) {
+        if self.enabled && n > 0 {
+            *self.counters.entry(counter.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_pre_order_with_depths() {
+        let mut log = ShardLog::new("g", 0, "l", true);
+        log.span("outer", |log| {
+            log.span("inner-a", |_| {});
+            log.span("inner-b", |log| {
+                log.span("leaf", |_| {});
+            });
+        });
+        log.span("second", |_| {});
+        let shape: Vec<(&str, usize)> = log
+            .spans
+            .iter()
+            .map(|s| (s.name.as_str(), s.depth))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("outer", 0),
+                ("inner-a", 1),
+                ("inner-b", 1),
+                ("leaf", 2),
+                ("second", 0)
+            ]
+        );
+        // The outer span must cover its children.
+        assert!(log.spans[0].dur_us >= log.spans[1].dur_us + log.spans[3].dur_us);
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let mut log = ShardLog::new("g", 0, "l", true);
+        log.add("flows", 3);
+        log.add("flows", 4);
+        log.add("bids", 1);
+        log.add("zeros", 0);
+        assert_eq!(log.counter("flows"), 7);
+        assert_eq!(log.counter("bids"), 1);
+        assert_eq!(log.counter("zeros"), 0);
+        assert_eq!(log.counter("never"), 0);
+        // Zero adds never materialize a key.
+        assert!(!log.counters.contains_key("zeros"));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = ShardLog::disabled();
+        let v = log.span("outer", |log| {
+            log.add("c", 9);
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(log.spans.is_empty());
+        assert!(log.counters.is_empty());
+        assert!(!log.is_enabled());
+    }
+}

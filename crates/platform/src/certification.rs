@@ -64,7 +64,10 @@ pub fn static_review(skill: &Skill) -> Review {
             permissions: skill.permissions.clone(),
         });
     }
-    Review { skill_id: skill.id.0.clone(), violations }
+    Review {
+        skill_id: skill.id.0.clone(),
+        violations,
+    }
 }
 
 /// Dynamic review: certification informed by observed traffic — what the
@@ -83,14 +86,18 @@ pub fn dynamic_review(skill: &Skill, observed_endpoints: &[alexa_net::Domain]) -
         .map(|d| d.as_str().to_string())
         .collect();
     if !skill.streaming && !at.is_empty() {
-        review.violations.push(Violation::AdPolicyViolation { endpoints: at });
+        review
+            .violations
+            .push(Violation::AdPolicyViolation { endpoints: at });
     }
     if !skill.policy.has_link
         && !observed_endpoints.is_empty()
         && skill.collects_type(alexa_net::DataType::CustomerId)
         && skill.has_non_amazon_backend()
     {
-        review.violations.push(Violation::UndisclosedIdentifierCollection);
+        review
+            .violations
+            .push(Violation::UndisclosedIdentifierCollection);
     }
     review
 }
@@ -155,9 +162,10 @@ mod tests {
         let m = market();
         let garmin = m.by_name("Garmin").unwrap();
         let review = dynamic_review(garmin, &garmin.backends);
-        assert!(
-            !review.violations.iter().any(|v| matches!(v, Violation::AdPolicyViolation { .. }))
-        );
+        assert!(!review
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AdPolicyViolation { .. })));
     }
 
     #[test]
@@ -191,8 +199,9 @@ mod tests {
         // permissions and no link; it has a policy, so both reviews pass
         // unless it requests permissions (policy link present regardless).
         let dynamic = dynamic_review(sonos, &endpoints);
-        assert!(
-            !dynamic.violations.iter().any(|v| matches!(v, Violation::AdPolicyViolation { .. }))
-        );
+        assert!(!dynamic
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AdPolicyViolation { .. })));
     }
 }

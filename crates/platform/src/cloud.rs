@@ -104,7 +104,11 @@ pub struct AlexaCloud {
 impl AlexaCloud {
     /// Create a cloud instance.
     pub fn new() -> AlexaCloud {
-        AlexaCloud { dns: DnsTable::new(), profiler: Profiler::new(), clock_ms: 0 }
+        AlexaCloud {
+            dns: DnsTable::new(),
+            profiler: Profiler::new(),
+            clock_ms: 0,
+        }
     }
 
     /// Current simulation time in milliseconds.
@@ -128,21 +132,26 @@ impl AlexaCloud {
         (d, ip)
     }
 
-    fn push_out(
-        &mut self,
-        packets: &mut Vec<Packet>,
-        name: &str,
-        records: Vec<Record>,
-    ) {
+    fn push_out(&mut self, packets: &mut Vec<Packet>, name: &str, records: Vec<Record>) {
         let (d, ip) = self.endpoint(name);
         self.clock_ms += 3;
-        packets.push(Packet::outgoing(self.clock_ms, d, ip, Payload::Plain(records)));
+        packets.push(Packet::outgoing(
+            self.clock_ms,
+            d,
+            ip,
+            Payload::Plain(records),
+        ));
     }
 
     fn push_in(&mut self, packets: &mut Vec<Packet>, name: &str, bytes: usize) {
         let (d, ip) = self.endpoint(name);
         self.clock_ms += 5;
-        packets.push(Packet::incoming(self.clock_ms, d, ip, Payload::Encrypted { len: bytes }));
+        packets.push(Packet::incoming(
+            self.clock_ms,
+            d,
+            ip,
+            Payload::Encrypted { len: bytes },
+        ));
     }
 
     /// Generate all traffic for one interaction session.
@@ -197,8 +206,8 @@ impl AlexaCloud {
                     self.profiler.record_interaction(account, skill, text);
                 }
                 // Voice upstream: recording + identifiers to an AVS endpoint.
-                let avs_host =
-                    AMAZON_SUBDOMAINS[(fnv(&format!("{sid}:{text}")) % AMAZON_SUBDOMAINS.len() as u64) as usize];
+                let avs_host = AMAZON_SUBDOMAINS
+                    [(fnv(&format!("{sid}:{text}")) % AMAZON_SUBDOMAINS.len() as u64) as usize];
                 let mut records = vec![Record::new(DataType::VoiceRecording, text.clone())];
                 if to_skill && skill.collects_type(DataType::CustomerId) {
                     records.push(Record::new(DataType::CustomerId, customer_id));
@@ -353,7 +362,11 @@ mod tests {
         let mut cloud = AlexaCloud::new();
         let s = skill(
             &["play.podtrac.com"],
-            &[DataType::VoiceRecording, DataType::SkillId, DataType::CustomerId],
+            &[
+                DataType::VoiceRecording,
+                DataType::SkillId,
+                DataType::CustomerId,
+            ],
         );
         let kind = InteractionKind::Utterance("tip please".into());
         let pkts = cloud.session_traffic("acct", "AMZN1", &s, &kind, false);
@@ -374,7 +387,12 @@ mod tests {
         let pkts = cloud.session_traffic("acct", "AMZN1", &s, &kind, true);
         let orgs = alexa_net::OrgMap::new();
         for p in &pkts {
-            assert_eq!(orgs.org_of(&p.remote), Some(AMAZON_ORG), "leaked to {}", p.remote);
+            assert_eq!(
+                orgs.org_of(&p.remote),
+                Some(AMAZON_ORG),
+                "leaked to {}",
+                p.remote
+            );
         }
     }
 
@@ -407,14 +425,22 @@ mod tests {
         let mut cloud = AlexaCloud::new();
         let s = skill(
             &[],
-            &[DataType::Language, DataType::Timezone, DataType::Preference, DataType::SkillId],
+            &[
+                DataType::Language,
+                DataType::Timezone,
+                DataType::Preference,
+                DataType::SkillId,
+            ],
         );
         let pkts = cloud.session_traffic("acct", "AMZN1", &s, &InteractionKind::Install, false);
         let recs = pkts[0].payload.records().unwrap();
         for dt in [DataType::Language, DataType::Timezone, DataType::Preference] {
             assert!(recs.iter().any(|r| r.data_type == dt), "{dt:?} missing");
         }
-        assert_eq!(cloud.profiler.dominant_category("acct"), Some(SkillCategory::FashionStyle));
+        assert_eq!(
+            cloud.profiler.dominant_category("acct"),
+            Some(SkillCategory::FashionStyle)
+        );
     }
 
     #[test]

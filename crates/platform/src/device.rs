@@ -75,7 +75,11 @@ impl DeviceCore {
         }
     }
 
-    fn install(&mut self, cloud: &mut AlexaCloud, skill: &Skill) -> Result<Vec<Packet>, DeviceError> {
+    fn install(
+        &mut self,
+        cloud: &mut AlexaCloud,
+        skill: &Skill,
+    ) -> Result<Vec<Packet>, DeviceError> {
         if skill.fails_to_load {
             return Err(DeviceError::SkillFailedToLoad(skill.id.clone()));
         }
@@ -147,7 +151,9 @@ pub struct EchoDevice {
 impl EchoDevice {
     /// Provision an Echo bound to an Amazon account.
     pub fn new(account: &str, seed: u64) -> EchoDevice {
-        EchoDevice { core: DeviceCore::new(account, seed, false) }
+        EchoDevice {
+            core: DeviceCore::new(account, seed, false),
+        }
     }
 
     /// The bound account name.
@@ -161,7 +167,11 @@ impl EchoDevice {
     }
 
     /// Install (enable) a skill. Returns the traffic of the enablement.
-    pub fn install(&mut self, cloud: &mut AlexaCloud, skill: &Skill) -> Result<Vec<Packet>, DeviceError> {
+    pub fn install(
+        &mut self,
+        cloud: &mut AlexaCloud,
+        skill: &Skill,
+    ) -> Result<Vec<Packet>, DeviceError> {
         self.core.install(cloud, skill)
     }
 
@@ -195,7 +205,9 @@ pub struct AvsEcho {
 impl AvsEcho {
     /// Provision an AVS Echo bound to an Amazon account.
     pub fn new(account: &str, seed: u64) -> AvsEcho {
-        AvsEcho { core: DeviceCore::new(account, seed, true) }
+        AvsEcho {
+            core: DeviceCore::new(account, seed, true),
+        }
     }
 
     /// The bound account name.
@@ -204,7 +216,11 @@ impl AvsEcho {
     }
 
     /// Install (enable) a skill. Streaming skills are rejected.
-    pub fn install(&mut self, cloud: &mut AlexaCloud, skill: &Skill) -> Result<Vec<Packet>, DeviceError> {
+    pub fn install(
+        &mut self,
+        cloud: &mut AlexaCloud,
+        skill: &Skill,
+    ) -> Result<Vec<Packet>, DeviceError> {
         self.core.install(cloud, skill)
     }
 
@@ -258,7 +274,9 @@ mod tests {
         let install = echo.install(&mut cloud, &s).unwrap();
         assert!(!install.is_empty());
         assert!(echo.has_skill(&s.id));
-        let traffic = echo.interact(&mut cloud, &s, "Alexa, open skill y").unwrap();
+        let traffic = echo
+            .interact(&mut cloud, &s, "Alexa, open skill y")
+            .unwrap();
         assert!(traffic.iter().any(|p| p.remote.as_str() == "dillilabs.com"));
     }
 

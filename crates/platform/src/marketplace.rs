@@ -62,211 +62,709 @@ use SkillCategory::*;
 /// Every skill the paper names, with its documented behaviour.
 const PINNED: &[Pin] = &[
     // ----- Connected Car ---------------------------------------------------
-    Pin { name: "Garmin", cat: ConnectedCar, vendor: "Garmin International",
-        backends: &["static.garmincdn.com", "chtbl.com", "traffic.omny.fm",
-                    "dts.podtrac.com", "turnernetworksales.mc.tritondigital.com"],
-        streaming: true, reviews: 2143, policy: Platform { links: false, amazon: Vague } },
-    Pin { name: "My Tesla (Unofficial)", cat: ConnectedCar, vendor: "Apps4Autos",
+    Pin {
+        name: "Garmin",
+        cat: ConnectedCar,
+        vendor: "Garmin International",
+        backends: &[
+            "static.garmincdn.com",
+            "chtbl.com",
+            "traffic.omny.fm",
+            "dts.podtrac.com",
+            "turnernetworksales.mc.tritondigital.com",
+        ],
+        streaming: true,
+        reviews: 2143,
+        policy: Platform {
+            links: false,
+            amazon: Vague,
+        },
+    },
+    Pin {
+        name: "My Tesla (Unofficial)",
+        cat: ConnectedCar,
+        vendor: "Apps4Autos",
         backends: &["chtbl.com", "traffic.megaphone.fm"],
-        streaming: false, reviews: 812, policy: NoPol },
-    Pin { name: "Genesis", cat: ConnectedCar, vendor: "Genesis Motors USA",
+        streaming: false,
+        reviews: 812,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Genesis",
+        cat: ConnectedCar,
+        vendor: "Genesis Motors USA",
         backends: &["play.podtrac.com", "ads.spotify.com"],
-        streaming: false, reviews: 398, policy: Generic },
-    Pin { name: "FordPass", cat: ConnectedCar, vendor: "Ford Motor Company",
-        backends: &[], streaming: false, reviews: 1650, policy: Generic },
-    Pin { name: "Jeep", cat: ConnectedCar, vendor: "FCA US LLC",
-        backends: &[], streaming: false, reviews: 912, policy: Generic },
-    Pin { name: "AAA Road Service", cat: ConnectedCar, vendor: "AAA",
-        backends: &[], streaming: false, reviews: 510, policy: NoPol },
+        streaming: false,
+        reviews: 398,
+        policy: Generic,
+    },
+    Pin {
+        name: "FordPass",
+        cat: ConnectedCar,
+        vendor: "Ford Motor Company",
+        backends: &[],
+        streaming: false,
+        reviews: 1650,
+        policy: Generic,
+    },
+    Pin {
+        name: "Jeep",
+        cat: ConnectedCar,
+        vendor: "FCA US LLC",
+        backends: &[],
+        streaming: false,
+        reviews: 912,
+        policy: Generic,
+    },
+    Pin {
+        name: "AAA Road Service",
+        cat: ConnectedCar,
+        vendor: "AAA",
+        backends: &[],
+        streaming: false,
+        reviews: 510,
+        policy: NoPol,
+    },
     // ----- Dating -----------------------------------------------------------
-    Pin { name: "Dating and Relationship Tips and advices", cat: Dating, vendor: "Aaron Spelling",
-        backends: &["play.podtrac.com", "dcs.megaphone.fm", "traffic.megaphone.fm"],
-        streaming: true, reviews: 96, policy: NoPol },
-    Pin { name: "Love Trouble", cat: Dating, vendor: "Xeline Development",
-        backends: &["dts.podtrac.com", "audio-ads.spotify.com", "dcs.megaphone.fm"],
-        streaming: false, reviews: 61, policy: NoPol },
-    Pin { name: "Angry Girlfriend", cat: Dating, vendor: "GagWorks",
+    Pin {
+        name: "Dating and Relationship Tips and advices",
+        cat: Dating,
+        vendor: "Aaron Spelling",
+        backends: &[
+            "play.podtrac.com",
+            "dcs.megaphone.fm",
+            "traffic.megaphone.fm",
+        ],
+        streaming: true,
+        reviews: 96,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Love Trouble",
+        cat: Dating,
+        vendor: "Xeline Development",
+        backends: &[
+            "dts.podtrac.com",
+            "audio-ads.spotify.com",
+            "dcs.megaphone.fm",
+        ],
+        streaming: false,
+        reviews: 61,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Angry Girlfriend",
+        cat: Dating,
+        vendor: "GagWorks",
         backends: &["discovery.meethue.com"],
-        streaming: false, reviews: 44, policy: NoPol },
-    Pin { name: "Crush Calculator", cat: Dating, vendor: "FunVoice Labs",
+        streaming: false,
+        reviews: 44,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Crush Calculator",
+        cat: Dating,
+        vendor: "FunVoice Labs",
         backends: &["traffic.megaphone.fm"],
-        streaming: true, reviews: 38, policy: NoPol },
-    Pin { name: "Date Night Ideas", cat: Dating, vendor: "FunVoice Labs",
+        streaming: true,
+        reviews: 38,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Date Night Ideas",
+        cat: Dating,
+        vendor: "FunVoice Labs",
         backends: &["dcs.megaphone.fm"],
-        streaming: true, reviews: 29, policy: Generic },
+        streaming: true,
+        reviews: 29,
+        policy: Generic,
+    },
     // ----- Fashion & Style --------------------------------------------------
-    Pin { name: "Makeup of the Day", cat: FashionStyle, vendor: "Xeline Development",
-        backends: &["dcs.megaphone.fm", "traffic.megaphone.fm", "play.podtrac.com",
-                    "chtbl.com", "play.pod.npr.org", "audio-sdk.spotify.com"],
-        streaming: true, reviews: 187, policy: NoPol },
-    Pin { name: "Men's Finest Daily Fashion Tip", cat: FashionStyle, vendor: "Men's Finest",
-        backends: &["play.podtrac.com", "dcs.megaphone.fm", "traffic.megaphone.fm",
-                    "ondemand.pod.npr.org", "analytics.spotify.com"],
-        streaming: false, reviews: 13, policy: NoPol },
-    Pin { name: "Gwynnie Bee", cat: FashionStyle, vendor: "Gwynnie Bee Inc",
+    Pin {
+        name: "Makeup of the Day",
+        cat: FashionStyle,
+        vendor: "Xeline Development",
+        backends: &[
+            "dcs.megaphone.fm",
+            "traffic.megaphone.fm",
+            "play.podtrac.com",
+            "chtbl.com",
+            "play.pod.npr.org",
+            "audio-sdk.spotify.com",
+        ],
+        streaming: true,
+        reviews: 187,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Men's Finest Daily Fashion Tip",
+        cat: FashionStyle,
+        vendor: "Men's Finest",
+        backends: &[
+            "play.podtrac.com",
+            "dcs.megaphone.fm",
+            "traffic.megaphone.fm",
+            "ondemand.pod.npr.org",
+            "analytics.spotify.com",
+        ],
+        streaming: false,
+        reviews: 13,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Gwynnie Bee",
+        cat: FashionStyle,
+        vendor: "Gwynnie Bee Inc",
         backends: &["dts.podtrac.com", "ads.spotify.com", "traffic.megaphone.fm"],
-        streaming: false, reviews: 154, policy: Generic },
-    Pin { name: "Daily Style Report", cat: FashionStyle, vendor: "StyleMedia",
-        backends: &["dcs.megaphone.fm", "img.fashioncdn.net", "tips.fashioncdn.net"],
-        streaming: false, reviews: 77, policy: NoPol },
-    Pin { name: "Outfit Check!", cat: FashionStyle, vendor: "StyleCo",
-        backends: &[], streaming: false, reviews: 208, policy: NoPol },
+        streaming: false,
+        reviews: 154,
+        policy: Generic,
+    },
+    Pin {
+        name: "Daily Style Report",
+        cat: FashionStyle,
+        vendor: "StyleMedia",
+        backends: &[
+            "dcs.megaphone.fm",
+            "img.fashioncdn.net",
+            "tips.fashioncdn.net",
+        ],
+        streaming: false,
+        reviews: 77,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Outfit Check!",
+        cat: FashionStyle,
+        vendor: "StyleCo",
+        backends: &[],
+        streaming: false,
+        reviews: 208,
+        policy: NoPol,
+    },
     // ----- Pets & Animals ---------------------------------------------------
-    Pin { name: "VCA Animal Hospitals", cat: PetsAnimals, vendor: "VCA Animal Hospitals",
-        backends: &["dillilabs.com", "wellness.petmedia.net", "locations.petmedia.net"],
-        streaming: false, reviews: 320, policy: Platform { links: false, amazon: Vague } },
-    Pin { name: "EcoSmart Live", cat: PetsAnimals, vendor: "EcoSmart",
+    Pin {
+        name: "VCA Animal Hospitals",
+        cat: PetsAnimals,
+        vendor: "VCA Animal Hospitals",
+        backends: &[
+            "dillilabs.com",
+            "wellness.petmedia.net",
+            "locations.petmedia.net",
+        ],
+        streaming: false,
+        reviews: 320,
+        policy: Platform {
+            links: false,
+            amazon: Vague,
+        },
+    },
+    Pin {
+        name: "EcoSmart Live",
+        cat: PetsAnimals,
+        vendor: "EcoSmart",
         backends: &["dillilabs.com", "api.ecosmartlive.net"],
-        streaming: false, reviews: 150, policy: NoPol },
-    Pin { name: "Dog Squeaky Toy", cat: PetsAnimals, vendor: "PetApps Co",
+        streaming: false,
+        reviews: 150,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Dog Squeaky Toy",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
         backends: &["dillilabs.com", "sounds.squeakcdn.net"],
-        streaming: false, reviews: 540, policy: Generic },
-    Pin { name: "Relax My Pet", cat: PetsAnimals, vendor: "PetApps Co",
-        backends: &["dillilabs.com"], streaming: false, reviews: 410, policy: Generic },
-    Pin { name: "Dinosaur Sounds", cat: PetsAnimals, vendor: "PetApps Co",
+        streaming: false,
+        reviews: 540,
+        policy: Generic,
+    },
+    Pin {
+        name: "Relax My Pet",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
+        backends: &["dillilabs.com"],
+        streaming: false,
+        reviews: 410,
+        policy: Generic,
+    },
+    Pin {
+        name: "Dinosaur Sounds",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
         backends: &["dillilabs.com", "roar.soundlibrary.net"],
-        streaming: false, reviews: 290, policy: NoPol },
-    Pin { name: "Cat Sounds", cat: PetsAnimals, vendor: "PetApps Co",
-        backends: &["dillilabs.com"], streaming: false, reviews: 233, policy: NoPol },
-    Pin { name: "Hush Puppy", cat: PetsAnimals, vendor: "PetApps Co",
-        backends: &["dillilabs.com"], streaming: false, reviews: 160, policy: NoPol },
-    Pin { name: "Calm My Dog", cat: PetsAnimals, vendor: "PetApps Co",
-        backends: &["dillilabs.com"], streaming: false, reviews: 602, policy: Generic },
-    Pin { name: "Calm My Pet", cat: PetsAnimals, vendor: "PetApps Co",
+        streaming: false,
+        reviews: 290,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Cat Sounds",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
+        backends: &["dillilabs.com"],
+        streaming: false,
+        reviews: 233,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Hush Puppy",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
+        backends: &["dillilabs.com"],
+        streaming: false,
+        reviews: 160,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Calm My Dog",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
+        backends: &["dillilabs.com"],
+        streaming: false,
+        reviews: 602,
+        policy: Generic,
+    },
+    Pin {
+        name: "Calm My Pet",
+        cat: PetsAnimals,
+        vendor: "PetApps Co",
         backends: &["dillilabs.com", "cdn.libsyn.com", "media.libsyn.com"],
-        streaming: true, reviews: 488, policy: Generic },
-    Pin { name: "Al's Dog Training Tips", cat: PetsAnimals, vendor: "Al's Dog Training",
-        backends: &["cdn.libsyn.com", "media.libsyn.com", "traffic.megaphone.fm",
-                    "content.dogtrainingtips.net"],
-        streaming: true, reviews: 122, policy: NoPol },
-    Pin { name: "Relaxing Sounds: Spa Music", cat: PetsAnimals, vendor: "Invoked Apps LLC",
+        streaming: true,
+        reviews: 488,
+        policy: Generic,
+    },
+    Pin {
+        name: "Al's Dog Training Tips",
+        cat: PetsAnimals,
+        vendor: "Al's Dog Training",
+        backends: &[
+            "cdn.libsyn.com",
+            "media.libsyn.com",
+            "traffic.megaphone.fm",
+            "content.dogtrainingtips.net",
+        ],
+        streaming: true,
+        reviews: 122,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Relaxing Sounds: Spa Music",
+        cat: PetsAnimals,
+        vendor: "Invoked Apps LLC",
         backends: &["1432239411.rsc.cdn77.org", "spa-audio.cdnstream.net"],
-        streaming: true, reviews: 1900, policy: Generic },
-    Pin { name: "Comfort My Dog", cat: PetsAnimals, vendor: "Invoked Apps LLC",
+        streaming: true,
+        reviews: 1900,
+        policy: Generic,
+    },
+    Pin {
+        name: "Comfort My Dog",
+        cat: PetsAnimals,
+        vendor: "Invoked Apps LLC",
         backends: &["1432239411.rsc.cdn77.org", "calm.petwave.net"],
-        streaming: true, reviews: 415, policy: Generic },
-    Pin { name: "Calm My Cat", cat: PetsAnimals, vendor: "Invoked Apps LLC",
+        streaming: true,
+        reviews: 415,
+        policy: Generic,
+    },
+    Pin {
+        name: "Calm My Cat",
+        cat: PetsAnimals,
+        vendor: "Invoked Apps LLC",
         backends: &["1432239411.rsc.cdn77.org", "purr.petwave.net"],
-        streaming: true, reviews: 260, policy: Generic },
-    Pin { name: "My Dog", cat: PetsAnimals, vendor: "PetVoice",
-        backends: &[], streaming: false, reviews: 190, policy: NoPol },
-    Pin { name: "My Cat", cat: PetsAnimals, vendor: "PetVoice",
-        backends: &[], streaming: false, reviews: 165, policy: NoPol },
-    Pin { name: "Pet Buddy", cat: PetsAnimals, vendor: "PetVoice",
-        backends: &[], streaming: false, reviews: 105, policy: NoPol },
+        streaming: true,
+        reviews: 260,
+        policy: Generic,
+    },
+    Pin {
+        name: "My Dog",
+        cat: PetsAnimals,
+        vendor: "PetVoice",
+        backends: &[],
+        streaming: false,
+        reviews: 190,
+        policy: NoPol,
+    },
+    Pin {
+        name: "My Cat",
+        cat: PetsAnimals,
+        vendor: "PetVoice",
+        backends: &[],
+        streaming: false,
+        reviews: 165,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Pet Buddy",
+        cat: PetsAnimals,
+        vendor: "PetVoice",
+        backends: &[],
+        streaming: false,
+        reviews: 105,
+        policy: NoPol,
+    },
     // ----- Religion & Spirituality -------------------------------------------
-    Pin { name: "Charles Stanley Radio", cat: ReligionSpirituality, vendor: "In Touch Ministries",
-        backends: &["primary.streamtheworld.com", "backup.streamtheworld.com",
-                    "cdn2.voiceapps.com"],
-        streaming: true, reviews: 231, policy: Platform { links: false, amazon: Vague } },
-    Pin { name: "Gospel Radio Live", cat: ReligionSpirituality, vendor: "FaithStream",
+    Pin {
+        name: "Charles Stanley Radio",
+        cat: ReligionSpirituality,
+        vendor: "In Touch Ministries",
+        backends: &[
+            "primary.streamtheworld.com",
+            "backup.streamtheworld.com",
+            "cdn2.voiceapps.com",
+        ],
+        streaming: true,
+        reviews: 231,
+        policy: Platform {
+            links: false,
+            amazon: Vague,
+        },
+    },
+    Pin {
+        name: "Gospel Radio Live",
+        cat: ReligionSpirituality,
+        vendor: "FaithStream",
         backends: &["live.streamtheworld.com", "primary.streamtheworld.com"],
-        streaming: true, reviews: 98, policy: NoPol },
-    Pin { name: "Morning Praise Radio", cat: ReligionSpirituality, vendor: "FaithStream",
+        streaming: true,
+        reviews: 98,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Morning Praise Radio",
+        cat: ReligionSpirituality,
+        vendor: "FaithStream",
         backends: &["backup.streamtheworld.com"],
-        streaming: true, reviews: 54, policy: NoPol },
-    Pin { name: "YouVersion Bible", cat: ReligionSpirituality, vendor: "Life Covenant Church, Inc.",
+        streaming: true,
+        reviews: 54,
+        policy: NoPol,
+    },
+    Pin {
+        name: "YouVersion Bible",
+        cat: ReligionSpirituality,
+        vendor: "Life Covenant Church, Inc.",
         backends: &["api.youversionapi.com", "cdn.youversionapi.com"],
-        streaming: false, reviews: 3120, policy: Platform { links: true, amazon: Clear } },
-    Pin { name: "Lords Prayer", cat: ReligionSpirituality, vendor: "Life Covenant Church, Inc.",
+        streaming: false,
+        reviews: 3120,
+        policy: Platform {
+            links: true,
+            amazon: Clear,
+        },
+    },
+    Pin {
+        name: "Lords Prayer",
+        cat: ReligionSpirituality,
+        vendor: "Life Covenant Church, Inc.",
         backends: &["api.youversionapi.com"],
-        streaming: false, reviews: 220, policy: Generic },
-    Pin { name: "Say a Prayer", cat: ReligionSpirituality, vendor: "DailyGrace",
+        streaming: false,
+        reviews: 220,
+        policy: Generic,
+    },
+    Pin {
+        name: "Say a Prayer",
+        cat: ReligionSpirituality,
+        vendor: "DailyGrace",
         backends: &["discovery.meethue.com"],
-        streaming: false, reviews: 330, policy: NoPol },
-    Pin { name: "Prayer Time", cat: ReligionSpirituality, vendor: "Daily Devotion Co",
+        streaming: false,
+        reviews: 330,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Prayer Time",
+        cat: ReligionSpirituality,
+        vendor: "Daily Devotion Co",
         backends: &["cdn2.voiceapps.com", "api.prayertimes.org"],
-        streaming: false, reviews: 480, policy: Generic },
-    Pin { name: "Morning Bible Inspiration", cat: ReligionSpirituality, vendor: "Daily Devotion Co",
+        streaming: false,
+        reviews: 480,
+        policy: Generic,
+    },
+    Pin {
+        name: "Morning Bible Inspiration",
+        cat: ReligionSpirituality,
+        vendor: "Daily Devotion Co",
         backends: &["cdn2.voiceapps.com", "verses.scripturecdn.net"],
-        streaming: false, reviews: 240, policy: NoPol },
-    Pin { name: "Holy Rosary", cat: ReligionSpirituality, vendor: "Daily Devotion Co",
+        streaming: false,
+        reviews: 240,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Holy Rosary",
+        cat: ReligionSpirituality,
+        vendor: "Daily Devotion Co",
         backends: &["cdn2.voiceapps.com", "audio.rosarycdn.net"],
-        streaming: false, reviews: 410, policy: Generic },
-    Pin { name: "meal prayer", cat: ReligionSpirituality, vendor: "Daily Devotion Co",
+        streaming: false,
+        reviews: 410,
+        policy: Generic,
+    },
+    Pin {
+        name: "meal prayer",
+        cat: ReligionSpirituality,
+        vendor: "Daily Devotion Co",
         backends: &["cdn2.voiceapps.com", "content.graceprayers.net"],
-        streaming: false, reviews: 130, policy: NoPol },
-    Pin { name: "Halloween Sounds", cat: ReligionSpirituality, vendor: "Daily Devotion Co",
+        streaming: false,
+        reviews: 130,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Halloween Sounds",
+        cat: ReligionSpirituality,
+        vendor: "Daily Devotion Co",
         backends: &["cdn2.voiceapps.com", "spooky.soundlibrary.net"],
-        streaming: false, reviews: 85, policy: NoPol },
-    Pin { name: "Bible Trivia", cat: ReligionSpirituality, vendor: "Daily Devotion Co",
+        streaming: false,
+        reviews: 85,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Bible Trivia",
+        cat: ReligionSpirituality,
+        vendor: "Daily Devotion Co",
         backends: &["cdn2.voiceapps.com", "questions.bibletrivia.net"],
-        streaming: false, reviews: 505, policy: Generic },
-    Pin { name: "Single Decade Short Rosary", cat: ReligionSpirituality, vendor: "DailyGrace",
-        backends: &[], streaming: false, reviews: 66, policy: NoPol },
-    Pin { name: "Islamic Prayer Times", cat: ReligionSpirituality, vendor: "Ummah Apps",
-        backends: &[], streaming: false, reviews: 301, policy: NoPol },
-    Pin { name: "Salah Time", cat: ReligionSpirituality, vendor: "Ummah Apps",
-        backends: &[], streaming: false, reviews: 147, policy: NoPol },
-    Pin { name: "Rain Storm by Healing FM", cat: ReligionSpirituality, vendor: "Healing FM",
-        backends: &[], streaming: true, reviews: 710, policy: NoPol },
+        streaming: false,
+        reviews: 505,
+        policy: Generic,
+    },
+    Pin {
+        name: "Single Decade Short Rosary",
+        cat: ReligionSpirituality,
+        vendor: "DailyGrace",
+        backends: &[],
+        streaming: false,
+        reviews: 66,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Islamic Prayer Times",
+        cat: ReligionSpirituality,
+        vendor: "Ummah Apps",
+        backends: &[],
+        streaming: false,
+        reviews: 301,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Salah Time",
+        cat: ReligionSpirituality,
+        vendor: "Ummah Apps",
+        backends: &[],
+        streaming: false,
+        reviews: 147,
+        policy: NoPol,
+    },
+    Pin {
+        name: "Rain Storm by Healing FM",
+        cat: ReligionSpirituality,
+        vendor: "Healing FM",
+        backends: &[],
+        streaming: true,
+        reviews: 710,
+        policy: NoPol,
+    },
     // ----- Smart Home ---------------------------------------------------------
-    Pin { name: "Sonos", cat: SmartHome, vendor: "Sonos Inc",
-        backends: &[], streaming: false, reviews: 2900,
-        policy: Platform { links: true, amazon: Clear } },
-    Pin { name: "Dyson", cat: SmartHome, vendor: "Dyson Limited",
-        backends: &[], streaming: false, reviews: 860, policy: Generic },
-    Pin { name: "Harmony", cat: SmartHome, vendor: "Logitech",
-        backends: &[], streaming: false, reviews: 4100,
-        policy: Platform { links: false, amazon: Vague } },
-    Pin { name: "Hue", cat: SmartHome, vendor: "Philips International B.V.",
-        backends: &[], streaming: false, reviews: 3300, policy: Generic },
-    Pin { name: "SimpliSafe", cat: SmartHome, vendor: "SimpliSafe",
-        backends: &[], streaming: false, reviews: 690, policy: Generic },
-    Pin { name: "SmartThings", cat: SmartHome, vendor: "Samsung",
-        backends: &[], streaming: false, reviews: 2200, policy: Generic },
-    Pin { name: "LG ThinQ", cat: SmartHome, vendor: "LG",
-        backends: &[], streaming: false, reviews: 540, policy: Generic },
-    Pin { name: "Xbox", cat: SmartHome, vendor: "Microsoft",
-        backends: &[], streaming: false, reviews: 1700, policy: Generic },
-    Pin { name: "iRobot Home", cat: SmartHome, vendor: "iRobot",
-        backends: &[], streaming: false, reviews: 980, policy: Generic },
+    Pin {
+        name: "Sonos",
+        cat: SmartHome,
+        vendor: "Sonos Inc",
+        backends: &[],
+        streaming: false,
+        reviews: 2900,
+        policy: Platform {
+            links: true,
+            amazon: Clear,
+        },
+    },
+    Pin {
+        name: "Dyson",
+        cat: SmartHome,
+        vendor: "Dyson Limited",
+        backends: &[],
+        streaming: false,
+        reviews: 860,
+        policy: Generic,
+    },
+    Pin {
+        name: "Harmony",
+        cat: SmartHome,
+        vendor: "Logitech",
+        backends: &[],
+        streaming: false,
+        reviews: 4100,
+        policy: Platform {
+            links: false,
+            amazon: Vague,
+        },
+    },
+    Pin {
+        name: "Hue",
+        cat: SmartHome,
+        vendor: "Philips International B.V.",
+        backends: &[],
+        streaming: false,
+        reviews: 3300,
+        policy: Generic,
+    },
+    Pin {
+        name: "SimpliSafe",
+        cat: SmartHome,
+        vendor: "SimpliSafe",
+        backends: &[],
+        streaming: false,
+        reviews: 690,
+        policy: Generic,
+    },
+    Pin {
+        name: "SmartThings",
+        cat: SmartHome,
+        vendor: "Samsung",
+        backends: &[],
+        streaming: false,
+        reviews: 2200,
+        policy: Generic,
+    },
+    Pin {
+        name: "LG ThinQ",
+        cat: SmartHome,
+        vendor: "LG",
+        backends: &[],
+        streaming: false,
+        reviews: 540,
+        policy: Generic,
+    },
+    Pin {
+        name: "Xbox",
+        cat: SmartHome,
+        vendor: "Microsoft",
+        backends: &[],
+        streaming: false,
+        reviews: 1700,
+        policy: Generic,
+    },
+    Pin {
+        name: "iRobot Home",
+        cat: SmartHome,
+        vendor: "iRobot",
+        backends: &[],
+        streaming: false,
+        reviews: 980,
+        policy: Generic,
+    },
     // ----- Health & Fitness ---------------------------------------------------
-    Pin { name: "Air Quality Report", cat: HealthFitness, vendor: "ICM",
+    Pin {
+        name: "Air Quality Report",
+        cat: HealthFitness,
+        vendor: "ICM",
         backends: &["data.airquality.net"],
-        streaming: false, reviews: 410, policy: Broken },
-    Pin { name: "Essential Oil Benefits", cat: HealthFitness, vendor: "ttm",
-        backends: &[], streaming: false, reviews: 175, policy: NoPol },
+        streaming: false,
+        reviews: 410,
+        policy: Broken,
+    },
+    Pin {
+        name: "Essential Oil Benefits",
+        cat: HealthFitness,
+        vendor: "ttm",
+        backends: &[],
+        streaming: false,
+        reviews: 175,
+        policy: NoPol,
+    },
 ];
 
 /// Thematic noun pools for synthetic skill names, per category.
 fn name_pool(cat: SkillCategory) -> (&'static [&'static str], &'static [&'static str]) {
     match cat {
         ConnectedCar => (
-            &["Road", "Drive", "Garage", "Fuel", "Traffic", "Auto", "Motor", "Highway"],
-            &["Assistant", "Companion", "Tracker", "Alerts", "Facts", "Check", "Buddy", "Report"],
+            &[
+                "Road", "Drive", "Garage", "Fuel", "Traffic", "Auto", "Motor", "Highway",
+            ],
+            &[
+                "Assistant",
+                "Companion",
+                "Tracker",
+                "Alerts",
+                "Facts",
+                "Check",
+                "Buddy",
+                "Report",
+            ],
         ),
         Dating => (
-            &["Romance", "Crush", "Flirt", "Heart", "Match", "Love", "Charm", "Spark"],
-            &["Advice", "Quiz", "Lines", "Coach", "Tips", "Stories", "Helper", "Facts"],
+            &[
+                "Romance", "Crush", "Flirt", "Heart", "Match", "Love", "Charm", "Spark",
+            ],
+            &[
+                "Advice", "Quiz", "Lines", "Coach", "Tips", "Stories", "Helper", "Facts",
+            ],
         ),
         FashionStyle => (
-            &["Style", "Trend", "Chic", "Wardrobe", "Glam", "Runway", "Couture", "Vogue"],
-            &["Tips", "Daily", "Advisor", "Check", "Guide", "Facts", "Coach", "Quiz"],
+            &[
+                "Style", "Trend", "Chic", "Wardrobe", "Glam", "Runway", "Couture", "Vogue",
+            ],
+            &[
+                "Tips", "Daily", "Advisor", "Check", "Guide", "Facts", "Coach", "Quiz",
+            ],
         ),
         PetsAnimals => (
-            &["Puppy", "Kitten", "Bird", "Animal", "Wildlife", "Horse", "Fish", "Hamster"],
-            &["Sounds", "Facts", "Trivia", "Care", "Stories", "Friend", "Guide", "Quiz"],
+            &[
+                "Puppy", "Kitten", "Bird", "Animal", "Wildlife", "Horse", "Fish", "Hamster",
+            ],
+            &[
+                "Sounds", "Facts", "Trivia", "Care", "Stories", "Friend", "Guide", "Quiz",
+            ],
         ),
         ReligionSpirituality => (
-            &["Daily", "Peaceful", "Sacred", "Blessed", "Gospel", "Spirit", "Faith", "Grace"],
-            &["Verse", "Devotion", "Meditation", "Hymns", "Psalms", "Reflection", "Wisdom", "Prayers"],
+            &[
+                "Daily", "Peaceful", "Sacred", "Blessed", "Gospel", "Spirit", "Faith", "Grace",
+            ],
+            &[
+                "Verse",
+                "Devotion",
+                "Meditation",
+                "Hymns",
+                "Psalms",
+                "Reflection",
+                "Wisdom",
+                "Prayers",
+            ],
         ),
         SmartHome => (
-            &["Home", "Light", "Thermostat", "Garage", "Plug", "Sensor", "Camera", "Blind"],
-            &["Control", "Manager", "Helper", "Hub", "Scenes", "Routines", "Switch", "Monitor"],
+            &[
+                "Home",
+                "Light",
+                "Thermostat",
+                "Garage",
+                "Plug",
+                "Sensor",
+                "Camera",
+                "Blind",
+            ],
+            &[
+                "Control", "Manager", "Helper", "Hub", "Scenes", "Routines", "Switch", "Monitor",
+            ],
         ),
         WineBeverages => (
-            &["Wine", "Vineyard", "Cellar", "Brew", "Cocktail", "Coffee", "Tea", "Whiskey"],
-            &["Pairing", "Facts", "Guide", "Journal", "Finder", "Tips", "Trivia", "Notes"],
+            &[
+                "Wine", "Vineyard", "Cellar", "Brew", "Cocktail", "Coffee", "Tea", "Whiskey",
+            ],
+            &[
+                "Pairing", "Facts", "Guide", "Journal", "Finder", "Tips", "Trivia", "Notes",
+            ],
         ),
         HealthFitness => (
-            &["Workout", "Fitness", "Wellness", "Sleep", "Yoga", "Cardio", "Mindful", "Nutrition"],
-            &["Coach", "Timer", "Tracker", "Tips", "Guide", "Routine", "Facts", "Helper"],
+            &[
+                "Workout",
+                "Fitness",
+                "Wellness",
+                "Sleep",
+                "Yoga",
+                "Cardio",
+                "Mindful",
+                "Nutrition",
+            ],
+            &[
+                "Coach", "Timer", "Tracker", "Tips", "Guide", "Routine", "Facts", "Helper",
+            ],
         ),
         NavigationTripPlanners => (
-            &["Trip", "Route", "Commute", "Transit", "Flight", "Journey", "City", "Travel"],
-            &["Planner", "Tracker", "Guide", "Times", "Alerts", "Finder", "Helper", "Facts"],
+            &[
+                "Trip", "Route", "Commute", "Transit", "Flight", "Journey", "City", "Travel",
+            ],
+            &[
+                "Planner", "Tracker", "Guide", "Times", "Alerts", "Finder", "Helper", "Facts",
+            ],
         ),
     }
 }
@@ -275,14 +773,34 @@ fn name_pool(cat: SkillCategory) -> (&'static [&'static str], &'static [&'static
 fn utterance_pool(cat: SkillCategory) -> &'static [&'static str] {
     match cat {
         ConnectedCar => &["where is my car", "lock the doors", "what is my fuel level"],
-        Dating => &["give me a dating tip", "tell me a pickup line", "rate my date idea"],
-        FashionStyle => &["what should i wear today", "give me a fashion tip", "what is trending"],
+        Dating => &[
+            "give me a dating tip",
+            "tell me a pickup line",
+            "rate my date idea",
+        ],
+        FashionStyle => &[
+            "what should i wear today",
+            "give me a fashion tip",
+            "what is trending",
+        ],
         PetsAnimals => &["play dog sounds", "tell me an animal fact", "calm my pet"],
         ReligionSpirituality => &["read the verse of the day", "say a prayer", "play a hymn"],
-        SmartHome => &["turn on the lights", "set the thermostat", "is the door locked"],
-        WineBeverages => &["pair a wine with dinner", "tell me a wine fact", "how do i brew coffee"],
+        SmartHome => &[
+            "turn on the lights",
+            "set the thermostat",
+            "is the door locked",
+        ],
+        WineBeverages => &[
+            "pair a wine with dinner",
+            "tell me a wine fact",
+            "how do i brew coffee",
+        ],
         HealthFitness => &["start a workout", "give me a health tip", "track my steps"],
-        NavigationTripPlanners => &["plan my commute", "when is the next bus", "find a route home"],
+        NavigationTripPlanners => &[
+            "plan my commute",
+            "when is the next bus",
+            "find a route home",
+        ],
     }
 }
 
@@ -383,7 +901,10 @@ impl Marketplace {
         assign_policies(&mut skills, &mut rng);
 
         let music_skills = music_catalog();
-        Marketplace { skills, music_skills }
+        Marketplace {
+            skills,
+            music_skills,
+        }
     }
 
     /// All 450 catalog skills.
@@ -455,14 +976,21 @@ fn slugify(name: &str, cat: SkillCategory) -> String {
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
         .collect();
-    let squeezed = base.split('-').filter(|p| !p.is_empty()).collect::<Vec<_>>().join("-");
+    let squeezed = base
+        .split('-')
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join("-");
     format!("{}-{}", cat.slug(), squeezed)
 }
 
 fn skill_from_pin(pin: &Pin) -> Skill {
     let policy = match pin.policy {
         PinPolicy::None => PolicySpec::none(),
-        PinPolicy::Broken => PolicySpec { has_link: true, ..PolicySpec::none() },
+        PinPolicy::Broken => PolicySpec {
+            has_link: true,
+            ..PolicySpec::none()
+        },
         PinPolicy::Generic => PolicySpec {
             has_link: true,
             retrievable: true,
@@ -476,7 +1004,8 @@ fn skill_from_pin(pin: &Pin) -> Skill {
                 links_platform_policy: links,
                 ..PolicySpec::none()
             };
-            spec.endpoint_disclosures.insert(crate::cloud::AMAZON_ORG.to_string(), amazon);
+            spec.endpoint_disclosures
+                .insert(crate::cloud::AMAZON_ORG.to_string(), amazon);
             spec
         }
     };
@@ -486,7 +1015,10 @@ fn skill_from_pin(pin: &Pin) -> Skill {
         vendor: pin.vendor.to_string(),
         category: pin.cat,
         invocation: pin.name.to_ascii_lowercase(),
-        sample_utterances: utterance_pool(pin.cat).iter().map(|s| s.to_string()).collect(),
+        sample_utterances: utterance_pool(pin.cat)
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         reviews: pin.reviews,
         streaming: pin.streaming,
         fails_to_load: false,
@@ -546,7 +1078,9 @@ fn assign_data_collection(skills: &mut [Skill], rng: &mut StdRng) {
         // parties). Put them first so shuffling can't exclude them.
         pool.sort_by_key(|&i| usize::from(skills[i].backends.is_empty()));
         let keep_first = if matches!(dt, DataType::SkillId | DataType::CustomerId) {
-            pool.iter().take_while(|&&i| !skills[i].backends.is_empty()).count()
+            pool.iter()
+                .take_while(|&&i| !skills[i].backends.is_empty())
+                .count()
         } else {
             0
         };
@@ -569,7 +1103,10 @@ fn assign_policies(skills: &mut [Skill], rng: &mut StdRng) {
     let have_link = skills.iter().filter(|s| s.policy.has_link).count();
     let have_doc = skills.iter().filter(|s| s.policy.has_document()).count();
     let have_mention = skills.iter().filter(|s| s.policy.mentions_platform).count();
-    let have_plat_link = skills.iter().filter(|s| s.policy.links_platform_policy).count();
+    let have_plat_link = skills
+        .iter()
+        .filter(|s| s.policy.links_platform_policy)
+        .count();
 
     let mut synth: Vec<usize> = skills
         .iter()
@@ -713,7 +1250,10 @@ fn assign_endpoint_disclosures(skills: &mut [Skill], rng: &mut StdRng) {
         } else {
             DisclosureLevel::Omitted
         };
-        skills[i].policy.endpoint_disclosures.insert(AMAZON_ORG.to_string(), level);
+        skills[i]
+            .policy
+            .endpoint_disclosures
+            .insert(AMAZON_ORG.to_string(), level);
     }
 
     // First-party disclosures: Garmin and the YouVersion skills clearly name
@@ -721,7 +1261,9 @@ fn assign_endpoint_disclosures(skills: &mut [Skill], rng: &mut StdRng) {
     for name in ["Garmin", "YouVersion Bible"] {
         if let Some(s) = skills.iter_mut().find(|s| s.name == name) {
             let vendor = s.vendor.clone();
-            s.policy.endpoint_disclosures.insert(vendor, DisclosureLevel::Clear);
+            s.policy
+                .endpoint_disclosures
+                .insert(vendor, DisclosureLevel::Clear);
         }
     }
 
@@ -736,14 +1278,21 @@ fn assign_endpoint_disclosures(skills: &mut [Skill], rng: &mut StdRng) {
             .iter()
             .filter_map(|b| third_party_org(b, &skill.vendor))
             .collect();
-        let vague_all = matches!(skill.name.as_str(), "Charles Stanley Radio" | "VCA Animal Hospitals");
+        let vague_all = matches!(
+            skill.name.as_str(),
+            "Charles Stanley Radio" | "VCA Animal Hospitals"
+        );
         for org in orgs {
             let level = if vague_all {
                 DisclosureLevel::Vague
             } else {
                 DisclosureLevel::Omitted
             };
-            skill.policy.endpoint_disclosures.entry(org).or_insert(level);
+            skill
+                .policy
+                .endpoint_disclosures
+                .entry(org)
+                .or_insert(level);
         }
     }
     let _ = rng;
@@ -752,10 +1301,12 @@ fn assign_endpoint_disclosures(skills: &mut [Skill], rng: &mut StdRng) {
 /// Resolve a backend's organization unless it belongs to the skill's vendor.
 fn third_party_org(backend: &Domain, vendor: &str) -> Option<String> {
     let orgs = OrgMap::new();
-    let org = orgs
-        .org_of(backend)
-        .map(str::to_string)
-        .unwrap_or_else(|| backend.registrable().map(|d| d.as_str().to_string()).unwrap_or_default());
+    let org = orgs.org_of(backend).map(str::to_string).unwrap_or_else(|| {
+        backend
+            .registrable()
+            .map(|d| d.as_str().to_string())
+            .unwrap_or_default()
+    });
     if org == vendor {
         None
     } else {
@@ -778,7 +1329,11 @@ fn music_catalog() -> Vec<Skill> {
         requires_account_linking: false,
         permissions: vec![],
         backends: vec![],
-        collects: vec![DataType::VoiceRecording, DataType::AudioPlayerEvent, DataType::CustomerId],
+        collects: vec![
+            DataType::VoiceRecording,
+            DataType::AudioPlayerEvent,
+            DataType::CustomerId,
+        ],
         policy: PolicySpec {
             has_link: true,
             retrievable: true,
@@ -788,7 +1343,11 @@ fn music_catalog() -> Vec<Skill> {
         },
     };
     vec![
-        mk("Amazon Music", "Amazon Technologies, Inc.", "music-amazon-music"),
+        mk(
+            "Amazon Music",
+            "Amazon Technologies, Inc.",
+            "music-amazon-music",
+        ),
         mk("Spotify", "Spotify AB", "music-spotify"),
         mk("Pandora", "Pandora Media, LLC", "music-pandora"),
     ]
@@ -830,10 +1389,18 @@ mod tests {
     fn different_seeds_differ() {
         let a = Marketplace::generate(1);
         let b = Marketplace::generate(2);
-        let fails_a: Vec<&str> =
-            a.all().iter().filter(|s| s.fails_to_load).map(|s| s.name.as_str()).collect();
-        let fails_b: Vec<&str> =
-            b.all().iter().filter(|s| s.fails_to_load).map(|s| s.name.as_str()).collect();
+        let fails_a: Vec<&str> = a
+            .all()
+            .iter()
+            .filter(|s| s.fails_to_load)
+            .map(|s| s.name.as_str())
+            .collect();
+        let fails_b: Vec<&str> = b
+            .all()
+            .iter()
+            .filter(|s| s.fails_to_load)
+            .map(|s| s.name.as_str())
+            .collect();
         assert_ne!(fails_a, fails_b);
     }
 
@@ -842,7 +1409,11 @@ mod tests {
         let m = market();
         assert_eq!(m.all().iter().filter(|s| s.fails_to_load).count(), 4);
         // Pinned skills never fail.
-        assert!(m.all().iter().filter(|s| s.fails_to_load).all(|s| s.backends.is_empty()));
+        assert!(m
+            .all()
+            .iter()
+            .filter(|s| s.fails_to_load)
+            .all(|s| s.backends.is_empty()));
     }
 
     #[test]
@@ -862,8 +1433,16 @@ mod tests {
         let m = market();
         let links = m.all().iter().filter(|s| s.policy.has_link).count();
         let docs = m.all().iter().filter(|s| s.policy.has_document()).count();
-        let mentions = m.all().iter().filter(|s| s.policy.mentions_platform).count();
-        let plat_links = m.all().iter().filter(|s| s.policy.links_platform_policy).count();
+        let mentions = m
+            .all()
+            .iter()
+            .filter(|s| s.policy.mentions_platform)
+            .count();
+        let plat_links = m
+            .all()
+            .iter()
+            .filter(|s| s.policy.links_platform_policy)
+            .count();
         assert_eq!(links, 214);
         assert_eq!(docs, 188);
         assert_eq!(mentions, 59);
@@ -889,7 +1468,10 @@ mod tests {
             .map(|s| s.name.as_str())
             .collect();
         vendor_skills.sort();
-        assert_eq!(vendor_skills, vec!["Garmin", "Lords Prayer", "YouVersion Bible"]);
+        assert_eq!(
+            vendor_skills,
+            vec!["Garmin", "Lords Prayer", "YouVersion Bible"]
+        );
     }
 
     #[test]
@@ -938,7 +1520,10 @@ mod tests {
         let m = market();
         for cat in [SmartHome, WineBeverages, NavigationTripPlanners] {
             assert!(
-                m.all().iter().filter(|s| s.category == cat).all(|s| s.backends.is_empty()),
+                m.all()
+                    .iter()
+                    .filter(|s| s.category == cat)
+                    .all(|s| s.backends.is_empty()),
                 "{cat}"
             );
         }
@@ -950,7 +1535,9 @@ mod tests {
         let orgs = OrgMap::new();
         for s in m.all().iter().filter(|s| {
             s.backends.iter().any(|b| {
-                orgs.org_of(b).map(|o| o != s.vendor && o != crate::cloud::AMAZON_ORG).unwrap_or(true)
+                orgs.org_of(b)
+                    .map(|o| o != s.vendor && o != crate::cloud::AMAZON_ORG)
+                    .unwrap_or(true)
             })
         }) {
             assert!(

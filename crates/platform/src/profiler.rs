@@ -116,7 +116,10 @@ impl Profiler {
             .or_default()
             .entry(skill.category)
             .or_insert(0) += 1;
-        self.history.entry(account.to_string()).or_default().push(transcript.to_string());
+        self.history
+            .entry(account.to_string())
+            .or_default()
+            .push(transcript.to_string());
     }
 
     /// The account's dominant skill category, if any.
@@ -141,7 +144,10 @@ impl Profiler {
 
     /// Whether the account has interacted with skills at all.
     pub fn has_interacted(&self, account: &str) -> bool {
-        self.interactions.get(account).map(|m| !m.is_empty()).unwrap_or(false)
+        self.interactions
+            .get(account)
+            .map(|m| !m.is_empty())
+            .unwrap_or(false)
     }
 
     /// Produce the DSAR export for an account at a given phase, reproducing
@@ -248,7 +254,10 @@ mod tests {
     fn install_only_infers_for_health() {
         let mut p = Profiler::new();
         for i in 0..50 {
-            p.record_install("acct", &skill_in(SkillCategory::HealthFitness, &format!("s{i}")));
+            p.record_install(
+                "acct",
+                &skill_in(SkillCategory::HealthFitness, &format!("s{i}")),
+            );
         }
         let e = p.dsar_export("acct", DsarPhase::AfterInstall);
         assert_eq!(
@@ -258,9 +267,16 @@ mod tests {
         // Fashion install-only: file present but empty.
         let mut q = Profiler::new();
         for i in 0..50 {
-            q.record_install("b", &skill_in(SkillCategory::FashionStyle, &format!("s{i}")));
+            q.record_install(
+                "b",
+                &skill_in(SkillCategory::FashionStyle, &format!("s{i}")),
+            );
         }
-        assert_eq!(q.dsar_export("b", DsarPhase::AfterInstall).advertising_interests, Some(vec![]));
+        assert_eq!(
+            q.dsar_export("b", DsarPhase::AfterInstall)
+                .advertising_interests,
+            Some(vec![])
+        );
     }
 
     #[test]
@@ -269,13 +285,21 @@ mod tests {
         let e = p.dsar_export("acct", DsarPhase::AfterInteraction1);
         assert_eq!(
             e.advertising_interests.unwrap(),
-            vec![Interest::BeautyPersonalCare, Interest::Fashion, Interest::VideoEntertainment]
+            vec![
+                Interest::BeautyPersonalCare,
+                Interest::Fashion,
+                Interest::VideoEntertainment
+            ]
         );
         let p = primed(SkillCategory::SmartHome);
         let e = p.dsar_export("acct", DsarPhase::AfterInteraction2);
         assert_eq!(
             e.advertising_interests.unwrap(),
-            vec![Interest::PetSupplies, Interest::DiyTools, Interest::HomeKitchen]
+            vec![
+                Interest::PetSupplies,
+                Interest::DiyTools,
+                Interest::HomeKitchen
+            ]
         );
     }
 
@@ -296,8 +320,16 @@ mod tests {
     #[test]
     fn vanilla_account_has_no_interests_then_missing_file() {
         let p = Profiler::new();
-        assert_eq!(p.dsar_export("v", DsarPhase::AfterInstall).advertising_interests, Some(vec![]));
-        assert_eq!(p.dsar_export("v", DsarPhase::AfterInteraction2).advertising_interests, None);
+        assert_eq!(
+            p.dsar_export("v", DsarPhase::AfterInstall)
+                .advertising_interests,
+            Some(vec![])
+        );
+        assert_eq!(
+            p.dsar_export("v", DsarPhase::AfterInteraction2)
+                .advertising_interests,
+            None
+        );
     }
 
     #[test]
@@ -305,7 +337,9 @@ mod tests {
         // Wine persona: DSAR shows nothing, but the internal segment exists —
         // this gap drives the bid uplift the paper measures.
         let p = primed(SkillCategory::WineBeverages);
-        assert!(p.targeting_segments("acct").contains(&SkillCategory::WineBeverages));
+        assert!(p
+            .targeting_segments("acct")
+            .contains(&SkillCategory::WineBeverages));
         let e = p.dsar_export("acct", DsarPhase::AfterInteraction1);
         assert_eq!(e.advertising_interests, Some(vec![]));
     }

@@ -31,7 +31,10 @@ pub fn render_store_page(skill: &Skill) -> String {
     if skill.policy.has_link {
         page.push_str(&format!(
             "\nPrivacy policy: https://{}.example.com/privacy\n",
-            skill.vendor.to_ascii_lowercase().replace([' ', ',', '.', '\''], "")
+            skill
+                .vendor
+                .to_ascii_lowercase()
+                .replace([' ', ',', '.', '\''], "")
         ));
     }
     page
@@ -60,7 +63,8 @@ pub fn parse_sample_utterances(page: &str) -> Vec<String> {
 
 /// Whether the store page advertises a privacy-policy link.
 pub fn has_policy_link(page: &str) -> bool {
-    page.lines().any(|l| l.trim_start().starts_with("Privacy policy:"))
+    page.lines()
+        .any(|l| l.trim_start().starts_with("Privacy policy:"))
 }
 
 #[cfg(test)]
@@ -84,7 +88,11 @@ mod tests {
             permissions: vec![],
             backends: vec![],
             collects: vec![],
-            policy: PolicySpec { has_link: true, retrievable: true, ..PolicySpec::none() },
+            policy: PolicySpec {
+                has_link: true,
+                retrievable: true,
+                ..PolicySpec::none()
+            },
         }
     }
 

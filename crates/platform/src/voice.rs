@@ -64,7 +64,10 @@ impl VoicePipeline {
 
     /// Create a pipeline with an explicit configuration.
     pub fn with_config(seed: u64, config: VoiceConfig) -> VoicePipeline {
-        VoicePipeline { config, rng: StdRng::seed_from_u64(seed ^ 0x766f696365) }
+        VoicePipeline {
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0x766f696365),
+        }
     }
 
     /// Decide whether a spoken phrase wakes the device.
@@ -73,7 +76,10 @@ impl VoicePipeline {
     /// the misactivation probability — even when it does not.
     pub fn wakes(&mut self, phrase: &str) -> bool {
         let spoken = phrase.to_ascii_lowercase();
-        if spoken.split(|c: char| !c.is_ascii_alphanumeric()).any(|w| w == WAKE_WORD) {
+        if spoken
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .any(|w| w == WAKE_WORD)
+        {
             return true;
         }
         self.rng.gen_bool(self.config.misactivation_rate)
@@ -97,7 +103,9 @@ impl VoicePipeline {
     /// Route a transcript uttered during a skill session.
     pub fn route(&mut self, transcript: &str, session_skill: &Skill) -> RoutedIntent {
         // Explicit invocations always reach the skill.
-        let invoked = transcript.to_ascii_lowercase().contains(&session_skill.invocation);
+        let invoked = transcript
+            .to_ascii_lowercase()
+            .contains(&session_skill.invocation);
         if invoked || !self.rng.gen_bool(self.config.fallthrough_rate) {
             RoutedIntent::Skill(session_skill.id.clone())
         } else {
@@ -174,7 +182,10 @@ mod tests {
     fn wake_word_must_be_its_own_word() {
         let mut p = VoicePipeline::with_config(
             3,
-            VoiceConfig { misactivation_rate: 0.0, ..VoiceConfig::default() },
+            VoiceConfig {
+                misactivation_rate: 0.0,
+                ..VoiceConfig::default()
+            },
         );
         assert!(!p.wakes("alexandria is a city"));
         assert!(p.wakes("hey alexa what time is it"));
@@ -194,9 +205,15 @@ mod tests {
     fn transcription_with_zero_error_is_identity() {
         let mut p = VoicePipeline::with_config(
             5,
-            VoiceConfig { word_error_rate: 0.0, ..VoiceConfig::default() },
+            VoiceConfig {
+                word_error_rate: 0.0,
+                ..VoiceConfig::default()
+            },
         );
-        assert_eq!(p.transcribe("give me a fashion tip"), "give me a fashion tip");
+        assert_eq!(
+            p.transcribe("give me a fashion tip"),
+            "give me a fashion tip"
+        );
     }
 
     #[test]
@@ -204,7 +221,10 @@ mod tests {
         let mut p = VoicePipeline::new(6);
         let s = skill();
         for _ in 0..500 {
-            assert_eq!(p.route("open garmin", &s), RoutedIntent::Skill(s.id.clone()));
+            assert_eq!(
+                p.route("open garmin", &s),
+                RoutedIntent::Skill(s.id.clone())
+            );
         }
     }
 
@@ -231,7 +251,10 @@ mod tests {
         let mut a = VoicePipeline::new(9);
         let mut b = VoicePipeline::new(9);
         for _ in 0..100 {
-            assert_eq!(a.transcribe("alexa tell me a story"), b.transcribe("alexa tell me a story"));
+            assert_eq!(
+                a.transcribe("alexa tell me a story"),
+                b.transcribe("alexa tell me a story")
+            );
         }
     }
 }

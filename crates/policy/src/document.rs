@@ -13,7 +13,10 @@ pub struct PolicyDoc {
 impl PolicyDoc {
     /// Create a document.
     pub fn new(skill_id: impl Into<String>, text: impl Into<String>) -> PolicyDoc {
-        PolicyDoc { skill_id: skill_id.into(), text: text.into() }
+        PolicyDoc {
+            skill_id: skill_id.into(),
+            text: text.into(),
+        }
     }
 
     /// Split the text into trimmed, non-empty sentences.
@@ -33,7 +36,9 @@ impl PolicyDoc {
 
     /// Whether the text links to Amazon's own privacy policy.
     pub fn links_platform_policy(&self) -> bool {
-        self.text.to_ascii_lowercase().contains("amazon.com/privacy")
+        self.text
+            .to_ascii_lowercase()
+            .contains("amazon.com/privacy")
     }
 }
 
@@ -45,7 +50,10 @@ mod tests {
     fn sentences_split_and_trim() {
         let d = PolicyDoc::new("s", "We respect privacy. We collect data!  Really? ");
         let sents: Vec<&str> = d.sentences().collect();
-        assert_eq!(sents, vec!["We respect privacy", "We collect data", "Really"]);
+        assert_eq!(
+            sents,
+            vec!["We respect privacy", "We collect data", "Really"]
+        );
     }
 
     #[test]
@@ -57,7 +65,9 @@ mod tests {
 
     #[test]
     fn platform_policy_link_detection() {
-        assert!(PolicyDoc::new("s", "See www.amazon.com/privacy for details.").links_platform_policy());
+        assert!(
+            PolicyDoc::new("s", "See www.amazon.com/privacy for details.").links_platform_policy()
+        );
         assert!(!PolicyDoc::new("s", "See Amazon for details.").links_platform_policy());
     }
 

@@ -152,7 +152,10 @@ mod tests {
     fn data_types_only_from_plaintext() {
         let captures = vec![cap(
             "s",
-            vec![plain("api.amazon.com", DataType::VoiceRecording), encrypted("api.amazon.com")],
+            vec![
+                plain("api.amazon.com", DataType::VoiceRecording),
+                encrypted("api.amazon.com"),
+            ],
         )];
         let map = FlowExtractor::new().data_types(&captures);
         assert_eq!(map["s"].len(), 1);
@@ -169,7 +172,10 @@ mod tests {
     #[test]
     fn full_flows_pair_type_and_entity() {
         let orgs = OrgMap::new();
-        let captures = vec![cap("sonos", vec![plain("avs-alexa-na.amazon.com", DataType::VoiceRecording)])];
+        let captures = vec![cap(
+            "sonos",
+            vec![plain("avs-alexa-na.amazon.com", DataType::VoiceRecording)],
+        )];
         let flows = FlowExtractor::new().full_flows(&captures, &orgs);
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].entity, "Amazon Technologies, Inc.");

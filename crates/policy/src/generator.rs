@@ -110,7 +110,9 @@ impl PolicyGenerator {
                     } else {
                         let phrases = self.entities.vague_phrases_for(org);
                         let phrase = phrases[(key % phrases.len() as u64) as usize];
-                        push(&format!("We may share your personal information with {phrase}."));
+                        push(&format!(
+                            "We may share your personal information with {phrase}."
+                        ));
                     }
                 }
                 DisclosureLevel::Denied => {
@@ -123,11 +125,17 @@ impl PolicyGenerator {
         push("We retain information only as long as necessary.");
         push(&format!(
             "Contact us at privacy@{}.example.com with any questions.",
-            skill.vendor.to_ascii_lowercase().replace([' ', ',', '.', '\''], "")
+            skill
+                .vendor
+                .to_ascii_lowercase()
+                .replace([' ', ',', '.', '\''], "")
         ));
         push("We may update this policy from time to time.");
 
-        Some(PolicyDoc::new(skill.id.0.clone(), text.trim_end().to_string()))
+        Some(PolicyDoc::new(
+            skill.id.0.clone(),
+            text.trim_end().to_string(),
+        ))
     }
 
     /// Amazon's own privacy notice, with the disclosure terms the paper's
@@ -187,14 +195,22 @@ mod tests {
     }
 
     fn doc_spec() -> PolicySpec {
-        PolicySpec { has_link: true, retrievable: true, ..PolicySpec::none() }
+        PolicySpec {
+            has_link: true,
+            retrievable: true,
+            ..PolicySpec::none()
+        }
     }
 
     #[test]
     fn no_document_renders_none() {
         let g = PolicyGenerator::new();
         assert!(g.render(&skill_with_policy(PolicySpec::none())).is_none());
-        let broken = PolicySpec { has_link: true, retrievable: false, ..PolicySpec::none() };
+        let broken = PolicySpec {
+            has_link: true,
+            retrievable: false,
+            ..PolicySpec::none()
+        };
         assert!(g.render(&skill_with_policy(broken)).is_none());
     }
 
@@ -220,7 +236,8 @@ mod tests {
     fn clear_data_disclosure_contains_a_clear_term() {
         let g = PolicyGenerator::new();
         let mut spec = doc_spec();
-        spec.data_disclosures.insert(DataType::VoiceRecording, DisclosureLevel::Clear);
+        spec.data_disclosures
+            .insert(DataType::VoiceRecording, DisclosureLevel::Clear);
         let doc = g.render(&skill_with_policy(spec)).unwrap();
         let lower = doc.text.to_ascii_lowercase();
         let ont = DataOntology::new();
@@ -236,7 +253,8 @@ mod tests {
     fn omitted_disclosures_render_nothing() {
         let g = PolicyGenerator::new();
         let mut spec = doc_spec();
-        spec.data_disclosures.insert(DataType::CustomerId, DisclosureLevel::Omitted);
+        spec.data_disclosures
+            .insert(DataType::CustomerId, DisclosureLevel::Omitted);
         let mut eps = BTreeMap::new();
         eps.insert("Podtrac Inc".to_string(), DisclosureLevel::Omitted);
         spec.endpoint_disclosures = eps;
@@ -250,8 +268,10 @@ mod tests {
     fn clear_endpoint_disclosure_names_org() {
         let g = PolicyGenerator::new();
         let mut spec = doc_spec();
-        spec.endpoint_disclosures
-            .insert("Amazon Technologies, Inc.".to_string(), DisclosureLevel::Clear);
+        spec.endpoint_disclosures.insert(
+            "Amazon Technologies, Inc.".to_string(),
+            DisclosureLevel::Clear,
+        );
         let doc = g.render(&skill_with_policy(spec)).unwrap();
         assert!(doc.text.contains("Amazon Technologies, Inc."));
     }
@@ -260,7 +280,8 @@ mod tests {
     fn rendering_is_deterministic() {
         let g = PolicyGenerator::new();
         let mut spec = doc_spec();
-        spec.data_disclosures.insert(DataType::Preference, DisclosureLevel::Vague);
+        spec.data_disclosures
+            .insert(DataType::Preference, DisclosureLevel::Vague);
         let a = g.render(&skill_with_policy(spec.clone())).unwrap();
         let b = g.render(&skill_with_policy(spec)).unwrap();
         assert_eq!(a, b);
@@ -271,7 +292,12 @@ mod tests {
         let g = PolicyGenerator::new();
         let doc = g.amazon_policy();
         let lower = doc.text.to_ascii_lowercase();
-        for term in ["voice recordings", "unique identifier", "time zone setting", "device metrics"] {
+        for term in [
+            "voice recordings",
+            "unique identifier",
+            "time zone setting",
+            "device metrics",
+        ] {
             assert!(lower.contains(term), "missing {term}");
         }
     }
@@ -280,6 +306,8 @@ mod tests {
     fn every_policy_contains_the_negation_trap() {
         let g = PolicyGenerator::new();
         let doc = g.render(&skill_with_policy(doc_spec())).unwrap();
-        assert!(doc.text.contains("We do not sell your personal information"));
+        assert!(doc
+            .text
+            .contains("We do not sell your personal information"));
     }
 }

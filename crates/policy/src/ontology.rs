@@ -58,18 +58,57 @@ const BUILTIN_ENTITIES: &[(&str, &[OntologyCategory])] = &[
             OntologyCategory::VoiceAssistantService,
         ],
     ),
-    ("Chartable Holding Inc", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    (
+        "Chartable Holding Inc",
+        &[
+            OntologyCategory::AnalyticProvider,
+            OntologyCategory::AdvertisingNetwork,
+        ],
+    ),
     ("DataCamp Limited", &[OntologyCategory::ContentProvider]),
     ("Dilli Labs LLC", &[OntologyCategory::ContentProvider]),
     ("Garmin International", &[OntologyCategory::ContentProvider]),
-    ("Liberated Syndication", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
-    ("National Public Radio, Inc.", &[OntologyCategory::ContentProvider]),
-    ("Philips International B.V.", &[OntologyCategory::ContentProvider]),
-    ("Podtrac Inc", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
-    ("Spotify AB", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
-    ("Triton Digital, Inc.", &[OntologyCategory::AnalyticProvider, OntologyCategory::AdvertisingNetwork]),
+    (
+        "Liberated Syndication",
+        &[
+            OntologyCategory::AnalyticProvider,
+            OntologyCategory::AdvertisingNetwork,
+        ],
+    ),
+    (
+        "National Public Radio, Inc.",
+        &[OntologyCategory::ContentProvider],
+    ),
+    (
+        "Philips International B.V.",
+        &[OntologyCategory::ContentProvider],
+    ),
+    (
+        "Podtrac Inc",
+        &[
+            OntologyCategory::AnalyticProvider,
+            OntologyCategory::AdvertisingNetwork,
+        ],
+    ),
+    (
+        "Spotify AB",
+        &[
+            OntologyCategory::AnalyticProvider,
+            OntologyCategory::AdvertisingNetwork,
+        ],
+    ),
+    (
+        "Triton Digital, Inc.",
+        &[
+            OntologyCategory::AnalyticProvider,
+            OntologyCategory::AdvertisingNetwork,
+        ],
+    ),
     ("Voice Apps LLC", &[OntologyCategory::ContentProvider]),
-    ("Life Covenant Church, Inc.", &[OntologyCategory::ContentProvider]),
+    (
+        "Life Covenant Church, Inc.",
+        &[OntologyCategory::ContentProvider],
+    ),
 ];
 
 impl Default for EntityOntology {
@@ -104,7 +143,8 @@ impl EntityOntology {
 
     /// Whether the org is the platform party.
     pub fn is_platform(&self, org: &str) -> bool {
-        self.categories_of(org).contains(&OntologyCategory::PlatformProvider)
+        self.categories_of(org)
+            .contains(&OntologyCategory::PlatformProvider)
     }
 
     /// Whether the umbrella term "third party" subsumes this org — true for
@@ -118,15 +158,21 @@ impl EntityOntology {
         let mut phrases = Vec::new();
         for cat in self.categories_of(org) {
             phrases.extend(match cat {
-                OntologyCategory::AnalyticProvider => {
-                    ["analytics tool", "analytics provider", "analytics providers"].as_slice()
-                }
+                OntologyCategory::AnalyticProvider => [
+                    "analytics tool",
+                    "analytics provider",
+                    "analytics providers",
+                ]
+                .as_slice(),
                 OntologyCategory::AdvertisingNetwork => {
                     ["advertising partner", "advertising partners", "ad network"].as_slice()
                 }
-                OntologyCategory::ContentProvider => {
-                    ["service provider", "service providers", "external service providers"].as_slice()
-                }
+                OntologyCategory::ContentProvider => [
+                    "service provider",
+                    "service providers",
+                    "external service providers",
+                ]
+                .as_slice(),
                 OntologyCategory::PlatformProvider => {
                     ["platform provider", "smart speaker platform"].as_slice()
                 }
@@ -157,13 +203,20 @@ impl DataOntology {
     /// Exact (clear) terms disclosing a data type, per Table 13's examples.
     pub fn clear_terms(&self, dt: DataType) -> &'static [&'static str] {
         match dt {
-            DataType::VoiceRecording => {
-                &["voice recording", "voice recordings", "audio recording", "audio recordings"]
-            }
+            DataType::VoiceRecording => &[
+                "voice recording",
+                "voice recordings",
+                "audio recording",
+                "audio recordings",
+            ],
             DataType::TextCommand => &["text command", "transcribed command"],
-            DataType::CustomerId => {
-                &["unique identifier", "anonymized id", "uuid", "customer id", "user id"]
-            }
+            DataType::CustomerId => &[
+                "unique identifier",
+                "anonymized id",
+                "uuid",
+                "customer id",
+                "user id",
+            ],
             DataType::SkillId => &["skill identifier", "skill id"],
             DataType::Language => &["language preference"],
             DataType::Timezone => &["time zone setting", "timezone setting"],
@@ -178,7 +231,9 @@ impl DataOntology {
         match dt {
             DataType::VoiceRecording => &["sensory information", "sensory info"],
             DataType::TextCommand => &["commands", "requests you make"],
-            DataType::CustomerId | DataType::SkillId => &["cookie", "identifiers", "persistent identifiers"],
+            DataType::CustomerId | DataType::SkillId => {
+                &["cookie", "identifiers", "persistent identifiers"]
+            }
             DataType::Language | DataType::Timezone => {
                 &["regional and language settings", "device settings"]
             }
@@ -213,7 +268,10 @@ mod tests {
     #[test]
     fn unknown_org_defaults_to_content_provider() {
         let o = EntityOntology::new();
-        assert_eq!(o.categories_of("Mystery Corp"), vec![OntologyCategory::ContentProvider]);
+        assert_eq!(
+            o.categories_of("Mystery Corp"),
+            vec![OntologyCategory::ContentProvider]
+        );
     }
 
     #[test]
@@ -242,14 +300,21 @@ mod tests {
     fn registration_overrides_default() {
         let mut o = EntityOntology::new();
         o.register("Mystery Corp", &[OntologyCategory::AdvertisingNetwork]);
-        assert_eq!(o.categories_of("Mystery Corp"), vec![OntologyCategory::AdvertisingNetwork]);
+        assert_eq!(
+            o.categories_of("Mystery Corp"),
+            vec![OntologyCategory::AdvertisingNetwork]
+        );
     }
 
     #[test]
     fn data_ontology_voice_terms() {
         let d = DataOntology::new();
-        assert!(d.clear_terms(alexa_net::DataType::VoiceRecording).contains(&"voice recording"));
-        assert!(d.vague_terms(alexa_net::DataType::VoiceRecording).contains(&"sensory information"));
+        assert!(d
+            .clear_terms(alexa_net::DataType::VoiceRecording)
+            .contains(&"voice recording"));
+        assert!(d
+            .vague_terms(alexa_net::DataType::VoiceRecording)
+            .contains(&"sensory information"));
     }
 
     #[test]

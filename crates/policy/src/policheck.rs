@@ -100,7 +100,10 @@ impl PoliCheck {
 
     /// Analyzer that also consults the platform's policy (§7.2.2).
     pub fn with_platform_policy() -> PoliCheck {
-        PoliCheck { include_platform_policy: true, ..PoliCheck::new() }
+        PoliCheck {
+            include_platform_policy: true,
+            ..PoliCheck::new()
+        }
     }
 
     /// Mutable access to the entity ontology (to register ecosystem orgs).
@@ -146,7 +149,10 @@ impl PoliCheck {
     fn classify_endpoint_in(&self, doc: &PolicyDoc, org: &str) -> DisclosureClass {
         let org_lower = org.to_ascii_lowercase();
         let statements = Self::statements(doc);
-        if statements.iter().any(|s| states_practice(s) && s.contains(&org_lower)) {
+        if statements
+            .iter()
+            .any(|s| states_practice(s) && s.contains(&org_lower))
+        {
             return DisclosureClass::Clear;
         }
         // Amazon is also clearly disclosed by its informal names — but only
@@ -186,11 +192,17 @@ impl PoliCheck {
     fn classify_data_type_in(&self, doc: &PolicyDoc, dt: DataType) -> DisclosureClass {
         let statements = Self::statements(doc);
         let clear = self.data.clear_terms(dt);
-        if statements.iter().any(|s| clear.iter().any(|t| s.contains(t))) {
+        if statements
+            .iter()
+            .any(|s| clear.iter().any(|t| s.contains(t)))
+        {
             return DisclosureClass::Clear;
         }
         let vague = self.data.vague_terms(dt);
-        if statements.iter().any(|s| vague.iter().any(|t| s.contains(t))) {
+        if statements
+            .iter()
+            .any(|s| vague.iter().any(|t| s.contains(t)))
+        {
             return DisclosureClass::Vague;
         }
         // No positive statement — does the policy outright deny a flow the
@@ -217,7 +229,10 @@ mod tests {
     #[test]
     fn no_policy_classifies_no_policy() {
         let pc = PoliCheck::new();
-        assert_eq!(pc.classify_endpoint(None, "Podtrac Inc"), DisclosureClass::NoPolicy);
+        assert_eq!(
+            pc.classify_endpoint(None, "Podtrac Inc"),
+            DisclosureClass::NoPolicy
+        );
         assert_eq!(
             pc.classify_data_type(None, DataType::VoiceRecording),
             DisclosureClass::NoPolicy
@@ -228,7 +243,10 @@ mod tests {
     fn exact_org_name_is_clear() {
         let pc = PoliCheck::new();
         let d = doc("We share information with Podtrac Inc.");
-        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Clear);
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), "Podtrac Inc"),
+            DisclosureClass::Clear
+        );
     }
 
     #[test]
@@ -254,14 +272,20 @@ mod tests {
         );
         // Charles Stanley Radio's wording for third parties.
         let d2 = doc("We may also share your personal information with external service providers who help us better serve you.");
-        assert_eq!(pc.classify_endpoint(Some(&d2), "Voice Apps LLC"), DisclosureClass::Vague);
+        assert_eq!(
+            pc.classify_endpoint(Some(&d2), "Voice Apps LLC"),
+            DisclosureClass::Vague
+        );
     }
 
     #[test]
     fn third_party_umbrella_is_vague_for_nonplatform_only() {
         let pc = PoliCheck::new();
         let d = doc("We may share data with third parties.");
-        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Vague);
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), "Podtrac Inc"),
+            DisclosureClass::Vague
+        );
         assert_eq!(
             pc.classify_endpoint(Some(&d), alexa_net::orgmap::AMAZON),
             DisclosureClass::Omitted
@@ -272,8 +296,14 @@ mod tests {
     fn silence_is_omitted() {
         let pc = PoliCheck::new();
         let d = doc("We respect your privacy.");
-        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Omitted);
-        assert_eq!(pc.classify_data_type(Some(&d), DataType::SkillId), DisclosureClass::Omitted);
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), "Podtrac Inc"),
+            DisclosureClass::Omitted
+        );
+        assert_eq!(
+            pc.classify_data_type(Some(&d), DataType::SkillId),
+            DisclosureClass::Omitted
+        );
     }
 
     #[test]
@@ -283,7 +313,10 @@ mod tests {
         // as omitted.
         let pc = PoliCheck::new();
         let d = doc("We do not share your data with third parties.");
-        assert_eq!(pc.classify_endpoint(Some(&d), "Podtrac Inc"), DisclosureClass::Omitted);
+        assert_eq!(
+            pc.classify_endpoint(Some(&d), "Podtrac Inc"),
+            DisclosureClass::Omitted
+        );
     }
 
     #[test]

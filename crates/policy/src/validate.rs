@@ -72,7 +72,11 @@ mod tests {
             .collect();
         assert_eq!(sample.len(), 100);
         let matrix = validate_against_ground_truth(&sample);
-        assert!(matrix.total() > 100, "too few labeled flows: {}", matrix.total());
+        assert!(
+            matrix.total() > 100,
+            "too few labeled flows: {}",
+            matrix.total()
+        );
         let micro = matrix.micro_scores();
         // The paper reports 87.41% micro F1; ours should be in the same
         // regime — high but below 1.0 thanks to the generator's quirks.
@@ -88,8 +92,11 @@ mod tests {
         // The planted quirks are off-lexicon phrasings, which PoliCheck can
         // only misread as "omitted" — verify that's the dominant error mode.
         let market = Marketplace::generate(42);
-        let sample: Vec<&Skill> =
-            market.all().iter().filter(|s| s.policy.has_document()).collect();
+        let sample: Vec<&Skill> = market
+            .all()
+            .iter()
+            .filter(|s| s.policy.has_document())
+            .collect();
         let matrix = validate_against_ground_truth(&sample);
         let (_, fp_clear, _) = matrix.class_counts("clear");
         assert_eq!(fp_clear, 0, "nothing should be over-claimed as clear");

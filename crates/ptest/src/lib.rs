@@ -384,7 +384,9 @@ mod tests {
             let s = super::Strategy::generate(&"[a-z][a-z0-9]{0,10}", &mut rng);
             assert!((1..=11).contains(&s.len()), "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             let p = super::Strategy::generate(&"[ -~]{0,24}", &mut rng);
             assert!(p.len() <= 24);
             assert!(p.chars().all(|c| (' '..='~').contains(&c)));

@@ -61,6 +61,23 @@ where
     if xs.is_empty() || resamples == 0 || !(level > 0.0 && level < 1.0) {
         return None;
     }
+    alexa_obs::agg_count("stats.bootstrap.resamples", resamples as u64);
+    alexa_obs::agg_time("stats.bootstrap_ci", || {
+        bootstrap_ci_uninstrumented(xs, statistic, resamples, level, seed)
+    })
+}
+
+/// The resampling loop itself; timing/counting happens in [`bootstrap_ci`].
+fn bootstrap_ci_uninstrumented<F>(
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
     let estimate = statistic(xs);
     let chunks: Vec<usize> = (0..resamples.div_ceil(CHUNK)).collect();
     let chunked = par_map(None, chunks, |c, _| {
@@ -81,7 +98,12 @@ where
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::descriptive::quantile_sorted(&stats, alpha);
     let hi = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha);
-    Some(BootstrapCi { estimate, lo, hi, level })
+    Some(BootstrapCi {
+        estimate,
+        lo,
+        hi,
+        level,
+    })
 }
 
 /// Bootstrap CI for the sample median.
@@ -91,7 +113,13 @@ pub fn bootstrap_median_ci(
     level: f64,
     seed: u64,
 ) -> Option<BootstrapCi> {
-    bootstrap_ci(xs, |s| crate::descriptive::median(s).unwrap_or(f64::NAN), resamples, level, seed)
+    bootstrap_ci(
+        xs,
+        |s| crate::descriptive::median(s).unwrap_or(f64::NAN),
+        resamples,
+        level,
+        seed,
+    )
 }
 
 /// Bootstrap CI for the sample mean.
@@ -101,7 +129,13 @@ pub fn bootstrap_mean_ci(
     level: f64,
     seed: u64,
 ) -> Option<BootstrapCi> {
-    bootstrap_ci(xs, |s| crate::descriptive::mean(s).unwrap_or(f64::NAN), resamples, level, seed)
+    bootstrap_ci(
+        xs,
+        |s| crate::descriptive::mean(s).unwrap_or(f64::NAN),
+        resamples,
+        level,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -110,7 +144,9 @@ mod tests {
 
     fn skewed_sample(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (rng.gen_range(-1.0..1.0f64) * 2.0).exp()).collect()
+        (0..n)
+            .map(|_| (rng.gen_range(-1.0..1.0f64) * 2.0).exp())
+            .collect()
     }
 
     #[test]

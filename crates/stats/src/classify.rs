@@ -28,7 +28,11 @@ impl PrfScores {
         } else {
             0.0
         };
-        PrfScores { precision, recall, f1 }
+        PrfScores {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -132,7 +136,11 @@ impl ConfusionMatrix {
     pub fn macro_scores(&self) -> PrfScores {
         let k = self.classes.len();
         if k == 0 {
-            return PrfScores { precision: 0.0, recall: 0.0, f1: 0.0 };
+            return PrfScores {
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0,
+            };
         }
         let mut precision = 0.0;
         let mut recall = 0.0;
@@ -144,7 +152,11 @@ impl ConfusionMatrix {
             f1 += s.f1;
         }
         let kf = k as f64;
-        PrfScores { precision: precision / kf, recall: recall / kf, f1: f1 / kf }
+        PrfScores {
+            precision: precision / kf,
+            recall: recall / kf,
+            f1: f1 / kf,
+        }
     }
 }
 
@@ -202,8 +214,11 @@ mod tests {
     fn macro_is_mean_of_classes() {
         let m = sample_matrix();
         let macro_s = m.macro_scores();
-        let mean_p: f64 =
-            m.classes().map(|c| m.class_scores(c).precision).sum::<f64>() / 3.0;
+        let mean_p: f64 = m
+            .classes()
+            .map(|c| m.class_scores(c).precision)
+            .sum::<f64>()
+            / 3.0;
         assert!((macro_s.precision - mean_p).abs() < 1e-12);
     }
 

@@ -72,7 +72,12 @@ mod tests {
 
     #[test]
     fn identical_is_zero() {
-        assert!(rank_biserial(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap().abs() < 1e-12);
+        assert!(
+            rank_biserial(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0])
+                .unwrap()
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -87,6 +87,20 @@ pub fn mann_whitney_u(
     if n1 == 0 || n2 == 0 {
         return None;
     }
+    alexa_obs::agg_time("stats.mann_whitney_u", || {
+        mwu_uninstrumented(x, y, alternative, method)
+    })
+}
+
+/// The test itself; timing happens in [`mann_whitney_u`].
+fn mwu_uninstrumented(
+    x: &[f64],
+    y: &[f64],
+    alternative: Alternative,
+    method: MwuMethod,
+) -> Option<MwuResult> {
+    let n1 = x.len();
+    let n2 = y.len();
 
     // Rank the pooled sample.
     let mut pooled: Vec<f64> = Vec::with_capacity(n1 + n2);
@@ -119,8 +133,7 @@ pub fn mann_whitney_u(
         _ => {
             let (p, z) = asymptotic_p(u1, n1, n2, &ties, alternative);
             (p, Some(z))
-        }
-        // `Auto` cannot survive resolution.
+        } // `Auto` cannot survive resolution.
     };
 
     Some(MwuResult {
@@ -195,61 +208,77 @@ pub fn mann_whitney_permutation(
     permutations: usize,
     seed: u64,
 ) -> Option<MwuResult> {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-
-    const CHUNK: usize = 512;
-
     let n1 = x.len();
     let n2 = y.len();
     if n1 == 0 || n2 == 0 || permutations == 0 {
         return None;
     }
-
-    let mut pooled: Vec<f64> = Vec::with_capacity(n1 + n2);
-    pooled.extend_from_slice(x);
-    pooled.extend_from_slice(y);
-    let u_of = |sample: &[f64]| {
-        let ranks = midranks(sample);
-        let r1: f64 = ranks[..n1].iter().sum();
-        r1 - (n1 * (n1 + 1)) as f64 / 2.0
-    };
-    let u1 = u_of(&pooled);
-    let u2 = (n1 * n2) as f64 - u1;
-    let mu = (n1 * n2) as f64 / 2.0;
-
-    let chunks: Vec<usize> = (0..permutations.div_ceil(CHUNK)).collect();
-    let extreme_counts = alexa_exec::par_map(None, chunks, |c, _| {
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(seed ^ 0x6d77755f ^ ((c as u64 + 1) << 24));
-        let count = CHUNK.min(permutations - c * CHUNK);
-        let mut shuffled = pooled.clone();
-        let mut extreme = 0usize;
-        for _ in 0..count {
-            shuffled.shuffle(&mut rng);
-            let u = u_of(&shuffled);
-            let hit = match alternative {
-                Alternative::Greater => u >= u1,
-                Alternative::Less => u <= u1,
-                Alternative::TwoSided => (u - mu).abs() >= (u1 - mu).abs(),
-            };
-            if hit {
-                extreme += 1;
-            }
-        }
-        extreme
+    alexa_obs::agg_count("stats.mwu.permutations", permutations as u64);
+    return alexa_obs::agg_time("stats.mann_whitney_permutation", || {
+        permutation_uninstrumented(x, y, alternative, permutations, seed)
     });
-    let extreme: usize = extreme_counts.into_iter().sum();
-    let p_value = (extreme + 1) as f64 / (permutations + 1) as f64;
 
-    Some(MwuResult {
-        u1,
-        u2,
-        p_value: p_value.min(1.0),
-        effect_size: 2.0 * u1 / (n1 * n2) as f64 - 1.0,
-        z: None,
-        method_used: MwuMethod::Permutation,
-    })
+    /// The permutation loop itself; timing/counting happens above.
+    fn permutation_uninstrumented(
+        x: &[f64],
+        y: &[f64],
+        alternative: Alternative,
+        permutations: usize,
+        seed: u64,
+    ) -> Option<MwuResult> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        const CHUNK: usize = 512;
+
+        let n1 = x.len();
+        let n2 = y.len();
+
+        let mut pooled: Vec<f64> = Vec::with_capacity(n1 + n2);
+        pooled.extend_from_slice(x);
+        pooled.extend_from_slice(y);
+        let u_of = |sample: &[f64]| {
+            let ranks = midranks(sample);
+            let r1: f64 = ranks[..n1].iter().sum();
+            r1 - (n1 * (n1 + 1)) as f64 / 2.0
+        };
+        let u1 = u_of(&pooled);
+        let u2 = (n1 * n2) as f64 - u1;
+        let mu = (n1 * n2) as f64 / 2.0;
+
+        let chunks: Vec<usize> = (0..permutations.div_ceil(CHUNK)).collect();
+        let extreme_counts = alexa_exec::par_map(None, chunks, |c, _| {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(seed ^ 0x6d77755f ^ ((c as u64 + 1) << 24));
+            let count = CHUNK.min(permutations - c * CHUNK);
+            let mut shuffled = pooled.clone();
+            let mut extreme = 0usize;
+            for _ in 0..count {
+                shuffled.shuffle(&mut rng);
+                let u = u_of(&shuffled);
+                let hit = match alternative {
+                    Alternative::Greater => u >= u1,
+                    Alternative::Less => u <= u1,
+                    Alternative::TwoSided => (u - mu).abs() >= (u1 - mu).abs(),
+                };
+                if hit {
+                    extreme += 1;
+                }
+            }
+            extreme
+        });
+        let extreme: usize = extreme_counts.into_iter().sum();
+        let p_value = (extreme + 1) as f64 / (permutations + 1) as f64;
+
+        Some(MwuResult {
+            u1,
+            u2,
+            p_value: p_value.min(1.0),
+            effect_size: 2.0 * u1 / (n1 * n2) as f64 - 1.0,
+            z: None,
+            method_used: MwuMethod::Permutation,
+        })
+    }
 }
 
 /// Exact p-value by enumerating the tie-free null distribution of U.
@@ -342,9 +371,13 @@ mod tests {
     #[test]
     fn exact_two_sided_matches_reference() {
         // scipy: mannwhitneyu([1,2,3], [4,5,6], alternative="two-sided") => U=0, p=0.1
-        let r =
-            mann_whitney_u(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], Alternative::TwoSided, MwuMethod::Exact)
-                .unwrap();
+        let r = mann_whitney_u(
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            Alternative::TwoSided,
+            MwuMethod::Exact,
+        )
+        .unwrap();
         assert_eq!(r.u1, 0.0);
         assert!((r.p_value - 0.1).abs() < 1e-9, "p = {}", r.p_value);
     }
@@ -416,7 +449,12 @@ mod tests {
         // Different seeds may agree by chance on p, but the asymptotic path
         // should be in the same neighbourhood.
         let asym = mann_whitney_u(&x, &y, Alternative::TwoSided, MwuMethod::Asymptotic).unwrap();
-        assert!((a.p_value - asym.p_value).abs() < 0.1, "{} vs {}", a.p_value, asym.p_value);
+        assert!(
+            (a.p_value - asym.p_value).abs() < 0.1,
+            "{} vs {}",
+            a.p_value,
+            asym.p_value
+        );
         let _ = c;
     }
 

@@ -28,7 +28,11 @@ fn main() {
     // The headline inference: does skill interaction raise bids?
     let t5 = bids::table5(&obs);
     let (vm, _) = t5.get("Vanilla").unwrap();
-    let above = t5.rows.iter().filter(|r| r.0 != "Vanilla" && r.1 > vm).count();
+    let above = t5
+        .rows
+        .iter()
+        .filter(|r| r.0 != "Vanilla" && r.1 > vm)
+        .count();
     println!("\nConclusion: {above}/9 interest personas receive higher median bids than vanilla;");
     println!(
         "{} advertisers sync cookies with Amazon and propagate to {} downstream parties.",

@@ -21,11 +21,21 @@ fn main() {
         AuditRun::execute(AuditConfig::small(seed).with_defense(DefenseMode::Firewall));
 
     println!("Running audit with on-device transcription ...\n");
-    let text_only =
-        AuditRun::execute(AuditConfig::small(seed).with_defense(DefenseMode::TextOnly));
+    let text_only = AuditRun::execute(AuditConfig::small(seed).with_defense(DefenseMode::TextOnly));
 
-    println!("{}", defense::compare("A&T firewall (blocking without breaking)", &baseline, &firewalled).render());
-    println!("{}", defense::compare("on-device transcription (text-only)", &baseline, &text_only).render());
+    println!(
+        "{}",
+        defense::compare(
+            "A&T firewall (blocking without breaking)",
+            &baseline,
+            &firewalled
+        )
+        .render()
+    );
+    println!(
+        "{}",
+        defense::compare("on-device transcription (text-only)", &baseline, &text_only).render()
+    );
 
     println!(
         "Takeaway: both defenses remove their target observable (tracker traffic;\n\

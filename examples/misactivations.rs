@@ -57,7 +57,10 @@ fn main() {
     // What a stricter wake-word model would buy.
     let mut strict = VoicePipeline::with_config(
         7,
-        VoiceConfig { misactivation_rate: 0.001, ..VoiceConfig::default() },
+        VoiceConfig {
+            misactivation_rate: 0.001,
+            ..VoiceConfig::default()
+        },
     );
     let strict_activations = (0..total)
         .filter(|i| strict.wakes(CONVERSATION[*i % CONVERSATION.len()]))

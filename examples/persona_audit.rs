@@ -10,7 +10,9 @@ use alexa_audit::{AuditConfig, AuditRun, Persona};
 use alexa_platform::SkillCategory;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "Fashion & Style".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Fashion & Style".to_string());
     let Some(category) = SkillCategory::ALL.iter().find(|c| c.label() == wanted) else {
         eprintln!("Unknown category {wanted:?}. Options:");
         for c in SkillCategory::ALL {
@@ -26,8 +28,14 @@ fn main() {
 
     // Network behaviour of this persona's skills.
     let per_skill = traffic::skill_traffic(&obs);
-    let mine: Vec<_> = per_skill.iter().filter(|t| t.persona == persona.name()).collect();
-    println!("{} skills produced traffic. Endpoints contacted:", mine.len());
+    let mine: Vec<_> = per_skill
+        .iter()
+        .filter(|t| t.persona == persona.name())
+        .collect();
+    println!(
+        "{} skills produced traffic. Endpoints contacted:",
+        mine.len()
+    );
     let mut endpoints = std::collections::BTreeMap::new();
     for t in &mine {
         for e in &t.endpoints {

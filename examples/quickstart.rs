@@ -74,5 +74,7 @@ fn main() {
         100.0 * v.macro_avg.f1
     );
 
-    println!("\nFor every table and figure, run: cargo run --release -p alexa-bench --bin repro -- all");
+    println!(
+        "\nFor every table and figure, run: cargo run --release -p alexa-bench --bin repro -- all"
+    );
 }

@@ -9,9 +9,9 @@
 //! cargo run --release --example traffic_forensics
 //! ```
 
+use alexa_audit::{AuditConfig, AuditRun};
 use alexa_net::flowstats::{aggregate, top_by_bytes};
 use alexa_net::{read_trace, write_trace, FilterList, OrgMap};
-use alexa_audit::{AuditConfig, AuditRun};
 
 fn main() {
     let obs = AuditRun::execute(AuditConfig::small(42));
@@ -51,7 +51,10 @@ fn main() {
     }
 
     let (at_bytes, total_bytes) = stats.iter().fold((0usize, 0usize), |(at, total), (d, s)| {
-        (at + if fl.is_ad_tracking(d) { s.bytes() } else { 0 }, total + s.bytes())
+        (
+            at + if fl.is_ad_tracking(d) { s.bytes() } else { 0 },
+            total + s.bytes(),
+        )
     });
     println!(
         "\nA&T byte share: {:.2}% of {total_bytes} bytes.",
@@ -61,5 +64,9 @@ fn main() {
         .keys()
         .filter(|d| orgs.org_of(d) != Some(alexa_net::orgmap::AMAZON))
         .count();
-    println!("Endpoints: {} total, {} non-Amazon.", stats.len(), third_party);
+    println!(
+        "Endpoints: {} total, {} non-Amazon.",
+        stats.len(),
+        third_party
+    );
 }

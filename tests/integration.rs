@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the audit framework recovers the planted
 //! ground truth from observables alone.
 
-use alexa_audit::analysis::{audio, bids, creatives, partners, policy, profiling, significance, traffic};
+use alexa_audit::analysis::{
+    audio, bids, creatives, partners, policy, profiling, significance, traffic,
+};
 use alexa_audit::{AuditConfig, AuditRun, Observations, Persona};
 use std::sync::OnceLock;
 
@@ -28,8 +30,16 @@ fn rq1_amazon_mediates_everything() {
 #[test]
 fn rq1_ad_tracking_traffic_is_minor_but_present() {
     let t2 = traffic::table2(obs());
-    assert!(t2.total_ad_tracking > 0.01, "A&T share {}", t2.total_ad_tracking);
-    assert!(t2.total_ad_tracking < 0.35, "A&T share {}", t2.total_ad_tracking);
+    assert!(
+        t2.total_ad_tracking > 0.01,
+        "A&T share {}",
+        t2.total_ad_tracking
+    );
+    assert!(
+        t2.total_ad_tracking < 0.35,
+        "A&T share {}",
+        t2.total_ad_tracking
+    );
 }
 
 #[test]
@@ -104,12 +114,22 @@ fn rq2_dsar_vs_targeting_gap() {
     // Wine & Beverages: targeted (higher bids) but DSAR shows no interests —
     // the transparency gap the paper highlights.
     let t12 = profiling::table12(obs());
-    let wine_rows: Vec<_> = t12.rows.iter().filter(|r| r.persona == "Wine & Beverages").collect();
-    assert!(wine_rows.is_empty(), "DSAR should show nothing for Wine & Beverages");
+    let wine_rows: Vec<_> = t12
+        .rows
+        .iter()
+        .filter(|r| r.persona == "Wine & Beverages")
+        .collect();
+    assert!(
+        wine_rows.is_empty(),
+        "DSAR should show nothing for Wine & Beverages"
+    );
     let t5 = bids::table5(obs());
     let (wine_median, _) = t5.get("Wine & Beverages").unwrap();
     let (vanilla_median, _) = t5.get("Vanilla").unwrap();
-    assert!(wine_median > vanilla_median, "yet Wine & Beverages is targeted");
+    assert!(
+        wine_median > vanilla_median,
+        "yet Wine & Beverages is targeted"
+    );
 }
 
 #[test]
@@ -224,7 +244,11 @@ fn certification_gap_reproduced_from_captures() {
             .violations
             .iter()
             .all(|v| !matches!(v, alexa_platform::Violation::AdPolicyViolation { .. }));
-        assert!(statically_ok, "{}: static review saw runtime backends", skill.name);
+        assert!(
+            statically_ok,
+            "{}: static review saw runtime backends",
+            skill.name
+        );
         if dynamic
             .violations
             .iter()

@@ -10,7 +10,12 @@ const SEEDS: [u64; 3] = [7, 101, 9001];
 
 fn runs() -> &'static Vec<Observations> {
     static RUNS: OnceLock<Vec<Observations>> = OnceLock::new();
-    RUNS.get_or_init(|| SEEDS.iter().map(|&s| AuditRun::execute(AuditConfig::paper(s))).collect())
+    RUNS.get_or_init(|| {
+        SEEDS
+            .iter()
+            .map(|&s| AuditRun::execute(AuditConfig::paper(s)))
+            .collect()
+    })
 }
 
 #[test]
@@ -18,8 +23,16 @@ fn uplift_direction_is_seed_stable() {
     for obs in runs() {
         let t5 = bids::table5(obs);
         let (vanilla, _) = t5.get("Vanilla").unwrap();
-        let above = t5.rows.iter().filter(|r| r.0 != "Vanilla" && r.1 > vanilla).count();
-        assert!(above >= 8, "seed {}: only {above}/9 above vanilla", obs.seed);
+        let above = t5
+            .rows
+            .iter()
+            .filter(|r| r.0 != "Vanilla" && r.1 > vanilla)
+            .count();
+        assert!(
+            above >= 8,
+            "seed {}: only {above}/9 above vanilla",
+            obs.seed
+        );
     }
 }
 
@@ -34,7 +47,11 @@ fn significance_split_is_seed_stable() {
             obs.seed
         );
         // The strongest planted categories always separate.
-        assert!(sig.contains(&"Pets & Animals"), "seed {}: {sig:?}", obs.seed);
+        assert!(
+            sig.contains(&"Pets & Animals"),
+            "seed {}: {sig:?}",
+            obs.seed
+        );
         assert!(sig.contains(&"Connected Car"), "seed {}: {sig:?}", obs.seed);
         // At least two of the three weak categories stay non-significant.
         let weak_ns = ["Smart Home", "Wine & Beverages", "Health & Fitness"]
@@ -60,7 +77,12 @@ fn policy_marginals_are_seed_exact() {
     for obs in runs() {
         let s = policy::policy_stats(obs);
         assert_eq!(
-            (s.with_link, s.retrievable, s.mention_platform, s.link_platform_policy),
+            (
+                s.with_link,
+                s.retrievable,
+                s.mention_platform,
+                s.link_platform_policy
+            ),
             (214, 188, 59, 10),
             "seed {}",
             obs.seed
@@ -72,7 +94,13 @@ fn policy_marginals_are_seed_exact() {
 fn dsar_missing_files_are_seed_exact() {
     for obs in runs() {
         let t12 = profiling::table12(obs);
-        assert_eq!(t12.missing_files.len(), 5, "seed {}: {:?}", obs.seed, t12.missing_files);
+        assert_eq!(
+            t12.missing_files.len(),
+            5,
+            "seed {}: {:?}",
+            obs.seed,
+            t12.missing_files
+        );
     }
 }
 
@@ -92,7 +120,15 @@ fn validation_f1_band_is_seed_stable() {
 #[test]
 fn different_seeds_produce_different_bid_corpora() {
     // Guard against accidentally ignoring the seed somewhere.
-    let a: f64 = runs()[0].crawl["Vanilla"].iter().flat_map(|v| v.bids.iter()).map(|b| b.cpm).sum();
-    let b: f64 = runs()[1].crawl["Vanilla"].iter().flat_map(|v| v.bids.iter()).map(|b| b.cpm).sum();
+    let a: f64 = runs()[0].crawl["Vanilla"]
+        .iter()
+        .flat_map(|v| v.bids.iter())
+        .map(|b| b.cpm)
+        .sum();
+    let b: f64 = runs()[1].crawl["Vanilla"]
+        .iter()
+        .flat_map(|v| v.bids.iter())
+        .map(|b| b.cpm)
+        .sum();
     assert_ne!(a, b);
 }
