@@ -17,7 +17,14 @@ import sys
 
 def load_entries(path):
     entries = []
-    with open(path) as fh:
+    try:
+        fh = open(path)
+    except OSError as e:
+        sys.exit(
+            f"error: cannot read bench file {path!r}: {e.strerror or e}\n"
+            "(run `repro --bench` to produce it, or check the CI snapshot step)"
+        )
+    with fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
@@ -31,6 +38,16 @@ def load_entries(path):
 
 def key(entry):
     return (entry.get("seed"), entry.get("jobs"))
+
+
+def total_ms(entry, path, what):
+    try:
+        return entry["total_ms"]
+    except (KeyError, TypeError):
+        sys.exit(
+            f"error: {what} entry in {path} has no 'total_ms' field "
+            f"(keys: {sorted(entry) if isinstance(entry, dict) else type(entry).__name__})"
+        )
 
 
 def main():
@@ -63,23 +80,32 @@ def main():
         label = f"seed={k[0]} jobs={k[1]}"
         if base is None:
             print(f"{label}: no committed baseline, recording "
-                  f"{entry['total_ms']} ms (not gated)")
+                  f"{total_ms(entry, args.current, 'fresh')} ms (not gated)")
             continue
-        ratio = entry["total_ms"] / base["total_ms"] if base["total_ms"] else float("inf")
+        entry_total = total_ms(entry, args.current, "fresh")
+        base_total = total_ms(base, args.baseline, "baseline")
+        ratio = entry_total / base_total if base_total else float("inf")
         verdict = "ok" if ratio <= 1 + args.threshold else "REGRESSION"
-        print(f"{label}: {base['total_ms']} ms -> {entry['total_ms']} ms "
+        print(f"{label}: {base_total} ms -> {entry_total} ms "
               f"({ratio - 1:+.1%} vs baseline) {verdict}")
-        for stage, ms in entry.get("stages", {}).items():
-            base_ms = base.get("stages", {}).get(stage)
+        entry_stages = entry.get("stages", {})
+        base_stages = base.get("stages", {})
+        for stage, ms in entry_stages.items():
+            base_ms = base_stages.get(stage)
             if base_ms is not None:
                 print(f"  {stage}: {base_ms} ms -> {ms} ms")
+        gone = sorted(set(base_stages) - set(entry_stages))
+        if gone:
+            print(f"{label}: stage(s) present in baseline but missing from "
+                  f"candidate: {', '.join(gone)}")
+            failures.append(f"{label} (missing stages: {', '.join(gone)})")
         if verdict == "REGRESSION":
             failures.append(label)
 
     if failures:
         sys.exit(
-            f"total wall time regressed >{args.threshold:.0%} vs committed "
-            f"baseline for: {', '.join(failures)}"
+            f"bench gate failed (total_ms regression >{args.threshold:.0%} "
+            f"or missing stages) for: {'; '.join(failures)}"
         )
     print("bench gate passed")
 

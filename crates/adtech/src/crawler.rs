@@ -18,6 +18,7 @@ use crate::identity::BrowserProfile;
 use crate::sync::{SyncGraph, AMAZON_AD_ORG};
 use crate::website::Website;
 use crate::Creative;
+use alexa_fault::{FaultChannel, FaultPlane};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,6 +56,7 @@ pub struct Crawler {
     sync_graph: SyncGraph,
     /// Probability a slot loads during a visit.
     pub slot_load_rate: f64,
+    fault: FaultPlane,
 }
 
 impl Crawler {
@@ -65,7 +67,15 @@ impl Crawler {
             adserver: AdServer::new(),
             sync_graph,
             slot_load_rate: 0.8,
+            fault: FaultPlane::disabled(),
         }
+    }
+
+    /// Route bid collection through a fault plane ([`FaultChannel::BidLoss`]).
+    /// An inactive plane leaves every visit untouched.
+    pub fn with_fault_plane(mut self, plane: FaultPlane) -> Crawler {
+        self.fault = plane;
+        self
     }
 
     /// Visit one site as a persona and record the observables.
@@ -85,6 +95,40 @@ impl Crawler {
         alexa_obs::agg_count("crawler.creatives", record.creatives.len() as u64);
         alexa_obs::agg_count("crawler.syncs", record.syncs.len() as u64);
         record
+    }
+
+    /// Like [`Crawler::visit`], but applies the fault plane's bid-loss
+    /// channel and reports how many bid responses were lost.
+    ///
+    /// Losses are keyed by `(persona, site, iteration, bid index)` — the
+    /// bid order inside a visit is deterministic, so the same bids vanish
+    /// on every run regardless of `--jobs`. The filter runs *after* the
+    /// visit's RNG streams finish, so injected losses never perturb the
+    /// auction itself.
+    pub fn visit_with_faults(
+        &self,
+        site: &Website,
+        profile: &mut BrowserProfile,
+        user: &UserState,
+        iteration: usize,
+        seed: u64,
+    ) -> (VisitRecord, u64) {
+        let mut record = self.visit(site, profile, user, iteration, seed);
+        let mut lost = 0u64;
+        if self.fault.is_active() {
+            let before = record.bids.len();
+            let persona = profile.persona.clone();
+            let domain = site.domain.as_str();
+            let mut idx = 0usize;
+            record.bids.retain(|_| {
+                let key = format!("{persona}/{domain}/{iteration}/{idx}");
+                idx += 1;
+                !self.fault.fires(FaultChannel::BidLoss, &key)
+            });
+            lost = (before - record.bids.len()) as u64;
+            alexa_obs::agg_count("fault.bid_loss", lost);
+        }
+        (record, lost)
     }
 
     /// The visit itself, free of observability hooks. Recording happens in
@@ -237,6 +281,47 @@ mod tests {
         let b = crawler.visit(site, &mut p2, &user, 3, 42);
         assert_eq!(a.bids, b.bids);
         assert_eq!(a.syncs, b.syncs);
+    }
+
+    #[test]
+    fn faulted_visits_lose_bids_deterministically() {
+        use alexa_fault::FaultProfile;
+        let (crawler, web) = setup();
+        let crawler = crawler.with_fault_plane(FaultPlane::new(7, FaultProfile::hostile()));
+        let user = UserState::blank("t");
+        let run = || {
+            let mut profile = BrowserProfile::fresh("t", 1, None);
+            let mut bids = Vec::new();
+            let mut lost = 0;
+            for site in web.prebid_sites(10) {
+                let (rec, l) = crawler.visit_with_faults(site, &mut profile, &user, 2, 42);
+                bids.extend(rec.bids);
+                lost += l;
+            }
+            (bids, lost)
+        };
+        let (bids_a, lost_a) = run();
+        let (bids_b, lost_b) = run();
+        assert_eq!(bids_a, bids_b);
+        assert_eq!(lost_a, lost_b);
+        assert!(lost_a > 0, "hostile profile must lose bids");
+        assert!(
+            !bids_a.is_empty(),
+            "hostile profile must not lose everything"
+        );
+    }
+
+    #[test]
+    fn inactive_fault_plane_loses_nothing() {
+        let (crawler, web) = setup();
+        let site = web.prebid_sites(1)[0];
+        let user = UserState::blank("t");
+        let mut p1 = BrowserProfile::fresh("t", 1, None);
+        let mut p2 = BrowserProfile::fresh("t", 1, None);
+        let plain = crawler.visit(site, &mut p1, &user, 3, 42);
+        let (gated, lost) = crawler.visit_with_faults(site, &mut p2, &user, 3, 42);
+        assert_eq!(plain.bids, gated.bids);
+        assert_eq!(lost, 0);
     }
 
     #[test]

@@ -19,6 +19,12 @@ use alexa_stats::{
     benjamini_hochberg, holm_bonferroni, mann_whitney_u, Alternative, EffectMagnitude, MwuMethod,
 };
 
+/// Minimum per-group sample size below which a significance test refuses to
+/// run. Under heavy injected faults the common-slot sample can collapse; a
+/// U test on a handful of slots would report noise as evidence, so the
+/// tables record the refusal instead.
+pub const MIN_SAMPLES: usize = 5;
+
 /// Multiple-testing correction to apply over a table's p-value family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Correction {
@@ -33,6 +39,8 @@ pub enum Correction {
 pub struct Table7 {
     /// (persona, p-value, effect size, magnitude band).
     pub rows: Vec<(String, f64, f64, EffectMagnitude)>,
+    /// Personas whose test refused to run: (persona, smaller group size).
+    pub skipped: Vec<(String, usize)>,
     /// Significance threshold used (paper: 0.05).
     pub alpha: f64,
 }
@@ -42,26 +50,34 @@ pub fn table7(obs: &Observations) -> Table7 {
     let personas = Persona::echo_personas();
     let slots = common_slots(obs, &personas, obs.post_window());
     let vanilla = slot_means(obs, Persona::Vanilla, obs.post_window(), &slots);
-    let rows = SkillCategory::ALL
-        .iter()
-        .map(|&cat| {
-            let treated = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
-            let r = mann_whitney_u(
-                &treated,
-                &vanilla,
-                Alternative::Greater,
-                MwuMethod::Asymptotic,
-            )
-            .expect("non-empty samples");
-            (
-                cat.label().to_string(),
-                r.p_value,
-                r.effect_size,
-                EffectMagnitude::classify(r.effect_size),
-            )
-        })
-        .collect();
-    Table7 { rows, alpha: 0.05 }
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for &cat in SkillCategory::ALL.iter() {
+        let treated = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+        let n = treated.len().min(vanilla.len());
+        if n < MIN_SAMPLES {
+            skipped.push((cat.label().to_string(), n));
+            continue;
+        }
+        let r = mann_whitney_u(
+            &treated,
+            &vanilla,
+            Alternative::Greater,
+            MwuMethod::Asymptotic,
+        )
+        .expect("samples checked against MIN_SAMPLES");
+        rows.push((
+            cat.label().to_string(),
+            r.p_value,
+            r.effect_size,
+            EffectMagnitude::classify(r.effect_size),
+        ));
+    }
+    Table7 {
+        rows,
+        skipped,
+        alpha: 0.05,
+    }
 }
 
 impl Table7 {
@@ -113,7 +129,13 @@ impl Table7 {
                 mag.to_string(),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        for (persona, n) in &self.skipped {
+            out.push_str(&format!(
+                "  {persona}: test refused — insufficient samples (n={n} < {MIN_SAMPLES})\n"
+            ));
+        }
+        out
     }
 }
 
@@ -123,6 +145,8 @@ pub struct Table11 {
     /// Rows: (echo persona, p vs Web Health, p vs Web Science,
     /// p vs Web Computers).
     pub rows: Vec<(String, f64, f64, f64)>,
+    /// Personas whose tests refused to run: (persona, smallest group size).
+    pub skipped: Vec<(String, usize)>,
     /// Significance threshold used.
     pub alpha: f64,
 }
@@ -135,22 +159,31 @@ pub fn table11(obs: &Observations) -> Table11 {
         .iter()
         .map(|&p| slot_means(obs, p, obs.post_window(), &slots))
         .collect();
-    let rows = SkillCategory::ALL
-        .iter()
-        .map(|&cat| {
-            let echo = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
-            let ps: Vec<f64> = web
-                .iter()
-                .map(|w| {
-                    mann_whitney_u(&echo, w, Alternative::TwoSided, MwuMethod::Asymptotic)
-                        .expect("non-empty samples")
-                        .p_value
-                })
-                .collect();
-            (cat.label().to_string(), ps[0], ps[1], ps[2])
-        })
-        .collect();
-    Table11 { rows, alpha: 0.05 }
+    let web_min = web.iter().map(Vec::len).min().unwrap_or(0);
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for &cat in SkillCategory::ALL.iter() {
+        let echo = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+        let n = echo.len().min(web_min);
+        if n < MIN_SAMPLES {
+            skipped.push((cat.label().to_string(), n));
+            continue;
+        }
+        let ps: Vec<f64> = web
+            .iter()
+            .map(|w| {
+                mann_whitney_u(&echo, w, Alternative::TwoSided, MwuMethod::Asymptotic)
+                    .expect("samples checked against MIN_SAMPLES")
+                    .p_value
+            })
+            .collect();
+        rows.push((cat.label().to_string(), ps[0], ps[1], ps[2]));
+    }
+    Table11 {
+        rows,
+        skipped,
+        alpha: 0.05,
+    }
 }
 
 impl Table11 {
@@ -189,7 +222,13 @@ impl Table11 {
                 format!("{c:.3}"),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        for (persona, n) in &self.skipped {
+            out.push_str(&format!(
+                "  {persona}: tests refused — insufficient samples (n={n} < {MIN_SAMPLES})\n"
+            ));
+        }
+        out
     }
 }
 
@@ -268,5 +307,21 @@ mod tests {
     fn renders() {
         assert!(table7(obs()).render().contains("p-value"));
         assert!(table11(obs()).render().contains("Computers"));
+    }
+
+    #[test]
+    fn tests_refuse_below_minimum_samples() {
+        // An empty observation set has no common slots at all; every test
+        // must refuse (and say so) instead of running on noise or panicking.
+        let empty = Observations::default();
+        let t7 = table7(&empty);
+        assert!(t7.rows.is_empty());
+        assert_eq!(t7.skipped.len(), 9);
+        assert!(t7.significant().is_empty());
+        assert!(t7.render().contains("insufficient samples"));
+        let t11 = table11(&empty);
+        assert!(t11.rows.is_empty());
+        assert_eq!(t11.significant_pairs(), 0);
+        assert!(t11.render().contains("insufficient samples"));
     }
 }

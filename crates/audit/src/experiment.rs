@@ -45,13 +45,17 @@ use alexa_adtech::{
     Website,
 };
 use alexa_exec::par_map;
-use alexa_net::{AvsTap, Capture, OrgMap, RouterTap};
+use alexa_fault::{
+    retry, Coverage, CoverageReport, FaultChannel, FaultLedger, FaultPlane, FaultProfile,
+    RetryBudget, RetryOutcome, RetryPolicy,
+};
+use alexa_net::{AvsTap, Capture, OrgMap, RouterTap, TapStats};
 use alexa_obs::{Recorder, ShardLog};
 use alexa_platform::storepage::{parse_invocation, parse_sample_utterances, render_store_page};
 use alexa_platform::{
-    AlexaCloud, AvsEcho, DsarExport, DsarPhase, EchoDevice, Marketplace, SkillCategory,
+    AlexaCloud, AvsEcho, DeviceError, DsarExport, DsarPhase, EchoDevice, Marketplace, SkillCategory,
 };
-use alexa_policy::PolicyGenerator;
+use alexa_policy::PolicyFetcher;
 
 /// User-side defenses from the paper's §8.1, applied during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +97,9 @@ pub struct AuditConfig {
     pub utterances_per_skill: usize,
     /// User-side defense active during the run (§8.1 evaluation).
     pub defense: DefenseMode,
+    /// Fault profile driving the deterministic fault plane. `none()` (the
+    /// default) reproduces the pre-fault-plane pipeline byte for byte.
+    pub fault: FaultProfile,
     /// Worker threads for the sharded engine: `None` = one per hardware
     /// thread, `Some(1)` = fully sequential. The produced [`Observations`]
     /// are byte-identical for every value.
@@ -112,6 +119,7 @@ impl AuditConfig {
             audio_hours: 6.0,
             utterances_per_skill: 4,
             defense: DefenseMode::None,
+            fault: FaultProfile::none(),
             jobs: None,
         }
     }
@@ -128,6 +136,7 @@ impl AuditConfig {
             audio_hours: 1.0,
             utterances_per_skill: 2,
             defense: DefenseMode::None,
+            fault: FaultProfile::none(),
             jobs: None,
         }
     }
@@ -135,6 +144,12 @@ impl AuditConfig {
     /// The same configuration with a defense enabled.
     pub fn with_defense(mut self, defense: DefenseMode) -> AuditConfig {
         self.defense = defense;
+        self
+    }
+
+    /// The same configuration with a fault profile enabled.
+    pub fn with_faults(mut self, fault: FaultProfile) -> AuditConfig {
+        self.fault = fault;
         self
     }
 
@@ -198,6 +213,47 @@ struct PersonaShard {
     crawl: Vec<alexa_adtech::VisitRecord>,
     /// Audio transcripts per streaming service (audio personas only).
     audio: Vec<(StreamingService, Vec<String>)>,
+    /// Injected-fault and retry accounting for this shard.
+    ledger: FaultLedger,
+    /// Skill installs: observed successes / planned.
+    installs: Coverage,
+    /// Skill interactions (utterances): observed / planned.
+    interactions: Coverage,
+    /// Crawl visits: observed / planned.
+    visits: Coverage,
+}
+
+/// Everything one AVS-category shard produces.
+struct AvsShard {
+    captures: Vec<Capture>,
+    ledger: FaultLedger,
+    /// Skills whose plaintext pass completed: observed / planned.
+    skills: Coverage,
+}
+
+/// Fold a retried device operation into a shard ledger.
+///
+/// Injected faults and retries always count. Only *transient* final failures
+/// count as losses: a modeled failure (`fails_to_load`, `NotAwake`, …) is
+/// pipeline behavior, not a fault — its final attempt was not injected.
+fn absorb_outcome<T>(
+    ledger: &mut FaultLedger,
+    channel: FaultChannel,
+    out: &RetryOutcome<T, DeviceError>,
+) {
+    if out.succeeded() || matches!(&out.result, Err(e) if e.is_transient()) {
+        ledger.record(channel, out);
+    } else {
+        ledger.inject(channel, u64::from(out.retries));
+        ledger.retries += u64::from(out.retries);
+        ledger.backoff_ms += out.backoff_ms;
+    }
+}
+
+/// Fold a tap's packet-level fault counters into a shard ledger.
+fn absorb_tap(ledger: &mut FaultLedger, stats: &TapStats) {
+    ledger.inject(FaultChannel::PacketDrop, stats.dropped as u64);
+    ledger.inject(FaultChannel::FlowTruncation, stats.truncated as u64);
 }
 
 /// Run one persona's complete timeline against its own cloud + device stack.
@@ -209,17 +265,21 @@ struct PersonaShard {
 /// `log` is the shard's private event log (span taxonomy in DESIGN.md §9).
 /// Recording never reads or advances any RNG, so the produced shard is
 /// byte-identical whether the log is enabled or not.
+#[allow(clippy::too_many_arguments)]
 fn run_persona_shard(
     config: &AuditConfig,
     market: &Marketplace,
     crawler: &Crawler,
     sites: &[&Website],
+    plane: &FaultPlane,
     persona: Persona,
     all_index: usize,
     log: &mut ShardLog,
 ) -> PersonaShard {
     let mut out = PersonaShard::default();
     let account = persona.account();
+    let rpolicy = RetryPolicy::standard();
+    let mut budget = RetryBudget::new(plane.profile().retry_budget());
     // Per-shard cloud: the profiler only ever holds per-account state and no
     // persona reads another's account, so giving each shard its own cloud
     // preserves every observable relationship while removing all sharing.
@@ -228,8 +288,12 @@ fn run_persona_shard(
         .into_iter()
         .position(|p| p == persona);
     let (mut device, mut tap, mut profile) = log.span("boot", |_| {
-        let device = echo_index.map(|i| EchoDevice::new(&account, config.seed ^ (i as u64 + 1)));
-        let tap = RouterTap::new();
+        let device = echo_index.map(|i| {
+            let mut d = EchoDevice::new(&account, config.seed ^ (i as u64 + 1));
+            d.set_fault_plane(plane.clone());
+            d
+        });
+        let tap = RouterTap::with_faults(plane.clone());
         let profile = BrowserProfile::fresh(&persona.name(), all_index as u8 + 1, Some(&account));
         (device, tap, profile)
     });
@@ -238,9 +302,23 @@ fn run_persona_shard(
     log.span("install", |_| {
         if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
             for skill in market.top_skills(cat, config.skills_per_category) {
+                out.installs.expected += 1;
                 tap.start(skill.id.0.clone());
-                match device.install(&mut cloud, skill) {
-                    Ok(packets) => tap.observe_batch(apply_defense(config.defense, packets)),
+                let key = format!("{account}/install/{}", skill.id.0);
+                let attempt = retry(
+                    &rpolicy,
+                    &mut budget,
+                    config.seed,
+                    &key,
+                    |_| device.install(&mut cloud, skill),
+                    DeviceError::is_transient,
+                );
+                absorb_outcome(&mut out.ledger, FaultChannel::InstallFailure, &attempt);
+                match attempt.result {
+                    Ok(packets) => {
+                        out.installs.observed += 1;
+                        tap.observe_batch(apply_defense(config.defense, packets));
+                    }
                     Err(_) => out.failed_installs.push(skill.id.0.clone()),
                 }
                 tap.stop();
@@ -261,13 +339,19 @@ fn run_persona_shard(
 
     // ---- Pre-interaction crawls ------------------------------------------
     log.span("crawl.pre", |_| {
-        for iteration in 0..config.pre_iterations {
-            let user = user_state(persona, &cloud);
-            for site in sites {
-                out.crawl
-                    .push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
-            }
-        }
+        crawl_window(
+            config,
+            crawler,
+            sites,
+            plane,
+            &rpolicy,
+            &mut budget,
+            persona,
+            &cloud,
+            &mut profile,
+            &mut out,
+            0..config.pre_iterations,
+        );
     });
 
     // ---- Interaction phase -----------------------------------------------
@@ -282,9 +366,28 @@ fn run_persona_shard(
                     .iter()
                     .take(config.utterances_per_skill)
                 {
+                    out.interactions.expected += 1;
                     let spoken = format!("Alexa, {utterance}");
-                    if let Ok(packets) = device.interact(&mut cloud, skill, &spoken) {
-                        tap.observe_batch(apply_defense(config.defense, packets));
+                    let key = format!("{account}/interact/{}/{utterance}", skill.id.0);
+                    let attempt = retry(
+                        &rpolicy,
+                        &mut budget,
+                        config.seed,
+                        &key,
+                        |_| device.interact(&mut cloud, skill, &spoken),
+                        DeviceError::is_transient,
+                    );
+                    absorb_outcome(&mut out.ledger, FaultChannel::InteractionFailure, &attempt);
+                    match attempt.result {
+                        Ok(packets) => {
+                            out.interactions.observed += 1;
+                            tap.observe_batch(apply_defense(config.defense, packets));
+                        }
+                        // Injected outage survived retry: the utterance is lost.
+                        Err(e) if e.is_transient() => {}
+                        // Modeled behavior (e.g. the device didn't wake): the
+                        // interaction happened and was observed to do nothing.
+                        Err(_) => out.interactions.observed += 1,
                     }
                 }
                 tap.stop();
@@ -305,13 +408,19 @@ fn run_persona_shard(
 
     // ---- Post-interaction crawls -----------------------------------------
     log.span("crawl.post", |_| {
-        for iteration in config.pre_iterations..config.pre_iterations + config.post_iterations {
-            let user = user_state(persona, &cloud);
-            for site in sites {
-                out.crawl
-                    .push(crawler.visit(site, &mut profile, &user, iteration, config.seed));
-            }
-        }
+        crawl_window(
+            config,
+            crawler,
+            sites,
+            plane,
+            &rpolicy,
+            &mut budget,
+            persona,
+            &cloud,
+            &mut profile,
+            &mut out,
+            config.pre_iterations..config.pre_iterations + config.post_iterations,
+        );
     });
     // Third DSAR: second request after interaction.
     if persona.has_echo() {
@@ -379,7 +488,79 @@ fn run_persona_shard(
         out.audio.iter().map(|(_, t)| t.len() as u64).sum(),
     );
 
+    absorb_tap(&mut out.ledger, &tap_stats);
+    // Circuit breaker: an exhausted retry budget marks the shard degraded —
+    // the run completes and reports reduced coverage instead of panicking.
+    out.ledger.degraded = budget.exhausted();
+    if plane.is_active() {
+        log.add("fault.injected", out.ledger.total_injected());
+        log.add("fault.retries", out.ledger.retries);
+        log.add("fault.losses", out.ledger.losses);
+    }
+
     out
+}
+
+/// One crawl window (pre- or post-interaction) for a persona shard.
+///
+/// With an inactive plane this is byte-for-byte the original crawl loop.
+/// With faults active, each visit retries under the shard budget when the
+/// `crawl_timeout` channel fires, and surviving visits pass through the
+/// crawler's bid-loss filter.
+#[allow(clippy::too_many_arguments)]
+fn crawl_window(
+    config: &AuditConfig,
+    crawler: &Crawler,
+    sites: &[&Website],
+    plane: &FaultPlane,
+    rpolicy: &RetryPolicy,
+    budget: &mut RetryBudget,
+    persona: Persona,
+    cloud: &AlexaCloud,
+    profile: &mut BrowserProfile,
+    out: &mut PersonaShard,
+    window: std::ops::Range<usize>,
+) {
+    for iteration in window {
+        let user = user_state(persona, cloud);
+        for site in sites {
+            out.visits.expected += 1;
+            if !plane.is_active() {
+                out.visits.observed += 1;
+                out.crawl
+                    .push(crawler.visit(site, profile, &user, iteration, config.seed));
+                continue;
+            }
+            let key = format!(
+                "{}/crawl/{}/{iteration}",
+                persona.name(),
+                site.domain.as_str()
+            );
+            let attempt = retry(
+                rpolicy,
+                budget,
+                config.seed,
+                &key,
+                |n| {
+                    if plane.fires(FaultChannel::CrawlTimeout, &format!("{key}#{n}")) {
+                        Err(())
+                    } else {
+                        Ok(crawler.visit_with_faults(site, profile, &user, iteration, config.seed))
+                    }
+                },
+                |_: &()| true,
+            );
+            out.ledger.record(FaultChannel::CrawlTimeout, &attempt);
+            if let Ok((record, lost_bids)) = attempt.result {
+                out.visits.observed += 1;
+                out.ledger.inject(FaultChannel::BidLoss, lost_bids);
+                if lost_bids > 0 {
+                    out.ledger.losses += lost_bids;
+                }
+                out.crawl.push(record);
+            }
+        }
+    }
 }
 
 /// The AVS Echo plaintext pass for one skill category (§3.2), with its own
@@ -387,27 +568,55 @@ fn run_persona_shard(
 fn run_avs_shard(
     config: &AuditConfig,
     market: &Marketplace,
+    plane: &FaultPlane,
     cat_index: usize,
     cat: SkillCategory,
     log: &mut ShardLog,
-) -> Vec<Capture> {
+) -> AvsShard {
     let mut cloud = AlexaCloud::new();
     let mut avs = AvsEcho::new(
         "avs-lab",
         config.seed ^ 0xa5a5 ^ ((cat_index as u64 + 1) << 32),
     );
-    let mut tap = AvsTap::new();
+    avs.set_fault_plane(plane.clone());
+    let mut tap = AvsTap::with_faults(plane.clone());
+    let rpolicy = RetryPolicy::standard();
+    let mut budget = RetryBudget::new(plane.profile().retry_budget());
+    let mut ledger = FaultLedger::new();
+    let mut skills_cov = Coverage::default();
     log.span("skills", |_| {
         for skill in market.top_skills(cat, config.skills_per_category) {
+            skills_cov.expected += 1;
             tap.start(skill.id.0.clone());
-            if let Ok(install_packets) = avs.install(&mut cloud, skill) {
+            let key = format!("avs/{}/install", skill.id.0);
+            let attempt = retry(
+                &rpolicy,
+                &mut budget,
+                config.seed,
+                &key,
+                |_| avs.install(&mut cloud, skill),
+                DeviceError::is_transient,
+            );
+            absorb_outcome(&mut ledger, FaultChannel::InstallFailure, &attempt);
+            if let Ok(install_packets) = attempt.result {
+                skills_cov.observed += 1;
                 tap.observe_batch(apply_defense(config.defense, install_packets));
                 for utterance in scraped_script(skill)
                     .iter()
                     .take(config.utterances_per_skill)
                 {
                     let spoken = format!("Alexa, {utterance}");
-                    if let Ok(packets) = avs.interact(&mut cloud, skill, &spoken) {
+                    let key = format!("avs/{}/interact/{utterance}", skill.id.0);
+                    let attempt = retry(
+                        &rpolicy,
+                        &mut budget,
+                        config.seed,
+                        &key,
+                        |_| avs.interact(&mut cloud, skill, &spoken),
+                        DeviceError::is_transient,
+                    );
+                    absorb_outcome(&mut ledger, FaultChannel::InteractionFailure, &attempt);
+                    if let Ok(packets) = attempt.result {
                         tap.observe_batch(apply_defense(config.defense, packets));
                     }
                 }
@@ -421,7 +630,18 @@ fn run_avs_shard(
     log.add("tap.sessions", stats.sessions as u64);
     log.add("tap.flows", stats.packets as u64);
     log.add("tap.bytes", stats.bytes as u64);
-    tap.into_captures()
+    absorb_tap(&mut ledger, &stats);
+    ledger.degraded = budget.exhausted();
+    if plane.is_active() {
+        log.add("fault.injected", ledger.total_injected());
+        log.add("fault.retries", ledger.retries);
+        log.add("fault.losses", ledger.losses);
+    }
+    AvsShard {
+        captures: tap.into_captures(),
+        ledger,
+        skills: skills_cov,
+    }
 }
 
 /// The experiment driver.
@@ -447,6 +667,9 @@ impl AuditRun {
     /// (enforced by `crates/audit/tests/observability.rs`).
     pub fn execute_with(config: AuditConfig, rec: &Recorder) -> Observations {
         let config = &config;
+        // The fault plane's seed is derived from (not equal to) the master
+        // seed so fault decisions never correlate with simulation draws.
+        let plane = FaultPlane::new(config.seed ^ 0xfa417, config.fault.clone());
         let market = rec.stage("marketplace", || Marketplace::generate(config.seed));
         let mut orgs = OrgMap::new();
         market.register_orgs(&mut orgs);
@@ -475,15 +698,20 @@ impl AuditRun {
             .collect();
 
         // ---- AVS Echo plaintext pass, one shard per category (§3.2) -----
-        let avs_captures = rec.stage("avs-pass", || {
+        let avs_shards = rec.stage("avs-pass", || {
             par_map(config.jobs, SkillCategory::ALL.to_vec(), |ci, cat| {
                 let mut log = rec.shard("avs", ci, cat.label());
-                let captures = run_avs_shard(config, &market, ci, cat, &mut log);
+                let shard = run_avs_shard(config, &market, &plane, ci, cat, &mut log);
                 rec.submit(log);
-                captures
+                shard
             })
         });
-        obs.avs_captures = avs_captures.into_iter().flatten().collect();
+        let mut coverage = CoverageReport::new(config.fault.name());
+        for (cat, shard) in SkillCategory::ALL.iter().zip(avs_shards) {
+            coverage.section("avs.skills").merge(shard.skills);
+            coverage.merge_ledger(&format!("avs/{}", cat.label()), &shard.ledger);
+            obs.avs_captures.extend(shard.captures);
+        }
 
         // ---- Shared read-only web + ad ecosystem -------------------------
         let (web, crawler) = rec.stage("web-ecosystem", || {
@@ -501,8 +729,9 @@ impl AuditRun {
         let shards = rec.stage("persona-shards", || {
             par_map(config.jobs, Persona::all(), |i, persona| {
                 let mut log = rec.shard("persona", i, &persona.name());
-                let shard =
-                    run_persona_shard(config, &market, &crawler, &sites, persona, i, &mut log);
+                let shard = run_persona_shard(
+                    config, &market, &crawler, &sites, &plane, persona, i, &mut log,
+                );
                 rec.submit(log);
                 shard
             })
@@ -526,19 +755,49 @@ impl AuditRun {
                 for (service, transcripts) in shard.audio {
                     obs.audio.insert((name.clone(), service), transcripts);
                 }
+                coverage.section("skill.installs").merge(shard.installs);
+                coverage
+                    .section("skill.interactions")
+                    .merge(shard.interactions);
+                coverage.section("crawl.visits").merge(shard.visits);
+                coverage.merge_ledger(&name, &shard.ledger);
             }
         });
 
         // ---- Policy download ---------------------------------------------
-        obs.policies = rec.stage("policy-download", || {
-            let generator = PolicyGenerator::new();
+        let (policies, policy_cov, policy_ledger) = rec.stage("policy-download", || {
+            let fetcher = PolicyFetcher::new(config.seed, plane.clone());
             let skills: Vec<&alexa_platform::Skill> = market.all().iter().collect();
-            let policies = par_map(config.jobs, skills, |_, skill| {
-                (skill.id.0.clone(), generator.render(skill))
+            let fetched = par_map(config.jobs, skills, |_, skill| {
+                (skill.id.0.clone(), fetcher.fetch(skill))
             });
-            policies.into_iter().collect()
+            let mut cov = Coverage::default();
+            let mut ledger = FaultLedger::new();
+            let mut map = std::collections::BTreeMap::new();
+            for (id, outcome) in fetched {
+                cov.expected += 1;
+                ledger.record(FaultChannel::PolicyDownload, &outcome);
+                // A lost download omits the catalog entry entirely;
+                // `Ok(None)` is the modeled "no retrievable policy" answer
+                // and counts as observed.
+                if let Ok(doc) = outcome.result {
+                    cov.observed += 1;
+                    map.insert(id, doc);
+                }
+            }
+            (map, cov, ledger)
         });
+        obs.policies = policies;
         rec.count("policy.documents", obs.policies.len() as u64);
+        coverage.section("policy.downloads").merge(policy_cov);
+        coverage.merge_ledger("policy", &policy_ledger);
+
+        if plane.is_active() {
+            rec.count("fault.injected", coverage.total_injected());
+            rec.count("fault.retries", coverage.retries);
+            rec.count("fault.losses", coverage.losses);
+        }
+        obs.coverage = coverage;
 
         obs
     }

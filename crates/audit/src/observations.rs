@@ -9,6 +9,7 @@
 
 use crate::persona::Persona;
 use alexa_adtech::{StreamingService, VisitRecord};
+use alexa_fault::CoverageReport;
 use alexa_net::{Capture, OrgMap};
 use alexa_platform::{DsarExport, DsarPhase, SkillCategory};
 use alexa_policy::PolicyDoc;
@@ -66,6 +67,9 @@ pub struct Observations {
     /// The auditor's domain→organization database (DuckDuckGo entities +
     /// Crunchbase + WHOIS in the paper; observable public information).
     pub orgs: OrgMap,
+    /// Coverage accounting for the run: observed/expected per pipeline
+    /// section, injected-fault and retry totals, degraded shards.
+    pub coverage: CoverageReport,
 }
 
 impl Observations {
@@ -146,6 +150,13 @@ impl Observations {
             self.orgs.entries_sorted(),
         )
         .expect("infallible writer");
+        // Coverage joins the digest only for faulted runs: the `none`
+        // profile must stay byte-identical to pre-fault-plane baselines,
+        // while any active profile holds its coverage accounting to the
+        // same jobs-independence contract as the observables.
+        if self.coverage.profile != "none" {
+            write!(w, "|{:?}", self.coverage).expect("infallible writer");
+        }
         w.0
     }
 }

@@ -16,14 +16,45 @@ pub fn full_report(obs: &Observations) -> String {
         "ECHO AUDIT REPORT (seed {}, {} pre + {} post crawl iterations)\n",
         obs.seed, obs.pre_iterations, obs.post_iterations
     ));
+    push(obs.coverage.render());
+
+    // Each research-question section opens with the observed/expected counts
+    // of the pipeline stages its tables are computed from, so a degraded run
+    // is readable as such next to every result.
+    let section_note = |keys: &[&str]| -> String {
+        let parts: Vec<String> = keys
+            .iter()
+            .filter_map(|k| {
+                obs.coverage.sections.get(*k).map(|c| {
+                    format!(
+                        "{k} {}/{} ({:.1}%)",
+                        c.observed,
+                        c.expected,
+                        c.ratio() * 100.0
+                    )
+                })
+            })
+            .collect();
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("[section coverage — {}]\n", parts.join(", "))
+        }
+    };
 
     push("== RQ1: Which organizations collect and propagate user data? ==\n".into());
+    push(section_note(&[
+        "avs.skills",
+        "skill.installs",
+        "skill.interactions",
+    ]));
     push(traffic::table1(obs).render());
     push(traffic::table2(obs).render());
     push(traffic::table3(obs).render());
     push(traffic::table4(obs).render());
 
     push("== RQ2: Is voice data used beyond functional purposes? ==\n".into());
+    push(section_note(&["crawl.visits", "skill.interactions"]));
     push(bids::table5(obs).render());
     push(bids::table6(obs).render());
     push(bids::figure3(obs).render());
@@ -41,6 +72,7 @@ pub fn full_report(obs: &Observations) -> String {
     push(bids::render_table5_cis(&bids::table5_median_cis(obs)));
 
     push("== RQ3: Are practices consistent with privacy policies? ==\n".into());
+    push(section_note(&["policy.downloads"]));
     push(policy::policy_stats(obs).render());
     push(policy::table13(obs, false).render());
     push(policy::table14(obs).render());
@@ -70,6 +102,8 @@ mod tests {
     fn full_report_contains_every_artifact() {
         let r = full_report(obs());
         for needle in [
+            "## Coverage (fault profile:",
+            "run status:",
             "Table 1:",
             "Table 2:",
             "Table 3:",

@@ -7,6 +7,8 @@
 //! repro --jobs 4 all        # cap the engine's worker threads
 //! repro --trace all         # human-readable span tree on stderr
 //! repro --metrics-out m.json all   # JSON metrics export
+//! repro --fault-profile flaky all  # run under a fault-plane preset
+//! repro --fault-rate 0.2 all       # uniform fault rate on every channel
 //! repro --bench             # time a paper-scale run, write BENCH_audit.json
 //! repro --list              # list artifact names
 //! ```
@@ -18,11 +20,20 @@
 //!
 //! Any unknown artifact name or flag is a hard error (exit 2) — including
 //! alongside `all` — so a typo in a CI invocation can never pass green.
+//!
+//! # Exit codes
+//!
+//! * `0` — complete run.
+//! * `2` — usage error (unknown flag/artifact, bad value).
+//! * `3` — **degraded but valid**: injected faults cost observations after
+//!   retry, or a shard's retry budget exhausted. The report (with its
+//!   coverage block) is still fully rendered and deterministic.
 
 use alexa_audit::analysis::{
     audio, bids, creatives, defense, partners, policy, profiling, significance, traffic,
 };
 use alexa_audit::{AuditConfig, AuditRun, DefenseMode, Observations};
+use alexa_fault::FaultProfile;
 use alexa_obs::{Json, Recorder};
 use std::sync::Arc;
 use std::time::Instant;
@@ -85,16 +96,23 @@ fn render(obs: &Observations, artifact: &str) -> Option<String> {
 
 /// The `defenses` artifact needs its own defended runs (untraced: their
 /// wall time shows up inside the `defenses` artifact shard).
-fn render_defenses(seed: u64, jobs: Option<usize>, baseline: &Observations) -> String {
+fn render_defenses(
+    seed: u64,
+    jobs: Option<usize>,
+    fault: &FaultProfile,
+    baseline: &Observations,
+) -> String {
     eprintln!("running defended audits (firewall, text-only) ...");
     let firewalled = AuditRun::execute(
         AuditConfig::paper(seed)
             .with_defense(DefenseMode::Firewall)
+            .with_faults(fault.clone())
             .with_jobs(jobs),
     );
     let text_only = AuditRun::execute(
         AuditConfig::paper(seed)
             .with_defense(DefenseMode::TextOnly)
+            .with_faults(fault.clone())
             .with_jobs(jobs),
     );
     format!(
@@ -121,7 +139,7 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) {
     let execute_ms = t0.elapsed().as_millis() as u64;
 
     let t1 = Instant::now();
-    let rendered = render_all(&obs, ARTIFACTS, seed, jobs, rec);
+    let rendered = render_all(&obs, ARTIFACTS, seed, jobs, &FaultProfile::none(), rec);
     let render_ms = t1.elapsed().as_millis() as u64;
     let rendered_bytes: usize = rendered.iter().map(String::len).sum();
 
@@ -174,6 +192,7 @@ fn render_all(
     wanted: &[&str],
     seed: u64,
     jobs: Option<usize>,
+    fault: &FaultProfile,
     rec: &Recorder,
 ) -> Vec<String> {
     rec.stage("render-all", || {
@@ -181,7 +200,7 @@ fn render_all(
             let mut log = rec.shard("artifact", i, artifact);
             let rendered = log.span("render", |_| {
                 if artifact == "defenses" {
-                    render_defenses(seed, jobs, obs)
+                    render_defenses(seed, jobs, fault, obs)
                 } else {
                     render(obs, artifact).expect("artifact known")
                 }
@@ -200,6 +219,7 @@ fn emit_observability(
     metrics_out: Option<&str>,
     seed: u64,
     jobs: Option<usize>,
+    coverage: Option<&alexa_fault::CoverageReport>,
 ) {
     if !rec.is_enabled() {
         return;
@@ -216,6 +236,17 @@ fn emit_observability(
                 jobs.map_or(Json::Null, |n| Json::Int(n as u64)),
             ),
         ];
+        if let Some(cov) = coverage {
+            fields.push(("fault_profile".to_string(), Json::Str(cov.profile.clone())));
+            fields.push((
+                "fault_injected".to_string(),
+                Json::Int(cov.total_injected()),
+            ));
+            fields.push(("fault_retries".to_string(), Json::Int(cov.retries)));
+            fields.push(("fault_backoff_ms".to_string(), Json::Int(cov.backoff_ms)));
+            fields.push(("fault_losses".to_string(), Json::Int(cov.losses)));
+            fields.push(("degraded".to_string(), Json::Bool(cov.is_degraded())));
+        }
         match report.to_json() {
             Json::Obj(inner) => fields.extend(inner),
             other => fields.push(("report".to_string(), other)),
@@ -232,6 +263,7 @@ fn emit_observability(
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: repro [--seed N] [--jobs N] [--trace] [--metrics-out PATH] \
+         [--fault-profile none|flaky|degraded|hostile] [--fault-rate R] \
          <artifact>... | all | --bench | --list"
     );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
@@ -243,6 +275,7 @@ struct Cli {
     jobs: Option<usize>,
     trace: bool,
     metrics_out: Option<String>,
+    fault: FaultProfile,
     bench: bool,
     list: bool,
     all: bool,
@@ -259,6 +292,7 @@ fn parse_cli() -> Cli {
         jobs: None,
         trace: false,
         metrics_out: None,
+        fault: FaultProfile::none(),
         bench: false,
         list: false,
         all: false,
@@ -287,6 +321,27 @@ fn parse_cli() -> Cli {
             }
             "--trace" => cli.trace = true,
             "--metrics-out" => cli.metrics_out = Some(value(&mut args, "--metrics-out")),
+            "--fault-profile" => {
+                cli.fault = value(&mut args, "--fault-profile")
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    })
+            }
+            "--fault-rate" => {
+                let rate: f64 = value(&mut args, "--fault-rate")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --fault-rate expects a number in [0, 1]");
+                        std::process::exit(2);
+                    });
+                if !(0.0..=1.0).contains(&rate) {
+                    eprintln!("error: --fault-rate expects a number in [0, 1]");
+                    std::process::exit(2);
+                }
+                cli.fault = FaultProfile::uniform(rate);
+            }
             "--bench" => cli.bench = true,
             "--list" => cli.list = true,
             "--help" | "-h" => usage(0),
@@ -334,6 +389,7 @@ fn main() {
             cli.metrics_out.as_deref(),
             cli.seed,
             cli.jobs,
+            None,
         );
         return;
     }
@@ -348,8 +404,22 @@ fn main() {
     };
 
     eprintln!("running paper-scale audit (seed {}) ...", cli.seed);
-    let obs = AuditRun::execute_with(AuditConfig::paper(cli.seed).with_jobs(cli.jobs), &rec);
-    for artifact in render_all(&obs, &wanted, cli.seed, cli.jobs, &rec) {
+    if cli.fault.is_active() {
+        eprintln!("fault profile: {}", cli.fault.name());
+    }
+    let obs = AuditRun::execute_with(
+        AuditConfig::paper(cli.seed)
+            .with_faults(cli.fault.clone())
+            .with_jobs(cli.jobs),
+        &rec,
+    );
+    // Under an active fault profile the coverage block leads stdout, so any
+    // artifact subset still reports what the run actually observed. It is
+    // deterministic (counts only), keeping jobs-diff CI byte-exact.
+    if cli.fault.is_active() {
+        println!("{}", obs.coverage.render());
+    }
+    for artifact in render_all(&obs, &wanted, cli.seed, cli.jobs, &cli.fault, &rec) {
         println!("{artifact}");
     }
     emit_observability(
@@ -358,5 +428,10 @@ fn main() {
         cli.metrics_out.as_deref(),
         cli.seed,
         cli.jobs,
+        Some(&obs.coverage),
     );
+    if obs.coverage.is_degraded() {
+        eprintln!("run degraded: injected faults cost observations (exit 3)");
+        std::process::exit(3);
+    }
 }

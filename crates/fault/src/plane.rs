@@ -1,0 +1,163 @@
+//! The stateless fault oracle.
+
+use crate::profile::{FaultChannel, FaultProfile};
+use crate::{fnv1a, unit};
+
+/// A deterministic fault oracle: pure function of `(seed, profile, channel,
+/// structural key)`.
+///
+/// The plane holds no mutable state and no RNG stream — every decision is
+/// an independent hash — so it can be cloned freely into worker shards and
+/// consulted in any order without affecting determinism. With the `none`
+/// profile every query answers "no fault" and the pipeline is bit-identical
+/// to one that never consulted the plane.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    seed: u64,
+    profile: FaultProfile,
+}
+
+impl FaultPlane {
+    /// A plane for one run. The seed should be derived from the audit seed
+    /// so fault placement varies with it.
+    pub fn new(seed: u64, profile: FaultProfile) -> FaultPlane {
+        FaultPlane { seed, profile }
+    }
+
+    /// A plane that never fires (the `none` profile).
+    pub fn disabled() -> FaultPlane {
+        FaultPlane::new(0, FaultProfile::none())
+    }
+
+    /// The profile driving this plane.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Whether any channel can fire.
+    pub fn is_active(&self) -> bool {
+        self.profile.is_active()
+    }
+
+    /// A unit-interval sample for `(channel, key)`, stable across calls.
+    fn sample(&self, channel: FaultChannel, key: &str) -> f64 {
+        let h = fnv1a(format!("{}\u{1f}{}\u{1f}{}", self.seed, channel.label(), key).as_bytes());
+        unit(h)
+    }
+
+    /// Does the fault on `channel` fire for this structural `key`?
+    ///
+    /// Keys must name the work structurally (e.g. `"Fashion/skill-12#2"` for
+    /// the second install attempt of a skill), never positionally, so the
+    /// answer is independent of thread scheduling. Decisions are *nested in
+    /// rate*: if a key fires at rate `r` it also fires at every rate above
+    /// `r`, which is what makes coverage decrease monotonically across
+    /// profile tiers.
+    pub fn fires(&self, channel: FaultChannel, key: &str) -> bool {
+        let rate = self.profile.rate(channel);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        self.sample(channel, key) < rate
+    }
+
+    /// Truncated length for a flow of `len` units when [`FaultChannel::FlowTruncation`]
+    /// fires: a deterministic cut keeping 25–75% of the flow (at least one
+    /// unit of a non-empty flow, so a truncated flow is still observed).
+    pub fn truncated_len(&self, key: &str, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let keep = 0.25 + 0.5 * self.sample(FaultChannel::FlowTruncation, &format!("{key}/cut"));
+        ((len as f64 * keep) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plane_never_fires() {
+        let plane = FaultPlane::disabled();
+        for ch in FaultChannel::ALL {
+            for i in 0..200 {
+                assert!(!plane.fires(ch, &format!("key-{i}")));
+            }
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let plane = FaultPlane::new(7, FaultProfile::uniform(1.0));
+        for ch in FaultChannel::ALL {
+            assert!(plane.fires(ch, "anything"));
+        }
+    }
+
+    #[test]
+    fn decisions_are_stable_and_key_dependent() {
+        let plane = FaultPlane::new(1234, FaultProfile::hostile());
+        let a: Vec<bool> = (0..100)
+            .map(|i| plane.fires(FaultChannel::CrawlTimeout, &format!("site-{i}")))
+            .collect();
+        let b: Vec<bool> = (0..100)
+            .map(|i| plane.fires(FaultChannel::CrawlTimeout, &format!("site-{i}")))
+            .collect();
+        assert_eq!(a, b, "same key must always answer the same");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn rates_nest_across_profiles() {
+        // A key that fires at a low rate must also fire at any higher rate.
+        let low = FaultPlane::new(42, FaultProfile::flaky());
+        let high = FaultPlane::new(42, FaultProfile::hostile());
+        for i in 0..500 {
+            let key = format!("k{i}");
+            for ch in FaultChannel::ALL {
+                if low.fires(ch, &key) {
+                    assert!(high.fires(ch, &key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_profile() {
+        let plane = FaultPlane::new(9, FaultProfile::uniform(0.3));
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|i| plane.fires(FaultChannel::PacketDrop, &format!("p{i}")))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed {rate}");
+    }
+
+    #[test]
+    fn truncation_keeps_a_bounded_nonzero_prefix() {
+        let plane = FaultPlane::new(5, FaultProfile::hostile());
+        for len in [1usize, 2, 10, 1000] {
+            for i in 0..50 {
+                let t = plane.truncated_len(&format!("f{i}"), len);
+                assert!(t >= 1 && t <= (len * 3).div_ceil(4), "len {len} -> {t}");
+            }
+        }
+        assert_eq!(plane.truncated_len("x", 0), 0);
+    }
+
+    #[test]
+    fn seed_moves_fault_placement() {
+        let a = FaultPlane::new(7, FaultProfile::degraded());
+        let b = FaultPlane::new(8, FaultProfile::degraded());
+        let pattern = |p: &FaultPlane| -> Vec<bool> {
+            (0..200)
+                .map(|i| p.fires(FaultChannel::InstallFailure, &format!("s{i}")))
+                .collect()
+        };
+        assert_ne!(pattern(&a), pattern(&b));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the fault plane's retry and decision machinery.
+
+use alexa_fault::{retry, FaultChannel, FaultPlane, FaultProfile, RetryBudget, RetryPolicy};
+use proptest::prelude::*;
+
+fn policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..8, 1u64..500, 1000u64..20_000, 0.0..1.0f64).prop_map(
+        |(max_attempts, base_delay_ms, max_delay_ms, jitter)| RetryPolicy {
+            max_attempts,
+            base_delay_ms,
+            max_delay_ms,
+            jitter,
+        },
+    )
+}
+
+proptest! {
+    // Backoff never shrinks from one attempt to the next: even at the
+    // jitter extremes, doubling the exponential step dominates.
+    #[test]
+    fn backoff_is_monotone_nondecreasing(
+        p in policy(),
+        seed in 0u64..u64::MAX,
+        key in "[a-z]{1,12}",
+        attempt in 1u32..20,
+    ) {
+        let a = p.backoff_ms(seed, &key, attempt);
+        let b = p.backoff_ms(seed, &key, attempt + 1);
+        prop_assert!(b >= a, "attempt {attempt}: {a} ms then {b} ms");
+    }
+
+    // Jitter stays inside its advertised envelope:
+    // `exp <= delay <= min(exp * (1 + jitter), max)`.
+    #[test]
+    fn backoff_respects_jitter_bounds(
+        p in policy(),
+        seed in 0u64..u64::MAX,
+        key in "[a-z]{1,12}",
+        attempt in 1u32..20,
+    ) {
+        let step = attempt - 1;
+        let exp = if step >= 63 {
+            p.max_delay_ms
+        } else {
+            (p.base_delay_ms << step).min(p.max_delay_ms)
+        };
+        let hi = ((exp as f64 * (1.0 + p.jitter)) as u64).min(p.max_delay_ms);
+        let d = p.backoff_ms(seed, &key, attempt);
+        prop_assert!(d >= exp.min(p.max_delay_ms), "delay {d} below exponential floor {exp}");
+        prop_assert!(d <= hi, "delay {d} above jitter ceiling {hi}");
+    }
+
+    // A budget hands out exactly `total` retries across any sequence of
+    // failing operations, then denies; `exhausted` flips exactly then.
+    #[test]
+    fn budget_exhaustion_is_exact(total in 0u32..40, ops in 1usize..12) {
+        let p = RetryPolicy { max_attempts: 1000, base_delay_ms: 1, max_delay_ms: 10, jitter: 0.0 };
+        let mut budget = RetryBudget::new(total);
+        let mut granted = 0u64;
+        for op in 0..ops {
+            let out = retry(
+                &p,
+                &mut budget,
+                9,
+                &format!("op{op}"),
+                |_| Err::<(), ()>(()),
+                |_| true,
+            );
+            granted += u64::from(out.retries);
+        }
+        prop_assert_eq!(granted, u64::from(total), "every retry must come from the budget");
+        prop_assert_eq!(budget.remaining(), 0);
+        prop_assert_eq!(budget.exhausted(), total > 0);
+        // Once dry, a further failing op gets no retries and is denied.
+        let out = retry(&p, &mut budget, 9, "after", |_| Err::<(), ()>(()), |_| true);
+        prop_assert_eq!(out.attempts, 1);
+        prop_assert!(out.budget_denied);
+    }
+
+    // Fault decisions nest across severity: any site that fires under a
+    // milder preset also fires under every harsher one.
+    #[test]
+    fn preset_decisions_nest(seed in 0u64..u64::MAX, key in "[a-z/#0-9]{1,24}") {
+        let tiers = [
+            FaultProfile::flaky(),
+            FaultProfile::degraded(),
+            FaultProfile::hostile(),
+        ];
+        for channel in FaultChannel::ALL {
+            let mut fired_before = false;
+            for profile in &tiers {
+                let fires = FaultPlane::new(seed, profile.clone()).fires(channel, &key);
+                prop_assert!(
+                    fires || !fired_before,
+                    "{channel:?}/{key}: fired under a milder preset but not {}",
+                    profile.name()
+                );
+                fired_before = fires;
+            }
+        }
+    }
+
+    // The virtual clock only accumulates when retries are granted.
+    #[test]
+    fn no_backoff_without_retries(seed in 0u64..u64::MAX, key in "[a-z]{1,8}") {
+        let p = RetryPolicy::standard();
+        let mut budget = RetryBudget::new(0);
+        let out = retry(&p, &mut budget, seed, &key, |_| Err::<(), ()>(()), |_| true);
+        prop_assert_eq!(out.retries, 0);
+        prop_assert_eq!(out.backoff_ms, 0);
+    }
+}

@@ -15,7 +15,8 @@
 //! that attribution.
 
 use crate::domain::Domain;
-use crate::packet::{Direction, Packet};
+use crate::packet::{Direction, Packet, Payload};
+use alexa_fault::{FaultChannel, FaultPlane};
 use std::net::Ipv4Addr;
 
 /// One flow observation from the router vantage point: everything `tcpdump`
@@ -82,6 +83,10 @@ pub struct TapStats {
     pub packets: usize,
     /// Wire bytes across all observed packets.
     pub bytes: usize,
+    /// Packets lost to an injected capture fault.
+    pub dropped: usize,
+    /// Packets recorded with an injected flow truncation.
+    pub truncated: usize,
 }
 
 impl TapStats {
@@ -91,12 +96,58 @@ impl TapStats {
     }
 }
 
+/// Per-session fault bookkeeping shared by both taps: a monotone packet
+/// sequence number makes the structural key `label/seq`, so fault placement
+/// depends only on what the packet *is* within its session, never on
+/// scheduling.
+#[derive(Debug)]
+struct TapFaults {
+    plane: FaultPlane,
+    seq: usize,
+}
+
+impl Default for TapFaults {
+    fn default() -> TapFaults {
+        TapFaults {
+            plane: FaultPlane::disabled(),
+            seq: 0,
+        }
+    }
+}
+
+impl TapFaults {
+    /// Decide the fate of the next packet in the session labelled `label`.
+    /// Advances the sequence number for every offered packet, so drops keep
+    /// downstream keys stable.
+    fn admit(&mut self, label: &str) -> PacketFate {
+        if !self.plane.is_active() {
+            return PacketFate::Keep;
+        }
+        let key = format!("{label}/{seq}", seq = self.seq);
+        self.seq += 1;
+        if self.plane.fires(FaultChannel::PacketDrop, &key) {
+            PacketFate::Drop
+        } else if self.plane.fires(FaultChannel::FlowTruncation, &key) {
+            PacketFate::Truncate(key)
+        } else {
+            PacketFate::Keep
+        }
+    }
+}
+
+enum PacketFate {
+    Keep,
+    Drop,
+    Truncate(String),
+}
+
 /// The RPi router tap: records every packet, encrypted view only.
 #[derive(Debug, Default)]
 pub struct RouterTap {
     session: Option<Capture>,
     finished: Vec<Capture>,
     stats: TapStats,
+    faults: TapFaults,
 }
 
 impl RouterTap {
@@ -105,23 +156,30 @@ impl RouterTap {
         RouterTap::default()
     }
 
+    /// A tap whose capture path consults `plane` for packet drops and flow
+    /// truncation. With an inactive plane this is exactly [`RouterTap::new`].
+    pub fn with_faults(plane: FaultPlane) -> RouterTap {
+        RouterTap {
+            faults: TapFaults { plane, seq: 0 },
+            ..RouterTap::default()
+        }
+    }
+
     /// Begin a capture session (the paper's "enable tcpdump").
     ///
     /// Any in-progress session is finalized first.
     pub fn start(&mut self, label: impl Into<String>) {
         self.stop();
         self.stats.sessions += 1;
+        self.faults.seq = 0;
         self.session = Some(Capture::new(label));
     }
 
     /// Observe one packet. No-op unless a session is active. The payload is
     /// opacified: the router sees TLS ciphertext only.
     pub fn observe(&mut self, packet: &Packet) {
-        if let Some(session) = &mut self.session {
-            let mut p = packet.clone();
-            p.payload = p.payload.encrypt();
-            self.stats.observe(p.payload.wire_len());
-            session.packets.push(p);
+        if self.session.is_some() {
+            self.admit(packet.clone());
         }
     }
 
@@ -129,14 +187,41 @@ impl RouterTap {
     /// payloads are encrypted in place instead of cloned packet-by-packet.
     /// No-op unless a session is active.
     pub fn observe_batch(&mut self, packets: Vec<Packet>) {
-        if let Some(session) = &mut self.session {
-            session.packets.reserve(packets.len());
-            for mut p in packets {
-                p.payload = p.payload.encrypt();
-                self.stats.observe(p.payload.wire_len());
-                session.packets.push(p);
+        if self.session.is_some() {
+            if let Some(s) = &mut self.session {
+                s.packets.reserve(packets.len());
+            }
+            for p in packets {
+                self.admit(p);
             }
         }
+    }
+
+    /// Encrypt, apply any injected capture fault, and record one packet.
+    fn admit(&mut self, mut p: Packet) {
+        let Some(session) = &mut self.session else {
+            return;
+        };
+        p.payload = p.payload.encrypt();
+        if self.faults.plane.is_active() {
+            match self.faults.admit(&session.label) {
+                PacketFate::Drop => {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                PacketFate::Truncate(key) => {
+                    if let Payload::Encrypted { len } = p.payload {
+                        p.payload = Payload::Encrypted {
+                            len: self.faults.plane.truncated_len(&key, len),
+                        };
+                    }
+                    self.stats.truncated += 1;
+                }
+                PacketFate::Keep => {}
+            }
+        }
+        self.stats.observe(p.payload.wire_len());
+        session.packets.push(p);
     }
 
     /// Running totals across the tap's whole life.
@@ -189,6 +274,7 @@ pub struct AvsTap {
     session: Option<Capture>,
     finished: Vec<Capture>,
     stats: TapStats,
+    faults: TapFaults,
 }
 
 impl AvsTap {
@@ -197,25 +283,37 @@ impl AvsTap {
         AvsTap::default()
     }
 
+    /// A tap whose capture path consults `plane` for packet drops and flow
+    /// truncation. With an inactive plane this is exactly [`AvsTap::new`].
+    pub fn with_faults(plane: FaultPlane) -> AvsTap {
+        AvsTap {
+            faults: TapFaults { plane, seq: 0 },
+            ..AvsTap::default()
+        }
+    }
+
     /// Begin a capture session.
     pub fn start(&mut self, label: impl Into<String>) {
         self.stop();
         self.stats.sessions += 1;
+        self.faults.seq = 0;
         self.session = Some(Capture::new(label));
     }
 
     /// Observe one packet with full plaintext visibility.
     pub fn observe(&mut self, packet: &Packet) {
-        if let Some(session) = &mut self.session {
-            self.stats.observe(packet.payload.wire_len());
-            session.packets.push(packet.clone());
+        if self.session.is_some() {
+            self.admit(packet.clone());
         }
     }
 
     /// Observe a whole packet batch in one call, taking ownership to avoid
     /// per-packet clones. No-op unless a session is active.
     pub fn observe_batch(&mut self, packets: Vec<Packet>) {
-        if let Some(session) = &mut self.session {
+        let Some(session) = &mut self.session else {
+            return;
+        };
+        if !self.faults.plane.is_active() {
             for p in &packets {
                 self.stats.observe(p.payload.wire_len());
             }
@@ -224,7 +322,43 @@ impl AvsTap {
             } else {
                 session.packets.extend(packets);
             }
+            return;
         }
+        for p in packets {
+            self.admit(p);
+        }
+    }
+
+    /// Apply any injected capture fault and record one packet. The AVS view
+    /// is plaintext, so truncation cuts trailing typed records rather than
+    /// ciphertext bytes.
+    fn admit(&mut self, mut p: Packet) {
+        let Some(session) = &mut self.session else {
+            return;
+        };
+        if self.faults.plane.is_active() {
+            match self.faults.admit(&session.label) {
+                PacketFate::Drop => {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                PacketFate::Truncate(key) => {
+                    match &mut p.payload {
+                        Payload::Plain(records) => {
+                            let keep = self.faults.plane.truncated_len(&key, records.len());
+                            records.truncate(keep);
+                        }
+                        Payload::Encrypted { len } => {
+                            *len = self.faults.plane.truncated_len(&key, *len);
+                        }
+                    }
+                    self.stats.truncated += 1;
+                }
+                PacketFate::Keep => {}
+            }
+        }
+        self.stats.observe(p.payload.wire_len());
+        session.packets.push(p);
     }
 
     /// Running totals across the tap's whole life.
@@ -438,6 +572,114 @@ mod tests {
                 .chain(avs.session.iter())
                 .map(Capture::total_bytes)
                 .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn inactive_fault_plane_changes_nothing() {
+        use alexa_fault::FaultProfile;
+        let batch = vec![
+            pkt(
+                1,
+                "amazon.com",
+                vec![Record::new(DataType::VoiceRecording, "hi")],
+            ),
+            pkt(2, "chtbl.com", vec![]),
+        ];
+        let mut plain = RouterTap::new();
+        let mut gated = RouterTap::with_faults(FaultPlane::new(7, FaultProfile::none()));
+        for tap in [&mut plain, &mut gated] {
+            tap.start("s");
+            tap.observe_batch(batch.clone());
+            tap.stop();
+        }
+        assert_eq!(
+            format!("{:?}", plain.captures()),
+            format!("{:?}", gated.captures())
+        );
+        assert_eq!(plain.stats(), gated.stats());
+    }
+
+    #[test]
+    fn faulted_tap_drops_and_truncates_deterministically() {
+        use alexa_fault::FaultProfile;
+        let batch: Vec<Packet> = (0..200)
+            .map(|i| {
+                pkt(
+                    i,
+                    "amazon.com",
+                    vec![Record::new(DataType::VoiceRecording, "hello world")],
+                )
+            })
+            .collect();
+        let run = |seed: u64| {
+            let mut tap = RouterTap::with_faults(FaultPlane::new(seed, FaultProfile::hostile()));
+            tap.start("skill");
+            tap.observe_batch(batch.clone());
+            tap.stop();
+            (format!("{:?}", tap.captures()), tap.stats())
+        };
+        let (caps_a, stats_a) = run(7);
+        let (caps_b, stats_b) = run(7);
+        assert_eq!(caps_a, caps_b, "same seed, same capture");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.dropped > 0, "hostile profile must drop packets");
+        assert!(stats_a.truncated > 0, "hostile profile must truncate flows");
+        assert_eq!(stats_a.packets + stats_a.dropped, batch.len());
+        let (caps_c, _) = run(8);
+        assert_ne!(caps_a, caps_c, "fault placement follows the seed");
+    }
+
+    #[test]
+    fn avs_truncation_cuts_records_not_packets() {
+        use alexa_fault::FaultProfile;
+        let batch: Vec<Packet> = (0..100)
+            .map(|i| {
+                pkt(
+                    i,
+                    "avs-alexa-na.amazon.com",
+                    vec![
+                        Record::new(DataType::VoiceRecording, "hello"),
+                        Record::new(DataType::CustomerId, "A1"),
+                        Record::new(DataType::SkillId, "s"),
+                        Record::new(DataType::Timezone, "tz"),
+                    ],
+                )
+            })
+            .collect();
+        let mut tap = AvsTap::with_faults(FaultPlane::new(1234, FaultProfile::hostile()));
+        tap.start("skill");
+        tap.observe_batch(batch);
+        tap.stop();
+        let stats = tap.stats();
+        assert!(stats.truncated > 0);
+        // Truncated packets keep a non-empty record prefix.
+        assert!(tap.captures()[0]
+            .packets
+            .iter()
+            .all(|p| !p.payload.records().unwrap().is_empty()));
+        assert!(tap.captures()[0]
+            .packets
+            .iter()
+            .any(|p| p.payload.records().unwrap().len() < 4));
+    }
+
+    #[test]
+    fn fault_keys_reset_per_session() {
+        use alexa_fault::FaultProfile;
+        // Two sessions with the same label see identical fault placement.
+        let plane = FaultPlane::new(42, FaultProfile::hostile());
+        let batch: Vec<Packet> = (0..50).map(|i| pkt(i, "amazon.com", vec![])).collect();
+        let mut tap = RouterTap::with_faults(plane);
+        tap.start("same");
+        tap.observe_batch(batch.clone());
+        tap.start("same");
+        tap.observe_batch(batch);
+        tap.stop();
+        let caps = tap.captures();
+        assert_eq!(
+            format!("{:?}", caps[0].packets),
+            format!("{:?}", caps[1].packets)
         );
     }
 

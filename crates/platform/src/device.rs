@@ -16,8 +16,9 @@
 use crate::cloud::{AlexaCloud, InteractionKind};
 use crate::skill::{Skill, SkillId};
 use crate::voice::{RoutedIntent, VoicePipeline};
+use alexa_fault::{FaultChannel, FaultPlane};
 use alexa_net::Packet;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors surfaced by device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +31,23 @@ pub enum DeviceError {
     StreamingUnsupported(SkillId),
     /// The spoken phrase did not wake the device.
     NotAwake,
+    /// Injected fault: skill enablement timed out. Transient — worth a
+    /// retry.
+    InstallTimeout(SkillId),
+    /// Injected fault: the voice service gave no response. Transient.
+    ServiceUnavailable(SkillId),
+}
+
+impl DeviceError {
+    /// Whether a retry can plausibly succeed. Only the injected transient
+    /// faults qualify; modeled failures (broken skill, wrong device, no
+    /// wake) are permanent or behavioral.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::InstallTimeout(_) | DeviceError::ServiceUnavailable(_)
+        )
+    }
 }
 
 impl std::fmt::Display for DeviceError {
@@ -41,6 +59,10 @@ impl std::fmt::Display for DeviceError {
                 write!(f, "streaming skill {id} unsupported on AVS Echo")
             }
             DeviceError::NotAwake => write!(f, "device did not wake"),
+            DeviceError::InstallTimeout(id) => write!(f, "skill {id} enablement timed out"),
+            DeviceError::ServiceUnavailable(id) => {
+                write!(f, "voice service unavailable for skill {id}")
+            }
         }
     }
 }
@@ -55,6 +77,11 @@ struct DeviceCore {
     installed: BTreeSet<SkillId>,
     pipeline: VoicePipeline,
     avs: bool,
+    fault: FaultPlane,
+    /// Per-(skill, operation) call counts: each call gets a fresh fault
+    /// decision, so a retried operation can succeed. Only populated when
+    /// the plane is active.
+    fault_attempts: BTreeMap<(String, &'static str), u32>,
 }
 
 impl DeviceCore {
@@ -72,7 +99,28 @@ impl DeviceCore {
             installed: BTreeSet::new(),
             pipeline: VoicePipeline::new(seed),
             avs,
+            fault: FaultPlane::disabled(),
+            fault_attempts: BTreeMap::new(),
         }
+    }
+
+    /// Does an injected fault fire for this call? Keys are structural
+    /// (`account/skill/op#call-number`), and the call number makes every
+    /// retry an independent decision. Inactive planes cost one branch.
+    fn fault_fires(&mut self, channel: FaultChannel, op: &'static str, skill: &SkillId) -> bool {
+        if !self.fault.is_active() {
+            return false;
+        }
+        let n = {
+            let n = self
+                .fault_attempts
+                .entry((skill.0.clone(), op))
+                .or_insert(0);
+            *n += 1;
+            *n
+        };
+        let key = format!("{}/{}/{op}#{n}", self.account, skill.0);
+        self.fault.fires(channel, &key)
     }
 
     fn install(
@@ -85,6 +133,9 @@ impl DeviceCore {
         }
         if self.avs && skill.streaming {
             return Err(DeviceError::StreamingUnsupported(skill.id.clone()));
+        }
+        if self.fault_fires(FaultChannel::InstallFailure, "install", &skill.id) {
+            return Err(DeviceError::InstallTimeout(skill.id.clone()));
         }
         self.installed.insert(skill.id.clone());
         Ok(cloud.session_traffic(
@@ -107,6 +158,11 @@ impl DeviceCore {
         }
         if self.avs && skill.streaming {
             return Err(DeviceError::StreamingUnsupported(skill.id.clone()));
+        }
+        // Fault check precedes the wake roll so injected outages never
+        // consume the pipeline's RNG stream.
+        if self.fault_fires(FaultChannel::InteractionFailure, "interact", &skill.id) {
+            return Err(DeviceError::ServiceUnavailable(skill.id.clone()));
         }
         if !self.pipeline.wakes(spoken) {
             return Err(DeviceError::NotAwake);
@@ -166,6 +222,12 @@ impl EchoDevice {
         &self.core.customer_id
     }
 
+    /// Route this device's install/interact paths through a fault plane.
+    /// An inactive plane leaves behavior untouched.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.core.fault = plane;
+    }
+
     /// Install (enable) a skill. Returns the traffic of the enablement.
     pub fn install(
         &mut self,
@@ -213,6 +275,12 @@ impl AvsEcho {
     /// The bound account name.
     pub fn account(&self) -> &str {
         &self.core.account
+    }
+
+    /// Route this device's install/interact paths through a fault plane.
+    /// An inactive plane leaves behavior untouched.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.core.fault = plane;
     }
 
     /// Install (enable) a skill. Streaming skills are rejected.
@@ -358,6 +426,61 @@ mod tests {
         echo.install(&mut cloud, &s).unwrap();
         echo.uninstall(&mut cloud, &s);
         assert!(!echo.has_skill(&s.id));
+    }
+
+    #[test]
+    fn injected_install_fault_is_transient_and_retryable() {
+        use alexa_fault::FaultProfile;
+        let s = skill(false, &[]);
+        // Scan for a seed where the first install attempt faults but a
+        // retry succeeds — proving per-call fault decisions.
+        let mut proved = false;
+        for seed in 0..64u64 {
+            let mut echo = EchoDevice::new("p", 7);
+            echo.set_fault_plane(FaultPlane::new(seed, FaultProfile::uniform(0.5)));
+            let mut cloud = AlexaCloud::new();
+            let first = echo.install(&mut cloud, &s);
+            if let Err(e) = &first {
+                assert_eq!(*e, DeviceError::InstallTimeout(s.id.clone()));
+                assert!(e.is_transient());
+                assert!(
+                    !echo.has_skill(&s.id),
+                    "faulted install must not mutate state"
+                );
+                if echo.install(&mut cloud, &s).is_ok() {
+                    assert!(echo.has_skill(&s.id));
+                    proved = true;
+                    break;
+                }
+            }
+        }
+        assert!(proved, "no seed produced fault-then-success in 64 tries");
+    }
+
+    #[test]
+    fn full_fault_rate_blocks_every_interaction() {
+        use alexa_fault::FaultProfile;
+        let mut cloud = AlexaCloud::new();
+        let mut echo = EchoDevice::new("p", 8);
+        let s = skill(false, &[]);
+        echo.install(&mut cloud, &s).unwrap();
+        echo.set_fault_plane(FaultPlane::new(3, FaultProfile::uniform(1.0)));
+        for _ in 0..5 {
+            let err = echo
+                .interact(&mut cloud, &s, "Alexa, open skill y")
+                .unwrap_err();
+            assert_eq!(err, DeviceError::ServiceUnavailable(s.id.clone()));
+            assert!(err.is_transient());
+        }
+    }
+
+    #[test]
+    fn modeled_failures_are_not_transient() {
+        let s = skill(false, &[]);
+        assert!(!DeviceError::SkillFailedToLoad(s.id.clone()).is_transient());
+        assert!(!DeviceError::NotAwake.is_transient());
+        assert!(!DeviceError::StreamingUnsupported(s.id.clone()).is_transient());
+        assert!(!DeviceError::NotInstalled(s.id).is_transient());
     }
 
     #[test]

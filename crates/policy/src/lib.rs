@@ -24,6 +24,7 @@
 
 pub mod document;
 pub mod extractor;
+pub mod fetcher;
 pub mod generator;
 pub mod ontology;
 pub mod policheck;
@@ -31,6 +32,7 @@ pub mod validate;
 
 pub use document::PolicyDoc;
 pub use extractor::{DataFlow, FlowExtractor};
+pub use fetcher::{FetchError, PolicyFetcher};
 pub use generator::PolicyGenerator;
 pub use ontology::{DataOntology, EntityOntology, OntologyCategory};
 pub use policheck::{DisclosureClass, PoliCheck};
