@@ -1,0 +1,120 @@
+//! Extraction of the single-source name registries the O-lints check
+//! against: the observability name registry in `crates/obs/src/names.rs`
+//! and the fault channel labels in `crates/fault/src/profile.rs`.
+//!
+//! Both are plain `pub const NAME: &[&str] = [ "…", … ];` declarations, so
+//! the same lexer that scans the workspace can read them: find the const's
+//! identifier, then collect every string literal up to the terminating `;`.
+
+use crate::lexer::{lex, TokKind};
+
+/// The names the O-lints validate against.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Sanctioned observability names (spans, stages, counters, shard
+    /// groups, coverage sections) from `crates/obs/src/names.rs`.
+    pub obs_names: Vec<String>,
+    /// Declared fault channel labels from `crates/fault/src/profile.rs`.
+    pub fault_channels: Vec<String>,
+}
+
+/// A registry that could not be loaded — a configuration error, reported
+/// with a one-line message and no findings.
+#[derive(Debug, Clone)]
+pub struct RegistryError {
+    /// What went wrong, with the path involved.
+    pub message: String,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Relative path of the obs name registry.
+pub const OBS_NAMES_PATH: &str = "crates/obs/src/names.rs";
+/// Relative path of the fault channel declarations.
+pub const FAULT_CHANNELS_PATH: &str = "crates/fault/src/profile.rs";
+
+impl Registry {
+    /// Load both registries from a workspace root.
+    pub fn load(root: &std::path::Path) -> Result<Registry, RegistryError> {
+        let obs_names = extract_const_strings(root, OBS_NAMES_PATH, "REGISTRY")?;
+        let fault_channels = extract_const_strings(root, FAULT_CHANNELS_PATH, "CHANNEL_LABELS")?;
+        Ok(Registry {
+            obs_names,
+            fault_channels,
+        })
+    }
+}
+
+/// Collect the string literals of `pub const <name>: &[&str] = [...]` in
+/// `rel` under `root`.
+fn extract_const_strings(
+    root: &std::path::Path,
+    rel: &str,
+    name: &str,
+) -> Result<Vec<String>, RegistryError> {
+    let path = root.join(rel);
+    let src = std::fs::read_to_string(&path).map_err(|e| RegistryError {
+        message: format!("cannot read name registry {rel}: {e}"),
+    })?;
+    let lexed = lex(&src);
+    let toks = &lexed.toks;
+    let start = toks
+        .iter()
+        .position(|t| t.kind == TokKind::Ident && t.text == name)
+        .ok_or_else(|| RegistryError {
+            message: format!("{rel}: no `{name}` const found — the registry moved?"),
+        })?;
+    let mut out = Vec::new();
+    for t in &toks[start..] {
+        match t.kind {
+            TokKind::Str => out.push(t.text.clone()),
+            TokKind::Punct if t.text == ";" => break,
+            _ => {}
+        }
+    }
+    if out.is_empty() {
+        return Err(RegistryError {
+            message: format!("{rel}: `{name}` declares no names"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_from_a_temp_tree() {
+        let dir = std::env::temp_dir().join("alexa-analyzer-registry-test");
+        let obs = dir.join("crates/obs/src");
+        let fault = dir.join("crates/fault/src");
+        std::fs::create_dir_all(&obs).expect("mkdir");
+        std::fs::create_dir_all(&fault).expect("mkdir");
+        std::fs::write(
+            obs.join("names.rs"),
+            "/// Registry.\npub const REGISTRY: &[&str] = &[\n  \"boot\", // span\n  \"crawl.pre\",\n];\n",
+        )
+        .expect("write");
+        std::fs::write(
+            fault.join("profile.rs"),
+            "pub const CHANNEL_LABELS: &[&str] = &[\"install\", \"packet_drop\"];\n",
+        )
+        .expect("write");
+        let reg = Registry::load(&dir).expect("load");
+        assert_eq!(reg.obs_names, vec!["boot", "crawl.pre"]);
+        assert_eq!(reg.fault_channels, vec!["install", "packet_drop"]);
+    }
+
+    #[test]
+    fn missing_registry_is_a_clear_error() {
+        let err = Registry::load(std::path::Path::new("/nonexistent-root")).expect_err("fail");
+        assert!(err.message.contains("names.rs"), "{err}");
+    }
+}

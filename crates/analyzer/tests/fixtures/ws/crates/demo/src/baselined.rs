@@ -1,0 +1,5 @@
+//! Fixture module whose single unwrap is covered by the checked-in baseline.
+
+pub fn legacy(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

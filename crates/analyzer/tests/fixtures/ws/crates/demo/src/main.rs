@@ -1,0 +1,7 @@
+//! Fixture binary: panic-safety lints do not apply, determinism lints do.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    let _ = v.unwrap(); // no AP02: binaries may crash loudly
+    let _ = thread_rng(); // AD02 still applies everywhere
+}

@@ -1,0 +1,3 @@
+//! Mini fault-channel label table for the analyzer fixture workspace.
+
+pub const CHANNEL_LABELS: &[&str] = &["packet_drop", "crawl_timeout"];

@@ -1,0 +1,9 @@
+//! Mini observability-name registry for the analyzer fixture workspace.
+
+pub const REGISTRY: &[&str] = &[
+    "boot",
+    "fault.injected",
+    "fault.mystery",
+    "fault.packet_drop",
+    "render.bytes",
+];

@@ -146,7 +146,9 @@ pub fn table5_median_cis(obs: &Observations) -> Vec<(String, BootstrapCi)> {
                 let stride = sample.len() / 4000 + 1;
                 sample = sample.into_iter().step_by(stride).collect();
             }
-            bootstrap_median_ci(&sample, 500, 0.95, obs.seed ^ 0xc1).map(|ci| (p.name(), ci))
+            bootstrap_median_ci(&sample, 500, 0.95, obs.seed ^ 0xc1)
+                .ok()
+                .map(|ci| (p.name(), ci))
         })
         .collect()
 }

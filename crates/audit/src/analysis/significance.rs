@@ -59,13 +59,17 @@ pub fn table7(obs: &Observations) -> Table7 {
             skipped.push((cat.label().to_string(), n));
             continue;
         }
-        let r = mann_whitney_u(
+        // MIN_SAMPLES guards the happy path; a refused test still lands in
+        // the skipped rows instead of unwinding the whole table.
+        let Ok(r) = mann_whitney_u(
             &treated,
             &vanilla,
             Alternative::Greater,
             MwuMethod::Asymptotic,
-        )
-        .expect("samples checked against MIN_SAMPLES");
+        ) else {
+            skipped.push((cat.label().to_string(), n));
+            continue;
+        };
         rows.push((
             cat.label().to_string(),
             r.p_value,
@@ -171,13 +175,19 @@ pub fn table11(obs: &Observations) -> Table11 {
         }
         let ps: Vec<f64> = web
             .iter()
-            .map(|w| {
+            .filter_map(|w| {
                 mann_whitney_u(&echo, w, Alternative::TwoSided, MwuMethod::Asymptotic)
-                    .expect("samples checked against MIN_SAMPLES")
-                    .p_value
+                    .ok()
+                    .map(|r| r.p_value)
             })
             .collect();
-        rows.push((cat.label().to_string(), ps[0], ps[1], ps[2]));
+        let [h, s, c] = ps[..] else {
+            // One of the three tests refused (empty web sample past the
+            // MIN_SAMPLES guard) — record the persona as skipped.
+            skipped.push((cat.label().to_string(), n));
+            continue;
+        };
+        rows.push((cat.label().to_string(), h, s, c));
     }
     Table11 {
         rows,

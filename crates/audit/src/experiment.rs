@@ -698,7 +698,7 @@ impl AuditRun {
             .collect();
 
         // ---- AVS Echo plaintext pass, one shard per category (§3.2) -----
-        let avs_shards = rec.stage("avs-pass", || {
+        let avs_shards = rec.stage("avs.pass", || {
             par_map(config.jobs, SkillCategory::ALL.to_vec(), |ci, cat| {
                 let mut log = rec.shard("avs", ci, cat.label());
                 let shard = run_avs_shard(config, &market, &plane, ci, cat, &mut log);
@@ -714,7 +714,7 @@ impl AuditRun {
         }
 
         // ---- Shared read-only web + ad ecosystem -------------------------
-        let (web, crawler) = rec.stage("web-ecosystem", || {
+        let (web, crawler) = rec.stage("web.ecosystem", || {
             let sync_graph = SyncGraph::generate(config.seed);
             let web = WebEcosystem::generate(config.seed, config.web_size);
             let auction = Auction {
@@ -726,7 +726,7 @@ impl AuditRun {
         let sites = web.prebid_sites(config.crawl_sites);
 
         // ---- Persona shards ----------------------------------------------
-        let shards = rec.stage("persona-shards", || {
+        let shards = rec.stage("persona.shards", || {
             par_map(config.jobs, Persona::all(), |i, persona| {
                 let mut log = rec.shard("persona", i, &persona.name());
                 let shard = run_persona_shard(
@@ -765,7 +765,7 @@ impl AuditRun {
         });
 
         // ---- Policy download ---------------------------------------------
-        let (policies, policy_cov, policy_ledger) = rec.stage("policy-download", || {
+        let (policies, policy_cov, policy_ledger) = rec.stage("policy.download", || {
             let fetcher = PolicyFetcher::new(config.seed, plane.clone());
             let skills: Vec<&alexa_platform::Skill> = market.all().iter().collect();
             let fetched = par_map(config.jobs, skills, |_, skill| {

@@ -25,11 +25,11 @@ fn report_covers_every_stage_and_shard() {
 
     for stage in [
         "marketplace",
-        "avs-pass",
-        "web-ecosystem",
-        "persona-shards",
+        "avs.pass",
+        "web.ecosystem",
+        "persona.shards",
         "merge",
-        "policy-download",
+        "policy.download",
     ] {
         assert!(report.stage(stage).is_some(), "missing stage {stage}");
     }

@@ -195,7 +195,7 @@ fn render_all(
     fault: &FaultProfile,
     rec: &Recorder,
 ) -> Vec<String> {
-    rec.stage("render-all", || {
+    rec.stage("render.all", || {
         alexa_exec::par_map(jobs, wanted.to_vec(), |i, artifact| {
             let mut log = rec.shard("artifact", i, artifact);
             let rendered = log.span("render", |_| {
@@ -205,7 +205,7 @@ fn render_all(
                     render(obs, artifact).expect("artifact known")
                 }
             });
-            log.add("bytes", rendered.len() as u64);
+            log.add("render.bytes", rendered.len() as u64);
             rec.submit(log);
             rendered
         })

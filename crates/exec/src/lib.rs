@@ -17,7 +17,17 @@
 //! build must work fully offline.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// A worker panic while holding one of the handoff locks poisons it; the
+/// protected state (an `Option<T>` slot or the result vector) is still
+/// structurally sound, and `std::thread::scope` re-raises the original panic
+/// at join — so recovery here never masks a failure.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Resolve a `jobs` knob to a concrete worker count.
 ///
@@ -71,14 +81,15 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i].lock().unwrap().take().expect("slot taken twice");
+                // analyzer:allow(AP02) -- atomic cursor hands each slot to exactly one worker
+                let item = locked(&slots[i]).take().expect("slot taken twice");
                 let out = f(i, item);
-                results.lock().unwrap().push((i, out));
+                locked(&results).push((i, out));
             });
         }
     });
 
-    let mut tagged = results.into_inner().unwrap();
+    let mut tagged = results.into_inner().unwrap_or_else(|p| p.into_inner());
     assert_eq!(tagged.len(), n, "parallel map lost items");
     tagged.sort_unstable_by_key(|(i, _)| *i);
     tagged.into_iter().map(|(_, u)| u).collect()

@@ -29,7 +29,7 @@ mod retry;
 
 pub use coverage::{Coverage, CoverageReport, FaultLedger};
 pub use plane::FaultPlane;
-pub use profile::{FaultChannel, FaultProfile, ProfileParseError};
+pub use profile::{FaultChannel, FaultProfile, ProfileParseError, CHANNEL_LABELS};
 pub use retry::{retry, RetryBudget, RetryOutcome, RetryPolicy};
 
 /// FNV-1a over a byte string, the repo's standard structural hash.

@@ -58,6 +58,20 @@ impl FaultChannel {
     }
 }
 
+/// The channel labels in [`FaultChannel::ALL`] order. This is the
+/// declaration `alexa-analyzer` extracts to validate `fault.*`
+/// observability names (lint AO02); a test pins it to [`FaultChannel::label`]
+/// so the two can never diverge.
+pub const CHANNEL_LABELS: &[&str] = &[
+    "install",
+    "interaction",
+    "packet_drop",
+    "flow_truncation",
+    "crawl_timeout",
+    "bid_loss",
+    "policy_download",
+];
+
 /// A named set of per-channel fault rates plus the per-shard retry budget
 /// that goes with it.
 ///
@@ -235,5 +249,11 @@ mod tests {
         let labels: std::collections::BTreeSet<_> =
             FaultChannel::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), FaultChannel::ALL.len());
+    }
+
+    #[test]
+    fn channel_labels_const_matches_label_method() {
+        let from_method: Vec<&str> = FaultChannel::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(CHANNEL_LABELS, from_method.as_slice());
     }
 }

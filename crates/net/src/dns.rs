@@ -7,14 +7,19 @@
 //! resolved exactly like the paper does.
 
 use crate::domain::Domain;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Forward and reverse DNS table with deterministic allocation.
+///
+/// Both directions are `BTreeMap`s so iteration (Debug dumps, future
+/// exports) is in key order, independent of insertion order — the same
+/// discipline the rest of the pipeline follows so that no unordered
+/// collection can ever reach an output path.
 #[derive(Debug, Clone, Default)]
 pub struct DnsTable {
-    forward: HashMap<Domain, Ipv4Addr>,
-    reverse: HashMap<Ipv4Addr, Domain>,
+    forward: BTreeMap<Domain, Ipv4Addr>,
+    reverse: BTreeMap<Ipv4Addr, Domain>,
 }
 
 impl DnsTable {
@@ -130,6 +135,23 @@ mod tests {
         let t = DnsTable::new();
         assert_eq!(t.lookup(&d("amazon.com")), None);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn debug_dump_is_insertion_order_independent() {
+        // Regression test for the HashMap → BTreeMap conversion: any
+        // rendered view of the table must depend only on its contents,
+        // never on the order resolutions happened in.
+        let names = ["amazon.com", "podtrac.com", "chtbl.com", "megaphone.fm"];
+        let mut fwd = DnsTable::new();
+        for n in names {
+            fwd.resolve(&d(n));
+        }
+        let mut rev = DnsTable::new();
+        for n in names.iter().rev() {
+            rev.resolve(&d(n));
+        }
+        assert_eq!(format!("{fwd:?}"), format!("{rev:?}"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   whole stays functional).
 
 use crate::domain::Domain;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Purpose classification of one traffic flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,10 +76,13 @@ const BUILTIN_SUFFIX: &[&str] = &[
 const BUILTIN_EXACT: &[&str] = &["device-metrics-us-2.amazon.com"];
 
 /// A compiled filter list.
+///
+/// Rule sets are `BTreeSet`s so any rendered view of the list (Debug dumps,
+/// future rule exports) is in rule order rather than hash order.
 #[derive(Debug, Clone)]
 pub struct FilterList {
-    suffixes: HashSet<String>,
-    exact: HashSet<String>,
+    suffixes: BTreeSet<String>,
+    exact: BTreeSet<String>,
 }
 
 impl Default for FilterList {
@@ -104,8 +107,8 @@ impl FilterList {
     /// An empty list.
     pub fn empty() -> FilterList {
         FilterList {
-            suffixes: HashSet::new(),
-            exact: HashSet::new(),
+            suffixes: BTreeSet::new(),
+            exact: BTreeSet::new(),
         }
     }
 
@@ -214,6 +217,20 @@ mod tests {
         assert!(fl.is_ad_tracking(&d("x.tracker.example.net")));
         assert!(fl.is_ad_tracking(&d("pixel.site.com")));
         assert!(!fl.is_ad_tracking(&d("site.com")));
+    }
+
+    #[test]
+    fn debug_dump_is_insertion_order_independent() {
+        // Regression test for the HashSet → BTreeSet conversion.
+        let mut a = FilterList::empty();
+        a.add_suffix("zzz.com");
+        a.add_suffix("aaa.com");
+        a.add_exact("x.b.com");
+        let mut b = FilterList::empty();
+        b.add_exact("x.b.com");
+        b.add_suffix("aaa.com");
+        b.add_suffix("zzz.com");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! adds its advertisers at setup time).
 
 use crate::domain::Domain;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Coarse traffic-party classification relative to a given skill.
 ///
@@ -35,9 +35,12 @@ impl std::fmt::Display for OrgClass {
 }
 
 /// Registrable-domain → organization lookup table.
+///
+/// Backed by a `BTreeMap` so every iteration is in lexicographic domain
+/// order — no view of the map can leak insertion order.
 #[derive(Debug, Clone)]
 pub struct OrgMap {
-    by_registrable: HashMap<String, String>,
+    by_registrable: BTreeMap<String, String>,
 }
 
 /// The organization name used for Amazon throughout the workspace.
@@ -88,7 +91,7 @@ impl Default for OrgMap {
 impl OrgMap {
     /// Create a map preloaded with the paper's organization dataset.
     pub fn new() -> OrgMap {
-        let mut by_registrable = HashMap::new();
+        let mut by_registrable = BTreeMap::new();
         for &(dom, org) in BUILTIN {
             by_registrable.insert(dom.to_string(), org.to_string());
         }
@@ -98,7 +101,7 @@ impl OrgMap {
     /// Create an empty map (for tests and custom ecosystems).
     pub fn empty() -> OrgMap {
         OrgMap {
-            by_registrable: HashMap::new(),
+            by_registrable: BTreeMap::new(),
         }
     }
 
@@ -144,15 +147,12 @@ impl OrgMap {
 
     /// All (registrable domain, organization) pairs in lexicographic domain
     /// order — the canonical view used for hashing and diffing (the backing
-    /// map's iteration order is unspecified).
+    /// `BTreeMap` already iterates in that order).
     pub fn entries_sorted(&self) -> Vec<(&str, &str)> {
-        let mut entries: Vec<(&str, &str)> = self
-            .by_registrable
+        self.by_registrable
             .iter()
             .map(|(d, o)| (d.as_str(), o.as_str()))
-            .collect();
-        entries.sort_unstable();
-        entries
+            .collect()
     }
 }
 
@@ -221,6 +221,19 @@ mod tests {
         m.register("special.amazon.com", "Shadow Org");
         assert_eq!(m.org_of(&d("special.amazon.com")), Some("Shadow Org"));
         assert_eq!(m.org_of(&d("other.amazon.com")), Some(AMAZON));
+    }
+
+    #[test]
+    fn debug_dump_is_insertion_order_independent() {
+        // Regression test for the HashMap → BTreeMap conversion.
+        let mut a = OrgMap::empty();
+        a.register("alpha.com", "Alpha");
+        a.register("beta.com", "Beta");
+        let mut b = OrgMap::empty();
+        b.register("beta.com", "Beta");
+        b.register("alpha.com", "Alpha");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.entries_sorted(), b.entries_sorted());
     }
 
     #[test]

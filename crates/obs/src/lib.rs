@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod names;
 mod recorder;
 mod report;
 mod shard;

@@ -34,6 +34,16 @@ impl Default for Recorder {
 }
 
 impl Recorder {
+    /// Lock the collector state, recovering from poisoning.
+    ///
+    /// A panic on another thread while it held the lock poisons the mutex;
+    /// the collector's state is still structurally sound (every mutation is
+    /// a single insert/increment), so observability keeps working instead of
+    /// amplifying the original panic.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// A recorder that collects everything.
     pub fn new() -> Recorder {
         Recorder {
@@ -69,7 +79,7 @@ impl Recorder {
         }
         let start = Instant::now();
         let idx = {
-            let mut g = self.inner.lock().unwrap();
+            let mut g = self.locked();
             let idx = g.stages.len();
             let depth = g.stage_depth;
             g.stages.push(StageRec {
@@ -82,7 +92,7 @@ impl Recorder {
             idx
         };
         let out = f();
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.locked();
         g.stage_depth -= 1;
         g.stages[idx].dur_us = start.elapsed().as_micros() as u64;
         out
@@ -105,7 +115,7 @@ impl Recorder {
             return;
         }
         let total_us = log.origin.elapsed().as_micros() as u64;
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.locked();
         g.shards.insert(
             (log.group.clone(), log.index),
             ShardReport {
@@ -124,7 +134,7 @@ impl Recorder {
         if !self.enabled || n == 0 {
             return;
         }
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.locked();
         g.aggregates.entry(name.to_string()).or_default().count += n;
     }
 
@@ -141,7 +151,7 @@ impl Recorder {
         let start = Instant::now();
         let out = f();
         let elapsed_us = start.elapsed().as_micros() as u64;
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.locked();
         let a = g.aggregates.entry(name.to_string()).or_default();
         a.calls += 1;
         a.total_us += elapsed_us;
@@ -150,7 +160,7 @@ impl Recorder {
 
     /// An immutable snapshot of everything recorded so far.
     pub fn report(&self) -> Report {
-        let g = self.inner.lock().unwrap();
+        let g = self.locked();
         Report {
             stages: g.stages.clone(),
             shards: g.shards.values().cloned().collect(),

@@ -260,7 +260,7 @@ mod tests {
     fn sample() -> Report {
         let rec = Recorder::new();
         rec.stage("marketplace", || {});
-        rec.stage("persona-shards", || {
+        rec.stage("persona.shards", || {
             for (i, name) in ["Connected Car", "Vanilla"].iter().enumerate() {
                 let mut log = rec.shard("persona", i, name);
                 log.span("install", |log| log.add("tap.packets", 12));

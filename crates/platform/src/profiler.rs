@@ -18,7 +18,7 @@
 
 use crate::category::SkillCategory;
 use crate::skill::Skill;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An advertising interest as it appears in Amazon's DSAR export.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,11 +85,14 @@ pub struct DsarExport {
 }
 
 /// Amazon's profiling engine.
+///
+/// Account maps are `BTreeMap`s so any rendered view (Debug dumps, future
+/// exports) iterates in account order, never insertion order.
 #[derive(Debug, Default)]
 pub struct Profiler {
-    installs: HashMap<String, BTreeMap<SkillCategory, usize>>,
-    interactions: HashMap<String, BTreeMap<SkillCategory, usize>>,
-    history: HashMap<String, Vec<String>>,
+    installs: BTreeMap<String, BTreeMap<SkillCategory, usize>>,
+    interactions: BTreeMap<String, BTreeMap<SkillCategory, usize>>,
+    history: BTreeMap<String, Vec<String>>,
 }
 
 impl Profiler {
@@ -364,6 +367,20 @@ mod tests {
         p.record_interaction("a", &s, "give me a dating tip");
         let e = p.dsar_export("a", DsarPhase::AfterInteraction1);
         assert_eq!(e.interaction_history, vec!["give me a dating tip"]);
+    }
+
+    #[test]
+    fn debug_dump_is_insertion_order_independent() {
+        // Regression test for the HashMap → BTreeMap conversion: the
+        // rendered profiler state must depend only on its contents, never
+        // on the order accounts were first seen in.
+        let mut a = Profiler::new();
+        a.record_install("zoe", &skill_in(SkillCategory::Dating, "d"));
+        a.record_interaction("amy", &skill_in(SkillCategory::SmartHome, "s"), "hi");
+        let mut b = Profiler::new();
+        b.record_interaction("amy", &skill_in(SkillCategory::SmartHome, "s"), "hi");
+        b.record_install("zoe", &skill_in(SkillCategory::Dating, "d"));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

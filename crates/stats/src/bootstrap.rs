@@ -5,6 +5,7 @@
 //! those points are — used by the audit's robustness checks and the
 //! ablation benches. Resampling is fully seeded for reproducibility.
 
+use crate::error::StatsError;
 use alexa_exec::par_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,9 +42,11 @@ impl BootstrapCi {
 
 /// Percentile bootstrap for an arbitrary statistic.
 ///
-/// Returns `None` for an empty sample, a non-positive resample count, or a
-/// level outside the open interval (0, 1): a 0% interval is degenerate and a
-/// 100% interval is unbounded, so both endpoints are excluded.
+/// Degenerate inputs are typed errors: [`StatsError::EmptySample`] for an
+/// empty sample, [`StatsError::ZeroResamples`] for a zero resample count,
+/// and [`StatsError::InvalidLevel`] for a level outside the open interval
+/// (0, 1) — a 0% interval is degenerate and a 100% interval is unbounded,
+/// so both endpoints are excluded.
 ///
 /// Resampling runs in fixed-size chunks, each with an RNG derived from
 /// `(seed, chunk index)`, distributed over all available cores — the result
@@ -54,17 +57,23 @@ pub fn bootstrap_ci<F>(
     resamples: usize,
     level: f64,
     seed: u64,
-) -> Option<BootstrapCi>
+) -> Result<BootstrapCi, StatsError>
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
-    if xs.is_empty() || resamples == 0 || !(level > 0.0 && level < 1.0) {
-        return None;
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if resamples == 0 {
+        return Err(StatsError::ZeroResamples);
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidLevel(level));
     }
     alexa_obs::agg_count("stats.bootstrap.resamples", resamples as u64);
-    alexa_obs::agg_time("stats.bootstrap_ci", || {
+    Ok(alexa_obs::agg_time("stats.bootstrap_ci", || {
         bootstrap_ci_uninstrumented(xs, statistic, resamples, level, seed)
-    })
+    }))
 }
 
 /// The resampling loop itself; timing/counting happens in [`bootstrap_ci`].
@@ -74,7 +83,7 @@ fn bootstrap_ci_uninstrumented<F>(
     resamples: usize,
     level: f64,
     seed: u64,
-) -> Option<BootstrapCi>
+) -> BootstrapCi
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
@@ -94,16 +103,16 @@ where
         stats
     });
     let mut stats: Vec<f64> = chunked.into_iter().flatten().collect();
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    stats.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::descriptive::quantile_sorted(&stats, alpha);
     let hi = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha);
-    Some(BootstrapCi {
+    BootstrapCi {
         estimate,
         lo,
         hi,
         level,
-    })
+    }
 }
 
 /// Bootstrap CI for the sample median.
@@ -112,7 +121,7 @@ pub fn bootstrap_median_ci(
     resamples: usize,
     level: f64,
     seed: u64,
-) -> Option<BootstrapCi> {
+) -> Result<BootstrapCi, StatsError> {
     bootstrap_ci(
         xs,
         |s| crate::descriptive::median(s).unwrap_or(f64::NAN),
@@ -128,7 +137,7 @@ pub fn bootstrap_mean_ci(
     resamples: usize,
     level: f64,
     seed: u64,
-) -> Option<BootstrapCi> {
+) -> Result<BootstrapCi, StatsError> {
     bootstrap_ci(
         xs,
         |s| crate::descriptive::mean(s).unwrap_or(f64::NAN),
@@ -184,17 +193,30 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_inputs_return_none() {
-        assert!(bootstrap_median_ci(&[], 100, 0.95, 1).is_none());
-        assert!(bootstrap_median_ci(&[1.0], 0, 0.95, 1).is_none());
-        assert!(bootstrap_median_ci(&[1.0], 100, 1.5, 1).is_none());
-        assert!(bootstrap_median_ci(&[1.0], 100, 0.0, 1).is_none());
+    fn degenerate_inputs_are_typed_errors() {
+        use crate::StatsError;
+        assert_eq!(
+            bootstrap_median_ci(&[], 100, 0.95, 1),
+            Err(StatsError::EmptySample)
+        );
+        assert_eq!(
+            bootstrap_median_ci(&[1.0], 0, 0.95, 1),
+            Err(StatsError::ZeroResamples)
+        );
+        assert_eq!(
+            bootstrap_median_ci(&[1.0], 100, 1.5, 1),
+            Err(StatsError::InvalidLevel(1.5))
+        );
+        assert_eq!(
+            bootstrap_median_ci(&[1.0], 100, 0.0, 1),
+            Err(StatsError::InvalidLevel(0.0))
+        );
         // Both endpoints of (0, 1) are excluded; interior values near them
         // are accepted.
-        assert!(bootstrap_median_ci(&[1.0], 100, 1.0, 1).is_none());
-        assert!(bootstrap_median_ci(&[1.0], 100, -0.5, 1).is_none());
-        assert!(bootstrap_median_ci(&[1.0], 100, 0.0001, 1).is_some());
-        assert!(bootstrap_median_ci(&[1.0], 100, 0.9999, 1).is_some());
+        assert!(bootstrap_median_ci(&[1.0], 100, 1.0, 1).is_err());
+        assert!(bootstrap_median_ci(&[1.0], 100, -0.5, 1).is_err());
+        assert!(bootstrap_median_ci(&[1.0], 100, 0.0001, 1).is_ok());
+        assert!(bootstrap_median_ci(&[1.0], 100, 0.9999, 1).is_ok());
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub fn holm_bonferroni(p_values: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("NaN p-value"));
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
     let mut adjusted = vec![0.0; m];
     let mut running_max = 0.0f64;
     for (rank, &idx) in order.iter().enumerate() {
@@ -32,7 +32,7 @@ pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("NaN p-value"));
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
     let mut adjusted = vec![0.0; m];
     let mut running_min = 1.0f64;
     for rank in (0..m).rev() {

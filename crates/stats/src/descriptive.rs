@@ -26,20 +26,23 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 
-/// Quantile of an already ascending-sorted slice. Panics on empty input.
+/// Quantile of an already ascending-sorted slice. An empty slice yields
+/// `NaN` (every in-crate caller guards for non-emptiness first).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile of empty sample");
     let n = sorted.len();
+    let Some(&first) = sorted.first() else {
+        return f64::NAN;
+    };
     if n == 1 {
-        return sorted[0];
+        return first;
     }
     let pos = q * (n - 1) as f64;
     let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let hi = (pos.ceil() as usize).min(n - 1);
     if lo == hi {
         sorted[lo]
     } else {
@@ -99,15 +102,16 @@ pub fn five_number_summary(xs: &[f64]) -> Option<Summary> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (&min, &max) = (sorted.first()?, sorted.last()?);
     Some(Summary {
         n: sorted.len(),
-        min: sorted[0],
+        min,
         q1: quantile_sorted(&sorted, 0.25),
         median: quantile_sorted(&sorted, 0.5),
         q3: quantile_sorted(&sorted, 0.75),
-        max: sorted[sorted.len() - 1],
-        mean: mean(&sorted).unwrap(),
+        max,
+        mean: mean(&sorted)?,
     })
 }
 

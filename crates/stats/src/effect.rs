@@ -50,9 +50,10 @@ impl std::fmt::Display for EffectMagnitude {
 /// Rank-biserial correlation between two samples: `2·U1/(n1·n2) − 1`.
 ///
 /// Ranges over [−1, 1]; −1, 0, and 1 indicate stochastic subservience,
-/// equality, and dominance of `x` over `y`. Returns `None` if either sample
-/// is empty.
-pub fn rank_biserial(x: &[f64], y: &[f64]) -> Option<f64> {
+/// equality, and dominance of `x` over `y`. Returns
+/// [`StatsError::EmptySample`](crate::StatsError::EmptySample) if either
+/// sample is empty.
+pub fn rank_biserial(x: &[f64], y: &[f64]) -> Result<f64, crate::StatsError> {
     mann_whitney_u(x, y, Alternative::TwoSided, MwuMethod::Asymptotic).map(|r| r.effect_size)
 }
 
@@ -81,8 +82,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_is_none() {
-        assert!(rank_biserial(&[], &[1.0]).is_none());
+    fn empty_is_a_typed_error() {
+        assert_eq!(
+            rank_biserial(&[], &[1.0]),
+            Err(crate::StatsError::EmptySample)
+        );
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Typed errors for the statistics entry points.
+//!
+//! The library used to signal degenerate inputs with `Option`, which pushed
+//! callers toward `.expect(...)` and lost *why* a test could not run. Every
+//! public entry point now returns `Result<_, StatsError>` so the audit
+//! pipeline can record the reason (e.g. in a "skipped" table row) without a
+//! panic path anywhere in library code.
+
+use std::fmt;
+
+/// Why a statistic could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// An input sample was empty.
+    EmptySample,
+    /// A bootstrap was requested with zero resamples.
+    ZeroResamples,
+    /// A permutation test was requested with zero permutations.
+    ZeroPermutations,
+    /// A confidence level outside the open interval (0, 1): a 0% interval
+    /// is degenerate and a 100% interval is unbounded.
+    InvalidLevel(f64),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "empty sample"),
+            StatsError::ZeroResamples => write!(f, "bootstrap needs at least one resample"),
+            StatsError::ZeroPermutations => {
+                write!(f, "permutation test needs at least one permutation")
+            }
+            StatsError::InvalidLevel(l) => {
+                write!(
+                    f,
+                    "confidence level {l} is outside the open interval (0, 1)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert_eq!(StatsError::EmptySample.to_string(), "empty sample");
+        assert!(StatsError::InvalidLevel(1.5).to_string().contains("1.5"));
+    }
+}

@@ -23,7 +23,9 @@
 //!   tests).
 //!
 //! All functions are deterministic; the bootstrap draws its resamples from
-//! an explicit seed.
+//! an explicit seed. Degenerate inputs (empty samples, zero resamples,
+//! out-of-range levels) surface as typed [`StatsError`]s — library code
+//! never panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +35,7 @@ pub mod classify;
 pub mod correction;
 pub mod descriptive;
 pub mod effect;
+pub mod error;
 pub mod mannwhitney;
 pub mod normal;
 pub mod rank;
@@ -42,6 +45,7 @@ pub use classify::{ConfusionMatrix, PrfScores};
 pub use correction::{benjamini_hochberg, holm_bonferroni, significant_after};
 pub use descriptive::{five_number_summary, mean, median, quantile, stddev, variance, Summary};
 pub use effect::{rank_biserial, EffectMagnitude};
+pub use error::StatsError;
 pub use mannwhitney::{
     mann_whitney_permutation, mann_whitney_u, Alternative, MwuMethod, MwuResult,
 };

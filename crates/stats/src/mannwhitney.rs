@@ -8,6 +8,7 @@
 //! without ties) and the tie-corrected normal approximation (the default,
 //! matching SciPy's `mannwhitneyu(..., method="asymptotic")`) are provided.
 
+use crate::error::StatsError;
 use crate::normal::phi_complement;
 use crate::rank::{midranks, tie_group_sizes};
 
@@ -66,7 +67,7 @@ pub struct MwuResult {
 
 /// Perform a Mann–Whitney U test of `x` against `y`.
 ///
-/// Returns `None` if either sample is empty.
+/// Returns [`StatsError::EmptySample`] if either sample is empty.
 ///
 /// ```
 /// use alexa_stats::{mann_whitney_u, Alternative, MwuMethod};
@@ -81,15 +82,15 @@ pub fn mann_whitney_u(
     y: &[f64],
     alternative: Alternative,
     method: MwuMethod,
-) -> Option<MwuResult> {
+) -> Result<MwuResult, StatsError> {
     let n1 = x.len();
     let n2 = y.len();
     if n1 == 0 || n2 == 0 {
-        return None;
+        return Err(StatsError::EmptySample);
     }
-    alexa_obs::agg_time("stats.mann_whitney_u", || {
+    Ok(alexa_obs::agg_time("stats.mann_whitney_u", || {
         mwu_uninstrumented(x, y, alternative, method)
-    })
+    }))
 }
 
 /// The test itself; timing happens in [`mann_whitney_u`].
@@ -98,7 +99,7 @@ fn mwu_uninstrumented(
     y: &[f64],
     alternative: Alternative,
     method: MwuMethod,
-) -> Option<MwuResult> {
+) -> MwuResult {
     let n1 = x.len();
     let n2 = y.len();
 
@@ -136,14 +137,14 @@ fn mwu_uninstrumented(
         } // `Auto` cannot survive resolution.
     };
 
-    Some(MwuResult {
+    MwuResult {
         u1,
         u2,
         p_value: p_value.min(1.0),
         effect_size,
         z,
         method_used: resolved,
-    })
+    }
 }
 
 /// Tie-corrected normal approximation with continuity correction.
@@ -199,24 +200,29 @@ fn asymptotic_p(
 ///
 /// Permutations run in fixed-size chunks with per-chunk RNGs derived from
 /// `(seed, chunk index)`, distributed over all cores; the p-value is
-/// identical for any worker count. Returns `None` if either sample is empty
-/// or `permutations` is zero.
+/// identical for any worker count. Returns [`StatsError::EmptySample`] if
+/// either sample is empty and [`StatsError::ZeroPermutations`] for a zero
+/// permutation count.
 pub fn mann_whitney_permutation(
     x: &[f64],
     y: &[f64],
     alternative: Alternative,
     permutations: usize,
     seed: u64,
-) -> Option<MwuResult> {
+) -> Result<MwuResult, StatsError> {
     let n1 = x.len();
     let n2 = y.len();
-    if n1 == 0 || n2 == 0 || permutations == 0 {
-        return None;
+    if n1 == 0 || n2 == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if permutations == 0 {
+        return Err(StatsError::ZeroPermutations);
     }
     alexa_obs::agg_count("stats.mwu.permutations", permutations as u64);
-    return alexa_obs::agg_time("stats.mann_whitney_permutation", || {
-        permutation_uninstrumented(x, y, alternative, permutations, seed)
-    });
+    return Ok(alexa_obs::agg_time(
+        "stats.mann_whitney_permutation",
+        || permutation_uninstrumented(x, y, alternative, permutations, seed),
+    ));
 
     /// The permutation loop itself; timing/counting happens above.
     fn permutation_uninstrumented(
@@ -225,7 +231,7 @@ pub fn mann_whitney_permutation(
         alternative: Alternative,
         permutations: usize,
         seed: u64,
-    ) -> Option<MwuResult> {
+    ) -> MwuResult {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
 
@@ -270,14 +276,14 @@ pub fn mann_whitney_permutation(
         let extreme: usize = extreme_counts.into_iter().sum();
         let p_value = (extreme + 1) as f64 / (permutations + 1) as f64;
 
-        Some(MwuResult {
+        MwuResult {
             u1,
             u2,
             p_value: p_value.min(1.0),
             effect_size: 2.0 * u1 / (n1 * n2) as f64 - 1.0,
             z: None,
             method_used: MwuMethod::Permutation,
-        })
+        }
     }
 }
 
@@ -325,9 +331,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_samples_return_none() {
-        assert!(mann_whitney_u(&[], &[1.0], Alternative::TwoSided, MwuMethod::Auto).is_none());
-        assert!(mann_whitney_u(&[1.0], &[], Alternative::TwoSided, MwuMethod::Auto).is_none());
+    fn empty_samples_are_typed_errors() {
+        assert_eq!(
+            mann_whitney_u(&[], &[1.0], Alternative::TwoSided, MwuMethod::Auto),
+            Err(crate::StatsError::EmptySample)
+        );
+        assert_eq!(
+            mann_whitney_u(&[1.0], &[], Alternative::TwoSided, MwuMethod::Auto),
+            Err(crate::StatsError::EmptySample)
+        );
     }
 
     #[test]
@@ -459,10 +471,19 @@ mod tests {
     }
 
     #[test]
-    fn permutation_degenerate_inputs_return_none() {
-        assert!(mann_whitney_permutation(&[], &[1.0], Alternative::Greater, 100, 1).is_none());
-        assert!(mann_whitney_permutation(&[1.0], &[], Alternative::Greater, 100, 1).is_none());
-        assert!(mann_whitney_permutation(&[1.0], &[2.0], Alternative::Greater, 0, 1).is_none());
+    fn permutation_degenerate_inputs_are_typed_errors() {
+        assert_eq!(
+            mann_whitney_permutation(&[], &[1.0], Alternative::Greater, 100, 1),
+            Err(crate::StatsError::EmptySample)
+        );
+        assert_eq!(
+            mann_whitney_permutation(&[1.0], &[], Alternative::Greater, 100, 1),
+            Err(crate::StatsError::EmptySample)
+        );
+        assert_eq!(
+            mann_whitney_permutation(&[1.0], &[2.0], Alternative::Greater, 0, 1),
+            Err(crate::StatsError::ZeroPermutations)
+        );
     }
 
     #[test]

@@ -10,13 +10,11 @@
 ///
 /// Ties receive the average of the ranks they occupy. The returned vector is
 /// index-aligned with the input: `midranks(xs)[i]` is the rank of `xs[i]`.
-///
-/// # Panics
-/// Panics if any value is NaN (ranks are undefined for NaN).
+/// NaN values sort last under IEEE total order.
 pub fn midranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in sample"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -41,7 +39,7 @@ pub fn midranks(xs: &[f64]) -> Vec<f64> {
 /// approximation: `Σ (t³ − t)` over tie group sizes `t`.
 pub fn tie_group_sizes(xs: &[f64]) -> Vec<usize> {
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut sizes = Vec::new();
     let mut i = 0;
     while i < sorted.len() {
