@@ -287,7 +287,8 @@ fn run_persona_shard(
     let echo_index = Persona::echo_personas()
         .into_iter()
         .position(|p| p == persona);
-    let (mut device, mut tap, mut profile) = log.span("boot", |_| {
+    let (mut device, mut tap, mut profile) = log.span("boot", |l| {
+        l.work(1); // one provisioning step per persona
         let device = echo_index.map(|i| {
             let mut d = EchoDevice::new(&account, config.seed ^ (i as u64 + 1));
             d.set_fault_plane(plane.clone());
@@ -299,10 +300,11 @@ fn run_persona_shard(
     });
 
     // ---- Install phase (§3.1: top skills of the persona's category) -----
-    log.span("install", |_| {
+    log.span("install", |l| {
         if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
             for skill in market.top_skills(cat, config.skills_per_category) {
                 out.installs.expected += 1;
+                l.work(1); // one install attempt
                 tap.start(skill.id.0.clone());
                 let key = format!("{account}/install/{}", skill.id.0);
                 let attempt = retry(
@@ -317,6 +319,7 @@ fn run_persona_shard(
                 match attempt.result {
                     Ok(packets) => {
                         out.installs.observed += 1;
+                        l.work(packets.len() as u64);
                         tap.observe_batch(apply_defense(config.defense, packets));
                     }
                     Err(_) => out.failed_installs.push(skill.id.0.clone()),
@@ -327,7 +330,8 @@ fn run_persona_shard(
     });
     // First DSAR: after installation (§6.1).
     if persona.has_echo() {
-        log.span("dsar.after_install", |_| {
+        log.span("dsar.after_install", |l| {
+            l.work(1); // one DSAR export
             out.dsar.push((
                 DsarPhase::AfterInstall,
                 cloud
@@ -338,7 +342,7 @@ fn run_persona_shard(
     }
 
     // ---- Pre-interaction crawls ------------------------------------------
-    log.span("crawl.pre", |_| {
+    log.span("crawl.pre", |l| {
         crawl_window(
             config,
             crawler,
@@ -351,11 +355,12 @@ fn run_persona_shard(
             &mut profile,
             &mut out,
             0..config.pre_iterations,
+            l,
         );
     });
 
     // ---- Interaction phase -----------------------------------------------
-    log.span("interact", |_| {
+    log.span("interact", |l| {
         if let (Some(device), Some(cat)) = (device.as_mut(), persona.category()) {
             for skill in market.top_skills(cat, config.skills_per_category) {
                 if !device.has_skill(&skill.id) {
@@ -367,6 +372,7 @@ fn run_persona_shard(
                     .take(config.utterances_per_skill)
                 {
                     out.interactions.expected += 1;
+                    l.work(1); // one replayed utterance
                     let spoken = format!("Alexa, {utterance}");
                     let key = format!("{account}/interact/{}/{utterance}", skill.id.0);
                     let attempt = retry(
@@ -381,6 +387,7 @@ fn run_persona_shard(
                     match attempt.result {
                         Ok(packets) => {
                             out.interactions.observed += 1;
+                            l.work(packets.len() as u64);
                             tap.observe_batch(apply_defense(config.defense, packets));
                         }
                         // Injected outage survived retry: the utterance is lost.
@@ -396,7 +403,8 @@ fn run_persona_shard(
     });
     // Second DSAR: after interaction.
     if persona.has_echo() {
-        log.span("dsar.after_interaction1", |_| {
+        log.span("dsar.after_interaction1", |l| {
+            l.work(1); // one DSAR export
             out.dsar.push((
                 DsarPhase::AfterInteraction1,
                 cloud
@@ -407,7 +415,7 @@ fn run_persona_shard(
     }
 
     // ---- Post-interaction crawls -----------------------------------------
-    log.span("crawl.post", |_| {
+    log.span("crawl.post", |l| {
         crawl_window(
             config,
             crawler,
@@ -420,11 +428,13 @@ fn run_persona_shard(
             &mut profile,
             &mut out,
             config.pre_iterations..config.pre_iterations + config.post_iterations,
+            l,
         );
     });
     // Third DSAR: second request after interaction.
     if persona.has_echo() {
-        log.span("dsar.after_interaction2", |_| {
+        log.span("dsar.after_interaction2", |l| {
+            l.work(1); // one DSAR export
             out.dsar.push((
                 DsarPhase::AfterInteraction2,
                 cloud
@@ -439,7 +449,7 @@ fn run_persona_shard(
 
     // ---- Audio-ad sessions (§3.3: two interest personas + vanilla) -------
     if let Some(pi) = AUDIO_PERSONAS.iter().position(|p| *p == persona) {
-        log.span("audio", |_| {
+        log.span("audio", |l| {
             // Audio targeting keys off the segments the profiler actually
             // holds — the same ground-truth channel the web auctions use —
             // not off the persona label.
@@ -458,6 +468,7 @@ fn run_persona_shard(
                     session_seed,
                 );
                 let transcripts = transcriber.transcribe(&session, session_seed);
+                l.work(1 + transcripts.len() as u64); // one session + its transcripts
                 out.audio.push((service, transcripts));
             }
         });
@@ -506,7 +517,8 @@ fn run_persona_shard(
 /// With an inactive plane this is byte-for-byte the original crawl loop.
 /// With faults active, each visit retries under the shard budget when the
 /// `crawl_timeout` channel fires, and surviving visits pass through the
-/// crawler's bid-loss filter.
+/// crawler's bid-loss filter. Each attempted visit advances the shard's
+/// virtual work clock by one unit.
 #[allow(clippy::too_many_arguments)]
 fn crawl_window(
     config: &AuditConfig,
@@ -520,11 +532,13 @@ fn crawl_window(
     profile: &mut BrowserProfile,
     out: &mut PersonaShard,
     window: std::ops::Range<usize>,
+    log: &mut ShardLog,
 ) {
     for iteration in window {
         let user = user_state(persona, cloud);
         for site in sites {
             out.visits.expected += 1;
+            log.work(1); // one crawl visit attempt
             if !plane.is_active() {
                 out.visits.observed += 1;
                 out.crawl
@@ -584,9 +598,10 @@ fn run_avs_shard(
     let mut budget = RetryBudget::new(plane.profile().retry_budget());
     let mut ledger = FaultLedger::new();
     let mut skills_cov = Coverage::default();
-    log.span("skills", |_| {
+    log.span("skills", |l| {
         for skill in market.top_skills(cat, config.skills_per_category) {
             skills_cov.expected += 1;
+            l.work(1); // one plaintext-pass skill
             tap.start(skill.id.0.clone());
             let key = format!("avs/{}/install", skill.id.0);
             let attempt = retry(
@@ -600,6 +615,7 @@ fn run_avs_shard(
             absorb_outcome(&mut ledger, FaultChannel::InstallFailure, &attempt);
             if let Ok(install_packets) = attempt.result {
                 skills_cov.observed += 1;
+                l.work(install_packets.len() as u64);
                 tap.observe_batch(apply_defense(config.defense, install_packets));
                 for utterance in scraped_script(skill)
                     .iter()
@@ -617,10 +633,12 @@ fn run_avs_shard(
                     );
                     absorb_outcome(&mut ledger, FaultChannel::InteractionFailure, &attempt);
                     if let Ok(packets) = attempt.result {
+                        l.work(1 + packets.len() as u64);
                         tap.observe_batch(apply_defense(config.defense, packets));
                     }
                 }
                 let uninstall = avs.uninstall(&mut cloud, skill);
+                l.work(uninstall.len() as u64);
                 tap.observe_batch(apply_defense(config.defense, uninstall));
             }
             tap.stop();

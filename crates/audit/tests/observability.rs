@@ -84,6 +84,79 @@ fn trace_structure_is_identical_across_worker_counts() {
     );
 }
 
+#[test]
+fn every_shard_accumulates_work_and_attributes_it_to_its_stage() {
+    let rec = Recorder::new();
+    AuditRun::execute_with(AuditConfig::small(5), &rec);
+    let report = rec.report();
+    for shard in report.shards_in("persona") {
+        assert!(shard.work > 0, "{}: zero work units", shard.label);
+        assert_eq!(shard.stage, "persona.shards", "{}", shard.label);
+    }
+    for shard in report.shards_in("avs") {
+        assert!(shard.work > 0, "avs {}: zero work units", shard.label);
+        assert_eq!(shard.stage, "avs.pass", "avs {}", shard.label);
+    }
+    // Stage work is the sum of its shards' virtual clocks.
+    let persona_work: u64 = report.shards_in("persona").iter().map(|s| s.work).sum();
+    let stage = report.stage("persona.shards").expect("stage recorded");
+    assert_eq!(stage.work, persona_work);
+    // Summaries and histograms cover both shard groups.
+    let summaries = report.work_summaries();
+    assert_eq!(summaries["persona"].count, 13);
+    assert_eq!(summaries["avs"].count, 9);
+    assert!(summaries["persona"].p50 > 0);
+    assert!(summaries["persona"].p50 <= summaries["persona"].p99);
+    let hists = report.work_histograms();
+    assert_eq!(hists["persona"].total(), 13);
+    assert!(hists.contains_key("persona:install"));
+    assert!(hists.contains_key("avs:skills"));
+}
+
+/// The run-ledger bundle surfaces — trace, metrics, folded profile — must be
+/// **byte-identical** across worker counts, not merely structurally equal:
+/// they are built exclusively from the deterministic virtual work clock.
+#[test]
+fn ledger_surfaces_are_byte_identical_across_worker_counts() {
+    let surfaces = |jobs: usize| {
+        let rec = Recorder::new();
+        AuditRun::execute_with(AuditConfig::small(7).with_jobs(Some(jobs)), &rec);
+        let report = rec.report();
+        (
+            report.ledger_trace_json().render(),
+            report.ledger_metrics_json().render(),
+            report.folded_profile(),
+        )
+    };
+    let (trace1, metrics1, profile1) = surfaces(1);
+    let (trace4, metrics4, profile4) = surfaces(4);
+    assert_eq!(trace1, trace4, "trace.json differs across worker counts");
+    assert_eq!(
+        metrics1, metrics4,
+        "metrics.json differs across worker counts"
+    );
+    assert_eq!(
+        profile1, profile4,
+        "profile.folded differs across worker counts"
+    );
+}
+
+/// Pins the exact folded profile of `AuditConfig::small(7)`. A diff here
+/// means the work-unit accounting changed — intentional changes must
+/// regenerate the golden file (instructions inside it... it is plain text:
+/// write `report.folded_profile()` for `small(7)` over it).
+#[test]
+fn folded_profile_matches_the_golden_file() {
+    let rec = Recorder::new();
+    AuditRun::execute_with(AuditConfig::small(7), &rec);
+    let got = rec.report().folded_profile();
+    let want = include_str!("golden/profile_seed7.folded");
+    assert_eq!(
+        got, want,
+        "folded profile drifted from tests/golden/profile_seed7.folded"
+    );
+}
+
 // Small helper so the assertions above read naturally.
 trait CounterExt {
     fn counter(&self, name: &str) -> u64;

@@ -7,6 +7,9 @@
 //! repro --jobs 4 all        # cap the engine's worker threads
 //! repro --trace all         # human-readable span tree on stderr
 //! repro --metrics-out m.json all   # JSON metrics export
+//! repro --trace-out t.txt all      # span tree to a file (- = stderr)
+//! repro --profile-out p.folded all # folded-stack work profile
+//! repro --run-dir run-a all        # self-describing run-ledger bundle
 //! repro --fault-profile flaky all  # run under a fault-plane preset
 //! repro --fault-rate 0.2 all       # uniform fault rate on every channel
 //! repro --bench             # time a paper-scale run, write BENCH_audit.json
@@ -17,6 +20,13 @@
 //! determinism invariant); `--jobs 1` is the sequential reference. The
 //! observability flags never change stdout: the trace goes to stderr and the
 //! metrics to their own file, so traced and untraced runs stay diffable.
+//! Every output flag accepts `-` to stream to **stderr** instead of a file,
+//! keeping stdout byte-exact either way.
+//!
+//! `--run-dir DIR` writes a four-file run-ledger bundle (manifest, metrics,
+//! trace, folded profile — see `alexa_obs::bundle`) whose bytes depend only
+//! on `(seed, fault profile)`, never on `--jobs`; compare bundles with the
+//! `obs-diff` tool.
 //!
 //! Any unknown artifact name or flag is a hard error (exit 2) — including
 //! alongside `all` — so a typo in a CI invocation can never pass green.
@@ -127,10 +137,26 @@ fn render_defenses(
     )
 }
 
+/// Write `body` to `path`, with `-` streaming to stderr. File write errors
+/// are fatal (exit 1): a CI artifact silently missing is worse than a loud
+/// failure.
+fn write_output(path: &str, what: &str, body: &str) {
+    if path == "-" {
+        eprint!("{body}");
+        return;
+    }
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write {what} to {path:?}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("{what} written to {path}");
+}
+
 /// `--bench`: time the paper-scale execute plus a full `repro all` rendering
 /// pass and append the data point — with the recorder's per-stage breakdown
-/// — to `BENCH_audit.json` at the repo root.
-fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) {
+/// — to `BENCH_audit.json` at the repo root. Returns the observations so the
+/// observability surfaces (`--run-dir`, ...) can describe the benched run.
+fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) -> Observations {
     let workers = alexa_exec::effective_jobs(jobs);
     eprintln!("benchmarking paper-scale audit (seed {seed}, {workers} worker(s)) ...");
 
@@ -144,13 +170,20 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) {
     let rendered_bytes: usize = rendered.iter().map(String::len).sum();
 
     // Per-stage wall times from the recorder, millisecond precision — the
-    // breakdown future perf PRs regress against.
+    // breakdown future perf PRs regress against — plus the deterministic
+    // work-unit figure per stage (schedule-independent context).
     let report = rec.report();
     let stages: Vec<(String, Json)> = report
         .stages
         .iter()
         .filter(|s| s.depth == 0)
         .map(|s| (s.name.clone(), Json::Int(s.dur_us / 1000)))
+        .collect();
+    let stage_work: Vec<(String, Json)> = report
+        .stages
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| (s.name.clone(), Json::Int(s.work)))
         .collect();
 
     let entry = Json::Obj(vec![
@@ -172,6 +205,7 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) {
         ("total_ms".into(), Json::Int(execute_ms + render_ms)),
         ("rendered_bytes".into(), Json::Int(rendered_bytes as u64)),
         ("stages".into(), Json::Obj(stages)),
+        ("stage_work".into(), Json::Obj(stage_work)),
     ])
     .render();
 
@@ -183,6 +217,7 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) {
     std::fs::write(path, log).expect("write BENCH_audit.json");
     eprintln!("execute: {execute_ms} ms, render all: {render_ms} ms");
     println!("{entry}");
+    obs
 }
 
 /// Render the wanted artifacts concurrently, returning them in input order.
@@ -212,60 +247,70 @@ fn render_all(
     })
 }
 
-/// Write the trace / metrics the observability flags asked for.
-fn emit_observability(
-    rec: &Recorder,
-    trace: bool,
-    metrics_out: Option<&str>,
-    seed: u64,
-    jobs: Option<usize>,
-    coverage: Option<&alexa_fault::CoverageReport>,
-) {
+/// Write every observability surface the flags asked for: the stderr trace,
+/// `--trace-out` / `--metrics-out` / `--profile-out` documents (each taking
+/// `-` for stderr) and the `--run-dir` run-ledger bundle.
+fn emit_observability(rec: &Recorder, cli: &Cli, obs: &Observations) {
     if !rec.is_enabled() {
         return;
     }
     let report = rec.report();
-    if trace {
+    if cli.trace {
         eprint!("{}", report.render_tree());
     }
-    if let Some(path) = metrics_out {
+    if let Some(path) = cli.trace_out.as_deref() {
+        write_output(path, "trace", &report.render_tree());
+    }
+    if let Some(path) = cli.profile_out.as_deref() {
+        write_output(path, "profile", &report.folded_profile());
+    }
+    if let Some(path) = cli.metrics_out.as_deref() {
+        let cov = &obs.coverage;
         let mut fields = vec![
-            ("seed".to_string(), Json::Int(seed)),
+            ("seed".to_string(), Json::Int(cli.seed)),
             (
                 "jobs".to_string(),
-                jobs.map_or(Json::Null, |n| Json::Int(n as u64)),
+                cli.jobs.map_or(Json::Null, |n| Json::Int(n as u64)),
             ),
-        ];
-        if let Some(cov) = coverage {
-            fields.push(("fault_profile".to_string(), Json::Str(cov.profile.clone())));
-            fields.push((
+            ("fault_profile".to_string(), Json::Str(cov.profile.clone())),
+            (
                 "fault_injected".to_string(),
                 Json::Int(cov.total_injected()),
-            ));
-            fields.push(("fault_retries".to_string(), Json::Int(cov.retries)));
-            fields.push(("fault_backoff_ms".to_string(), Json::Int(cov.backoff_ms)));
-            fields.push(("fault_losses".to_string(), Json::Int(cov.losses)));
-            fields.push(("degraded".to_string(), Json::Bool(cov.is_degraded())));
-        }
+            ),
+            ("fault_retries".to_string(), Json::Int(cov.retries)),
+            ("fault_backoff_ms".to_string(), Json::Int(cov.backoff_ms)),
+            ("fault_losses".to_string(), Json::Int(cov.losses)),
+            ("degraded".to_string(), Json::Bool(cov.is_degraded())),
+        ];
         match report.to_json() {
             Json::Obj(inner) => fields.extend(inner),
             other => fields.push(("report".to_string(), other)),
         }
-        let doc = Json::Obj(fields).render();
-        if let Err(e) = std::fs::write(path, doc + "\n") {
-            eprintln!("error: cannot write metrics to {path:?}: {e}");
+        write_output(path, "metrics", &(Json::Obj(fields).render() + "\n"));
+    }
+    if let Some(dir) = cli.run_dir.as_deref() {
+        let spec = alexa_obs::bundle::BundleSpec {
+            seed: cli.seed,
+            fault_profile: cli.fault.name().to_string(),
+            observations_digest: obs.digest(),
+            coverage: Some(obs.coverage.to_json()),
+        };
+        if let Err(e) = alexa_obs::bundle::write_bundle(std::path::Path::new(dir), &spec, &report) {
+            eprintln!("error: cannot write run bundle to {dir:?}: {e}");
             std::process::exit(1);
         }
-        eprintln!("metrics written to {path}");
+        eprintln!("run bundle written to {dir}");
     }
 }
 
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: repro [--seed N] [--jobs N] [--trace] [--metrics-out PATH] \
+         [--trace-out PATH] [--profile-out PATH] [--run-dir DIR] \
          [--fault-profile none|flaky|degraded|hostile] [--fault-rate R] \
          <artifact>... | all | --bench | --list"
     );
+    eprintln!("output PATHs accept '-' to stream to stderr");
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
     std::process::exit(code);
 }
@@ -275,6 +320,9 @@ struct Cli {
     jobs: Option<usize>,
     trace: bool,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    profile_out: Option<String>,
+    run_dir: Option<String>,
     fault: FaultProfile,
     bench: bool,
     list: bool,
@@ -292,6 +340,9 @@ fn parse_cli() -> Cli {
         jobs: None,
         trace: false,
         metrics_out: None,
+        trace_out: None,
+        profile_out: None,
+        run_dir: None,
         fault: FaultProfile::none(),
         bench: false,
         list: false,
@@ -321,6 +372,16 @@ fn parse_cli() -> Cli {
             }
             "--trace" => cli.trace = true,
             "--metrics-out" => cli.metrics_out = Some(value(&mut args, "--metrics-out")),
+            "--trace-out" => cli.trace_out = Some(value(&mut args, "--trace-out")),
+            "--profile-out" => cli.profile_out = Some(value(&mut args, "--profile-out")),
+            "--run-dir" => {
+                let dir = value(&mut args, "--run-dir");
+                if dir == "-" {
+                    eprintln!("error: --run-dir expects a directory, not '-'");
+                    std::process::exit(2);
+                }
+                cli.run_dir = Some(dir);
+            }
             "--fault-profile" => {
                 cli.fault = value(&mut args, "--fault-profile")
                     .parse()
@@ -373,7 +434,12 @@ fn main() {
 
     // The recorder: enabled whenever any observability surface is on, and
     // installed globally so leaf libraries (stats, crawler) feed it too.
-    let observing = cli.trace || cli.metrics_out.is_some() || cli.bench;
+    let observing = cli.trace
+        || cli.metrics_out.is_some()
+        || cli.trace_out.is_some()
+        || cli.profile_out.is_some()
+        || cli.run_dir.is_some()
+        || cli.bench;
     let rec = Arc::new(if observing {
         Recorder::new()
     } else {
@@ -382,15 +448,8 @@ fn main() {
     alexa_obs::install_global(rec.clone());
 
     if cli.bench {
-        run_bench(cli.seed, cli.jobs, &rec);
-        emit_observability(
-            &rec,
-            cli.trace,
-            cli.metrics_out.as_deref(),
-            cli.seed,
-            cli.jobs,
-            None,
-        );
+        let obs = run_bench(cli.seed, cli.jobs, &rec);
+        emit_observability(&rec, &cli, &obs);
         return;
     }
     if cli.artifacts.is_empty() && !cli.all {
@@ -422,14 +481,7 @@ fn main() {
     for artifact in render_all(&obs, &wanted, cli.seed, cli.jobs, &cli.fault, &rec) {
         println!("{artifact}");
     }
-    emit_observability(
-        &rec,
-        cli.trace,
-        cli.metrics_out.as_deref(),
-        cli.seed,
-        cli.jobs,
-        Some(&obs.coverage),
-    );
+    emit_observability(&rec, &cli, &obs);
     if obs.coverage.is_degraded() {
         eprintln!("run degraded: injected faults cost observations (exit 3)");
         std::process::exit(3);

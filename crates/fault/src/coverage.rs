@@ -184,6 +184,50 @@ impl CoverageReport {
         self.losses > 0 || !self.degraded_shards.is_empty()
     }
 
+    /// Deterministic JSON export, embedded in run-ledger bundle manifests.
+    ///
+    /// Every field is a structural count or a fixed name — nothing
+    /// schedule- or wall-clock-dependent — so the document honors the same
+    /// byte-equality contract as the rest of the bundle.
+    pub fn to_json(&self) -> alexa_obs::Json {
+        use alexa_obs::Json;
+        let sections = self
+            .sections
+            .iter()
+            .map(|(name, cov)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("observed".to_string(), Json::Int(cov.observed)),
+                        ("expected".to_string(), Json::Int(cov.expected)),
+                    ]),
+                )
+            })
+            .collect();
+        let injected = self
+            .injected
+            .iter()
+            .map(|(label, n)| (label.clone(), Json::Int(*n)))
+            .collect();
+        Json::Obj(vec![
+            ("profile".to_string(), Json::Str(self.profile.clone())),
+            ("sections".to_string(), Json::Obj(sections)),
+            ("injected".to_string(), Json::Obj(injected)),
+            ("retries".to_string(), Json::Int(self.retries)),
+            ("backoff_ms".to_string(), Json::Int(self.backoff_ms)),
+            ("losses".to_string(), Json::Int(self.losses)),
+            (
+                "degraded_shards".to_string(),
+                Json::Arr(
+                    self.degraded_shards
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Human-readable coverage block for the report header.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -306,6 +350,43 @@ mod tests {
         let text = report.render();
         assert!(text.contains("run status: complete"));
         assert!(text.contains("faults injected: none"));
+    }
+
+    #[test]
+    fn json_export_is_structural_and_complete() {
+        let mut report = CoverageReport::new("flaky");
+        report
+            .section("skill.installs")
+            .merge(Coverage::new(48, 50));
+        let mut ledger = FaultLedger::new();
+        ledger.inject(FaultChannel::InstallFailure, 2);
+        ledger.retries = 4;
+        ledger.backoff_ms = 120;
+        ledger.losses = 2;
+        ledger.degraded = true;
+        report.merge_ledger("Dating", &ledger);
+        let j = report.to_json();
+        use alexa_obs::Json;
+        assert_eq!(j.get("profile").and_then(Json::as_str), Some("flaky"));
+        assert_eq!(
+            j.get("sections")
+                .and_then(|s| s.get("skill.installs"))
+                .and_then(|s| s.get("observed"))
+                .and_then(Json::as_u64),
+            Some(48)
+        );
+        assert_eq!(
+            j.get("injected")
+                .and_then(|i| i.get("install"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(j.get("retries").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("losses").and_then(Json::as_u64), Some(2));
+        let rendered = j.render();
+        assert!(rendered.contains("\"degraded_shards\": [\"Dating\"]"));
+        // Round-trips through the strict parser.
+        assert!(Json::parse(&rendered).is_ok());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Run-ledger bundles: self-describing directories capturing one audit run.
+//!
+//! A bundle is four files written by `repro --run-dir`:
+//!
+//! * `manifest.json` — identity: schema version, seed, fault profile, the
+//!   observations digest, and an optional coverage report.
+//! * `metrics.json` — flat deterministic metrics (per-stage work, counter
+//!   totals, aggregate counts, per-group summaries and histograms).
+//! * `trace.json` — the full span tree in work units.
+//! * `profile.folded` — a folded-stack self-time profile (flamegraph input).
+//!
+//! Every byte of every file is a pure function of `(seed, fault profile,
+//! config)`: durations are virtual work units, maps are ordered, and the
+//! manifest deliberately **omits the worker count** — the bundle is the same
+//! for `--jobs 1`, `4` and `8` (`"jobs_independent": true` records the
+//! guarantee). Two bundles are therefore directly comparable with `obs-diff`,
+//! and CI asserts their byte-equality across worker counts.
+
+use crate::json::Json;
+use crate::report::Report;
+use std::io;
+use std::path::Path;
+
+/// Version of the bundle layout and JSON schemas. Bump on any change to the
+/// file set or to the meaning/shape of an existing field.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// File name of the bundle manifest.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// File name of the deterministic metrics document.
+pub const METRICS_FILE: &str = "metrics.json";
+/// File name of the deterministic trace document.
+pub const TRACE_FILE: &str = "trace.json";
+/// File name of the folded-stack work profile.
+pub const PROFILE_FILE: &str = "profile.folded";
+
+/// The run-identity facts recorded in a bundle's manifest.
+#[derive(Debug, Clone)]
+pub struct BundleSpec {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Name of the fault profile ("none", "flaky", "hostile", ...).
+    pub fault_profile: String,
+    /// `Observations::digest()` of the produced observations.
+    pub observations_digest: u64,
+    /// Pre-rendered coverage report (`CoverageReport::to_json`), if the run
+    /// tracked coverage. Passed in as [`Json`] so this crate needs no
+    /// dependency on the fault plane.
+    pub coverage: Option<Json>,
+}
+
+impl BundleSpec {
+    /// The manifest document for this run.
+    ///
+    /// The digest is rendered as fixed-width hex so the manifest is stable
+    /// to parse and diff. There is no `jobs` field by design: the whole
+    /// bundle is worker-count-independent and recording the count would
+    /// break byte-equality across `--jobs` values.
+    pub fn manifest_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema".to_string(), Json::Int(SCHEMA_VERSION)),
+            ("seed".to_string(), Json::Int(self.seed)),
+            (
+                "fault_profile".to_string(),
+                Json::Str(self.fault_profile.clone()),
+            ),
+            (
+                "observations_digest".to_string(),
+                Json::Str(format!("{:016x}", self.observations_digest)),
+            ),
+            ("jobs_independent".to_string(), Json::Bool(true)),
+        ];
+        if let Some(cov) = &self.coverage {
+            fields.push(("coverage".to_string(), cov.clone()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Write the four bundle files for one run into `dir` (created if needed).
+///
+/// JSON documents get a trailing newline; the folded profile is already
+/// newline-terminated per line.
+pub fn write_bundle(dir: &Path, spec: &BundleSpec, report: &Report) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = spec.manifest_json().render();
+    manifest.push('\n');
+    std::fs::write(dir.join(MANIFEST_FILE), manifest)?;
+    let mut metrics = report.ledger_metrics_json().render();
+    metrics.push('\n');
+    std::fs::write(dir.join(METRICS_FILE), metrics)?;
+    let mut trace = report.ledger_trace_json().render();
+    trace.push('\n');
+    std::fs::write(dir.join(TRACE_FILE), trace)?;
+    std::fs::write(dir.join(PROFILE_FILE), report.folded_profile())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn spec() -> BundleSpec {
+        BundleSpec {
+            seed: 7,
+            fault_profile: "none".into(),
+            observations_digest: 0xdead_beef,
+            coverage: None,
+        }
+    }
+
+    #[test]
+    fn manifest_is_jobs_free_and_versioned() {
+        let m = spec().manifest_json();
+        assert_eq!(m.get("schema").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(m.get("seed").and_then(Json::as_u64), Some(7));
+        assert_eq!(m.get("fault_profile").and_then(Json::as_str), Some("none"));
+        assert_eq!(
+            m.get("observations_digest").and_then(Json::as_str),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(
+            m.get("jobs_independent").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(m.get("jobs").is_none(), "manifest must not record --jobs");
+    }
+
+    #[test]
+    fn manifest_embeds_coverage_when_present() {
+        let mut s = spec();
+        s.coverage = Some(Json::Obj(vec![(
+            "profile".into(),
+            Json::Str("flaky".into()),
+        )]));
+        let m = s.manifest_json();
+        assert_eq!(
+            m.get("coverage")
+                .and_then(|c| c.get("profile"))
+                .and_then(Json::as_str),
+            Some("flaky")
+        );
+    }
+
+    #[test]
+    fn write_bundle_produces_all_four_files() {
+        let rec = Recorder::new();
+        rec.stage("persona.shards", || {
+            let mut log = rec.shard("persona", 0, "Vanilla");
+            log.span("install", |l| l.work(4));
+            rec.submit(log);
+        });
+        let report = rec.report();
+        let dir = std::env::temp_dir().join(format!("obs-bundle-test-{}", std::process::id()));
+        write_bundle(&dir, &spec(), &report).expect("bundle write");
+        for file in [MANIFEST_FILE, METRICS_FILE, TRACE_FILE, PROFILE_FILE] {
+            let body = std::fs::read_to_string(dir.join(file)).expect("bundle file");
+            assert!(!body.is_empty(), "{file} must not be empty");
+        }
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).expect("manifest readable");
+        assert!(manifest.ends_with('\n'));
+        Json::parse(manifest.trim_end()).expect("manifest parses");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,7 +21,15 @@
 //! * [`Report`] — an immutable snapshot with a human-readable span tree
 //!   ([`Report::render_tree`], the `repro --trace` output) and a JSON export
 //!   ([`Report::to_json`], the `repro --metrics-out` payload) built on the
-//!   dependency-free [`Json`] value type.
+//!   dependency-free [`Json`] value type (which also parses:
+//!   [`Json::parse`]).
+//! * **Run-ledger bundles** ([`bundle`]) — `repro --run-dir` writes a
+//!   four-file directory (manifest / metrics / trace / folded profile) whose
+//!   every byte is deterministic: durations are virtual **work units**
+//!   ([`ShardLog::work`]), histograms use fixed log2 buckets ([`Histogram`])
+//!   and percentiles are nearest-rank integers ([`Summary`]). Bundles from
+//!   different worker counts are byte-identical and diffable with the
+//!   `obs-diff` tool.
 //!
 //! **Determinism contract.** Recording never reads or advances any RNG,
 //! never influences control flow of the instrumented code, and the disabled
@@ -35,13 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
+mod hist;
 mod json;
 pub mod names;
 mod recorder;
 mod report;
 mod shard;
 
-pub use json::Json;
+pub use hist::{percentile, Histogram, Summary};
+pub use json::{Json, JsonParseError};
 pub use recorder::{agg_count, agg_time, global, install_global, Recorder};
 pub use report::{Aggregate, Report, ShardReport, StageRec};
 pub use shard::{ShardLog, SpanRec};

@@ -10,6 +10,11 @@ use std::time::Instant;
 struct Inner {
     stages: Vec<StageRec>,
     stage_depth: usize,
+    /// Indices of currently open stages, innermost last. A shard submitted
+    /// while a stage is open attributes its work units to the innermost one;
+    /// which stage is open at submit time is structural (the `par_map` runs
+    /// inside the stage closure), so the attribution is schedule-independent.
+    open_stages: Vec<usize>,
     shards: BTreeMap<(String, usize), ShardReport>,
     aggregates: BTreeMap<String, Aggregate>,
 }
@@ -87,14 +92,19 @@ impl Recorder {
                 depth,
                 start_us: start.duration_since(self.epoch).as_micros() as u64,
                 dur_us: 0,
+                work: 0,
             });
             g.stage_depth += 1;
+            g.open_stages.push(idx);
             idx
         };
         let out = f();
         let mut g = self.locked();
         g.stage_depth -= 1;
-        g.stages[idx].dur_us = start.elapsed().as_micros() as u64;
+        g.open_stages.pop();
+        if let Some(stage) = g.stages.get_mut(idx) {
+            stage.dur_us = start.elapsed().as_micros() as u64;
+        }
         out
     }
 
@@ -110,19 +120,37 @@ impl Recorder {
     ///
     /// Storage is keyed by `(group, index)`, so the merged order — and
     /// therefore the report structure — is independent of submission order.
+    /// The shard's virtual work total is attributed to the innermost open
+    /// stage (structurally fixed: every shard of a `par_map` is submitted
+    /// while its owning stage is open), giving stages a deterministic work
+    /// figure alongside their wall-clock one.
     pub fn submit(&self, log: ShardLog) {
         if !self.enabled || !log.is_enabled() {
             return;
         }
         let total_us = log.origin.elapsed().as_micros() as u64;
+        let work = log.work_total();
         let mut g = self.locked();
+        let stage = match g.open_stages.last().copied() {
+            Some(si) => {
+                if let Some(s) = g.stages.get_mut(si) {
+                    s.work += work;
+                    s.name.clone()
+                } else {
+                    String::new()
+                }
+            }
+            None => String::new(),
+        };
         g.shards.insert(
             (log.group.clone(), log.index),
             ShardReport {
                 group: log.group,
                 index: log.index,
                 label: log.label,
+                stage,
                 total_us,
+                work,
                 spans: log.spans,
                 counters: log.counters,
             },
@@ -242,6 +270,32 @@ mod tests {
         assert_eq!(a.shards.len(), 3);
         assert_eq!(a.shards[0].label, "p0");
         assert_eq!(a.shards[2].counters["flows"], 30);
+    }
+
+    #[test]
+    fn shard_work_attributes_to_the_open_stage() {
+        let rec = Recorder::new();
+        rec.stage("outer", || {
+            rec.stage("persona.shards", || {
+                for i in 0..2 {
+                    let mut log = rec.shard("persona", i, &format!("p{i}"));
+                    log.span("install", |l| l.work(10 + i as u64));
+                    rec.submit(log);
+                }
+            });
+        });
+        // A shard submitted with no stage open stays unattributed.
+        let mut stray = rec.shard("artifact", 0, "stray");
+        stray.work(5);
+        rec.submit(stray);
+        let r = rec.report();
+        let works: Vec<(&str, u64)> = r.stages.iter().map(|s| (s.name.as_str(), s.work)).collect();
+        assert_eq!(works, vec![("outer", 0), ("persona.shards", 21)]);
+        assert_eq!(r.shards[1].stage, "persona.shards");
+        assert_eq!(r.shards[1].work, 10);
+        assert_eq!(r.shards[2].work, 11);
+        assert_eq!(r.shards[0].stage, "");
+        assert_eq!(r.shards[0].work, 5);
     }
 
     #[test]

@@ -1,5 +1,8 @@
-//! Immutable report snapshots: span-tree rendering and JSON export.
+//! Immutable report snapshots: span-tree rendering, JSON export, and the
+//! deterministic run-ledger surfaces (trace/metrics JSON, folded profile,
+//! histograms and percentile summaries in work units).
 
+use crate::hist::{Histogram, Summary};
 use crate::json::Json;
 use crate::shard::SpanRec;
 use std::collections::BTreeMap;
@@ -18,6 +21,10 @@ pub struct StageRec {
     pub start_us: u64,
     /// Stage duration in microseconds.
     pub dur_us: u64,
+    /// Deterministic work units attributed to this stage (the sum of the
+    /// virtual-clock totals of every shard submitted while it was the
+    /// innermost open stage).
+    pub work: u64,
 }
 
 /// A name-keyed aggregate fed by leaf libraries.
@@ -40,8 +47,13 @@ pub struct ShardReport {
     pub index: usize,
     /// Human label (persona name, category label, artifact name).
     pub label: String,
+    /// The stage that was open when the shard was submitted ("" if none) —
+    /// structural, so identical across worker counts.
+    pub stage: String,
     /// Wall time from shard start to submission, microseconds.
     pub total_us: u64,
+    /// Deterministic work units on the shard's virtual clock.
+    pub work: u64,
     /// Closed spans in pre-order.
     pub spans: Vec<SpanRec>,
     /// Final counter values.
@@ -75,29 +87,32 @@ impl Report {
         self.stages.iter().find(|s| s.name == name)
     }
 
-    /// Everything except wall-clock numbers: stage names/depths, shard keys,
-    /// labels, span shapes, and counter values.
+    /// Everything except wall-clock numbers: stage names/depths/work, shard
+    /// keys, labels, work totals, span shapes (with work durations), counter
+    /// values, and aggregate counts/calls.
     ///
     /// Two runs of the same pipeline — at any worker counts — must produce
-    /// equal structures; the tests enforce this.
+    /// equal structures; the tests enforce this. Work units are part of the
+    /// structure because the virtual clock is deterministic by construction.
     #[allow(clippy::type_complexity)]
     pub fn structure(
         &self,
     ) -> (
-        Vec<(String, usize)>,
+        Vec<(String, usize, u64)>,
         Vec<(
             String,
             usize,
             String,
-            Vec<(String, usize)>,
+            u64,
+            Vec<(String, usize, u64)>,
             BTreeMap<String, u64>,
         )>,
-        Vec<(String, u64)>,
+        Vec<(String, u64, u64)>,
     ) {
         (
             self.stages
                 .iter()
-                .map(|s| (s.name.clone(), s.depth))
+                .map(|s| (s.name.clone(), s.depth, s.work))
                 .collect(),
             self.shards
                 .iter()
@@ -106,22 +121,26 @@ impl Report {
                         s.group.clone(),
                         s.index,
                         s.label.clone(),
-                        s.spans.iter().map(|p| (p.name.clone(), p.depth)).collect(),
+                        s.work,
+                        s.spans
+                            .iter()
+                            .map(|p| (p.name.clone(), p.depth, p.dur_wu))
+                            .collect(),
                         s.counters.clone(),
                     )
                 })
                 .collect(),
             self.aggregates
                 .iter()
-                .map(|(k, a)| (k.clone(), a.count))
+                .map(|(k, a)| (k.clone(), a.count, a.calls))
                 .collect(),
         )
     }
 
     /// Human-readable span tree (the `repro --trace` output).
     ///
-    /// Structure is deterministic; the millisecond figures are this run's
-    /// wall clock.
+    /// Structure and work units are deterministic; the millisecond figures
+    /// are this run's wall clock.
     pub fn render_tree(&self) -> String {
         let ms = |us: u64| us as f64 / 1000.0;
         let mut out = String::from("── trace (structure deterministic, times wall-clock) ──\n");
@@ -129,10 +148,11 @@ impl Report {
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  {}{:<28} {:>10.1} ms",
+                "  {}{:<28} {:>10.1} ms {:>10} wu",
                 "  ".repeat(s.depth),
                 s.name,
-                ms(s.dur_us)
+                ms(s.dur_us),
+                s.work
             );
         }
         let mut group = None::<&str>;
@@ -143,18 +163,20 @@ impl Report {
             }
             let _ = writeln!(
                 out,
-                "  #{:<3} {:<26} {:>10.1} ms",
+                "  #{:<3} {:<26} {:>10.1} ms {:>8} wu",
                 sh.index,
                 sh.label,
-                ms(sh.total_us)
+                ms(sh.total_us),
+                sh.work
             );
             for sp in &sh.spans {
                 let _ = writeln!(
                     out,
-                    "    {}{:<26} {:>8.1} ms",
+                    "    {}{:<26} {:>8.1} ms {:>8} wu",
                     "  ".repeat(sp.depth),
                     sp.name,
-                    ms(sp.dur_us)
+                    ms(sp.dur_us),
+                    sp.dur_wu
                 );
             }
             if !sh.counters.is_empty() {
@@ -184,9 +206,11 @@ impl Report {
 
     /// JSON export (the `repro --metrics-out` payload).
     ///
-    /// Top-level keys: `stages` (per-stage wall time), `shards` (per-shard
-    /// wall time, spans, counters — persona shards carry the flow/bid/
-    /// creative counts), `aggregates`.
+    /// Top-level keys: `stages` (per-stage wall time + work units), `shards`
+    /// (per-shard wall time, work, spans, counters — persona shards carry
+    /// the flow/bid/creative counts), `aggregates`. Wall-clock fields make
+    /// this surface schedule-dependent; the deterministic twin is
+    /// [`Report::ledger_metrics_json`].
     pub fn to_json(&self) -> Json {
         let ms = |us: u64| Json::Float(us as f64 / 1000.0);
         let stages = self
@@ -197,6 +221,7 @@ impl Report {
                     ("name".into(), Json::Str(s.name.clone())),
                     ("depth".into(), Json::Int(s.depth as u64)),
                     ("ms".into(), ms(s.dur_us)),
+                    ("work".into(), Json::Int(s.work)),
                 ])
             })
             .collect();
@@ -212,6 +237,7 @@ impl Report {
                             ("name".into(), Json::Str(sp.name.clone())),
                             ("depth".into(), Json::Int(sp.depth as u64)),
                             ("ms".into(), ms(sp.dur_us)),
+                            ("work".into(), Json::Int(sp.dur_wu)),
                         ])
                     })
                     .collect();
@@ -225,6 +251,7 @@ impl Report {
                     ("index".into(), Json::Int(sh.index as u64)),
                     ("label".into(), Json::Str(sh.label.clone())),
                     ("ms".into(), ms(sh.total_us)),
+                    ("work".into(), Json::Int(sh.work)),
                     ("spans".into(), Json::Arr(spans)),
                     ("counters".into(), Json::Obj(counters)),
                 ])
@@ -250,6 +277,212 @@ impl Report {
             ("aggregates".into(), Json::Obj(aggregates)),
         ])
     }
+
+    /// Per-group work-unit summaries (p50/p90/p99 over the shard totals of
+    /// each group — 13 persona shards, 9 AVS shards, one per artifact).
+    pub fn work_summaries(&self) -> BTreeMap<String, Summary> {
+        let mut by_group: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for sh in &self.shards {
+            by_group.entry(sh.group.clone()).or_default().push(sh.work);
+        }
+        by_group
+            .into_iter()
+            .map(|(g, values)| (g, Summary::of(&values)))
+            .collect()
+    }
+
+    /// Deterministic work-unit histograms: per-group shard totals under the
+    /// group's name, per-span durations under `"group:span"`.
+    pub fn work_histograms(&self) -> BTreeMap<String, Histogram> {
+        let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        for sh in &self.shards {
+            hists.entry(sh.group.clone()).or_default().record(sh.work);
+            for sp in &sh.spans {
+                hists
+                    .entry(format!("{}:{}", sh.group, sp.name))
+                    .or_default()
+                    .record(sp.dur_wu);
+            }
+        }
+        hists
+    }
+
+    /// Folded-stack profile over the deterministic work clock, one line per
+    /// span path with **self** work units (flamegraph-consumable:
+    /// `stage;group;label;span;... N`).
+    ///
+    /// Total work per path is the sum of the path and its descendants, the
+    /// usual folded-stack convention. Paths with zero self work are elided.
+    pub fn folded_profile(&self) -> String {
+        let mut out = String::new();
+        for sh in &self.shards {
+            let mut root: Vec<String> = Vec::new();
+            if !sh.stage.is_empty() {
+                root.push(sh.stage.clone());
+            }
+            root.push(sh.group.clone());
+            root.push(sh.label.clone());
+
+            // Self work of the shard root: total minus top-level span work.
+            let top_level: u64 = sh
+                .spans
+                .iter()
+                .filter(|s| s.depth == 0)
+                .map(|s| s.dur_wu)
+                .sum();
+            let root_self = sh.work.saturating_sub(top_level);
+            if root_self > 0 {
+                let _ = writeln!(out, "{} {}", root.join(";"), root_self);
+            }
+
+            // Pre-order walk: compute each span's self work by subtracting
+            // its direct children, tracked with a depth stack.
+            let mut stack: Vec<(String, u64, u64)> = Vec::new(); // (name, dur, children)
+            for (i, sp) in sh.spans.iter().enumerate() {
+                while stack.len() > sp.depth {
+                    Self::pop_folded(&mut out, &root, &mut stack);
+                }
+                if let Some(parent) = stack.last_mut() {
+                    parent.2 += sp.dur_wu;
+                }
+                stack.push((sp.name.clone(), sp.dur_wu, 0));
+                // Look-ahead: a leaf (next span not deeper) closes here.
+                let next_depth = sh.spans.get(i + 1).map(|n| n.depth);
+                if next_depth.is_none_or(|d| d <= sp.depth) {
+                    Self::pop_folded(&mut out, &root, &mut stack);
+                }
+            }
+            while !stack.is_empty() {
+                Self::pop_folded(&mut out, &root, &mut stack);
+            }
+        }
+        out
+    }
+
+    /// Close the innermost open span of a folded-profile walk, emitting its
+    /// line when it has non-zero self work.
+    fn pop_folded(out: &mut String, root: &[String], stack: &mut Vec<(String, u64, u64)>) {
+        let Some((name, dur, children)) = stack.pop() else {
+            return;
+        };
+        let self_wu = dur.saturating_sub(children);
+        if self_wu > 0 {
+            let mut path = root.join(";");
+            for (n, _, _) in stack.iter() {
+                path.push(';');
+                path.push_str(n);
+            }
+            path.push(';');
+            path.push_str(&name);
+            let _ = writeln!(out, "{path} {self_wu}");
+        }
+    }
+
+    /// The run-ledger trace document (`trace.json`): the full span tree in
+    /// deterministic work units only — no wall clock, so two runs of the
+    /// same `(seed, fault profile)` are byte-identical at any `--jobs`.
+    pub fn ledger_trace_json(&self) -> Json {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("depth".into(), Json::Int(s.depth as u64)),
+                    ("work".into(), Json::Int(s.work)),
+                ])
+            })
+            .collect();
+        let shards = self
+            .shards
+            .iter()
+            .map(|sh| {
+                let spans = sh
+                    .spans
+                    .iter()
+                    .map(|sp| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(sp.name.clone())),
+                            ("depth".into(), Json::Int(sp.depth as u64)),
+                            ("start_wu".into(), Json::Int(sp.start_wu)),
+                            ("work".into(), Json::Int(sp.dur_wu)),
+                        ])
+                    })
+                    .collect();
+                let counters = sh
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                    .collect();
+                Json::Obj(vec![
+                    ("group".into(), Json::Str(sh.group.clone())),
+                    ("index".into(), Json::Int(sh.index as u64)),
+                    ("label".into(), Json::Str(sh.label.clone())),
+                    ("stage".into(), Json::Str(sh.stage.clone())),
+                    ("work".into(), Json::Int(sh.work)),
+                    ("spans".into(), Json::Arr(spans)),
+                    ("counters".into(), Json::Obj(counters)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(crate::bundle::SCHEMA_VERSION)),
+            ("stages".into(), Json::Arr(stages)),
+            ("shards".into(), Json::Arr(shards)),
+        ])
+    }
+
+    /// The run-ledger metrics document (`metrics.json`): flat deterministic
+    /// metrics — per-stage work, counter totals summed across shards,
+    /// aggregate counts/calls, per-group summaries and histograms.
+    pub fn ledger_metrics_json(&self) -> Json {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| (s.name.clone(), Json::Int(s.work)))
+            .collect();
+        let mut counter_totals: BTreeMap<String, u64> = BTreeMap::new();
+        for sh in &self.shards {
+            for (name, v) in &sh.counters {
+                *counter_totals.entry(name.clone()).or_default() += v;
+            }
+        }
+        let counters = counter_totals
+            .into_iter()
+            .map(|(k, v)| (k, Json::Int(v)))
+            .collect();
+        let aggregates = self
+            .aggregates
+            .iter()
+            .map(|(name, a)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Int(a.count)),
+                        ("calls".into(), Json::Int(a.calls)),
+                    ]),
+                )
+            })
+            .collect();
+        let summaries = self
+            .work_summaries()
+            .into_iter()
+            .map(|(g, s)| (g, s.to_json()))
+            .collect();
+        let histograms = self
+            .work_histograms()
+            .into_iter()
+            .map(|(k, h)| (k, h.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(crate::bundle::SCHEMA_VERSION)),
+            ("stages".into(), Json::Obj(stages)),
+            ("counters".into(), Json::Obj(counters)),
+            ("aggregates".into(), Json::Obj(aggregates)),
+            ("summaries".into(), Json::Obj(summaries)),
+            ("histograms".into(), Json::Obj(histograms)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -263,7 +496,11 @@ mod tests {
         rec.stage("persona.shards", || {
             for (i, name) in ["Connected Car", "Vanilla"].iter().enumerate() {
                 let mut log = rec.shard("persona", i, name);
-                log.span("install", |log| log.add("tap.packets", 12));
+                log.span("install", |log| {
+                    log.add("tap.packets", 12);
+                    log.work(12);
+                });
+                log.work(1 + i as u64);
                 rec.submit(log);
             }
         });
@@ -280,6 +517,7 @@ mod tests {
         assert!(tree.contains("install"));
         assert!(tree.contains("tap.packets=12"));
         assert!(tree.contains("crawler.bids"));
+        assert!(tree.contains("wu"));
     }
 
     #[test]
@@ -290,6 +528,7 @@ mod tests {
         assert!(j.contains("\"Connected Car\""));
         assert!(j.contains("\"tap.packets\": 12"));
         assert!(j.contains("\"crawler.bids\""));
+        assert!(j.contains("\"work\": 13"));
     }
 
     #[test]
@@ -299,5 +538,62 @@ mod tests {
         assert!(r.shards_in("nope").is_empty());
         assert!(r.stage("marketplace").is_some());
         assert!(r.stage("nope").is_none());
+    }
+
+    #[test]
+    fn work_summaries_and_histograms_cover_groups_and_spans() {
+        let r = sample();
+        let summaries = r.work_summaries();
+        // Shard totals: 13 and 14 work units.
+        assert_eq!(summaries["persona"].count, 2);
+        assert_eq!(summaries["persona"].min, 13);
+        assert_eq!(summaries["persona"].max, 14);
+        assert_eq!(summaries["persona"].sum, 27);
+        let hists = r.work_histograms();
+        assert_eq!(hists["persona"].total(), 2);
+        assert_eq!(hists["persona:install"].total(), 2);
+        // 12 wu twice → bucket [8, 16).
+        assert_eq!(hists["persona:install"].sparse(), vec![(8, 16, 2)]);
+    }
+
+    #[test]
+    fn folded_profile_attributes_self_work() {
+        let rec = Recorder::new();
+        rec.stage("persona.shards", || {
+            let mut log = rec.shard("persona", 0, "Vanilla");
+            log.span("install", |l| {
+                l.work(3);
+                l.span("retry", |l| l.work(5));
+            });
+            log.work(2);
+            rec.submit(log);
+        });
+        let folded = rec.report().folded_profile();
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(
+            lines,
+            vec![
+                "persona.shards;persona;Vanilla 2",
+                "persona.shards;persona;Vanilla;install 3",
+                "persona.shards;persona;Vanilla;install;retry 5",
+            ]
+        );
+    }
+
+    #[test]
+    fn ledger_surfaces_are_work_only() {
+        let r = sample();
+        let trace = r.ledger_trace_json().render();
+        let metrics = r.ledger_metrics_json().render();
+        assert!(!trace.contains("\"ms\""), "trace leaked wall clock");
+        assert!(!metrics.contains("\"ms\""), "metrics leaked wall clock");
+        assert!(trace.contains("\"start_wu\""));
+        assert!(metrics.contains("\"summaries\""));
+        assert!(metrics.contains("\"histograms\""));
+        assert!(metrics.contains("\"tap.packets\": 24"));
+        // Both carry the bundle schema version.
+        let parsed = Json::parse(&metrics).unwrap();
+        assert_eq!(parsed.get("schema").and_then(Json::as_u64), Some(1));
     }
 }

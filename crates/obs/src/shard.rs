@@ -7,8 +7,14 @@ use std::time::Instant;
 ///
 /// Spans are stored in **pre-order** (order of entry), with an explicit
 /// nesting depth — a flat encoding of the span tree that is cheap to record
-/// and trivial to render. All times are monotonic microseconds relative to
-/// the shard's start.
+/// and trivial to render. Each span carries two clocks:
+///
+/// * `start_us` / `dur_us` — monotonic **wall-clock** microseconds relative
+///   to the shard's start. Real, but schedule-dependent.
+/// * `start_wu` / `dur_wu` — deterministic **work units** from the shard's
+///   virtual clock ([`ShardLog::work`]). A pure function of the structural
+///   work the shard performed, so identical across worker counts, machines
+///   and runs — the timebase of the run-ledger bundle (DESIGN.md §12).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRec {
     /// Span name from the fixed taxonomy (see DESIGN.md §9).
@@ -19,6 +25,10 @@ pub struct SpanRec {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Work units on the shard's virtual clock at span entry.
+    pub start_wu: u64,
+    /// Work units accumulated while the span was open (children included).
+    pub dur_wu: u64,
 }
 
 /// A single-threaded event log owned by one structural unit of work.
@@ -37,6 +47,7 @@ pub struct ShardLog {
     pub(crate) origin: Instant,
     pub(crate) spans: Vec<SpanRec>,
     pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) vclock: u64,
     depth: usize,
     enabled: bool,
 }
@@ -50,6 +61,7 @@ impl ShardLog {
             origin: Instant::now(),
             spans: Vec::new(),
             counters: BTreeMap::new(),
+            vclock: 0,
             depth: 0,
             enabled,
         }
@@ -78,17 +90,42 @@ impl ShardLog {
         }
         let idx = self.spans.len();
         let start = Instant::now();
+        let start_wu = self.vclock;
         self.spans.push(SpanRec {
             name: name.to_string(),
             depth: self.depth,
             start_us: start.duration_since(self.origin).as_micros() as u64,
             dur_us: 0,
+            start_wu,
+            dur_wu: 0,
         });
         self.depth += 1;
         let out = f(self);
         self.depth -= 1;
-        self.spans[idx].dur_us = start.elapsed().as_micros() as u64;
+        let dur_wu = self.vclock - start_wu;
+        if let Some(span) = self.spans.get_mut(idx) {
+            span.dur_us = start.elapsed().as_micros() as u64;
+            span.dur_wu = dur_wu;
+        }
         out
+    }
+
+    /// Advance the shard's deterministic virtual clock by `n` work units.
+    ///
+    /// A work unit is one structural step of the pipeline (an install
+    /// attempt, an utterance, a crawl visit, a captured packet, a rendered
+    /// byte, ...) — counted, never timed. Open spans absorb the units into
+    /// their `dur_wu`, so the span tree gets a duration profile that is
+    /// byte-identical across `--jobs` values.
+    pub fn work(&mut self, n: u64) {
+        if self.enabled {
+            self.vclock += n;
+        }
+    }
+
+    /// Total work units on the shard's virtual clock.
+    pub fn work_total(&self) -> u64 {
+        self.vclock
     }
 
     /// Add `n` to a named counter.
@@ -153,15 +190,39 @@ mod tests {
     }
 
     #[test]
+    fn work_units_flow_into_open_spans() {
+        let mut log = ShardLog::new("g", 0, "l", true);
+        log.work(2); // outside any span: shard total only
+        log.span("outer", |log| {
+            log.work(3);
+            log.span("inner", |log| log.work(5));
+            log.work(1);
+        });
+        log.span("second", |log| log.work(4));
+        assert_eq!(log.work_total(), 15);
+        let wu: Vec<(&str, u64, u64)> = log
+            .spans
+            .iter()
+            .map(|s| (s.name.as_str(), s.start_wu, s.dur_wu))
+            .collect();
+        assert_eq!(
+            wu,
+            vec![("outer", 2, 9), ("inner", 5, 5), ("second", 11, 4)]
+        );
+    }
+
+    #[test]
     fn disabled_log_records_nothing() {
         let mut log = ShardLog::disabled();
         let v = log.span("outer", |log| {
             log.add("c", 9);
+            log.work(7);
             42
         });
         assert_eq!(v, 42);
         assert!(log.spans.is_empty());
         assert!(log.counters.is_empty());
+        assert_eq!(log.work_total(), 0);
         assert!(!log.is_enabled());
     }
 }

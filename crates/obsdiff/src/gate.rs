@@ -1,0 +1,271 @@
+//! The bench regression gate: a typed-error port of the retired
+//! `ci/bench_gate.py`.
+//!
+//! `repro --bench` appends one JSON line per run to `BENCH_audit.json`, so
+//! after the CI bench job the file holds the committed baseline entries
+//! followed by the fresh ones. The gate compares each fresh entry against
+//! the latest committed entry with the same `(seed, jobs)` pair and fails
+//! when `total_ms` regressed beyond the threshold or a stage vanished.
+
+use alexa_obs::{Json, JsonParseError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why the gate could not even run (exit 2 territory — distinct from a
+/// gate *failure*, which is a successful run with a bad verdict).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// A bench file is missing or unreadable.
+    Unreadable {
+        /// The file that failed to read.
+        path: PathBuf,
+        /// The I/O error text.
+        error: String,
+    },
+    /// A line of a bench file is not valid JSON.
+    MalformedLine {
+        /// The file containing the bad line.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// The parse failure.
+        error: JsonParseError,
+    },
+    /// An entry that must be gated has no usable `total_ms` field.
+    MissingTotalMs {
+        /// The file the entry came from.
+        path: PathBuf,
+        /// Which side the entry is on ("fresh" or "baseline").
+        what: &'static str,
+        /// The keys the entry actually has, for the error message.
+        keys: Vec<String>,
+    },
+    /// The candidate file contains no entries beyond the baseline.
+    NoFreshEntries,
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Unreadable { path, error } => write!(
+                f,
+                "cannot read bench file {}: {error}\n(run `repro --bench` to produce it, or check the CI snapshot step)",
+                path.display()
+            ),
+            GateError::MalformedLine { path, line, error } => {
+                write!(f, "{}:{line}: malformed JSON line: {error}", path.display())
+            }
+            GateError::MissingTotalMs { path, what, keys } => write!(
+                f,
+                "{what} entry in {} has no 'total_ms' field (keys: {keys:?})",
+                path.display()
+            ),
+            GateError::NoFreshEntries => {
+                write!(f, "no new bench entries found — did the bench runs happen?")
+            }
+        }
+    }
+}
+
+/// The gate's verdict plus its full comparison log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Human-readable comparison lines, in entry order.
+    pub log: Vec<String>,
+    /// Labels of the entries that failed (`seed=.. jobs=..`, with reason
+    /// for missing stages).
+    pub failures: Vec<String>,
+    /// The threshold the gate ran with.
+    pub threshold: f64,
+}
+
+impl GateReport {
+    /// Whether every fresh entry passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable report (the Python script's stdout, verdict last).
+    pub fn render_human(&self) -> String {
+        let mut out = self.log.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        if self.passed() {
+            out.push_str("bench gate passed\n");
+        } else {
+            out.push_str(&format!(
+                "bench gate failed (total_ms regression >{:.0}% or missing stages) for: {}\n",
+                self.threshold * 100.0,
+                self.failures.join("; ")
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable report (`--format json`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("passed".to_string(), Json::Bool(self.passed())),
+            ("threshold".to_string(), Json::Float(self.threshold)),
+            (
+                "failures".to_string(),
+                Json::Arr(self.failures.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "log".to_string(),
+                Json::Arr(self.log.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+/// Parse a bench file: one JSON entry per non-blank line.
+fn load_entries(path: &Path) -> Result<Vec<Json>, GateError> {
+    let text = std::fs::read_to_string(path).map_err(|e| GateError::Unreadable {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    })?;
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let entry = Json::parse(line).map_err(|error| GateError::MalformedLine {
+            path: path.to_path_buf(),
+            line: lineno + 1,
+            error,
+        })?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// The `(seed, jobs)` identity of a bench entry; absent or null fields
+/// compare as `None`, mirroring the Python `entry.get(...)` semantics.
+type BenchKey = (Option<u64>, Option<u64>);
+
+fn key(entry: &Json) -> BenchKey {
+    (
+        entry.get("seed").and_then(Json::as_u64),
+        entry.get("jobs").and_then(Json::as_u64),
+    )
+}
+
+fn label(k: BenchKey) -> String {
+    let fmt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |n| n.to_string());
+    format!("seed={} jobs={}", fmt(k.0), fmt(k.1))
+}
+
+/// The entry's `total_ms`, or the typed error naming the offending side.
+fn total_ms(entry: &Json, path: &Path, what: &'static str) -> Result<f64, GateError> {
+    entry
+        .get("total_ms")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| GateError::MissingTotalMs {
+            path: path.to_path_buf(),
+            what,
+            keys: entry
+                .as_obj()
+                .map(|fields| fields.iter().map(|(k, _)| k.clone()).collect())
+                .unwrap_or_default(),
+        })
+}
+
+/// Run the gate: compare the fresh entries of `candidate` (everything past
+/// the length of `baseline`) against the latest committed entry per
+/// `(seed, jobs)` key. `threshold` is the maximum tolerated fractional
+/// `total_ms` growth (0.25 = +25%).
+pub fn run_gate(
+    baseline: &Path,
+    candidate: &Path,
+    threshold: f64,
+) -> Result<GateReport, GateError> {
+    let base_entries = load_entries(baseline)?;
+    let cand_entries = load_entries(candidate)?;
+    if cand_entries.len() <= base_entries.len() {
+        return Err(GateError::NoFreshEntries);
+    }
+    let fresh = &cand_entries[base_entries.len()..];
+
+    // Latest committed entry per (seed, jobs) wins.
+    let mut committed: Vec<(BenchKey, &Json)> = Vec::new();
+    for entry in &base_entries {
+        let k = key(entry);
+        if let Some(slot) = committed.iter_mut().find(|(ck, _)| *ck == k) {
+            slot.1 = entry;
+        } else {
+            committed.push((k, entry));
+        }
+    }
+
+    let mut report = GateReport {
+        threshold,
+        ..GateReport::default()
+    };
+    for entry in fresh {
+        let k = key(entry);
+        let lbl = label(k);
+        let Some((_, base)) = committed.iter().find(|(ck, _)| *ck == k) else {
+            let ms = total_ms(entry, candidate, "fresh")?;
+            report.log.push(format!(
+                "{lbl}: no committed baseline, recording {ms} ms (not gated)"
+            ));
+            continue;
+        };
+        let entry_total = total_ms(entry, candidate, "fresh")?;
+        let base_total = total_ms(base, baseline, "baseline")?;
+        let ratio = if base_total == 0.0 {
+            f64::INFINITY
+        } else {
+            entry_total / base_total
+        };
+        let regressed = ratio > 1.0 + threshold;
+        report.log.push(format!(
+            "{lbl}: {base_total} ms -> {entry_total} ms ({:+.1}% vs baseline) {}",
+            (ratio - 1.0) * 100.0,
+            if regressed { "REGRESSION" } else { "ok" }
+        ));
+        // Stage-level context for both, and the vanished-stage check.
+        let stages = |e: &Json| -> Vec<(String, f64)> {
+            e.get("stages")
+                .and_then(Json::as_obj)
+                .map(|fields| {
+                    fields
+                        .iter()
+                        .filter_map(|(name, v)| v.as_f64().map(|ms| (name.clone(), ms)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let entry_stages = stages(entry);
+        let base_stages = stages(base);
+        for (stage, ms) in &entry_stages {
+            if let Some((_, base_ms)) = base_stages.iter().find(|(n, _)| n == stage) {
+                report
+                    .log
+                    .push(format!("  {stage}: {base_ms} ms -> {ms} ms"));
+            }
+        }
+        let mut gone: Vec<&str> = base_stages
+            .iter()
+            .filter(|(n, _)| !entry_stages.iter().any(|(en, _)| en == n))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        gone.sort_unstable();
+        if !gone.is_empty() {
+            report.log.push(format!(
+                "{lbl}: stage(s) present in baseline but missing from candidate: {}",
+                gone.join(", ")
+            ));
+            report
+                .failures
+                .push(format!("{lbl} (missing stages: {})", gone.join(", ")));
+        }
+        if regressed {
+            report.failures.push(lbl);
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,183 @@
+//! Bench gate semantics: one test per verdict and per typed failure mode of
+//! the retired `ci/bench_gate.py`.
+
+use alexa_obsdiff::{run_gate, GateError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn bench_file(tag: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "obsdiff-gate-{}-{tag}-{}.json",
+        std::process::id(),
+        FILE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, content).expect("write bench file");
+    path
+}
+
+fn entry(seed: u64, jobs: &str, total_ms: u64, stages: &str) -> String {
+    format!(
+        "{{\"seed\": {seed}, \"jobs\": {jobs}, \"total_ms\": {total_ms}, \"stages\": {{{stages}}}}}\n"
+    )
+}
+
+#[test]
+fn within_threshold_passes() {
+    let base = entry(7, "null", 1000, "\"avs.pass\": 100");
+    let cand = format!("{base}{}", entry(7, "null", 1200, "\"avs.pass\": 120"));
+    let baseline = bench_file("pass-base", &base);
+    let candidate = bench_file("pass-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(report.passed());
+    let human = report.render_human();
+    assert!(human.contains("bench gate passed"));
+    assert!(human.contains("avs.pass: 100 ms -> 120 ms"));
+}
+
+#[test]
+fn regression_beyond_threshold_fails() {
+    let base = entry(7, "null", 1000, "");
+    let cand = format!("{base}{}", entry(7, "null", 1400, ""));
+    let baseline = bench_file("reg-base", &base);
+    let candidate = bench_file("reg-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(!report.passed());
+    assert_eq!(report.failures, vec!["seed=7 jobs=null".to_string()]);
+    assert!(report.render_human().contains("REGRESSION"));
+    // A looser threshold lets the same pair through.
+    assert!(run_gate(&baseline, &candidate, 0.50)
+        .expect("gate runs")
+        .passed());
+}
+
+#[test]
+fn vanished_stages_fail_even_when_total_is_fine() {
+    let base = entry(7, "4", 1000, "\"avs.pass\": 100, \"merge\": 5");
+    let cand = format!("{base}{}", entry(7, "4", 1000, "\"avs.pass\": 100"));
+    let baseline = bench_file("gone-base", &base);
+    let candidate = bench_file("gone-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(!report.passed());
+    assert!(report.failures[0].contains("missing stages: merge"));
+}
+
+#[test]
+fn fresh_entry_without_baseline_is_recorded_not_gated() {
+    let base = entry(7, "null", 1000, "");
+    let cand = format!("{base}{}", entry(99, "null", 9000, ""));
+    let baseline = bench_file("new-base", &base);
+    let candidate = bench_file("new-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(report.passed());
+    assert!(report.render_human().contains("no committed baseline"));
+}
+
+#[test]
+fn latest_committed_entry_per_key_wins() {
+    // Two baseline entries for the same key: only the later (fast) one
+    // gates, so a candidate near the older slow figure fails.
+    let base = format!(
+        "{}{}",
+        entry(7, "null", 4000, ""),
+        entry(7, "null", 1000, "")
+    );
+    let cand = format!("{base}{}", entry(7, "null", 3000, ""));
+    let baseline = bench_file("latest-base", &base);
+    let candidate = bench_file("latest-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(!report.passed());
+}
+
+#[test]
+fn unreadable_file_is_a_typed_error() {
+    let cand = bench_file("unread-cand", &entry(7, "null", 1000, ""));
+    let missing = std::env::temp_dir().join("obsdiff-gate-definitely-absent.json");
+    match run_gate(&missing, &cand, 0.25) {
+        Err(GateError::Unreadable { path, .. }) => assert_eq!(path, missing),
+        other => panic!("expected Unreadable, got {other:?}"),
+    }
+    let msg = GateError::Unreadable {
+        path: missing,
+        error: "x".into(),
+    }
+    .to_string();
+    assert!(msg.contains("repro --bench"), "hint missing: {msg}");
+}
+
+#[test]
+fn malformed_line_reports_its_line_number() {
+    let baseline = bench_file("mal-base", &entry(7, "null", 1000, ""));
+    let candidate = bench_file(
+        "mal-cand",
+        &format!("{}\nnot json at all\n", entry(7, "null", 1000, "").trim()),
+    );
+    match run_gate(&baseline, &candidate, 0.25) {
+        Err(GateError::MalformedLine { line, path, .. }) => {
+            assert_eq!(line, 2);
+            assert_eq!(path, candidate);
+        }
+        other => panic!("expected MalformedLine, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_total_ms_names_the_offending_side() {
+    // Fresh entry lacks total_ms.
+    let base = entry(7, "null", 1000, "");
+    let cand = format!("{base}{{\"seed\": 7, \"jobs\": null}}\n");
+    let baseline = bench_file("nototal-base", &base);
+    let candidate = bench_file("nototal-cand", &cand);
+    match run_gate(&baseline, &candidate, 0.25) {
+        Err(GateError::MissingTotalMs { what, keys, .. }) => {
+            assert_eq!(what, "fresh");
+            assert_eq!(keys, vec!["seed".to_string(), "jobs".to_string()]);
+        }
+        other => panic!("expected MissingTotalMs, got {other:?}"),
+    }
+    // Baseline entry lacks total_ms.
+    let base2 = "{\"seed\": 7, \"jobs\": null}\n".to_string();
+    let cand2 = format!("{base2}{}", entry(7, "null", 1000, ""));
+    let baseline2 = bench_file("nototal-base2", &base2);
+    let candidate2 = bench_file("nototal-cand2", &cand2);
+    match run_gate(&baseline2, &candidate2, 0.25) {
+        Err(GateError::MissingTotalMs { what, .. }) => assert_eq!(what, "baseline"),
+        other => panic!("expected MissingTotalMs, got {other:?}"),
+    }
+}
+
+#[test]
+fn no_fresh_entries_is_a_typed_error() {
+    let content = entry(7, "null", 1000, "");
+    let baseline = bench_file("nofresh-base", &content);
+    let candidate = bench_file("nofresh-cand", &content);
+    match run_gate(&baseline, &candidate, 0.25) {
+        Err(GateError::NoFreshEntries) => {}
+        other => panic!("expected NoFreshEntries, got {other:?}"),
+    }
+}
+
+#[test]
+fn json_format_carries_verdict_failures_and_log() {
+    use alexa_obs::Json;
+    let base = entry(7, "2", 1000, "");
+    let cand = format!("{base}{}", entry(7, "2", 2000, ""));
+    let baseline = bench_file("json-base", &base);
+    let candidate = bench_file("json-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let parsed = Json::parse(&report.to_json().render()).expect("parses");
+    assert_eq!(parsed.get("passed").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        parsed
+            .get("failures")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    assert!(!parsed
+        .get("log")
+        .and_then(Json::as_arr)
+        .expect("log array")
+        .is_empty());
+}
