@@ -25,12 +25,15 @@ use alexa_platform::SkillCategory;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One ad slot on a publisher page.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdSlot {
-    /// Globally unique slot identifier (`site#position`).
-    pub id: String,
+    /// Globally unique slot identifier (`site#position`). Shared (`Arc`) so
+    /// the hundreds of thousands of bids quoting the slot reference one
+    /// allocation instead of copying the id each time.
+    pub id: Arc<str>,
     /// Publisher site hosting the slot.
     pub site: String,
     /// Quality multiplier (viewability, position). Shared across personas.
@@ -41,9 +44,9 @@ pub struct AdSlot {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bid {
     /// Bidder organization (registrable domain).
-    pub bidder: String,
+    pub bidder: Arc<str>,
     /// Slot the bid targets.
-    pub slot_id: String,
+    pub slot_id: Arc<str>,
     /// Bid value in CPM (cost per mille), USD.
     pub cpm: f64,
 }
@@ -150,7 +153,7 @@ pub fn category_targeting(cat: SkillCategory) -> (f64, f64) {
 #[derive(Debug, Clone)]
 pub struct Bidder {
     /// Bidder organization (registrable domain).
-    pub org: String,
+    pub org: Arc<str>,
     /// Whether the org cookie-syncs with Amazon (receives Echo segments).
     pub is_partner: bool,
     /// Probability a non-partner learned the segments via downstream syncs.
@@ -170,12 +173,17 @@ fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
     median * (sigma * z).exp()
 }
 
-/// FNV-1a for deterministic per-(bidder, persona) knowledge draws.
-fn fnv(s: &str) -> u64 {
+/// FNV-1a over the concatenation of `parts`, for deterministic
+/// per-(bidder, persona) knowledge draws. Streaming the parts through the
+/// accumulator is byte-equivalent to hashing `format!`-joined strings but
+/// allocates nothing — this runs on every quoted bid.
+fn fnv_parts(parts: &[&str]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+    for part in parts {
+        for b in part.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
     }
     h
 }
@@ -184,8 +192,8 @@ fn fnv(s: &str) -> u64 {
 /// the same slot is consistently more or less valuable for a given
 /// audience, across all iterations and bidders.
 fn contextual_factor(slot_id: &str, persona: &str, sigma: f64) -> f64 {
-    let h1 = fnv(&format!("ctx1|{slot_id}|{persona}"));
-    let h2 = fnv(&format!("ctx2|{slot_id}|{persona}"));
+    let h1 = fnv_parts(&["ctx1|", slot_id, "|", persona]);
+    let h2 = fnv_parts(&["ctx2|", slot_id, "|", persona]);
     let u1 = ((h1 % 0xFFFF_FFFF) as f64 + 1.0) / (0xFFFF_FFFFu64 as f64 + 2.0);
     let u2 = (h2 % 0xFFFF_FFFF) as f64 / 0xFFFF_FFFFu64 as f64;
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -205,8 +213,16 @@ impl Bidder {
         if self.is_partner {
             return true;
         }
-        let h = fnv(&format!("{}|{}", self.org, user.persona));
+        let h = fnv_parts(&[&self.org, "|", &user.persona]);
         (h % 10_000) as f64 / 10_000.0 < self.downstream_reach
+    }
+
+    /// Whether ordinary web-browsing interest data about this persona
+    /// reached the bidder (standard third-party tracking; deterministic per
+    /// (bidder, persona)).
+    pub fn web_reached(&self, persona: &str) -> bool {
+        let h = fnv_parts(&["web|", &self.org, "|", persona]);
+        (h % 10_000) as f64 / 10_000.0 < 0.85
     }
 
     /// Quote a bid for a slot, or decline.
@@ -218,45 +234,70 @@ impl Bidder {
         season: SeasonModel,
         rng: &mut StdRng,
     ) -> Option<Bid> {
+        self.bid_in_context(
+            slot,
+            &SlotContext::new(slot, user),
+            self.knows_echo_segments(user),
+            self.web_reached(&user.persona),
+            user,
+            iteration,
+            season,
+            rng,
+        )
+    }
+
+    /// [`Bidder::bid`] with the deterministic per-(slot, user) contextual
+    /// factors and the per-(bidder, user) knowledge facts precomputed. Both
+    /// are RNG-free, so hoisting them out of the per-bid path (once per slot
+    /// and once per user respectively) leaves the values — and every RNG
+    /// draw — bit-identical to the unbatched path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bid_in_context(
+        &self,
+        slot: &AdSlot,
+        ctx: &SlotContext,
+        knows_echo: bool,
+        web_reached: bool,
+        user: &UserState,
+        iteration: usize,
+        season: SeasonModel,
+        rng: &mut StdRng,
+    ) -> Option<Bid> {
         if !rng.gen_bool(self.participation) {
             return None;
         }
         let base = lognormal(rng, self.base_median_cpm, 1.1);
         let mut uplift = 1.0;
 
-        if self.knows_echo_segments(user) {
-            // Take the strongest segment the bidder can monetize.
-            let (median_u, ctx_sigma) = user
-                .echo_segments
-                .iter()
-                .map(|&c| category_targeting(c))
-                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-                .unwrap();
-            // Downstream knowledge is diluted relative to a direct sync.
-            let strength = if self.is_partner {
-                median_u
-            } else {
-                median_u.powf(0.75)
-            };
-            let ctx = contextual_factor(&slot.id, &user.persona, ctx_sigma);
-            // Knowing a segment never *lowers* a bid below the untargeted
-            // level: contextual irrelevance just means no premium.
-            uplift *= (strength * ctx * lognormal(rng, 1.0, 0.3)).max(1.0);
+        if let Some((median_u, echo_ctx)) = ctx.echo {
+            if knows_echo {
+                // Downstream knowledge is diluted relative to a direct sync.
+                let strength = if self.is_partner {
+                    median_u
+                } else {
+                    median_u.powf(0.75)
+                };
+                // Knowing a segment never *lowers* a bid below the
+                // untargeted level: contextual irrelevance just means no
+                // premium.
+                uplift *= (strength * echo_ctx * lognormal(rng, 1.0, 0.3)).max(1.0);
+            } else if user.amazon_customer && self.is_partner {
+                // Knowing only "owns an Echo / shops at Amazon" is worth
+                // little.
+                uplift *= 1.15;
+            }
         } else if user.amazon_customer && self.is_partner {
-            // Knowing only "owns an Echo / shops at Amazon" is worth little.
             uplift *= 1.15;
         }
 
-        if !user.web_segments.is_empty() {
+        if let Some(web_ctx) = ctx.web {
             // Ordinary web-browsing interest data reaches effectively every
             // bidder (standard third-party tracking) — the resulting uplift
             // sits in the middle of the Echo categories' range, which is
             // what makes Echo and web interest personas statistically
             // indistinguishable (Table 11 / Figure 7).
-            let h = fnv(&format!("web|{}|{}", self.org, user.persona));
-            if (h % 10_000) as f64 / 10_000.0 < 0.85 {
-                let ctx = contextual_factor(&slot.id, &user.persona, 0.35);
-                uplift *= (1.9 * ctx * lognormal(rng, 1.0, 0.3)).max(1.0);
+            if web_reached {
+                uplift *= (1.9 * web_ctx * lognormal(rng, 1.0, 0.3)).max(1.0);
             }
         }
 
@@ -269,6 +310,54 @@ impl Bidder {
     }
 }
 
+/// Deterministic per-(slot, user) contextual factors, hoisted out of the
+/// per-bidder bid path (they are RNG-free, so precomputing changes nothing).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotContext {
+    /// `(median uplift, contextual factor)` for the user's strongest Echo
+    /// segment, when any exists.
+    echo: Option<(f64, f64)>,
+    /// Contextual factor for web-browsing interest, when any exists.
+    web: Option<f64>,
+}
+
+impl SlotContext {
+    /// Precompute the slot's contextual factors for a user.
+    pub fn new(slot: &AdSlot, user: &UserState) -> SlotContext {
+        // The strongest segment the bidders can monetize (bidder-independent:
+        // every knowing bidder picks the same maximum).
+        let echo = user
+            .echo_segments
+            .iter()
+            .map(|&c| category_targeting(c))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(median_u, ctx_sigma)| {
+                (
+                    median_u,
+                    contextual_factor(&slot.id, &user.persona, ctx_sigma),
+                )
+            });
+        let web = if user.web_segments.is_empty() {
+            None
+        } else {
+            Some(contextual_factor(&slot.id, &user.persona, 0.35))
+        };
+        SlotContext { echo, web }
+    }
+}
+
+/// Per-(bidder, user) knowledge facts for a whole roster, precomputed once
+/// per user instead of once per quoted bid. The facts are deterministic
+/// hashes of `(bidder org, persona)` — see [`Bidder::knows_echo_segments`]
+/// and [`Bidder::web_reached`] — so hoisting them is invisible to results.
+#[derive(Debug, Clone)]
+pub struct UserView {
+    /// Per bidder, in roster order: whether it knows the Echo segments.
+    knows_echo: Vec<bool>,
+    /// Per bidder, in roster order: whether web interest data reached it.
+    web_reached: Vec<bool>,
+}
+
 /// A header-bidding auction: the roster of bidders attached to a page.
 #[derive(Debug, Clone)]
 pub struct Auction {
@@ -279,6 +368,22 @@ pub struct Auction {
 }
 
 impl Auction {
+    /// Precompute the roster's knowledge facts about one user.
+    pub fn user_view(&self, user: &UserState) -> UserView {
+        UserView {
+            knows_echo: self
+                .bidders
+                .iter()
+                .map(|b| b.knows_echo_segments(user))
+                .collect(),
+            web_reached: self
+                .bidders
+                .iter()
+                .map(|b| b.web_reached(&user.persona))
+                .collect(),
+        }
+    }
+
     /// Collect all bids for a slot (the `pbjs.requestBids` analog).
     pub fn request_bids(
         &self,
@@ -287,9 +392,26 @@ impl Auction {
         iteration: usize,
         rng: &mut StdRng,
     ) -> Vec<Bid> {
+        self.request_bids_with_view(slot, &self.user_view(user), user, iteration, rng)
+    }
+
+    /// [`Auction::request_bids`] with the user's knowledge facts
+    /// precomputed (the crawler reuses one view across a whole crawl).
+    pub fn request_bids_with_view(
+        &self,
+        slot: &AdSlot,
+        view: &UserView,
+        user: &UserState,
+        iteration: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Bid> {
+        let ctx = SlotContext::new(slot, user);
         self.bidders
             .iter()
-            .filter_map(|b| b.bid(slot, user, iteration, self.season, rng))
+            .zip(view.knows_echo.iter().zip(&view.web_reached))
+            .filter_map(|(b, (&knows, &web))| {
+                b.bid_in_context(slot, &ctx, knows, web, user, iteration, self.season, rng)
+            })
             .collect()
     }
 }
@@ -302,7 +424,7 @@ pub fn standard_roster(partners: &[String]) -> Vec<Bidder> {
     // sync but do not quote client-side header bids.
     for org in partners.iter().take(15) {
         out.push(Bidder {
-            org: org.clone(),
+            org: Arc::from(org.as_str()),
             is_partner: true,
             downstream_reach: 0.0,
             base_median_cpm: 0.030,
@@ -311,7 +433,7 @@ pub fn standard_roster(partners: &[String]) -> Vec<Bidder> {
     }
     for i in 0..15 {
         out.push(Bidder {
-            org: format!("indieads{:02}.com", i + 1),
+            org: format!("indieads{:02}.com", i + 1).into(),
             is_partner: false,
             downstream_reach: 0.55,
             base_median_cpm: 0.030,
@@ -375,7 +497,7 @@ mod tests {
         let mut log_ratio = 0.0;
         for i in 0..8 {
             let s = AdSlot {
-                id: format!("site#{i}"),
+                id: format!("site#{i}").into(),
                 site: "site".into(),
                 quality: 1.0,
             };
@@ -472,7 +594,7 @@ mod tests {
         let mut raised = 0;
         for i in 0..6 {
             let np = Bidder {
-                org: format!("indieads{i:02}.com"),
+                org: format!("indieads{i:02}.com").into(),
                 is_partner: false,
                 downstream_reach: 0.0,
                 ..partner()

@@ -13,7 +13,7 @@
 //! for *all* personas ("common slots") to control for slot effects.
 
 use crate::adserver::AdServer;
-use crate::bidding::{Auction, Bid, UserState};
+use crate::bidding::{Auction, Bid, UserState, UserView};
 use crate::identity::BrowserProfile;
 use crate::sync::{SyncGraph, AMAZON_AD_ORG};
 use crate::website::Website;
@@ -21,16 +21,18 @@ use crate::Creative;
 use alexa_fault::{FaultChannel, FaultPlane};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
 
 /// A cookie-sync redirect observed in crawl traffic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SyncObservation {
-    /// Organization initiating the sync (sends its cookie).
-    pub from_org: String,
+    /// Organization initiating the sync (sends its cookie). Shared (`Arc`):
+    /// the same few dozen orgs appear in tens of thousands of sync events.
+    pub from_org: Arc<str>,
     /// Organization receiving the identifier.
-    pub to_org: String,
+    pub to_org: Arc<str>,
     /// The user identifier embedded in the redirect URL.
-    pub user_id: String,
+    pub user_id: Arc<str>,
 }
 
 /// Everything recorded during one page visit.
@@ -53,21 +55,70 @@ pub struct VisitRecord {
 pub struct Crawler {
     auction: Auction,
     adserver: AdServer,
-    sync_graph: SyncGraph,
     /// Probability a slot loads during a visit.
     pub slot_load_rate: f64,
     fault: FaultPlane,
+    sync_plan: SyncPlan,
+    /// Single-entry cache of the roster's knowledge facts about the current
+    /// user. The facts depend only on the persona name and whether the user
+    /// holds Echo segments yet, so one entry covers a whole crawl window;
+    /// the cached value is a pure function of that key, making hits and
+    /// misses indistinguishable in results.
+    view_cache: Mutex<Option<(String, bool, Arc<UserView>)>>,
+}
+
+/// The sync roles precomputed from `(auction, sync_graph)` at construction:
+/// which bidders are Amazon sync partners and which partners are page
+/// trackers that never bid, each with its downstream orgs resolved. The
+/// visit loop walks these lists in the exact order the original per-visit
+/// membership scans produced, so RNG draw order is unchanged — this only
+/// removes the repeated linear string searches from every visit.
+#[derive(Debug)]
+struct SyncPlan {
+    /// Partner bidders, in roster order: `(org, downstream orgs)`.
+    partner_bidders: Vec<(Arc<str>, Vec<Arc<str>>)>,
+    /// Non-bidding sync partners, in partner-list order.
+    trackers: Vec<(Arc<str>, Vec<Arc<str>>)>,
+    /// Amazon's ad endpoint, the hub every sync points at.
+    amazon: Arc<str>,
+}
+
+impl SyncPlan {
+    fn build(auction: &Auction, graph: &SyncGraph) -> SyncPlan {
+        let arcs = |orgs: &[String]| -> Vec<Arc<str>> {
+            orgs.iter().map(|d| Arc::from(d.as_str())).collect()
+        };
+        let partner_bidders = auction
+            .bidders
+            .iter()
+            .filter(|b| graph.is_partner(&b.org))
+            .map(|b| (b.org.clone(), arcs(graph.downstream_of(&b.org))))
+            .collect();
+        let trackers = graph
+            .partners()
+            .iter()
+            .filter(|p| !auction.bidders.iter().any(|b| *b.org == ***p))
+            .map(|p| (Arc::from(p.as_str()), arcs(graph.downstream_of(p))))
+            .collect();
+        SyncPlan {
+            partner_bidders,
+            trackers,
+            amazon: Arc::from(AMAZON_AD_ORG),
+        }
+    }
 }
 
 impl Crawler {
     /// Build a crawler over an auction roster and sync graph.
     pub fn new(auction: Auction, sync_graph: SyncGraph) -> Crawler {
+        let sync_plan = SyncPlan::build(&auction, &sync_graph);
         Crawler {
             auction,
             adserver: AdServer::new(),
-            sync_graph,
             slot_load_rate: 0.8,
             fault: FaultPlane::disabled(),
+            sync_plan,
+            view_cache: Mutex::new(None),
         }
     }
 
@@ -131,6 +182,21 @@ impl Crawler {
         (record, lost)
     }
 
+    /// The roster's knowledge facts about `user`, from the cache when the
+    /// (persona, has-segments) key still matches.
+    fn user_view(&self, user: &UserState) -> Arc<UserView> {
+        let empty = user.echo_segments.is_empty();
+        let mut guard = self.view_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((persona, was_empty, view)) = guard.as_ref() {
+            if *was_empty == empty && persona == &user.persona {
+                return view.clone();
+            }
+        }
+        let view = Arc::new(self.auction.user_view(user));
+        *guard = Some((user.persona.clone(), empty, view.clone()));
+        view
+    }
+
     /// The visit itself, free of observability hooks. Recording happens in
     /// [`Crawler::visit`] and never feeds back into the visit's RNG streams.
     fn visit_uninstrumented(
@@ -160,9 +226,14 @@ impl Crawler {
             return record;
         };
 
-        page.request_bids(user, iteration, h.wrapping_add(iteration as u64), |_| {
-            rng.gen_bool(self.slot_load_rate)
-        });
+        let view = self.user_view(user);
+        page.request_bids_with_view(
+            user,
+            &view,
+            iteration,
+            h.wrapping_add(iteration as u64),
+            |_| rng.gen_bool(self.slot_load_rate),
+        );
         record.bids = page
             .get_bid_responses()
             .values()
@@ -174,49 +245,32 @@ impl Crawler {
 
         // Cookie syncing: partners present on the page push their cookie to
         // Amazon (one-way — Amazon never pushes its own out), and re-share
-        // onward with their downstream third parties.
-        for bidder in &self.auction.bidders {
-            if !self.sync_graph.is_partner(&bidder.org) {
-                continue;
-            }
-            if rng.gen_bool(0.3) {
-                let cookie = profile.cookie(&bidder.org);
-                record.syncs.push(SyncObservation {
-                    from_org: bidder.org.clone(),
-                    to_org: AMAZON_AD_ORG.to_string(),
-                    user_id: cookie.value.clone(),
-                });
-                // Downstream propagation: each partner forwards to a few of
-                // its downstream orgs per sync event.
-                let downstream = self.sync_graph.downstream_of(&bidder.org);
-                for d in downstream {
-                    if rng.gen_bool(0.35) {
-                        record.syncs.push(SyncObservation {
-                            from_org: bidder.org.clone(),
-                            to_org: d.clone(),
-                            user_id: cookie.value.clone(),
-                        });
-                    }
-                }
-            }
-        }
-        // Non-bidding sync partners (trackers embedded on pages) also sync.
-        for partner in self.sync_graph.partners() {
-            let is_bidder = self.auction.bidders.iter().any(|b| &b.org == partner);
-            if !is_bidder && rng.gen_bool(0.18) {
-                let cookie = profile.cookie(partner);
-                record.syncs.push(SyncObservation {
-                    from_org: partner.clone(),
-                    to_org: AMAZON_AD_ORG.to_string(),
-                    user_id: cookie.value.clone(),
-                });
-                for d in self.sync_graph.downstream_of(partner) {
-                    if rng.gen_bool(0.35) {
-                        record.syncs.push(SyncObservation {
-                            from_org: partner.clone(),
-                            to_org: d.clone(),
-                            user_id: cookie.value.clone(),
-                        });
+        // onward with their downstream third parties. Partner bidders first
+        // (roster order, sync rate 0.3), then the non-bidding tracker
+        // partners (partner-list order, rate 0.18) — the same draw order the
+        // original per-visit membership scans produced.
+        for (plan, rate) in [
+            (&self.sync_plan.partner_bidders, 0.3),
+            (&self.sync_plan.trackers, 0.18),
+        ] {
+            for (org, downstream) in plan {
+                if rng.gen_bool(rate) {
+                    let cookie = profile.cookie(org);
+                    record.syncs.push(SyncObservation {
+                        from_org: org.clone(),
+                        to_org: self.sync_plan.amazon.clone(),
+                        user_id: cookie.value.clone(),
+                    });
+                    // Downstream propagation: each partner forwards to a few
+                    // of its downstream orgs per sync event.
+                    for d in downstream {
+                        if rng.gen_bool(0.35) {
+                            record.syncs.push(SyncObservation {
+                                from_org: org.clone(),
+                                to_org: d.clone(),
+                                user_id: cookie.value.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -333,8 +387,8 @@ mod tests {
         for site in web.prebid_sites(30) {
             let rec = crawler.visit(site, &mut profile, &user, 5, 42);
             for s in &rec.syncs {
-                assert_ne!(s.from_org, AMAZON_AD_ORG, "Amazon must never sync out");
-                if s.to_org == AMAZON_AD_ORG {
+                assert_ne!(&*s.from_org, AMAZON_AD_ORG, "Amazon must never sync out");
+                if &*s.to_org == AMAZON_AD_ORG {
                     saw_amazon_sync = true;
                 }
             }
@@ -365,7 +419,7 @@ mod tests {
             for site in web.prebid_sites(200) {
                 let rec = crawler.visit(site, &mut profile, &user, iteration, 42);
                 for s in rec.syncs {
-                    if s.to_org == AMAZON_AD_ORG {
+                    if &*s.to_org == AMAZON_AD_ORG {
                         partners.insert(s.from_org);
                     }
                 }

@@ -7,14 +7,17 @@
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// One cookie set by an organization's domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cookie {
     /// Organization (registrable domain) owning the cookie.
-    pub org: String,
-    /// Opaque identifier value.
-    pub value: String,
+    pub org: Arc<str>,
+    /// Opaque identifier value. Shared (`Arc`): the same identifier appears
+    /// in every sync event the cookie participates in, so cloning it must
+    /// not copy the string each time.
+    pub value: Arc<str>,
 }
 
 /// A persona's browser profile: cookie jar, login state, and source IP.
@@ -28,7 +31,7 @@ pub struct BrowserProfile {
     /// (true for Echo personas; the web-control personas browse logged in
     /// too, per §3.3's crawl setup).
     pub amazon_login: Option<String>,
-    jar: BTreeMap<String, Cookie>,
+    jar: BTreeMap<Arc<str>, Cookie>,
 }
 
 impl BrowserProfile {
@@ -60,10 +63,10 @@ impl BrowserProfile {
             h = h.wrapping_mul(0x100000001b3);
         }
         let c = Cookie {
-            org: org.to_string(),
-            value: format!("uid-{h:016x}"),
+            org: Arc::from(org),
+            value: format!("uid-{h:016x}").into(),
         };
-        self.jar.insert(org.to_string(), c.clone());
+        self.jar.insert(c.org.clone(), c.clone());
         c
     }
 

@@ -8,11 +8,12 @@
 //! logic works the way the paper's injected script did — including sites
 //! where the object simply is not present.
 
-use crate::bidding::{Auction, Bid, UserState};
+use crate::bidding::{Auction, Bid, UserState, UserView};
 use crate::website::Website;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The prebid version string our simulated publishers deploy.
 pub const PREBID_VERSION: &str = "v7.27.0";
@@ -23,7 +24,7 @@ pub struct PrebidPage<'a> {
     site: &'a Website,
     auction: &'a Auction,
     /// Bids already gathered on the page (empty until an auction runs).
-    responses: BTreeMap<String, Vec<Bid>>,
+    responses: BTreeMap<Arc<str>, Vec<Bid>>,
 }
 
 /// Probe a site for prebid support — the `pbjs.version` injection.
@@ -50,11 +51,11 @@ impl<'a> PrebidPage<'a> {
 
     /// `pbjs.adUnits`: the slot ids configured on the page.
     pub fn ad_units(&self) -> Vec<&str> {
-        self.site.slots.iter().map(|s| s.id.as_str()).collect()
+        self.site.slots.iter().map(|s| &*s.id).collect()
     }
 
     /// `pbjs.getBidResponses`: bids gathered so far, per ad unit.
-    pub fn get_bid_responses(&self) -> &BTreeMap<String, Vec<Bid>> {
+    pub fn get_bid_responses(&self) -> &BTreeMap<Arc<str>, Vec<Bid>> {
         &self.responses
     }
 
@@ -65,6 +66,24 @@ impl<'a> PrebidPage<'a> {
     pub fn request_bids<F>(
         &mut self,
         user: &UserState,
+        iteration: usize,
+        seed: u64,
+        loaded: F,
+    ) -> usize
+    where
+        F: FnMut(&str) -> bool,
+    {
+        let view = self.auction.user_view(user);
+        self.request_bids_with_view(user, &view, iteration, seed, loaded)
+    }
+
+    /// [`PrebidPage::request_bids`] with the roster's knowledge facts about
+    /// the user precomputed (the crawler caches them across a whole crawl —
+    /// they are deterministic per user, so the bids are identical).
+    pub fn request_bids_with_view<F>(
+        &mut self,
+        user: &UserState,
+        view: &UserView,
         iteration: usize,
         seed: u64,
         mut loaded: F,
@@ -78,7 +97,9 @@ impl<'a> PrebidPage<'a> {
             if !loaded(&slot.id) {
                 continue;
             }
-            let bids = self.auction.request_bids(slot, user, iteration, &mut rng);
+            let bids = self
+                .auction
+                .request_bids_with_view(slot, view, user, iteration, &mut rng);
             total += bids.len();
             self.responses
                 .entry(slot.id.clone())

@@ -50,7 +50,7 @@ impl WebEcosystem {
                         let u2: f64 = rng.gen_range(0.0..1.0);
                         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         AdSlot {
-                            id: format!("{name}#slot{i}"),
+                            id: format!("{name}#slot{i}").into(),
                             site: name.clone(),
                             quality: (0.9 * z).exp(),
                         }
@@ -129,7 +129,7 @@ mod tests {
         let mut ids: Vec<&str> = web
             .all()
             .iter()
-            .flat_map(|w| w.slots.iter().map(|s| s.id.as_str()))
+            .flat_map(|w| w.slots.iter().map(|s| &*s.id))
             .collect();
         let before = ids.len();
         ids.sort();

@@ -34,7 +34,7 @@ proptest! {
         for bid in auction.request_bids(&slot, &user, iteration, &mut rng) {
             prop_assert!(bid.cpm.is_finite());
             prop_assert!(bid.cpm > 0.0);
-            prop_assert_eq!(&bid.slot_id, "p#1");
+            prop_assert_eq!(&*bid.slot_id, "p#1");
         }
     }
 

@@ -70,6 +70,9 @@ pub struct Config {
     /// Crates exempt from the panic-safety lints (dev-tool shims whose API
     /// *is* panicking, e.g. the proptest substitute).
     pub panic_exempt: BTreeSet<String>,
+    /// Path prefixes on which AD05 (allocation in a loop) applies — the
+    /// hot analysis paths that must stream from the shared index.
+    pub alloc_paths: BTreeSet<String>,
     /// Per-lint severity overrides.
     pub severity: BTreeMap<String, Severity>,
     /// The ratchet baseline.
@@ -173,6 +176,7 @@ impl Config {
                         ("AP01", "exempt_crates") | ("AP02", "exempt_crates") => {
                             &mut cfg.panic_exempt
                         }
+                        ("AD05", "paths") => &mut cfg.alloc_paths,
                         _ => {
                             return Err(ConfigError {
                                 line: lineno,

@@ -49,6 +49,12 @@ pub const CATALOG: &[LintSpec] = &[
         summary: "thread spawning (thread::spawn/scope/JoinHandle) outside crates/exec — all parallelism goes through the deterministic par_map engine",
     },
     LintSpec {
+        id: "AD05",
+        slug: "alloc-in-loop",
+        default_severity: Severity::Deny,
+        summary: ".clone()/format!/.to_string() inside a loop on a configured hot path — hoist the allocation or read the shared AnalysisIndex instead",
+    },
+    LintSpec {
         id: "AP01",
         slug: "panic-macro",
         default_severity: Severity::Deny,
@@ -109,6 +115,7 @@ pub struct FileCtx {
 }
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ALLOC_METHODS: &[&str] = &["clone", "to_string"];
 const UNWRAP_METHODS: &[&str] = &["unwrap", "expect"];
 const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
 const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
@@ -149,6 +156,15 @@ pub fn run_lints(
     let ordered_crate = config.ordered_crates.contains(&ctx.crate_name);
     let wallclock_ok = config.wallclock_allow.contains(&ctx.crate_name);
     let threads_ok = config.thread_allow.contains(&ctx.crate_name);
+    let alloc_lint = config
+        .alloc_paths
+        .iter()
+        .any(|p| ctx.rel_path.starts_with(p.as_str()));
+    let in_loop = if alloc_lint {
+        loop_body_map(toks)
+    } else {
+        Vec::new()
+    };
 
     for (i, t) in toks.iter().enumerate() {
         if t.test {
@@ -201,6 +217,25 @@ pub fn run_lints(
                     && next_is(toks, i, "(")
                 {
                     push("AP02", t.line, format!("`.{name}()` in library code"));
+                }
+                // AD05 — per-iteration allocation on a configured hot path.
+                if alloc_lint && in_loop.get(i).copied().unwrap_or(false) {
+                    if ALLOC_METHODS.contains(&name)
+                        && prev_is(toks, i, ".")
+                        && next_is(toks, i, "(")
+                    {
+                        push(
+                            "AD05",
+                            t.line,
+                            format!("`.{name}()` inside a loop on a hot analysis path"),
+                        );
+                    } else if name == "format" && next_is(toks, i, "!") {
+                        push(
+                            "AD05",
+                            t.line,
+                            "`format!` inside a loop on a hot analysis path".to_string(),
+                        );
+                    }
                 }
                 // AO01 — registered observability names, via free functions
                 // (agg_time/agg_count) or recorder/log methods.
@@ -304,6 +339,57 @@ pub fn is_dotted_lowercase(name: &str) -> bool {
             && (!lead_alpha || s.starts_with(|c: char| c.is_ascii_lowercase()))
     };
     seg_ok(first, true) && segments.all(|s| seg_ok(s, false))
+}
+
+/// Per-token flag: is this token lexically inside a `for`/`while`/`loop`
+/// body? A brace-stack scan, `{` after a loop keyword (at the keyword's
+/// bracket depth) opens a loop body. `for` in `impl Trait for Type` and
+/// higher-ranked `for<'a>` positions is recognized and skipped: a statement
+/// `for` is never preceded by an identifier or `>` and never followed by
+/// `<`.
+fn loop_body_map(toks: &[Tok]) -> Vec<bool> {
+    let mut map = vec![false; toks.len()];
+    // One entry per open `{`: was it a loop body?
+    let mut braces: Vec<bool> = Vec::new();
+    // Bracket depth ((/[) at the pending loop keyword, if any.
+    let mut pending: Option<usize> = None;
+    let mut brackets = 0usize;
+    let mut loop_depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "for" | "while" | "loop") => {
+                let impl_for = prev_sig(toks, i).is_some_and(|p| {
+                    p.kind == TokKind::Ident || (p.kind == TokKind::Punct && p.text == ">")
+                });
+                let hrtb = next_is(toks, i, "<");
+                if !impl_for && !hrtb {
+                    pending = Some(brackets);
+                }
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" | "[" => brackets += 1,
+                ")" | "]" => brackets = brackets.saturating_sub(1),
+                "{" => {
+                    let is_loop = pending == Some(brackets);
+                    if is_loop {
+                        pending = None;
+                        loop_depth += 1;
+                    }
+                    braces.push(is_loop);
+                }
+                // The guard pops unconditionally: a non-loop `}` must still
+                // shrink the brace stack, it just doesn't change loop depth.
+                "}" if braces.pop().unwrap_or(false) => {
+                    loop_depth = loop_depth.saturating_sub(1);
+                }
+                ";" => pending = None,
+                _ => {}
+            },
+            _ => {}
+        }
+        map[i] = loop_depth > 0;
+    }
+    map
 }
 
 /// Previous significant token before index `i`.

@@ -46,12 +46,12 @@ fn fixture_findings_match_golden_json() {
 fn fixture_counts_are_what_the_golden_encodes() {
     let report = analyze(&fixture_root(), &fixture_config()).expect("fixture analyzes");
     assert!(!report.clean());
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 6);
     assert_eq!(report.baselined, 1, "baselined.rs unwrap is covered");
     assert_eq!(report.warnings.len(), 2, "AP03 + AX01 are advisory");
     // Every deny lint fires at least once in the fixture tree.
     for id in [
-        "AD01", "AD02", "AD03", "AD04", "AP01", "AP02", "AO01", "AO02", "AX02",
+        "AD01", "AD02", "AD03", "AD04", "AD05", "AP01", "AP02", "AO01", "AO02", "AX02",
     ] {
         assert!(
             report.new_findings.iter().any(|f| f.lint == id),

@@ -1,0 +1,36 @@
+//! AD05 fixture: per-iteration allocation on a configured hot path.
+
+pub fn alloc_in_loops(names: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in names {
+        out.push(n.clone());
+        out.push(format!("{n}!"));
+        out.push(n.as_str().to_string());
+    }
+    out
+}
+
+pub fn hoisted_is_fine(name: &str) -> String {
+    // Outside any loop: allocation is not a finding.
+    let copy = name.to_owned();
+    copy.to_uppercase()
+}
+
+pub struct Wrapper(Box<str>);
+
+impl Clone for Wrapper {
+    // `for` in impl position must not open a phantom loop body.
+    fn clone(&self) -> Wrapper {
+        Wrapper(self.0.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_loops_are_exempt() {
+        for i in 0..3 {
+            let _ = i.to_string();
+        }
+    }
+}

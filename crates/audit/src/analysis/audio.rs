@@ -5,7 +5,11 @@
 //! the fraction of each service's ads that went to each persona; Figure 5
 //! reports the per-brand distribution, restricted — like the paper — to
 //! brands heard at least twice (repetition signals advertiser interest).
+//!
+//! The extraction pass runs once per run inside [`AnalysisIndex::build`];
+//! both artifacts here read the cached `(persona, service) → brands` map.
 
+use crate::index::AnalysisIndex;
 use crate::observations::Observations;
 use crate::table::{pct, TextTable};
 use alexa_adtech::{AudioAdExtractor, StreamingService};
@@ -14,7 +18,8 @@ use std::collections::BTreeMap;
 /// The three audio personas in experiment order.
 pub const AUDIO_PERSONAS: [&str; 3] = ["Connected Car", "Fashion & Style", "Vanilla"];
 
-/// Extracted ads per (persona, service).
+/// Extracted ads per (persona, service) — the naive per-call extraction,
+/// kept as the reference the index cache is tested against.
 pub fn extracted_ads(obs: &Observations) -> BTreeMap<(String, StreamingService), Vec<String>> {
     let extractor = AudioAdExtractor::new();
     obs.audio
@@ -34,27 +39,31 @@ pub struct Table9 {
     pub total_ads: usize,
 }
 
-/// Compute Table 9.
-pub fn table9(obs: &Observations) -> Table9 {
-    let ads = extracted_ads(obs);
+/// Compute Table 9 from the index's cached audio-ad extraction.
+pub fn table9(ix: &AnalysisIndex) -> Table9 {
+    let ads = &ix.audio_ads;
     let mut per_service_total: BTreeMap<StreamingService, usize> = BTreeMap::new();
-    for ((_, service), list) in &ads {
+    for ((_, service), list) in ads {
         *per_service_total.entry(*service).or_insert(0) += list.len();
     }
     let total_ads = per_service_total.values().sum();
-    let mut fractions: BTreeMap<String, BTreeMap<StreamingService, f64>> = BTreeMap::new();
-    for ((persona, service), list) in &ads {
+    let mut shares: BTreeMap<&str, BTreeMap<StreamingService, f64>> = BTreeMap::new();
+    for ((persona, service), list) in ads {
         let denom = *per_service_total.get(service).unwrap_or(&0);
         let share = if denom == 0 {
             0.0
         } else {
             list.len() as f64 / denom as f64
         };
-        fractions
-            .entry(persona.clone())
+        shares
+            .entry(persona.as_str())
             .or_default()
             .insert(*service, share);
     }
+    let fractions = shares
+        .into_iter()
+        .map(|(persona, per)| (persona.to_string(), per))
+        .collect();
     Table9 {
         fractions,
         total_ads,
@@ -71,8 +80,8 @@ impl Table9 {
             .unwrap_or(0.0)
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             &format!(
                 "Table 9: Fraction of audio ads (n={}) per service per persona",
@@ -81,14 +90,20 @@ impl Table9 {
             &["Persona", "Amazon", "Spotify", "Pandora"],
         );
         for persona in AUDIO_PERSONAS {
-            t.row(vec![
-                persona.to_string(),
-                pct(self.share(persona, StreamingService::AmazonMusic)),
-                pct(self.share(persona, StreamingService::Spotify)),
-                pct(self.share(persona, StreamingService::Pandora)),
-            ]);
+            t.row()
+                .cell(persona)
+                .cell(pct(self.share(persona, StreamingService::AmazonMusic)))
+                .cell(pct(self.share(persona, StreamingService::Spotify)))
+                .cell(pct(self.share(persona, StreamingService::Pandora)));
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -100,19 +115,18 @@ pub struct Figure5 {
     pub counts: BTreeMap<StreamingService, BTreeMap<String, BTreeMap<String, usize>>>,
 }
 
-/// Compute Figure 5's series.
-pub fn figure5(obs: &Observations) -> Figure5 {
-    let ads = extracted_ads(obs);
-    let mut counts: BTreeMap<StreamingService, BTreeMap<String, BTreeMap<String, usize>>> =
+/// Compute Figure 5's series from the index's cached extraction.
+pub fn figure5(ix: &AnalysisIndex) -> Figure5 {
+    let mut counts: BTreeMap<StreamingService, BTreeMap<&str, BTreeMap<&str, usize>>> =
         BTreeMap::new();
-    for ((persona, service), list) in &ads {
+    for ((persona, service), list) in &ix.audio_ads {
         for brand in list {
             *counts
                 .entry(*service)
                 .or_default()
-                .entry(brand.clone())
+                .entry(brand.as_str())
                 .or_default()
-                .entry(persona.clone())
+                .entry(persona.as_str())
                 .or_insert(0) += 1;
         }
     }
@@ -120,6 +134,22 @@ pub fn figure5(obs: &Observations) -> Figure5 {
     for brands in counts.values_mut() {
         brands.retain(|_, per_persona| per_persona.values().sum::<usize>() >= 2);
     }
+    let counts = counts
+        .into_iter()
+        .map(|(service, brands)| {
+            let owned = brands
+                .into_iter()
+                .map(|(brand, per)| {
+                    let per = per
+                        .into_iter()
+                        .map(|(persona, n)| (persona.to_string(), n))
+                        .collect();
+                    (brand.to_string(), per)
+                })
+                .collect();
+            (service, owned)
+        })
+        .collect();
     Figure5 { counts }
 }
 
@@ -138,25 +168,32 @@ impl Figure5 {
             .unwrap_or_default()
     }
 
-    /// Render the per-service brand tables.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
+    /// Stream the per-service brand tables into `out`; returns render work
+    /// units.
+    pub fn render_into(&self, out: &mut String) -> usize {
+        let mut work = 0;
         for (service, brands) in &self.counts {
             let mut t = TextTable::new(
                 &format!("Figure 5: Audio ads on {service}"),
                 &["Brand", "Connected Car", "Fashion & Style", "Vanilla"],
             );
             for (brand, per) in brands {
-                t.row(vec![
-                    brand.clone(),
-                    per.get("Connected Car").copied().unwrap_or(0).to_string(),
-                    per.get("Fashion & Style").copied().unwrap_or(0).to_string(),
-                    per.get("Vanilla").copied().unwrap_or(0).to_string(),
-                ]);
+                t.row()
+                    .cell(brand)
+                    .cell(per.get("Connected Car").copied().unwrap_or(0))
+                    .cell(per.get("Fashion & Style").copied().unwrap_or(0))
+                    .cell(per.get("Vanilla").copied().unwrap_or(0));
             }
-            out.push_str(&t.render());
+            work += t.render_into(out);
             out.push('\n');
         }
+        work
+    }
+
+    /// Render the per-service brand tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -164,11 +201,16 @@ impl Figure5 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::{ix, obs};
+
+    #[test]
+    fn cached_extraction_matches_naive_rescan() {
+        assert_eq!(ix().audio_ads, extracted_ads(obs()));
+    }
 
     #[test]
     fn table9_fractions_sum_to_one_per_service() {
-        let t9 = table9(obs());
+        let t9 = table9(ix());
         for service in StreamingService::ALL {
             let sum: f64 = AUDIO_PERSONAS.iter().map(|p| t9.share(p, service)).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{service}: {sum}");
@@ -177,7 +219,7 @@ mod tests {
 
     #[test]
     fn spotify_starves_connected_car() {
-        let t9 = table9(obs());
+        let t9 = table9(ix());
         let cc = t9.share("Connected Car", StreamingService::Spotify);
         let fs = t9.share("Fashion & Style", StreamingService::Spotify);
         assert!(cc < fs / 2.0, "cc {cc} fs {fs}");
@@ -188,7 +230,7 @@ mod tests {
         // Swiffer Wet Jet is planted Fashion-exclusive; at 1-hour test
         // sessions it may fall below the repetition filter, so check the
         // exclusivity property over whatever survives.
-        let f5 = figure5(obs());
+        let f5 = figure5(ix());
         for (service, brands) in &f5.counts {
             for (brand, per) in brands {
                 if brand == "Swiffer Wet Jet" || brand == "Ashley" || brand == "Ross" {
@@ -207,7 +249,7 @@ mod tests {
 
     #[test]
     fn repetition_filter_applies() {
-        let f5 = figure5(obs());
+        let f5 = figure5(ix());
         for brands in f5.counts.values() {
             for per in brands.values() {
                 assert!(per.values().sum::<usize>() >= 2);
@@ -217,7 +259,7 @@ mod tests {
 
     #[test]
     fn renders() {
-        assert!(table9(obs()).render().contains("Pandora"));
-        let _ = figure5(obs()).render();
+        assert!(table9(ix()).render().contains("Pandora"));
+        let _ = figure5(ix()).render();
     }
 }

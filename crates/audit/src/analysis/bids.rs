@@ -8,71 +8,44 @@
 //! Methodology mirrors §3.3's controls: bids are only compared on **common
 //! ad slots** — slots that returned bids for *every* compared persona in
 //! the window — because bid values vary per slot and not every slot loads
-//! for every persona.
+//! for every persona. Slot sets are represented as dense masks over the
+//! [`AnalysisIndex`]'s interned slot table; all pooling preserves the
+//! original observation order (the seeded bootstrap resamples by index).
 
-use crate::observations::Observations;
+use crate::index::AnalysisIndex;
 use crate::persona::Persona;
 use crate::table::{f3, TextTable};
 use alexa_stats::{bootstrap_median_ci, five_number_summary, mean, median, BootstrapCi, Summary};
-use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 use std::ops::Range;
 
-/// Slot ids that returned at least one bid for every given persona within
-/// the iteration window.
-pub fn common_slots(
-    obs: &Observations,
-    personas: &[Persona],
-    window: Range<usize>,
-) -> BTreeSet<String> {
-    let mut common: Option<BTreeSet<String>> = None;
-    for p in personas {
-        let slots: BTreeSet<String> = obs
-            .visits_in(*p, window.clone())
-            .iter()
-            .flat_map(|v| v.bids.iter().map(|b| b.slot_id.clone()))
-            .collect();
-        common = Some(match common {
-            None => slots,
-            Some(acc) => acc.intersection(&slots).cloned().collect(),
-        });
-    }
-    common.unwrap_or_default()
+/// Mask (over [`AnalysisIndex::slots`]) of the slot ids that returned at
+/// least one bid for every given persona within the iteration window.
+pub fn common_slots(ix: &AnalysisIndex, personas: &[Persona], window: Range<usize>) -> Vec<bool> {
+    ix.common_slots(personas, &window)
 }
 
-/// All individual CPM values a persona received on the given slots within
-/// the window.
+/// All individual CPM values a persona received on the masked slots within
+/// the window, in observation order.
 pub fn pooled_bids(
-    obs: &Observations,
+    ix: &AnalysisIndex,
     persona: Persona,
     window: Range<usize>,
-    slots: &BTreeSet<String>,
+    slots: &[bool],
 ) -> Vec<f64> {
-    obs.visits_in(persona, window)
-        .iter()
-        .flat_map(|v| v.bids.iter())
-        .filter(|b| slots.contains(&b.slot_id))
-        .map(|b| b.cpm)
-        .collect()
+    ix.pooled_bids(persona, &window, slots)
 }
 
 /// Per-slot mean CPM (ordered by slot id) — the slot-level sample used for
 /// the significance tests, where between-slot heterogeneity provides the
 /// natural variance.
 pub fn slot_means(
-    obs: &Observations,
+    ix: &AnalysisIndex,
     persona: Persona,
     window: Range<usize>,
-    slots: &BTreeSet<String>,
+    slots: &[bool],
 ) -> Vec<f64> {
-    let mut per_slot: BTreeMap<&String, Vec<f64>> = slots.iter().map(|s| (s, Vec::new())).collect();
-    for v in obs.visits_in(persona, window) {
-        for b in &v.bids {
-            if let Some(e) = per_slot.get_mut(&b.slot_id) {
-                e.push(b.cpm);
-            }
-        }
-    }
-    per_slot.values().filter_map(|v| mean(v)).collect()
+    ix.slot_means(persona, &window, slots)
 }
 
 /// Table 5: median and mean CPM for interest and vanilla personas with
@@ -86,13 +59,13 @@ pub struct Table5 {
 }
 
 /// Compute Table 5.
-pub fn table5(obs: &Observations) -> Table5 {
+pub fn table5(ix: &AnalysisIndex) -> Table5 {
     let personas = Persona::echo_personas();
-    let slots = common_slots(obs, &personas, obs.post_window());
+    let slots = ix.common_slots(&personas, &ix.obs.post_window());
     let rows = personas
         .iter()
         .map(|&p| {
-            let bids = pooled_bids(obs, p, obs.post_window(), &slots);
+            let bids = ix.pooled_bids(p, &ix.obs.post_window(), &slots);
             (
                 p.name(),
                 median(&bids).unwrap_or(0.0),
@@ -102,7 +75,7 @@ pub fn table5(obs: &Observations) -> Table5 {
         .collect();
     Table5 {
         rows,
-        common_slots: slots.len(),
+        common_slots: ix.slot_count(&slots),
     }
 }
 
@@ -115,17 +88,24 @@ impl Table5 {
             .map(|r| (r.1, r.2))
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 5: Median and mean bid values (CPM) for interest and vanilla personas",
             &["Persona", "Median", "Mean"],
         );
         for (p, med, avg) in &self.rows {
-            t.row(vec![p.clone(), f3(*med), f3(*avg)]);
+            t.row().cell(p).cell(f3(*med)).cell(f3(*avg));
         }
-        let mut out = t.render();
-        out.push_str(&format!("(common ad slots: {})\n", self.common_slots));
+        let work = t.render_into(out);
+        let _ = writeln!(out, "(common ad slots: {})", self.common_slots);
+        work + 1
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -133,36 +113,48 @@ impl Table5 {
 /// Bootstrap 95% confidence intervals for Table 5's per-persona median CPM
 /// (seeded percentile bootstrap, 1000 resamples) — the robustness companion
 /// the paper's point estimates lack.
-pub fn table5_median_cis(obs: &Observations) -> Vec<(String, BootstrapCi)> {
+pub fn table5_median_cis(ix: &AnalysisIndex) -> Vec<(String, BootstrapCi)> {
     let personas = Persona::echo_personas();
-    let slots = common_slots(obs, &personas, obs.post_window());
+    let slots = ix.common_slots(&personas, &ix.obs.post_window());
     personas
         .iter()
         .filter_map(|&p| {
-            let mut sample = pooled_bids(obs, p, obs.post_window(), &slots);
+            let mut sample = ix.pooled_bids(p, &ix.obs.post_window(), &slots);
             // Deterministic thinning keeps the bootstrap tractable on large
             // bid corpora without biasing the median.
             if sample.len() > 4000 {
                 let stride = sample.len() / 4000 + 1;
                 sample = sample.into_iter().step_by(stride).collect();
             }
-            bootstrap_median_ci(&sample, 500, 0.95, obs.seed ^ 0xc1)
+            bootstrap_median_ci(&sample, 500, 0.95, ix.obs.seed ^ 0xc1)
                 .ok()
                 .map(|ci| (p.name(), ci))
         })
         .collect()
 }
 
-/// Render the Table 5 medians with their bootstrap intervals.
-pub fn render_table5_cis(cis: &[(String, BootstrapCi)]) -> String {
+/// Stream the Table 5 medians with their bootstrap intervals into `out`;
+/// returns render work units.
+pub fn render_table5_cis_into(cis: &[(String, BootstrapCi)], out: &mut String) -> usize {
     let mut t = TextTable::new(
         "Table 5 medians with bootstrap 95% CIs",
         &["Persona", "Median", "CI low", "CI high"],
     );
     for (p, ci) in cis {
-        t.row(vec![p.clone(), f3(ci.estimate), f3(ci.lo), f3(ci.hi)]);
+        t.row()
+            .cell(p)
+            .cell(f3(ci.estimate))
+            .cell(f3(ci.lo))
+            .cell(f3(ci.hi));
     }
-    t.render()
+    t.render_into(out)
+}
+
+/// Render the Table 5 medians with their bootstrap intervals.
+pub fn render_table5_cis(cis: &[(String, BootstrapCi)]) -> String {
+    let mut out = String::new();
+    render_table5_cis_into(cis, &mut out);
+    out
 }
 
 /// Table 6: mean CPM in the crawls closest to the interaction boundary —
@@ -175,18 +167,19 @@ pub struct Table6 {
 }
 
 /// Compute Table 6.
-pub fn table6(obs: &Observations) -> Table6 {
+pub fn table6(ix: &AnalysisIndex) -> Table6 {
+    let obs = ix.obs;
     let personas = Persona::echo_personas();
     let pre_tail = obs.pre_iterations.saturating_sub(3)..obs.pre_iterations;
     let post_head =
         obs.pre_iterations..(obs.pre_iterations + 3).min(obs.pre_iterations + obs.post_iterations);
-    let slots_pre = common_slots(obs, &personas, pre_tail.clone());
-    let slots_post = common_slots(obs, &personas, post_head.clone());
+    let slots_pre = ix.common_slots(&personas, &pre_tail);
+    let slots_post = ix.common_slots(&personas, &post_head);
     let rows = personas
         .iter()
         .map(|&p| {
-            let pre = pooled_bids(obs, p, pre_tail.clone(), &slots_pre);
-            let post = pooled_bids(obs, p, post_head.clone(), &slots_post);
+            let pre = ix.pooled_bids(p, &pre_tail, &slots_pre);
+            let post = ix.pooled_bids(p, &post_head, &slots_post);
             (
                 p.name(),
                 mean(&pre).unwrap_or(0.0),
@@ -206,16 +199,23 @@ impl Table6 {
             .map(|r| (r.1, r.2))
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 6: Mean bid values without and with interaction (holiday-adjacent crawls)",
             &["Persona", "No Interaction", "Interaction"],
         );
         for (p, pre, post) in &self.rows {
-            t.row(vec![p.clone(), f3(*pre), f3(*post)]);
+            t.row().cell(p).cell(f3(*pre)).cell(f3(*post));
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -230,19 +230,19 @@ pub struct Figure3 {
 }
 
 /// Compute Figure 3's series.
-pub fn figure3(obs: &Observations) -> Figure3 {
+pub fn figure3(ix: &AnalysisIndex) -> Figure3 {
     let personas = Persona::echo_personas();
     let mut fig = Figure3 {
         without_interaction: Vec::new(),
         with_interaction: Vec::new(),
     };
     for (window, out) in [
-        (obs.pre_window(), &mut fig.without_interaction),
-        (obs.post_window(), &mut fig.with_interaction),
+        (ix.obs.pre_window(), &mut fig.without_interaction),
+        (ix.obs.post_window(), &mut fig.with_interaction),
     ] {
-        let slots = common_slots(obs, &personas, window.clone());
+        let slots = ix.common_slots(&personas, &window);
         for &p in &personas {
-            let bids = pooled_bids(obs, p, window.clone(), &slots);
+            let bids = ix.pooled_bids(p, &window, &slots);
             if let Some(s) = five_number_summary(&bids) {
                 out.push((p.name(), s));
             }
@@ -251,10 +251,24 @@ pub fn figure3(obs: &Observations) -> Figure3 {
     fig
 }
 
+/// Append one five-number-summary row per series entry.
+fn summary_rows(t: &mut TextTable, series: &[(String, Summary)]) {
+    for (p, s) in series {
+        t.row()
+            .cell(p)
+            .cell(f3(s.min))
+            .cell(f3(s.q1))
+            .cell(f3(s.median))
+            .cell(f3(s.q3))
+            .cell(f3(s.max))
+            .cell(f3(s.mean));
+    }
+}
+
 impl Figure3 {
-    /// Render both panels.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
+    /// Stream both panels into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
+        let mut work = 0;
         for (title, series) in [
             (
                 "Figure 3a: Bidding behavior without user interaction",
@@ -269,20 +283,17 @@ impl Figure3 {
                 title,
                 &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
             );
-            for (p, s) in series {
-                t.row(vec![
-                    p.clone(),
-                    f3(s.min),
-                    f3(s.q1),
-                    f3(s.median),
-                    f3(s.q3),
-                    f3(s.max),
-                    f3(s.mean),
-                ]);
-            }
-            out.push_str(&t.render());
+            summary_rows(&mut t, series);
+            work += t.render_into(out);
             out.push('\n');
         }
+        work
+    }
+
+    /// Render both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -297,9 +308,9 @@ pub struct Figure7 {
 }
 
 /// Compute Figure 7's series.
-pub fn figure7(obs: &Observations) -> Figure7 {
+pub fn figure7(ix: &AnalysisIndex) -> Figure7 {
     let personas = Persona::all();
-    let slots = common_slots(obs, &personas, obs.post_window());
+    let slots = ix.common_slots(&personas, &ix.obs.post_window());
     let mut ordered = vec![Persona::Vanilla];
     ordered.extend(
         Persona::echo_personas()
@@ -310,7 +321,7 @@ pub fn figure7(obs: &Observations) -> Figure7 {
     let series = ordered
         .into_iter()
         .filter_map(|p| {
-            let bids = pooled_bids(obs, p, obs.post_window(), &slots);
+            let bids = ix.pooled_bids(p, &ix.obs.post_window(), &slots);
             five_number_summary(&bids).map(|s| (p.name(), s))
         })
         .collect();
@@ -318,42 +329,96 @@ pub fn figure7(obs: &Observations) -> Figure7 {
 }
 
 impl Figure7 {
-    /// Render the figure series.
-    pub fn render(&self) -> String {
+    /// Stream the figure series into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Figure 7: CPM across vanilla, Echo interest, and web interest personas",
             &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
         );
-        for (p, s) in &self.series {
-            t.row(vec![
-                p.clone(),
-                f3(s.min),
-                f3(s.q1),
-                f3(s.median),
-                f3(s.q3),
-                f3(s.max),
-                f3(s.mean),
-            ]);
-        }
-        t.render()
+        summary_rows(&mut t, &self.series);
+        t.render_into(out)
+    }
+
+    /// Render the figure series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::{ix, obs};
 
     #[test]
     fn common_slots_nonempty() {
+        let i = ix();
+        let slots = i.common_slots(&Persona::echo_personas(), &i.obs.post_window());
+        assert!(i.slot_count(&slots) > 0);
+    }
+
+    #[test]
+    fn common_slots_match_naive_intersection() {
+        // The dense mask must agree with the naive per-persona string-set
+        // intersection over the raw crawl.
+        let i = ix();
         let o = obs();
-        let slots = common_slots(o, &Persona::echo_personas(), o.post_window());
-        assert!(!slots.is_empty());
+        let personas = Persona::echo_personas();
+        let window = o.post_window();
+        let mut naive: Option<std::collections::BTreeSet<String>> = None;
+        for p in &personas {
+            let slots: std::collections::BTreeSet<String> = o
+                .visits_in(*p, window.clone())
+                .iter()
+                .flat_map(|v| v.bids.iter().map(|b| b.slot_id.to_string()))
+                .collect();
+            naive = Some(match naive {
+                None => slots,
+                Some(acc) => acc.intersection(&slots).cloned().collect(),
+            });
+        }
+        let naive = naive.unwrap_or_default();
+        let mask = i.common_slots(&personas, &window);
+        let from_mask: std::collections::BTreeSet<String> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(s, _)| i.str_of(i.slots[s]).to_string())
+            .collect();
+        assert_eq!(naive, from_mask);
+    }
+
+    #[test]
+    fn pooled_bids_match_naive_scan() {
+        let i = ix();
+        let o = obs();
+        let personas = Persona::echo_personas();
+        let window = o.post_window();
+        let mask = i.common_slots(&personas, &window);
+        let in_mask: std::collections::BTreeSet<&str> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(s, _)| i.str_of(i.slots[s]))
+            .collect();
+        for &p in &personas {
+            let naive: Vec<f64> = o
+                .visits_in(p, window.clone())
+                .iter()
+                .flat_map(|v| v.bids.iter())
+                .filter(|b| in_mask.contains(&*b.slot_id))
+                .map(|b| b.cpm)
+                .collect();
+            // Bit-exact (order included): the bootstrap resamples by index.
+            assert_eq!(naive, i.pooled_bids(p, &window, &mask), "{p}");
+        }
     }
 
     #[test]
     fn interest_personas_outbid_vanilla_with_interaction() {
-        let t5 = table5(obs());
+        let t5 = table5(ix());
         let (van_med, _) = t5.get("Vanilla").unwrap();
         let mut higher = 0;
         for cat in alexa_platform::SkillCategory::ALL {
@@ -370,7 +435,7 @@ mod tests {
 
     #[test]
     fn no_discernible_difference_before_interaction() {
-        let f3 = figure3(obs());
+        let f3 = figure3(ix());
         let medians: Vec<f64> = f3
             .without_interaction
             .iter()
@@ -393,7 +458,7 @@ mod tests {
 
     #[test]
     fn post_interaction_difference_is_visible() {
-        let fig = figure3(obs());
+        let fig = figure3(ix());
         let get = |series: &[(String, Summary)], name: &str| {
             series
                 .iter()
@@ -411,7 +476,7 @@ mod tests {
         // Table 6: without interaction (peak season) the vanilla persona's
         // mean is comparable to interest personas; with interaction the
         // interest personas keep elevated bids while vanilla falls.
-        let t6 = table6(obs());
+        let t6 = table6(ix());
         let (van_pre, van_post) = t6.get("Vanilla").unwrap();
         assert!(van_pre > van_post, "vanilla pre {van_pre} post {van_post}");
         let (pets_pre, pets_post) = t6.get("Pets & Animals").unwrap();
@@ -424,7 +489,7 @@ mod tests {
 
     #[test]
     fn echo_and_web_personas_look_alike() {
-        let f7 = figure7(obs());
+        let f7 = figure7(ix());
         let get = |name: &str| {
             f7.series
                 .iter()
@@ -440,7 +505,7 @@ mod tests {
 
     #[test]
     fn renders_contain_all_personas() {
-        let t5 = table5(obs());
+        let t5 = table5(ix());
         let s = t5.render();
         assert!(s.contains("Vanilla"));
         assert!(s.contains("Fashion & Style"));
@@ -448,7 +513,7 @@ mod tests {
 
     #[test]
     fn bootstrap_cis_separate_strong_personas_from_vanilla() {
-        let cis = table5_median_cis(obs());
+        let cis = table5_median_cis(ix());
         assert_eq!(cis.len(), 10);
         let get = |name: &str| {
             cis.iter()

@@ -9,10 +9,11 @@
 //! paper reports ("the dehumidifier ad appeared 7 times across 5
 //! iterations").
 
-use crate::observations::Observations;
+use crate::index::AnalysisIndex;
 use crate::persona::Persona;
 use crate::table::TextTable;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 /// One persona-exclusive ad from Amazon.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,19 +45,25 @@ const SKILL_VENDOR_ADVERTISERS: &[&str] =
     &["Microsoft", "SimpliSafe", "Samsung", "LG", "Ford", "Jeep"];
 
 /// Compute Table 8 from the post-interaction crawl creatives.
-pub fn table8(obs: &Observations) -> Table8 {
-    // (advertiser, product) → persona → (appearances, iterations)
-    type PerPersona = BTreeMap<String, (usize, BTreeSet<usize>)>;
-    let mut seen: BTreeMap<(String, String), PerPersona> = BTreeMap::new();
+pub fn table8(ix: &AnalysisIndex) -> Table8 {
+    let obs = ix.obs;
+    // (advertiser, product) → persona → (appearances, iterations); all keys
+    // borrowed from the observations — no per-creative allocation.
+    type PerPersona<'a> = BTreeMap<&'a str, (usize, BTreeSet<usize>)>;
+    let mut seen: BTreeMap<(&str, &str), PerPersona> = BTreeMap::new();
     let mut total = 0usize;
-    for persona in Persona::echo_personas() {
-        for visit in obs.visits_in(persona, obs.post_window()) {
+    let personas: Vec<(Persona, String)> = Persona::echo_personas()
+        .into_iter()
+        .map(|p| (p, p.name()))
+        .collect();
+    for (persona, name) in &personas {
+        for visit in obs.visits_in(*persona, obs.post_window()) {
             for c in &visit.creatives {
                 total += 1;
                 let entry = seen
-                    .entry((c.advertiser.clone(), c.product.clone()))
+                    .entry((c.advertiser.as_str(), c.product.as_str()))
                     .or_default()
-                    .entry(persona.name())
+                    .entry(name.as_str())
                     .or_insert((0, BTreeSet::new()));
                 entry.0 += 1;
                 entry.1.insert(visit.iteration);
@@ -64,29 +71,34 @@ pub fn table8(obs: &Observations) -> Table8 {
         }
     }
 
-    let mut amazon_exclusive = Vec::new();
-    let mut vendor_personas: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for ((advertiser, product), per_persona) in &seen {
-        if advertiser == "Amazon" && per_persona.len() == 1 {
-            let (persona, (appearances, iters)) = per_persona.iter().next().unwrap();
-            amazon_exclusive.push(ExclusiveAd {
-                persona: persona.clone(),
-                product: product.clone(),
+    let mut amazon_exclusive: Vec<ExclusiveAd> = seen
+        .iter()
+        .filter_map(|((advertiser, product), per_persona)| {
+            if *advertiser != "Amazon" || per_persona.len() != 1 {
+                return None;
+            }
+            let (persona, (appearances, iters)) = per_persona.iter().next()?;
+            Some(ExclusiveAd {
+                persona: (*persona).to_string(),
+                product: (*product).to_string(),
                 appearances: *appearances,
                 iterations: iters.len(),
-            });
-        }
-        if SKILL_VENDOR_ADVERTISERS.contains(&advertiser.as_str()) {
+            })
+        })
+        .collect();
+    let mut vendor_personas: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for ((advertiser, _), per_persona) in &seen {
+        if SKILL_VENDOR_ADVERTISERS.contains(advertiser) {
             vendor_personas
-                .entry(advertiser.clone())
+                .entry(advertiser)
                 .or_default()
-                .extend(per_persona.keys().cloned());
+                .extend(per_persona.keys().copied());
         }
     }
     amazon_exclusive.sort_by(|a, b| a.persona.cmp(&b.persona).then(a.product.cmp(&b.product)));
     let vendor_reach = vendor_personas
         .into_iter()
-        .map(|(v, ps)| (v, ps.len()))
+        .map(|(v, ps)| (v.to_string(), ps.len()))
         .collect();
     Table8 {
         amazon_exclusive,
@@ -105,29 +117,34 @@ impl Table8 {
             .collect()
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 8: Personalized (persona-exclusive) ads from Amazon",
             &["Persona", "Advertised product", "Appearances", "Iterations"],
         );
         for a in &self.amazon_exclusive {
-            t.row(vec![
-                a.persona.clone(),
-                a.product.clone(),
-                a.appearances.to_string(),
-                a.iterations.to_string(),
-            ]);
+            t.row()
+                .cell(&a.persona)
+                .cell(&a.product)
+                .cell(a.appearances)
+                .cell(a.iterations);
         }
-        let mut out = t.render();
+        let mut work = t.render_into(out);
         out.push_str("\nSkill-vendor campaigns (personas reached — none exclusive):\n");
+        work += 1;
         for (v, n) in &self.vendor_reach {
-            out.push_str(&format!("  {v}: {n} personas\n"));
+            let _ = writeln!(out, "  {v}: {n} personas");
+            work += 1;
         }
-        out.push_str(&format!(
-            "Total creatives observed: {}\n",
-            self.total_creatives
-        ));
+        let _ = writeln!(out, "Total creatives observed: {}", self.total_creatives);
+        work + 1
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -135,11 +152,11 @@ impl Table8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::ix;
 
     #[test]
     fn amazon_exclusives_match_planted_personas() {
-        let t8 = table8(obs());
+        let t8 = table8(ix());
         // The planted inventory keys the dehumidifier to Health & Fitness
         // and Eero/Kindle to Religion & Spirituality.
         for ad in &t8.amazon_exclusive {
@@ -162,13 +179,13 @@ mod tests {
 
     #[test]
     fn vanilla_gets_no_exclusive_amazon_ads() {
-        let t8 = table8(obs());
+        let t8 = table8(ix());
         assert!(t8.products_for("Vanilla").is_empty());
     }
 
     #[test]
     fn vendor_ads_are_broad_not_exclusive() {
-        let t8 = table8(obs());
+        let t8 = table8(ix());
         // Microsoft's heavy campaign reaches many personas.
         let microsoft = t8.vendor_reach.iter().find(|(v, _)| v == "Microsoft");
         if let Some((_, n)) = microsoft {
@@ -178,7 +195,7 @@ mod tests {
 
     #[test]
     fn appearances_at_least_iterations() {
-        let t8 = table8(obs());
+        let t8 = table8(ix());
         for a in &t8.amazon_exclusive {
             assert!(a.appearances >= a.iterations);
         }
@@ -186,6 +203,6 @@ mod tests {
 
     #[test]
     fn renders() {
-        assert!(table8(obs()).render().contains("Total creatives"));
+        assert!(table8(ix()).render().contains("Total creatives"));
     }
 }

@@ -16,9 +16,40 @@
 
 use crate::analysis::bids;
 use crate::analysis::traffic;
+use crate::experiment::{apply_defense, DefenseMode};
+use crate::index::AnalysisIndex;
 use crate::observations::Observations;
 use crate::persona::Persona;
 use alexa_net::DataType;
+use std::fmt::Write as _;
+
+/// Derive the observable record of a defended run from the undefended
+/// baseline, without re-executing the pipeline.
+///
+/// This is exact, not an approximation. Every defense in [`DefenseMode`] is
+/// a pure per-packet transform applied at the tap boundary
+/// ([`apply_defense`]) — the engine calls it on each outgoing batch right
+/// before the capture tap, at every capture site (router and AVS). Nothing
+/// upstream of the tap reads the defense mode: skill execution, the crawl,
+/// the profiler, audio sessions, and DSAR exports all run identically (and
+/// consume the RNG identically) regardless of defense. So a defended run's
+/// observations are, by construction, the baseline observations with
+/// `apply_defense` mapped over every captured packet batch; crawl, audio,
+/// DSAR, policies, catalog, org map, and coverage carry over unchanged.
+/// A digest-equality test against a genuinely re-executed defended run
+/// enforces this equivalence.
+pub fn derive_defended(baseline: &Observations, defense: DefenseMode) -> Observations {
+    let mut obs = baseline.clone();
+    for caps in obs.router_captures.values_mut() {
+        for cap in caps.iter_mut() {
+            cap.packets = apply_defense(defense, std::mem::take(&mut cap.packets));
+        }
+    }
+    for cap in &mut obs.avs_captures {
+        cap.packets = apply_defense(defense, std::mem::take(&mut cap.packets));
+    }
+    obs
+}
 
 /// Comparison of one defended run against the undefended baseline.
 #[derive(Debug, Clone)]
@@ -43,10 +74,10 @@ pub struct DefenseReport {
     pub bid_uplift: (f64, f64),
 }
 
-fn voice_and_text_flows(obs: &Observations) -> (usize, usize) {
+fn voice_and_text_flows(ix: &AnalysisIndex) -> (usize, usize) {
     let mut voice = 0;
     let mut text = 0;
-    for cap in &obs.avs_captures {
+    for cap in &ix.obs.avs_captures {
         for p in &cap.packets {
             if let Some(records) = p.payload.records() {
                 for r in records {
@@ -62,15 +93,15 @@ fn voice_and_text_flows(obs: &Observations) -> (usize, usize) {
     (voice, text)
 }
 
-fn third_party_domains(obs: &Observations) -> (usize, usize) {
-    let t3 = traffic::table3(obs);
+fn third_party_domains(ix: &AnalysisIndex) -> (usize, usize) {
+    let t3 = traffic::table3(ix);
     let at = t3.rows.iter().map(|r| r.1).sum();
     let functional = t3.rows.iter().map(|r| r.2).sum();
     (at, functional)
 }
 
-fn max_median_uplift(obs: &Observations) -> f64 {
-    let t5 = bids::table5(obs);
+fn max_median_uplift(ix: &AnalysisIndex) -> f64 {
+    let t5 = bids::table5(ix);
     let Some((vanilla, _)) = t5.get(&Persona::Vanilla.name()) else {
         return 0.0;
     };
@@ -85,7 +116,7 @@ fn max_median_uplift(obs: &Observations) -> f64 {
 }
 
 /// Compare a defended run against the undefended baseline.
-pub fn compare(defense: &str, baseline: &Observations, defended: &Observations) -> DefenseReport {
+pub fn compare(defense: &str, baseline: &AnalysisIndex, defended: &AnalysisIndex) -> DefenseReport {
     let (base_at, base_fn) = third_party_domains(baseline);
     let (def_at, def_fn) = third_party_domains(defended);
     let (base_voice, base_text) = voice_and_text_flows(baseline);
@@ -105,9 +136,10 @@ pub fn compare(defense: &str, baseline: &Observations, defended: &Observations) 
 }
 
 impl DefenseReport {
-    /// Render the comparison.
-    pub fn render(&self) -> String {
-        format!(
+    /// Stream the comparison into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
+        let _ = write!(
+            out,
             "Defense evaluation: {}\n\
                A&T traffic share:          {:.2}% -> {:.2}%\n\
                A&T third-party domains:    {} -> {}\n\
@@ -128,7 +160,15 @@ impl DefenseReport {
             self.text_flows.1,
             self.bid_uplift.0,
             self.bid_uplift.1,
-        )
+        );
+        7
+    }
+
+    /// Render the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -136,24 +176,31 @@ impl DefenseReport {
 mod tests {
     use super::*;
     use crate::experiment::DefenseMode;
+    use crate::observations::Observations;
     use crate::{AuditConfig, AuditRun};
     use std::sync::OnceLock;
 
-    fn baseline() -> &'static Observations {
-        crate::analysis::test_support::obs()
+    fn baseline() -> &'static AnalysisIndex<'static> {
+        crate::analysis::test_support::ix()
     }
 
-    fn firewalled() -> &'static Observations {
+    fn firewalled() -> &'static AnalysisIndex<'static> {
         static OBS: OnceLock<Observations> = OnceLock::new();
-        OBS.get_or_init(|| {
-            AuditRun::execute(AuditConfig::small(2222).with_defense(DefenseMode::Firewall))
+        static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+        IX.get_or_init(|| {
+            AnalysisIndex::build(OBS.get_or_init(|| {
+                AuditRun::execute(AuditConfig::small(2222).with_defense(DefenseMode::Firewall))
+            }))
         })
     }
 
-    fn text_only() -> &'static Observations {
+    fn text_only() -> &'static AnalysisIndex<'static> {
         static OBS: OnceLock<Observations> = OnceLock::new();
-        OBS.get_or_init(|| {
-            AuditRun::execute(AuditConfig::small(2222).with_defense(DefenseMode::TextOnly))
+        static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+        IX.get_or_init(|| {
+            AnalysisIndex::build(OBS.get_or_init(|| {
+                AuditRun::execute(AuditConfig::small(2222).with_defense(DefenseMode::TextOnly))
+            }))
         })
     }
 
@@ -194,5 +241,31 @@ mod tests {
         let s = r.render();
         assert!(s.contains("A&T traffic share"));
         assert!(s.contains("bid uplift"));
+    }
+
+    #[test]
+    fn derived_firewall_matches_executed_run() {
+        // The core equivalence the repro pipeline relies on: mapping
+        // apply_defense over the baseline captures yields the exact
+        // observable record of a genuinely re-executed defended run.
+        let base = crate::analysis::test_support::obs();
+        let derived = derive_defended(base, DefenseMode::Firewall);
+        let executed = firewalled().obs;
+        assert_eq!(derived.digest(), executed.digest());
+    }
+
+    #[test]
+    fn derived_text_only_matches_executed_run() {
+        let base = crate::analysis::test_support::obs();
+        let derived = derive_defended(base, DefenseMode::TextOnly);
+        let executed = text_only().obs;
+        assert_eq!(derived.digest(), executed.digest());
+    }
+
+    #[test]
+    fn derive_none_is_identity() {
+        let base = crate::analysis::test_support::obs();
+        let derived = derive_defended(base, DefenseMode::None);
+        assert_eq!(derived.digest(), base.digest());
     }
 }

@@ -1,6 +1,6 @@
-//! Analyses: one module per research question, each a pure function of
-//! [`crate::Observations`] producing a typed table/figure struct with a
-//! text renderer.
+//! Analyses: one module per research question, each a pure function of the
+//! shared [`crate::index::AnalysisIndex`] producing a typed table/figure
+//! struct with a streaming text renderer (`render_into`).
 
 pub mod audio;
 pub mod bids;
@@ -14,6 +14,7 @@ pub mod traffic;
 
 #[cfg(test)]
 pub(crate) mod test_support {
+    use crate::index::AnalysisIndex;
     use crate::{AuditConfig, AuditRun, Observations};
     use std::sync::OnceLock;
 
@@ -21,5 +22,11 @@ pub(crate) mod test_support {
     pub fn obs() -> &'static Observations {
         static OBS: OnceLock<Observations> = OnceLock::new();
         OBS.get_or_init(|| AuditRun::execute(AuditConfig::small(2222)))
+    }
+
+    /// The shared analysis index over [`obs`] (built once).
+    pub fn ix() -> &'static AnalysisIndex<'static> {
+        static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+        IX.get_or_init(|| AnalysisIndex::build(obs()))
     }
 }

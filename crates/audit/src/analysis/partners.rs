@@ -6,13 +6,18 @@
 //! third parties). It then splits the common-slot bids into partner vs
 //! non-partner bidders (Table 10) and summarizes the partner-bid
 //! distributions (Figure 6).
+//!
+//! The sync graph is recovered once per run by the [`AnalysisIndex`], which
+//! also pre-resolves each bid's partner flag — the bid splits here are pure
+//! scans of the dense bid table.
 
-use crate::analysis::bids::common_slots;
+use crate::index::AnalysisIndex;
 use crate::observations::Observations;
 use crate::persona::Persona;
 use crate::table::{f3, TextTable};
 use alexa_stats::{five_number_summary, mean, median, Summary};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 /// Amazon's advertising endpoint observed in sync redirects.
 pub const AMAZON_AD_ENDPOINT: &str = "amazon-adsystem.com";
@@ -28,49 +33,32 @@ pub struct SyncAnalysis {
     pub downstream_parties: BTreeSet<String>,
 }
 
-/// Recover the sync graph from the crawl traffic of all personas.
-pub fn sync_analysis(obs: &Observations) -> SyncAnalysis {
-    let mut partners = BTreeSet::new();
-    let mut downstream = BTreeSet::new();
-    let mut amazon_out = false;
-    for visits in obs.crawl.values() {
-        for v in visits {
-            for s in &v.syncs {
-                if s.from_org == AMAZON_AD_ENDPOINT {
-                    amazon_out = true;
-                }
-                if s.to_org == AMAZON_AD_ENDPOINT {
-                    partners.insert(s.from_org.clone());
-                }
-            }
-        }
-    }
-    for visits in obs.crawl.values() {
-        for v in visits {
-            for s in &v.syncs {
-                if partners.contains(&s.from_org) && s.to_org != AMAZON_AD_ENDPOINT {
-                    downstream.insert(s.to_org.clone());
-                }
-            }
-        }
-    }
-    SyncAnalysis {
-        amazon_partners: partners,
-        amazon_syncs_out: amazon_out,
-        downstream_parties: downstream,
-    }
+/// The sync graph recovered from the crawl traffic of all personas
+/// (computed once, by [`AnalysisIndex::build`]).
+pub fn sync_analysis<'a>(ix: &'a AnalysisIndex) -> &'a SyncAnalysis {
+    &ix.sync
 }
 
 impl SyncAnalysis {
-    /// Render the headline sync findings.
-    pub fn render(&self) -> String {
-        format!(
+    /// Stream the headline sync findings into `out`; returns render work
+    /// units.
+    pub fn render_into(&self, out: &mut String) -> usize {
+        let _ = writeln!(
+            out,
             "Cookie syncing (§5.5): {} advertisers sync their cookies with Amazon \
-             (Amazon syncs out: {}); partners sync onward with {} further third parties.\n",
+             (Amazon syncs out: {}); partners sync onward with {} further third parties.",
             self.amazon_partners.len(),
             if self.amazon_syncs_out { "YES" } else { "no" },
             self.downstream_parties.len(),
-        )
+        );
+        1
+    }
+
+    /// Render the headline sync findings.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -83,21 +71,21 @@ pub struct Table10 {
 }
 
 /// Compute Table 10 on the post window's common slots.
-pub fn table10(obs: &Observations) -> Table10 {
-    let partners = sync_analysis(obs).amazon_partners;
+pub fn table10(ix: &AnalysisIndex) -> Table10 {
     let personas = Persona::echo_personas();
-    let slots = common_slots(obs, &personas, obs.post_window());
+    let window = ix.obs.post_window();
+    let slots = ix.common_slots(&personas, &window);
     let rows = personas
         .iter()
         .map(|&p| {
             let mut partner_bids = Vec::new();
             let mut other_bids = Vec::new();
-            for v in obs.visits_in(p, obs.post_window()) {
-                for b in &v.bids {
-                    if !slots.contains(&b.slot_id) {
+            if let Some(pb) = ix.bids_of(p) {
+                for b in &pb.bids {
+                    if !window.contains(&(b.iteration as usize)) || !slots[b.slot as usize] {
                         continue;
                     }
-                    if partners.contains(&b.bidder) {
+                    if b.partner {
                         partner_bids.push(b.cpm);
                     } else {
                         other_bids.push(b.cpm);
@@ -126,8 +114,8 @@ impl Table10 {
             .map(|r| (r.1, r.2, r.3, r.4))
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 10: Bid values from Amazon's partner vs non-partner advertisers",
             &[
@@ -139,9 +127,21 @@ impl Table10 {
             ],
         );
         for (p, pm, pa, nm, na) in &self.rows {
-            t.row(vec![p.clone(), f3(*pm), f3(*pa), f3(*nm), f3(*na)]);
+            t.row()
+                .cell(p)
+                .cell(f3(*pm))
+                .cell(f3(*pa))
+                .cell(f3(*nm))
+                .cell(f3(*na));
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -153,19 +153,26 @@ pub struct Figure6 {
 }
 
 /// Compute Figure 6.
-pub fn figure6(obs: &Observations) -> Figure6 {
-    let partners = sync_analysis(obs).amazon_partners;
+pub fn figure6(ix: &AnalysisIndex) -> Figure6 {
     let personas = Persona::echo_personas();
-    let slots = common_slots(obs, &personas, obs.post_window());
+    let window = ix.obs.post_window();
+    let slots = ix.common_slots(&personas, &window);
     let mut series = Vec::new();
     for &p in &personas {
-        let bids: Vec<f64> = obs
-            .visits_in(p, obs.post_window())
-            .iter()
-            .flat_map(|v| v.bids.iter())
-            .filter(|b| slots.contains(&b.slot_id) && partners.contains(&b.bidder))
-            .map(|b| b.cpm)
-            .collect();
+        let bids: Vec<f64> = ix
+            .bids_of(p)
+            .map(|pb| {
+                pb.bids
+                    .iter()
+                    .filter(|b| {
+                        window.contains(&(b.iteration as usize))
+                            && slots[b.slot as usize]
+                            && b.partner
+                    })
+                    .map(|b| b.cpm)
+                    .collect()
+            })
+            .unwrap_or_default();
         if let Some(s) = five_number_summary(&bids) {
             series.push((p.name(), s));
         }
@@ -174,24 +181,30 @@ pub fn figure6(obs: &Observations) -> Figure6 {
 }
 
 impl Figure6 {
-    /// Render the figure series.
-    pub fn render(&self) -> String {
+    /// Stream the figure series into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Figure 6: Partner bid values across personas on common ad slots",
             &["Persona", "Min", "Q1", "Median", "Q3", "Max", "Mean"],
         );
         for (p, s) in &self.series {
-            t.row(vec![
-                p.clone(),
-                f3(s.min),
-                f3(s.q1),
-                f3(s.median),
-                f3(s.q3),
-                f3(s.max),
-                f3(s.mean),
-            ]);
+            t.row()
+                .cell(p)
+                .cell(f3(s.min))
+                .cell(f3(s.q1))
+                .cell(f3(s.median))
+                .cell(f3(s.q3))
+                .cell(f3(s.max))
+                .cell(f3(s.mean));
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render the figure series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -203,8 +216,8 @@ pub fn partners_per_persona(obs: &Observations) -> BTreeMap<String, usize> {
         let partners: BTreeSet<&str> = visits
             .iter()
             .flat_map(|v| v.syncs.iter())
-            .filter(|s| s.to_org == AMAZON_AD_ENDPOINT)
-            .map(|s| s.from_org.as_str())
+            .filter(|s| &*s.to_org == AMAZON_AD_ENDPOINT)
+            .map(|s| &*s.from_org)
             .collect();
         out.insert(persona.clone(), partners.len());
     }
@@ -214,23 +227,23 @@ pub fn partners_per_persona(obs: &Observations) -> BTreeMap<String, usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::{ix, obs};
 
     #[test]
     fn recovers_41_partners() {
-        let sa = sync_analysis(obs());
+        let sa = sync_analysis(ix());
         assert_eq!(sa.amazon_partners.len(), 41);
     }
 
     #[test]
     fn amazon_never_syncs_out() {
-        let sa = sync_analysis(obs());
+        let sa = sync_analysis(ix());
         assert!(!sa.amazon_syncs_out);
     }
 
     #[test]
     fn downstream_propagation_recovered() {
-        let sa = sync_analysis(obs());
+        let sa = sync_analysis(ix());
         // 247 planted; the small test run sees most of them.
         assert!(
             sa.downstream_parties.len() > 200,
@@ -241,8 +254,30 @@ mod tests {
     }
 
     #[test]
+    fn partner_flags_match_naive_lookup() {
+        // Every dense bid row's pre-resolved partner flag must agree with a
+        // naive partner-set lookup over the raw crawl.
+        let i = ix();
+        let o = obs();
+        for (persona, visits) in &o.crawl {
+            let pb = i
+                .persona_bids
+                .iter()
+                .find(|pb| i.str_of(pb.persona) == persona)
+                .unwrap();
+            let naive: Vec<bool> = visits
+                .iter()
+                .flat_map(|v| v.bids.iter())
+                .map(|b| i.sync.amazon_partners.contains(&*b.bidder))
+                .collect();
+            let dense: Vec<bool> = pb.bids.iter().map(|b| b.partner).collect();
+            assert_eq!(naive, dense, "{persona}");
+        }
+    }
+
+    #[test]
     fn partners_bid_higher_on_interest_personas() {
-        let t10 = table10(obs());
+        let t10 = table10(ix());
         let mut wins = 0;
         for cat in alexa_platform::SkillCategory::ALL {
             if let Some((pm, _, nm, _)) = t10.get(cat.label()) {
@@ -268,8 +303,8 @@ mod tests {
 
     #[test]
     fn renders() {
-        assert!(sync_analysis(obs()).render().contains("sync"));
-        assert!(table10(obs()).render().contains("Partner median"));
-        assert!(!figure6(obs()).series.is_empty());
+        assert!(sync_analysis(ix()).render().contains("sync"));
+        assert!(table10(ix()).render().contains("Partner median"));
+        assert!(!figure6(ix()).series.is_empty());
     }
 }

@@ -14,13 +14,19 @@
 //! * **§7.2.3 validation**: micro/macro P/R/F1 of PoliCheck against the
 //!   planted ground truth (the only analysis that touches ground truth,
 //!   mirroring the paper's manual labeling).
+//!
+//! Both extraction passes (data types from the AVS captures, endpoint
+//! organizations from the router captures) are shared through the
+//! [`AnalysisIndex`] — the legacy implementation cloned every router
+//! capture of every persona per artifact to feed the extractor.
 
-use crate::observations::Observations;
+use crate::index::AnalysisIndex;
 use crate::table::TextTable;
 use alexa_net::DataType;
-use alexa_policy::{DisclosureClass, EntityOntology, FlowExtractor, PoliCheck, PolicyDoc};
+use alexa_policy::{DisclosureClass, EntityOntology, PoliCheck};
 use alexa_stats::PrfScores;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 /// §7.1 policy-availability statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,9 +44,10 @@ pub struct PolicyStats {
 }
 
 /// Compute §7.1's availability statistics.
-pub fn policy_stats(obs: &Observations) -> PolicyStats {
+pub fn policy_stats(ix: &AnalysisIndex) -> PolicyStats {
+    let obs = ix.obs;
     let with_link = obs.catalog.iter().filter(|m| m.policy_link).count();
-    let docs: Vec<&PolicyDoc> = obs.policies.values().flatten().collect();
+    let docs: Vec<&alexa_policy::PolicyDoc> = obs.policies.values().flatten().collect();
     PolicyStats {
         with_link,
         retrievable: docs.len(),
@@ -51,17 +58,26 @@ pub fn policy_stats(obs: &Observations) -> PolicyStats {
 }
 
 impl PolicyStats {
-    /// Render the §7.1 summary.
-    pub fn render(&self) -> String {
-        format!(
+    /// Stream the §7.1 summary into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
+        let _ = writeln!(
+            out,
             "Policy availability (§7.1): {} of {} skills link a policy; {} retrievable; \
-             {} mention Amazon/Alexa; {} link Amazon's policy.\n",
+             {} mention Amazon/Alexa; {} link Amazon's policy.",
             self.with_link,
             self.total,
             self.retrievable,
             self.mention_platform,
             self.link_platform_policy,
-        )
+        );
+        1
+    }
+
+    /// Render the §7.1 summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -75,21 +91,20 @@ pub struct Table13 {
     pub incorrect: BTreeMap<DataType, usize>,
 }
 
-/// Compute Table 13 from the AVS plaintext captures.
+/// Compute Table 13 from the index's AVS data-type map.
 ///
 /// `include_platform_policy` reruns the analysis with Amazon's policy
 /// consulted (§7.2.2).
-pub fn table13(obs: &Observations, include_platform_policy: bool) -> Table13 {
+pub fn table13(ix: &AnalysisIndex, include_platform_policy: bool) -> Table13 {
     let checker = if include_platform_policy {
         PoliCheck::with_platform_policy()
     } else {
         PoliCheck::new()
     };
-    let types_per_skill = FlowExtractor::new().data_types(&obs.avs_captures);
     let mut rows: BTreeMap<DataType, (usize, usize, usize, usize)> = BTreeMap::new();
     let mut incorrect: BTreeMap<DataType, usize> = BTreeMap::new();
-    for (skill_id, types) in &types_per_skill {
-        let doc = obs.policies.get(skill_id).and_then(Option::as_ref);
+    for (skill_id, types) in &ix.types_per_skill {
+        let doc = ix.obs.policies.get(skill_id).and_then(Option::as_ref);
         for &dt in types {
             if dt == DataType::DeviceMetric {
                 continue; // platform telemetry; Table 13 tracks skill data
@@ -119,24 +134,23 @@ pub fn table13(obs: &Observations, include_platform_policy: bool) -> Table13 {
 /// Not part of the paper's tables, but exactly what the original PoliCheck's
 /// "incorrect" class exists for — the strongest form of policy
 /// inconsistency the audit can demonstrate.
-pub fn incorrect_flows(obs: &Observations) -> Vec<(String, DataType)> {
+pub fn incorrect_flows(ix: &AnalysisIndex) -> Vec<(String, DataType)> {
     let checker = PoliCheck::new();
-    let types_per_skill = FlowExtractor::new().data_types(&obs.avs_captures);
-    let mut out = Vec::new();
-    for (skill_id, types) in &types_per_skill {
-        let doc = obs.policies.get(skill_id).and_then(Option::as_ref);
+    let mut out: Vec<(&str, DataType)> = Vec::new();
+    for (skill_id, types) in &ix.types_per_skill {
+        let doc = ix.obs.policies.get(skill_id).and_then(Option::as_ref);
         for &dt in types {
             if checker.classify_data_type(doc, dt) == DisclosureClass::Incorrect {
-                let name = obs
+                let name = ix
                     .skill_meta(skill_id)
-                    .map(|m| m.name.clone())
-                    .unwrap_or_else(|| skill_id.clone());
+                    .map(|m| m.name.as_str())
+                    .unwrap_or(skill_id);
                 out.push((name, dt));
             }
         }
     }
     out.sort();
-    out
+    out.into_iter().map(|(n, dt)| (n.to_string(), dt)).collect()
 }
 
 impl Table13 {
@@ -153,8 +167,8 @@ impl Table13 {
             .all(|&(_, _, omitted, nopol)| omitted == 0 && nopol == 0)
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 13: Data type disclosure analysis (skills per class)",
             &["Category", "Data type", "Clr.", "Vag.", "Omi.", "No Pol."],
@@ -167,16 +181,22 @@ impl Table13 {
             if c + v + o + n == 0 {
                 continue;
             }
-            t.row(vec![
-                dt.category().to_string(),
-                dt.label().to_string(),
-                c.to_string(),
-                v.to_string(),
-                o.to_string(),
-                n.to_string(),
-            ]);
+            t.row()
+                .cell(dt.category())
+                .cell(dt.label())
+                .cell(c)
+                .cell(v)
+                .cell(o)
+                .cell(n);
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -188,40 +208,49 @@ pub struct Table14 {
     pub rows: BTreeMap<String, (Vec<String>, BTreeMap<String, DisclosureClass>)>,
 }
 
-/// Compute Table 14 from the router (encrypted) captures of all personas.
-pub fn table14(obs: &Observations) -> Table14 {
+/// Compute Table 14 from the index's flow table (one merged pass over the
+/// router captures of all personas).
+pub fn table14(ix: &AnalysisIndex) -> Table14 {
     let checker = PoliCheck::new();
     let ontology = EntityOntology::new();
-    let extractor = FlowExtractor::new();
-    let mut rows: BTreeMap<String, (Vec<String>, BTreeMap<String, DisclosureClass>)> =
-        BTreeMap::new();
 
-    let all_captures: Vec<alexa_net::Capture> = obs
-        .router_captures
-        .values()
-        .flat_map(|caps| caps.iter().cloned())
-        .collect();
-    let orgs_per_skill = extractor.endpoint_orgs(&all_captures, &obs.orgs);
-
-    for (skill_id, orgs) in &orgs_per_skill {
-        let doc = obs.policies.get(skill_id).and_then(Option::as_ref);
-        let name = obs
-            .skill_meta(skill_id)
-            .map(|m| m.name.clone())
-            .unwrap_or_else(|| skill_id.clone());
-        for org in orgs {
-            let class = checker.classify_endpoint(doc, org);
-            let entry = rows.entry(org.clone()).or_insert_with(|| {
-                let cats = ontology
-                    .categories_of(org)
-                    .into_iter()
-                    .map(|c| c.label().to_string())
-                    .collect();
-                (cats, BTreeMap::new())
-            });
-            entry.1.insert(name.clone(), class);
+    // Per skill, the set of contacted endpoint organizations (the paper's
+    // WHOIS fallback is pre-resolved in `HostInfo::org_or_reg`).
+    let mut orgs_per_skill: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in &ix.flows {
+        let entry = orgs_per_skill.entry(ix.str_of(f.skill)).or_default();
+        for hc in ix.hosts_of(f) {
+            entry.insert(ix.str_of(ix.hosts[hc.host as usize].org_or_reg));
         }
     }
+
+    let mut per_org: BTreeMap<&str, BTreeMap<&str, DisclosureClass>> = BTreeMap::new();
+    for (skill_id, orgs) in &orgs_per_skill {
+        let doc = ix.obs.policies.get(*skill_id).and_then(Option::as_ref);
+        let name = ix
+            .skill_meta(skill_id)
+            .map(|m| m.name.as_str())
+            .unwrap_or(skill_id);
+        for org in orgs {
+            let class = checker.classify_endpoint(doc, org);
+            per_org.entry(org).or_default().insert(name, class);
+        }
+    }
+    let rows = per_org
+        .into_iter()
+        .map(|(org, per_skill)| {
+            let cats = ontology
+                .categories_of(org)
+                .into_iter()
+                .map(|c| c.label().to_string())
+                .collect();
+            let per_skill = per_skill
+                .into_iter()
+                .map(|(name, class)| (name.to_string(), class))
+                .collect();
+            (org.to_string(), (cats, per_skill))
+        })
+        .collect();
     Table14 { rows }
 }
 
@@ -245,8 +274,9 @@ impl Table14 {
             .copied()
     }
 
-    /// Render in the paper's layout (counts per class instead of colors).
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out` (counts per class instead of
+    /// colors); returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 14: Endpoint organizations observed in Amazon Echo traffic",
             &[
@@ -259,23 +289,40 @@ impl Table14 {
             ],
         );
         for (org, (cats, per_skill)) in &self.rows {
-            let count = |class: DisclosureClass| {
-                per_skill
-                    .values()
-                    .filter(|&&c| c == class)
-                    .count()
-                    .to_string()
-            };
-            t.row(vec![
-                org.clone(),
-                cats.join(", "),
-                count(DisclosureClass::Clear),
-                count(DisclosureClass::Vague),
-                count(DisclosureClass::Omitted),
-                count(DisclosureClass::NoPolicy),
-            ]);
+            let count =
+                |class: DisclosureClass| per_skill.values().filter(|&&c| c == class).count();
+            t.row()
+                .cell(org)
+                .cell(Joined(cats))
+                .cell(count(DisclosureClass::Clear))
+                .cell(count(DisclosureClass::Vague))
+                .cell(count(DisclosureClass::Omitted))
+                .cell(count(DisclosureClass::NoPolicy));
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+/// Display adapter for a ", "-joined category list (avoids a `join`
+/// allocation per rendered row).
+struct Joined<'a>(&'a [String]);
+
+impl std::fmt::Display for Joined<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(s)?;
+        }
+        Ok(())
     }
 }
 
@@ -293,8 +340,8 @@ pub struct Validation {
 /// Validate PoliCheck against planted ground truth on a 100-skill sample,
 /// mirroring the paper's manual validation. This (and only this) analysis
 /// regenerates the marketplace from the run's seed to obtain labels.
-pub fn validation(obs: &Observations) -> Validation {
-    let market = alexa_platform::Marketplace::generate(obs.seed);
+pub fn validation(ix: &AnalysisIndex) -> Validation {
+    let market = alexa_platform::Marketplace::generate(ix.obs.seed);
     let sample: Vec<&alexa_platform::Skill> = market
         .all()
         .iter()
@@ -310,11 +357,12 @@ pub fn validation(obs: &Observations) -> Validation {
 }
 
 impl Validation {
-    /// Render the validation summary.
-    pub fn render(&self) -> String {
-        format!(
+    /// Stream the validation summary into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
+        let _ = writeln!(
+            out,
             "PoliCheck validation (§7.2.3, {} labeled flows): micro P/R/F1 = \
-             {:.2}% / {:.2}% / {:.2}%; macro P/R/F1 = {:.2}% / {:.2}% / {:.2}%.\n",
+             {:.2}% / {:.2}% / {:.2}%; macro P/R/F1 = {:.2}% / {:.2}% / {:.2}%.",
             self.flows,
             100.0 * self.micro.precision,
             100.0 * self.micro.recall,
@@ -322,18 +370,27 @@ impl Validation {
             100.0 * self.macro_avg.precision,
             100.0 * self.macro_avg.recall,
             100.0 * self.macro_avg.f1,
-        )
+        );
+        1
+    }
+
+    /// Render the validation summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::{ix, obs};
+    use alexa_policy::FlowExtractor;
 
     #[test]
     fn stats_shape_matches_paper_proportions() {
-        let s = policy_stats(obs());
+        let s = policy_stats(ix());
         assert_eq!(s.total, 450);
         assert_eq!(s.with_link, 214);
         assert_eq!(s.retrievable, 188);
@@ -342,8 +399,44 @@ mod tests {
     }
 
     #[test]
+    fn index_data_types_match_naive_extraction() {
+        assert_eq!(
+            ix().types_per_skill,
+            FlowExtractor::new().data_types(&obs().avs_captures)
+        );
+    }
+
+    #[test]
+    fn index_endpoint_orgs_match_naive_extraction() {
+        // Table 14's org-per-skill view from the flow table must agree with
+        // the extractor run over a flattened clone of every router capture
+        // (the legacy input), modulo skills with no traffic at all.
+        let i = ix();
+        let o = obs();
+        let all: Vec<alexa_net::Capture> = o
+            .router_captures
+            .values()
+            .flat_map(|caps| caps.iter().cloned())
+            .collect();
+        let naive = FlowExtractor::new().endpoint_orgs(&all, &o.orgs);
+        let mut from_index: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for f in &i.flows {
+            let entry = from_index.entry(i.str_of(f.skill)).or_default();
+            for hc in i.hosts_of(f) {
+                entry.insert(i.str_of(i.hosts[hc.host as usize].org_or_reg));
+            }
+        }
+        for (skill, orgs) in &naive {
+            let got: BTreeSet<&str> = from_index.remove(skill.as_str()).unwrap_or_default();
+            let want: BTreeSet<&str> = orgs.iter().map(String::as_str).collect();
+            assert_eq!(got, want, "{skill}");
+        }
+        assert!(from_index.is_empty(), "extra skills: {from_index:?}");
+    }
+
+    #[test]
     fn table13_voice_recordings_everywhere() {
-        let t13 = table13(obs(), false);
+        let t13 = table13(ix(), false);
         let (c, v, o, n) = t13.get(DataType::VoiceRecording);
         // Every audited AVS skill sends voice; most disclose nothing.
         assert!(c + v + o + n > 0);
@@ -352,13 +445,13 @@ mod tests {
 
     #[test]
     fn platform_policy_makes_everything_disclosed() {
-        let t13 = table13(obs(), true);
+        let t13 = table13(ix(), true);
         assert!(t13.all_disclosed(), "{:?}", t13.rows);
     }
 
     #[test]
     fn table14_amazon_contacted_by_everyone() {
-        let t14 = table14(obs());
+        let t14 = table14(ix());
         let amazon = t14.rows.get(alexa_net::orgmap::AMAZON).expect("amazon row");
         assert!(amazon.0.contains(&"platform provider".to_string()));
         assert!(!amazon.1.is_empty());
@@ -366,7 +459,7 @@ mod tests {
 
     #[test]
     fn garmin_clearly_discloses_itself() {
-        let t14 = table14(obs());
+        let t14 = table14(ix());
         assert_eq!(
             t14.class_of("Garmin International", "Garmin"),
             Some(DisclosureClass::Clear)
@@ -375,7 +468,7 @@ mod tests {
 
     #[test]
     fn validation_in_paper_regime() {
-        let v = validation(obs());
+        let v = validation(ix());
         assert!(
             v.micro.f1 > 0.8 && v.micro.f1 < 1.0,
             "micro F1 {}",
@@ -389,7 +482,7 @@ mod tests {
         // The marketplace plants up to six policies that deny collecting
         // voice recordings while the traffic shows them. The audit must
         // recover them from observables alone.
-        let flows = incorrect_flows(obs());
+        let flows = incorrect_flows(ix());
         assert!(!flows.is_empty(), "no incorrect flows recovered");
         for (skill, dt) in &flows {
             assert_eq!(
@@ -399,16 +492,16 @@ mod tests {
             );
         }
         // Consistency with Table 13's separate incorrect tally.
-        let t13 = table13(obs(), false);
+        let t13 = table13(ix(), false);
         let tallied: usize = t13.incorrect.values().sum();
         assert_eq!(tallied, flows.len());
     }
 
     #[test]
     fn renders() {
-        assert!(policy_stats(obs()).render().contains("retrievable"));
-        assert!(table13(obs(), false).render().contains("voice recording"));
-        assert!(table14(obs()).render().contains("Endpoint Organization"));
-        assert!(validation(obs()).render().contains("micro"));
+        assert!(policy_stats(ix()).render().contains("retrievable"));
+        assert!(table13(ix(), false).render().contains("voice recording"));
+        assert!(table14(ix()).render().contains("Endpoint Organization"));
+        assert!(validation(ix()).render().contains("micro"));
     }
 }

@@ -7,10 +7,11 @@
 //! post-interaction request, several personas' advertising-interest files
 //! are simply **absent** from the export.
 
-use crate::observations::Observations;
+use crate::index::AnalysisIndex;
 use crate::persona::Persona;
 use crate::table::TextTable;
 use alexa_platform::DsarPhase;
+use std::fmt::Write as _;
 
 /// One Table 12 row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +43,8 @@ fn phase_label(phase: DsarPhase) -> &'static str {
 }
 
 /// Compute Table 12 from the DSAR exports.
-pub fn table12(obs: &Observations) -> Table12 {
+pub fn table12(ix: &AnalysisIndex) -> Table12 {
+    let obs = ix.obs;
     let mut rows = Vec::new();
     let mut missing = Vec::new();
     for phase in [
@@ -85,40 +87,64 @@ impl Table12 {
             .collect()
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 12: Advertising interests inferred by Amazon",
             &["Config.", "Persona", "Amazon inferred interests"],
         );
         for r in &self.rows {
-            t.row(vec![
-                phase_label(r.phase).to_string(),
-                r.persona.clone(),
-                r.interests.join("; "),
-            ]);
+            t.row()
+                .cell(phase_label(r.phase))
+                .cell(&r.persona)
+                .cell(Joined(&r.interests));
         }
-        let mut out = t.render();
-        out.push_str(&format!(
-            "\nAdvertising-interest files ABSENT on second post-interaction request: {}\n",
-            if self.missing_files.is_empty() {
-                "none".to_string()
-            } else {
-                self.missing_files.join(", ")
-            }
-        ));
+        let work = t.render_into(out);
+        let missing = if self.missing_files.is_empty() {
+            "none".to_string()
+        } else {
+            self.missing_files.join(", ")
+        };
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Advertising-interest files ABSENT on second post-interaction request: {missing}"
+        );
+        work + 1
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
+    }
+}
+
+/// Display adapter for a "; "-joined label list (avoids a `join` allocation
+/// per rendered row).
+struct Joined<'a>(&'a [String]);
+
+impl std::fmt::Display for Joined<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            f.write_str(s)?;
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::ix;
 
     #[test]
     fn install_phase_infers_only_health() {
-        let t12 = table12(obs());
+        let t12 = table12(ix());
         let install_rows: Vec<&InterestRow> = t12
             .rows
             .iter()
@@ -134,7 +160,7 @@ mod tests {
 
     #[test]
     fn interaction_unlocks_fashion_and_smarthome() {
-        let t12 = table12(obs());
+        let t12 = table12(ix());
         assert_eq!(
             t12.interests(DsarPhase::AfterInteraction1, "Fashion & Style"),
             vec!["Beauty & Personal Care", "Fashion", "Video Entertainment"]
@@ -151,7 +177,7 @@ mod tests {
 
     #[test]
     fn five_personas_lose_their_interest_files() {
-        let t12 = table12(obs());
+        let t12 = table12(ix());
         let mut expected = vec![
             "Dating",
             "Health & Fitness",
@@ -167,7 +193,7 @@ mod tests {
 
     #[test]
     fn renders() {
-        let out = table12(obs()).render();
+        let out = table12(ix()).render();
         assert!(out.contains("Installation"));
         assert!(out.contains("ABSENT"));
     }

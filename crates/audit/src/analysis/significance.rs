@@ -11,13 +11,14 @@
 //! natural variance against which the targeting uplift is tested.
 
 use crate::analysis::bids::{common_slots, slot_means};
-use crate::observations::Observations;
+use crate::index::AnalysisIndex;
 use crate::persona::Persona;
-use crate::table::TextTable;
+use crate::table::{f3, TextTable};
 use alexa_platform::SkillCategory;
 use alexa_stats::{
     benjamini_hochberg, holm_bonferroni, mann_whitney_u, Alternative, EffectMagnitude, MwuMethod,
 };
+use std::fmt::Write as _;
 
 /// Minimum per-group sample size below which a significance test refuses to
 /// run. Under heavy injected faults the common-slot sample can collapse; a
@@ -46,14 +47,15 @@ pub struct Table7 {
 }
 
 /// Compute Table 7.
-pub fn table7(obs: &Observations) -> Table7 {
+pub fn table7(ix: &AnalysisIndex) -> Table7 {
     let personas = Persona::echo_personas();
-    let slots = common_slots(obs, &personas, obs.post_window());
-    let vanilla = slot_means(obs, Persona::Vanilla, obs.post_window(), &slots);
+    let window = ix.obs.post_window();
+    let slots = common_slots(ix, &personas, window.clone());
+    let vanilla = slot_means(ix, Persona::Vanilla, window.clone(), &slots);
     let mut rows = Vec::new();
     let mut skipped = Vec::new();
     for &cat in SkillCategory::ALL.iter() {
-        let treated = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+        let treated = slot_means(ix, Persona::Interest(cat), window.clone(), &slots);
         let n = treated.len().min(vanilla.len());
         if n < MIN_SAMPLES {
             skipped.push((cat.label().to_string(), n));
@@ -119,26 +121,30 @@ impl Table7 {
             .collect()
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 7: Statistical significance between vanilla (control) and interest personas",
             &["Persona", "p-value", "Effect size", "Magnitude"],
         );
         for (p, pv, es, mag) in &self.rows {
-            t.row(vec![
-                p.clone(),
-                format!("{pv:.3}"),
-                format!("{es:.3}"),
-                mag.to_string(),
-            ]);
+            t.row().cell(p).cell(f3(*pv)).cell(f3(*es)).cell(mag);
         }
-        let mut out = t.render();
+        let mut work = t.render_into(out);
         for (persona, n) in &self.skipped {
-            out.push_str(&format!(
-                "  {persona}: test refused — insufficient samples (n={n} < {MIN_SAMPLES})\n"
-            ));
+            let _ = writeln!(
+                out,
+                "  {persona}: test refused — insufficient samples (n={n} < {MIN_SAMPLES})"
+            );
+            work += 1;
         }
+        work
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -156,18 +162,19 @@ pub struct Table11 {
 }
 
 /// Compute Table 11.
-pub fn table11(obs: &Observations) -> Table11 {
+pub fn table11(ix: &AnalysisIndex) -> Table11 {
     let everyone = Persona::all();
-    let slots = common_slots(obs, &everyone, obs.post_window());
+    let window = ix.obs.post_window();
+    let slots = common_slots(ix, &everyone, window.clone());
     let web: Vec<Vec<f64>> = Persona::web_personas()
         .iter()
-        .map(|&p| slot_means(obs, p, obs.post_window(), &slots))
+        .map(|&p| slot_means(ix, p, window.clone(), &slots))
         .collect();
     let web_min = web.iter().map(Vec::len).min().unwrap_or(0);
     let mut rows = Vec::new();
     let mut skipped = Vec::new();
     for &cat in SkillCategory::ALL.iter() {
-        let echo = slot_means(obs, Persona::Interest(cat), obs.post_window(), &slots);
+        let echo = slot_means(ix, Persona::Interest(cat), window.clone(), &slots);
         let n = echo.len().min(web_min);
         if n < MIN_SAMPLES {
             skipped.push((cat.label().to_string(), n));
@@ -218,26 +225,30 @@ impl Table11 {
         adjusted.iter().filter(|p| **p < self.alpha).count()
     }
 
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 11: Echo interest vs web interest personas (two-sided Mann-Whitney U)",
             &["Persona", "Health", "Science", "Computers"],
         );
         for (p, h, s, c) in &self.rows {
-            t.row(vec![
-                p.clone(),
-                format!("{h:.3}"),
-                format!("{s:.3}"),
-                format!("{c:.3}"),
-            ]);
+            t.row().cell(p).cell(f3(*h)).cell(f3(*s)).cell(f3(*c));
         }
-        let mut out = t.render();
+        let mut work = t.render_into(out);
         for (persona, n) in &self.skipped {
-            out.push_str(&format!(
-                "  {persona}: tests refused — insufficient samples (n={n} < {MIN_SAMPLES})\n"
-            ));
+            let _ = writeln!(
+                out,
+                "  {persona}: tests refused — insufficient samples (n={n} < {MIN_SAMPLES})"
+            );
+            work += 1;
         }
+        work
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -245,11 +256,12 @@ impl Table11 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::ix;
+    use crate::observations::Observations;
 
     #[test]
     fn table7_has_nine_rows_with_valid_stats() {
-        let t7 = table7(obs());
+        let t7 = table7(ix());
         assert_eq!(t7.rows.len(), 9);
         for (p, pv, es, _) in &t7.rows {
             assert!((0.0..=1.0).contains(pv), "{p}: p {pv}");
@@ -261,21 +273,21 @@ mod tests {
     fn strong_categories_are_significant() {
         // Even at the reduced test scale, the strongest uplift categories
         // must separate from vanilla.
-        let t7 = table7(obs());
+        let t7 = table7(ix());
         let sig = t7.significant();
         assert!(sig.contains(&"Pets & Animals"), "significant: {sig:?}");
     }
 
     #[test]
     fn effect_sizes_positive_for_interest_personas() {
-        let t7 = table7(obs());
+        let t7 = table7(ix());
         let positive = t7.rows.iter().filter(|r| r.2 > 0.0).count();
         assert!(positive >= 8, "{positive}/9 positive effects");
     }
 
     #[test]
     fn echo_vs_web_mostly_indistinguishable() {
-        let t11 = table11(obs());
+        let t11 = table11(ix());
         assert_eq!(t11.rows.len(), 9);
         // The paper finds 1 of 27 pairs significant; allow a small count.
         assert!(
@@ -287,7 +299,7 @@ mod tests {
 
     #[test]
     fn corrections_only_shrink_the_significant_set() {
-        let t7 = table7(obs());
+        let t7 = table7(ix());
         let raw = t7.significant().len();
         let holm = t7.significant_corrected(Correction::HolmBonferroni).len();
         let bh = t7
@@ -296,7 +308,7 @@ mod tests {
         assert!(holm <= bh, "holm {holm} > bh {bh}");
         assert!(bh <= raw, "bh {bh} > raw {raw}");
 
-        let t11 = table11(obs());
+        let t11 = table11(ix());
         assert!(
             t11.significant_pairs_corrected(Correction::HolmBonferroni) <= t11.significant_pairs()
         );
@@ -305,7 +317,7 @@ mod tests {
     #[test]
     fn strong_findings_survive_correction() {
         // The core Table 7 result must not be a multiple-testing artifact.
-        let t7 = table7(obs());
+        let t7 = table7(ix());
         let surviving = t7.significant_corrected(Correction::HolmBonferroni);
         assert!(
             surviving.contains(&"Pets & Animals"),
@@ -315,8 +327,8 @@ mod tests {
 
     #[test]
     fn renders() {
-        assert!(table7(obs()).render().contains("p-value"));
-        assert!(table11(obs()).render().contains("Computers"));
+        assert!(table7(ix()).render().contains("p-value"));
+        assert!(table11(ix()).render().contains("Computers"));
     }
 
     #[test]
@@ -324,12 +336,13 @@ mod tests {
         // An empty observation set has no common slots at all; every test
         // must refuse (and say so) instead of running on noise or panicking.
         let empty = Observations::default();
-        let t7 = table7(&empty);
+        let empty_ix = AnalysisIndex::build(&empty);
+        let t7 = table7(&empty_ix);
         assert!(t7.rows.is_empty());
         assert_eq!(t7.skipped.len(), 9);
         assert!(t7.significant().is_empty());
         assert!(t7.render().contains("insufficient samples"));
-        let t11 = table11(&empty);
+        let t11 = table11(&empty_ix);
         assert!(t11.rows.is_empty());
         assert_eq!(t11.significant_pairs(), 0);
         assert!(t11.render().contains("insufficient samples"));

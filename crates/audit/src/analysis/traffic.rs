@@ -8,12 +8,16 @@
 //!
 //! Everything is computed from the **encrypted router captures** plus the
 //! auditor's public databases (org map, filter lists) — exactly the paper's
-//! §4 inputs.
+//! §4 inputs. The tables read the shared [`AnalysisIndex`]: endpoint
+//! classification and per-skill packet merging happen once per run, not
+//! once per artifact.
 
+use crate::index::{AnalysisIndex, Sym};
 use crate::observations::Observations;
 use crate::table::{pct, TextTable};
-use alexa_net::{Domain, FilterList, OrgClass, TrafficPurpose};
+use alexa_net::{Domain, OrgClass, TrafficPurpose};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 /// Per-skill traffic view derived from captures.
 #[derive(Debug, Clone)]
@@ -29,6 +33,10 @@ pub struct SkillTraffic {
 }
 
 /// Flatten router captures into per-skill traffic records.
+///
+/// This is the naive single-artifact scan the [`AnalysisIndex`] replaces;
+/// it stays as the reference implementation the index-equivalence tests
+/// compare against.
 pub fn skill_traffic(obs: &Observations) -> Vec<SkillTraffic> {
     let mut out = Vec::new();
     for (persona, captures) in &obs.router_captures {
@@ -53,11 +61,6 @@ pub fn skill_traffic(obs: &Observations) -> Vec<SkillTraffic> {
         out.extend(merged.into_values().filter(|t| t.packets > 0));
     }
     out
-}
-
-/// Classify an endpoint relative to a skill's vendor.
-fn classify(obs: &Observations, domain: &Domain, vendor: &str) -> OrgClass {
-    obs.orgs.classify(domain, vendor)
 }
 
 /// One Table 1 row: a domain group and how many skills contacted it.
@@ -90,62 +93,40 @@ pub struct Table1 {
     pub skills_total: usize,
 }
 
+/// Per (class, registrable, A&T) group: the skills contacting the group and
+/// the distinct hosts forming it.
+type EndpointGroups<'a> = BTreeMap<(OrgClass, &'a str, bool), (BTreeSet<Sym>, BTreeSet<u32>)>;
+
 /// Compute Table 1.
-pub fn table1(obs: &Observations) -> Table1 {
-    let fl = FilterList::new();
-    let traffic = skill_traffic(obs);
+pub fn table1(ix: &AnalysisIndex) -> Table1 {
+    let mut groups: EndpointGroups = BTreeMap::new();
+    let mut amazon_skills: BTreeSet<Sym> = BTreeSet::new();
+    let mut vendor_skills: BTreeSet<Sym> = BTreeSet::new();
+    let mut third_skills: BTreeSet<Sym> = BTreeSet::new();
 
-    // Per (class, group display) → set of skills.
-    let mut groups: BTreeMap<(OrgClass, String, bool), BTreeSet<String>> = BTreeMap::new();
-    // Track subdomain multiplicity per (class, registrable).
-    let mut subdomains: BTreeMap<(OrgClass, String, bool), BTreeSet<String>> = BTreeMap::new();
-
-    let mut amazon_skills = BTreeSet::new();
-    let mut vendor_skills = BTreeSet::new();
-    let mut third_skills = BTreeSet::new();
-    let mut seen_skills = BTreeSet::new();
-
-    for t in &traffic {
-        seen_skills.insert(t.skill_id.clone());
-        let vendor = obs
-            .skill_meta(&t.skill_id)
-            .map(|m| m.vendor.clone())
-            .unwrap_or_default();
-        for d in &t.endpoints {
-            let class = classify(obs, d, &vendor);
+    for f in &ix.flows {
+        for hc in ix.hosts_of(f) {
+            let h = &ix.hosts[hc.host as usize];
+            let class = ix.org_class(h, f.vendor);
             match class {
-                OrgClass::Amazon => {
-                    amazon_skills.insert(t.skill_id.clone());
-                }
-                OrgClass::SkillVendor => {
-                    vendor_skills.insert(t.skill_id.clone());
-                }
-                OrgClass::ThirdParty => {
-                    third_skills.insert(t.skill_id.clone());
-                }
-            }
-            let reg = d
-                .registrable()
-                .map(|r| r.as_str().to_string())
-                .unwrap_or_else(|| d.as_str().to_string());
-            let at = fl.is_ad_tracking(d);
-            let key = (class, reg, at);
-            subdomains
-                .entry(key.clone())
-                .or_default()
-                .insert(d.as_str().to_string());
-            groups.entry(key).or_default().insert(t.skill_id.clone());
+                OrgClass::Amazon => amazon_skills.insert(f.skill),
+                OrgClass::SkillVendor => vendor_skills.insert(f.skill),
+                OrgClass::ThirdParty => third_skills.insert(f.skill),
+            };
+            let entry = groups
+                .entry((class, ix.str_of(h.registrable), h.ad_tracking))
+                .or_default();
+            entry.0.insert(f.skill);
+            entry.1.insert(hc.host);
         }
     }
 
     let mut rows: Vec<Table1Row> = groups
         .into_iter()
-        .map(|((class, reg, at), skills)| {
-            let subs = subdomains.get(&(class, reg.clone(), at)).unwrap();
-            let display = if subs.len() == 1 {
-                subs.iter().next().unwrap().clone()
-            } else {
-                format!("*({}).{reg}", subs.len())
+        .map(|((class, reg, at), (skills, subs))| {
+            let display = match (subs.len(), subs.iter().next()) {
+                (1, Some(&only)) => ix.str_of(ix.hosts[only as usize].host).to_string(),
+                (n, _) => format!("*({n}).{reg}"),
             };
             Table1Row {
                 class,
@@ -158,8 +139,8 @@ pub fn table1(obs: &Observations) -> Table1 {
     rows.sort_by(|a, b| a.class.cmp(&b.class).then(b.skills.cmp(&a.skills)));
 
     // Failed skills: installed by a persona but produced no traffic.
-    let skills_failed: usize = obs.failed_installs.values().map(Vec::len).sum();
-    let audited: BTreeSet<&str> = obs.catalog.iter().map(|m| m.id.as_str()).collect();
+    let skills_failed: usize = ix.obs.failed_installs.values().map(Vec::len).sum();
+    let audited: BTreeSet<&str> = ix.obs.catalog.iter().map(|m| m.id.as_str()).collect();
 
     Table1 {
         rows,
@@ -172,33 +153,37 @@ pub fn table1(obs: &Observations) -> Table1 {
 }
 
 impl Table1 {
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 1: Amazon, skill vendor, and third-party domains contacted by skills",
             &["Org.", "Domains", "Skills", "A&T"],
         );
         for r in &self.rows {
-            t.row(vec![
-                r.class.to_string(),
-                r.display.clone(),
-                r.skills.to_string(),
-                if r.ad_tracking {
-                    "*".to_string()
-                } else {
-                    String::new()
-                },
-            ]);
+            t.row()
+                .cell(r.class)
+                .cell(&r.display)
+                .cell(r.skills)
+                .cell(if r.ad_tracking { "*" } else { "" });
         }
-        let mut out = t.render();
-        out.push_str(&format!(
-            "\nSkills contacting: Amazon {} | vendor {} | third party {} | failed {} (of {})\n",
+        let work = t.render_into(out);
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Skills contacting: Amazon {} | vendor {} | third party {} | failed {} (of {})",
             self.skills_amazon,
             self.skills_vendor,
             self.skills_third_party,
             self.skills_failed,
             self.skills_total,
-        ));
+        );
+        work + 1
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 }
@@ -213,22 +198,16 @@ pub struct Table2 {
 }
 
 /// Compute Table 2 from packet counts.
-pub fn table2(obs: &Observations) -> Table2 {
-    let fl = FilterList::new();
+pub fn table2(ix: &AnalysisIndex) -> Table2 {
     let mut counts: BTreeMap<(OrgClass, TrafficPurpose), usize> = BTreeMap::new();
     let mut total = 0usize;
-    for captures in obs.router_captures.values() {
-        for cap in captures {
-            let vendor = obs
-                .skill_meta(&cap.label)
-                .map(|m| m.vendor.clone())
-                .unwrap_or_default();
-            for p in &cap.packets {
-                let class = classify(obs, &p.remote, &vendor);
-                let purpose = fl.classify(&p.remote);
-                *counts.entry((class, purpose)).or_insert(0) += 1;
-                total += 1;
-            }
+    for f in &ix.flows {
+        for hc in ix.hosts_of(f) {
+            let h = &ix.hosts[hc.host as usize];
+            *counts
+                .entry((ix.org_class(h, f.vendor), ix.purpose(h)))
+                .or_insert(0) += hc.packets as usize;
+            total += hc.packets as usize;
         }
     }
     let share = |class, purpose| -> f64 {
@@ -260,8 +239,8 @@ pub fn table2(obs: &Observations) -> Table2 {
 }
 
 impl Table2 {
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 2: Distribution of advertising/tracking and functional traffic by organization",
             &[
@@ -272,20 +251,25 @@ impl Table2 {
             ],
         );
         for (class, func, at) in &self.rows {
-            t.row(vec![
-                class.to_string(),
-                pct(*func),
-                pct(*at),
-                pct(func + at),
-            ]);
+            t.row()
+                .cell(class)
+                .cell(pct(*func))
+                .cell(pct(*at))
+                .cell(pct(func + at));
         }
-        t.row(vec![
-            "Total".to_string(),
-            pct(1.0 - self.total_ad_tracking),
-            pct(self.total_ad_tracking),
-            pct(1.0),
-        ]);
-        t.render()
+        t.row()
+            .cell("Total")
+            .cell(pct(1.0 - self.total_ad_tracking))
+            .cell(pct(self.total_ad_tracking))
+            .cell(pct(1.0));
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -298,45 +282,55 @@ pub struct Table3 {
 }
 
 /// Compute Table 3.
-pub fn table3(obs: &Observations) -> Table3 {
-    let fl = FilterList::new();
-    let mut per_persona: BTreeMap<String, (BTreeSet<String>, BTreeSet<String>)> = BTreeMap::new();
-    for t in skill_traffic(obs) {
-        let vendor = obs
-            .skill_meta(&t.skill_id)
-            .map(|m| m.vendor.clone())
-            .unwrap_or_default();
-        for d in &t.endpoints {
-            if classify(obs, d, &vendor) != OrgClass::ThirdParty {
-                continue;
+pub fn table3(ix: &AnalysisIndex) -> Table3 {
+    let mut rows: Vec<(String, usize, usize)> = ix
+        .persona_flows
+        .iter()
+        .filter_map(|(persona, range)| {
+            let mut at: BTreeSet<u32> = BTreeSet::new();
+            let mut func: BTreeSet<u32> = BTreeSet::new();
+            for f in ix.flows_in(range) {
+                for hc in ix.hosts_of(f) {
+                    let h = &ix.hosts[hc.host as usize];
+                    if ix.org_class(h, f.vendor) != OrgClass::ThirdParty {
+                        continue;
+                    }
+                    if h.ad_tracking {
+                        at.insert(hc.host);
+                    } else {
+                        func.insert(hc.host);
+                    }
+                }
             }
-            let entry = per_persona.entry(t.persona.clone()).or_default();
-            match fl.classify(d) {
-                TrafficPurpose::AdvertisingTracking => entry.0.insert(d.as_str().to_string()),
-                TrafficPurpose::Functional => entry.1.insert(d.as_str().to_string()),
-            };
-        }
-    }
-    let mut rows: Vec<(String, usize, usize)> = per_persona
-        .into_iter()
-        .filter(|(_, (at, f))| !at.is_empty() || !f.is_empty())
-        .map(|(p, (at, f))| (p, at.len(), f.len()))
+            if at.is_empty() && func.is_empty() {
+                None
+            } else {
+                Some((ix.str_of(*persona).to_string(), at.len(), func.len()))
+            }
+        })
         .collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     Table3 { rows }
 }
 
 impl Table3 {
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 3: Third-party advertising/tracking and functional domains per persona",
             &["Persona", "Advertising & Tracking", "Functional"],
         );
         for (p, at, f) in &self.rows {
-            t.row(vec![p.clone(), at.to_string(), f.to_string()]);
+            t.row().cell(p).cell(at).cell(f);
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
@@ -350,31 +344,31 @@ pub struct Table4 {
 /// Compute Table 4. Skills are ranked by the number of distinct A&T
 /// *services* (registrable domains) they contact, as the paper groups
 /// subdomains of one service into a single entry.
-pub fn table4(obs: &Observations) -> Table4 {
-    let fl = FilterList::new();
-    let mut per_skill: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    let mut services: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for t in skill_traffic(obs) {
-        for d in &t.endpoints {
-            if fl.is_ad_tracking(d) && obs.orgs.org_of(d) != Some(alexa_net::orgmap::AMAZON) {
-                per_skill
-                    .entry(t.skill_id.clone())
-                    .or_default()
-                    .insert(d.as_str().to_string());
-                let reg = d
-                    .registrable()
-                    .map(|r| r.as_str().to_string())
-                    .unwrap_or_else(|| d.as_str().to_string());
-                services.entry(t.skill_id.clone()).or_default().insert(reg);
+pub fn table4(ix: &AnalysisIndex) -> Table4 {
+    // Per skill id: A&T hosts, their registrable services, display name.
+    let mut per_skill: BTreeMap<&str, (BTreeSet<u32>, BTreeSet<Sym>, Sym)> = BTreeMap::new();
+    for f in &ix.flows {
+        for hc in ix.hosts_of(f) {
+            let h = &ix.hosts[hc.host as usize];
+            if h.ad_tracking && h.org != Some(ix.amazon) {
+                let entry = per_skill
+                    .entry(ix.str_of(f.skill))
+                    .or_insert_with(|| (BTreeSet::new(), BTreeSet::new(), f.name));
+                entry.0.insert(hc.host);
+                entry.1.insert(h.registrable);
             }
         }
     }
     let mut rows: Vec<(String, usize, Vec<String>)> = per_skill
-        .into_iter()
-        .map(|(id, doms)| {
-            let n_services = services.get(&id).map(BTreeSet::len).unwrap_or(0);
-            let name = obs.skill_meta(&id).map(|m| m.name.clone()).unwrap_or(id);
-            (name, n_services, doms.into_iter().collect())
+        .into_values()
+        .map(|(doms, services, name)| {
+            (
+                ix.str_of(name).to_string(),
+                services.len(),
+                doms.iter()
+                    .map(|&h| ix.str_of(ix.hosts[h as usize].host).to_string())
+                    .collect(),
+            )
         })
         .collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -386,16 +380,38 @@ pub fn table4(obs: &Observations) -> Table4 {
 }
 
 impl Table4 {
-    /// Render in the paper's layout.
-    pub fn render(&self) -> String {
+    /// Stream the paper's layout into `out`; returns render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Table 4: Top-5 skills contacting third-party advertising & tracking services",
             &["Skill name", "Advertising & Tracking"],
         );
         for (name, doms) in &self.rows {
-            t.row(vec![name.clone(), doms.join(", ")]);
+            t.row().cell(name).cell(Joined(doms));
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+/// Display adapter: strings joined with `", "` straight into the arena.
+struct Joined<'a>(&'a [String]);
+
+impl std::fmt::Display for Joined<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(s)?;
+        }
+        Ok(())
     }
 }
 
@@ -407,64 +423,59 @@ pub struct Figure2 {
 }
 
 /// Compute Figure 2's flow series.
-pub fn figure2(obs: &Observations) -> Figure2 {
-    let fl = FilterList::new();
-    let mut counts: BTreeMap<(String, String, TrafficPurpose, String), usize> = BTreeMap::new();
-    for (persona, captures) in &obs.router_captures {
-        for cap in captures {
-            for p in &cap.packets {
-                let reg = p
-                    .remote
-                    .registrable()
-                    .map(|r| r.as_str().to_string())
-                    .unwrap_or_else(|| p.remote.as_str().to_string());
-                let org = obs
-                    .orgs
-                    .org_of(&p.remote)
-                    .map(str::to_string)
-                    .unwrap_or_else(|| reg.clone());
-                let purpose = fl.classify(&p.remote);
-                *counts
-                    .entry((persona.clone(), reg, purpose, org))
-                    .or_insert(0) += 1;
-            }
+pub fn figure2(ix: &AnalysisIndex) -> Figure2 {
+    let mut counts: BTreeMap<(&str, &str, TrafficPurpose, &str), usize> = BTreeMap::new();
+    for f in &ix.flows {
+        let persona = ix.str_of(f.persona);
+        for hc in ix.hosts_of(f) {
+            let h = &ix.hosts[hc.host as usize];
+            *counts
+                .entry((
+                    persona,
+                    ix.str_of(h.registrable),
+                    ix.purpose(h),
+                    ix.str_of(h.org_or_reg),
+                ))
+                .or_insert(0) += hc.packets as usize;
         }
     }
     let flows = counts
         .into_iter()
-        .map(|((p, d, pu, o), n)| (p, d, pu, o, n))
+        .map(|((p, d, pu, o), n)| (p.to_string(), d.to_string(), pu, o.to_string(), n))
         .collect();
     Figure2 { flows }
 }
 
 impl Figure2 {
-    /// Render the flow series (sankey input data).
-    pub fn render(&self) -> String {
+    /// Stream the flow series (sankey input data) into `out`; returns
+    /// render work units.
+    pub fn render_into(&self, out: &mut String) -> usize {
         let mut t = TextTable::new(
             "Figure 2: Network traffic distribution by persona, domain, purpose, organization",
             &["Persona", "Domain", "Purpose", "Organization", "Packets"],
         );
         for (p, d, pu, o, n) in &self.flows {
-            t.row(vec![
-                p.clone(),
-                d.clone(),
-                pu.to_string(),
-                o.clone(),
-                n.to_string(),
-            ]);
+            t.row().cell(p).cell(d).cell(pu).cell(o).cell(n);
         }
-        t.render()
+        t.render_into(out)
+    }
+
+    /// Render the flow series (sankey input data).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::{ix, obs};
 
     #[test]
     fn every_active_skill_contacts_amazon() {
-        let t1 = table1(obs());
+        let t1 = table1(ix());
         // All skills that produced traffic contacted Amazon (§4.1: Amazon
         // mediates everything).
         let traffic = skill_traffic(obs());
@@ -476,14 +487,14 @@ mod tests {
 
     #[test]
     fn vendor_domains_are_rare() {
-        let t1 = table1(obs());
+        let t1 = table1(ix());
         // Only Garmin / YouVersion-class skills contact vendor domains.
         assert!(t1.skills_vendor <= 3, "vendor skills: {}", t1.skills_vendor);
     }
 
     #[test]
     fn table1_has_amazon_subdomain_group() {
-        let t1 = table1(obs());
+        let t1 = table1(ix());
         assert!(
             t1.rows
                 .iter()
@@ -495,7 +506,7 @@ mod tests {
 
     #[test]
     fn table2_shares_sum_to_one() {
-        let t2 = table2(obs());
+        let t2 = table2(ix());
         let sum: f64 = t2.rows.iter().map(|r| r.1 + r.2).sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
         // Amazon dominates traffic (paper: 96.84%).
@@ -509,7 +520,7 @@ mod tests {
 
     #[test]
     fn table3_excludes_personas_without_third_parties() {
-        let t3 = table3(obs());
+        let t3 = table3(ix());
         for (p, _, _) in &t3.rows {
             assert_ne!(p, "Vanilla");
             assert_ne!(p, "Smart Home");
@@ -522,7 +533,7 @@ mod tests {
     #[test]
     fn table4_garmin_leads() {
         // Garmin contacts 4 A&T services — the paper's Table 4 leader.
-        let t4 = table4(obs());
+        let t4 = table4(ix());
         assert!(!t4.rows.is_empty());
         assert_eq!(t4.rows[0].0, "Garmin");
         assert_eq!(t4.rows[0].1.len(), 4);
@@ -531,9 +542,33 @@ mod tests {
 
     #[test]
     fn figure2_flows_nonempty_and_render() {
-        let f2 = figure2(obs());
+        let f2 = figure2(ix());
         assert!(!f2.flows.is_empty());
         let rendered = f2.render();
         assert!(rendered.contains("amazon.com"));
+    }
+
+    #[test]
+    fn index_flows_match_naive_rescan() {
+        // The index's flow table must agree with the naive per-artifact
+        // scan it replaced: same (persona, skill) groups, same packet
+        // totals, same endpoint sets.
+        let naive = skill_traffic(obs());
+        let ixr = ix();
+        assert_eq!(naive.len(), ixr.flows.len());
+        let mut naive_sorted: Vec<&SkillTraffic> = naive.iter().collect();
+        naive_sorted.sort_by_key(|t| (t.persona.clone(), t.skill_id.clone()));
+        for (t, f) in naive_sorted.iter().zip(&ixr.flows) {
+            assert_eq!(t.persona, ixr.str_of(f.persona));
+            assert_eq!(t.skill_id, ixr.str_of(f.skill));
+            assert_eq!(t.packets, f.packets as usize);
+            let ix_hosts: Vec<&str> = ixr
+                .hosts_of(f)
+                .iter()
+                .map(|hc| ixr.str_of(ixr.hosts[hc.host as usize].host))
+                .collect();
+            let naive_hosts: Vec<&str> = t.endpoints.iter().map(|d| d.as_str()).collect();
+            assert_eq!(ix_hosts, naive_hosts);
+        }
     }
 }

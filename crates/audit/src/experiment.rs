@@ -167,7 +167,10 @@ impl AuditConfig {
 /// * `TextOnly`: replace every voice-recording record with the locally
 ///   transcribed text command — the content needed for functionality, minus
 ///   the acoustic channel (mood, health, accent, …) the paper warns about.
-fn apply_defense(defense: DefenseMode, packets: Vec<alexa_net::Packet>) -> Vec<alexa_net::Packet> {
+pub(crate) fn apply_defense(
+    defense: DefenseMode,
+    packets: Vec<alexa_net::Packet>,
+) -> Vec<alexa_net::Packet> {
     use alexa_net::{DataType, Firewall, Payload, Record};
     match defense {
         DefenseMode::None => packets,

@@ -1,0 +1,584 @@
+//! The shared analysis index: every derived view the report artifacts need,
+//! computed **once** per run from [`Observations`].
+//!
+//! Before this module existed, each of the ~25 report artifacts rescanned
+//! the raw captures packet-by-packet with per-endpoint `String` clones —
+//! O(artifacts × packets) work that made rendering 82% of a paper-scale
+//! run's wall time. The index performs each scan exactly once and stores
+//! the results in dense, sorted tables keyed by interned `u32` symbols:
+//!
+//! * a label table ([`Interner`]) mapping hosts, organizations, skill ids,
+//!   personas and ad-slot ids to symbols;
+//! * per-host attributes ([`HostInfo`]: registrable domain, organization,
+//!   traffic purpose) computed once per distinct endpoint;
+//! * per-(persona, skill) flow aggregates ([`SkillFlows`]) with per-host
+//!   packet counts, in the exact iteration order the legacy per-artifact
+//!   scans produced;
+//! * per-persona dense bid rows ([`BidRow`]) with slot ids and the
+//!   partner-bidder classification pre-resolved;
+//! * the recovered cookie-sync structure, extracted audio ads, and the
+//!   AVS data-type map — each shared by several artifacts.
+//!
+//! Determinism: every table is built by iterating `BTreeMap`s of the
+//! observations, so the index — and everything rendered from it — is a pure
+//! function of the observable record, independent of thread count.
+
+use crate::analysis::partners::{SyncAnalysis, AMAZON_AD_ENDPOINT};
+use crate::observations::{Observations, SkillMeta};
+use crate::persona::Persona;
+use alexa_adtech::{AudioAdExtractor, StreamingService};
+use alexa_net::{DataType, FilterList, OrgClass, TrafficPurpose};
+use alexa_policy::FlowExtractor;
+// analyzer:allow(AD03) -- Hash collections here back address-keyed memo maps that are only probed, never iterated; nothing ordered is derived from them
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Identity key of a shared label: the `Arc` allocation address.
+///
+/// The crawl's org, bidder and slot labels are `Arc<str>`s cloned from a
+/// small fixed set, so memoizing a per-string computation by allocation
+/// address replaces hundreds of thousands of string-keyed tree lookups
+/// with hash hits. Distinct allocations holding equal text merely recompute
+/// the same value, so results stay a pure function of the string content.
+#[inline]
+fn arc_key(s: &Arc<str>) -> usize {
+    Arc::as_ptr(s) as *const u8 as usize
+}
+
+/// Fibonacci-multiply hasher for the `usize` allocation-address keys above —
+/// the default SipHash costs more than the lookups it replaces.
+#[derive(Default)]
+struct AddrHasher(u64);
+
+impl std::hash::Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+// analyzer:allow(AD03) -- lookup-only memo keyed by Arc pointer address; iteration order never reaches an output
+type AddrMap<V> = HashMap<usize, V, std::hash::BuildHasherDefault<AddrHasher>>;
+// analyzer:allow(AD03) -- lookup-only dedup set keyed by Arc pointer address; never iterated
+type AddrSet = HashSet<usize, std::hash::BuildHasherDefault<AddrHasher>>;
+
+/// An interned label: index into the run's [`Interner`].
+pub type Sym = u32;
+
+/// String interner: hosts, orgs, skill ids, personas and slot ids become
+/// `u32` symbols compared and grouped without touching the bytes.
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    lookup: BTreeMap<String, Sym>,
+}
+
+impl Interner {
+    /// Intern `s`, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&id) = self.lookup.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as Sym;
+        self.lookup.insert(s.to_string(), id);
+        self.strings.push(s.to_string());
+        id
+    }
+
+    /// Resolve a symbol back to its text.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Everything the analyses need to know about one distinct endpoint host,
+/// computed once (instead of once per artifact per packet).
+#[derive(Debug, Clone, Copy)]
+pub struct HostInfo {
+    /// Full host name.
+    pub host: Sym,
+    /// Registrable domain (eTLD+1), falling back to the host itself.
+    pub registrable: Sym,
+    /// Owning organization, when the org database knows it.
+    pub org: Option<Sym>,
+    /// Organization with the registrable-domain fallback (the paper's
+    /// WHOIS fallback, used by Figure 2 and the endpoint-policy analysis).
+    pub org_or_reg: Sym,
+    /// Whether the filter list classifies the host as advertising/tracking.
+    pub ad_tracking: bool,
+}
+
+/// Packet count for one host within one (persona, skill) flow group.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCount {
+    /// Index into [`AnalysisIndex::hosts`].
+    pub host: u32,
+    /// Packets the skill session sent to this host.
+    pub packets: u32,
+}
+
+/// Merged traffic of one skill under one persona (only skills that
+/// produced traffic — failed installs carry no endpoint evidence).
+#[derive(Debug, Clone)]
+pub struct SkillFlows {
+    /// Persona name.
+    pub persona: Sym,
+    /// Skill id (capture label).
+    pub skill: Sym,
+    /// Skill display name (falls back to the id when the catalog has no
+    /// entry).
+    pub name: Sym,
+    /// Vendor organization ("" when unknown).
+    pub vendor: Sym,
+    /// Total packets across the skill's sessions.
+    pub packets: u32,
+    /// This group's per-host packet counts: a range into
+    /// [`AnalysisIndex::host_counts`], hosts in lexicographic order.
+    pub hosts: Range<u32>,
+}
+
+/// One observed bid in dense form.
+#[derive(Debug, Clone, Copy)]
+pub struct BidRow {
+    /// Crawl iteration the bid was observed in.
+    pub iteration: u32,
+    /// Index into [`AnalysisIndex::slots`].
+    pub slot: u32,
+    /// Whether the bidder is one of Amazon's cookie-sync partners.
+    pub partner: bool,
+    /// Bid value.
+    pub cpm: f64,
+}
+
+/// All bids one persona received, in visit order (the order every legacy
+/// scan produced — the bootstrap resampler depends on it).
+#[derive(Debug, Clone)]
+pub struct PersonaBids {
+    /// Persona name.
+    pub persona: Sym,
+    /// Dense bid rows in observation order.
+    pub bids: Vec<BidRow>,
+}
+
+/// The shared, deterministic analysis index. Build once per run with
+/// [`AnalysisIndex::build`]; every analysis function reads it instead of
+/// rescanning the captures.
+#[derive(Debug)]
+pub struct AnalysisIndex<'a> {
+    /// The raw observable record (for the few cheap analyses — DSAR,
+    /// creatives, policy documents — that read it directly).
+    pub obs: &'a Observations,
+    /// The run's label table.
+    pub symbols: Interner,
+    /// Distinct endpoint hosts in lexicographic order.
+    pub hosts: Vec<HostInfo>,
+    /// Per-(persona, skill) flow groups, personas then skills in
+    /// lexicographic order.
+    pub flows: Vec<SkillFlows>,
+    /// Arena backing [`SkillFlows::hosts`].
+    pub host_counts: Vec<HostCount>,
+    /// Per-persona ranges into [`AnalysisIndex::flows`], personas in
+    /// lexicographic order (flow groups are persona-contiguous).
+    pub persona_flows: Vec<(Sym, Range<u32>)>,
+    /// Distinct ad-slot ids in lexicographic order.
+    pub slots: Vec<Sym>,
+    /// Per-persona dense bid tables, personas in lexicographic order.
+    pub persona_bids: Vec<PersonaBids>,
+    /// Recovered cookie-sync structure (partners, downstream parties).
+    pub sync: SyncAnalysis,
+    /// Extracted audio ads per (persona, streaming service).
+    pub audio_ads: BTreeMap<(String, StreamingService), Vec<String>>,
+    /// Data types observed per skill in the AVS plaintext captures.
+    pub types_per_skill: BTreeMap<String, BTreeSet<DataType>>,
+    /// `Amazon Technologies, Inc.` as a symbol.
+    pub amazon: Sym,
+    meta_by_id: BTreeMap<&'a str, &'a SkillMeta>,
+    /// Memoized [`AnalysisIndex::common_slots`] masks. About a dozen
+    /// artifacts ask for the same (persona set, window) masks; the mask is
+    /// a pure function of the key, so the memo is invisible to results.
+    slot_masks: std::sync::Mutex<Vec<SlotMaskEntry>>,
+}
+
+/// One memoized slot mask: the (persona set, window) key and its mask.
+type SlotMaskEntry = (Vec<Persona>, Range<usize>, Vec<bool>);
+
+impl<'a> AnalysisIndex<'a> {
+    /// Build the index: one pass over each observation table.
+    pub fn build(obs: &'a Observations) -> AnalysisIndex<'a> {
+        let fl = FilterList::new();
+        let mut symbols = Interner::default();
+        let amazon = symbols.intern(alexa_net::orgmap::AMAZON);
+
+        let meta_by_id: BTreeMap<&str, &SkillMeta> =
+            obs.catalog.iter().map(|m| (m.id.as_str(), m)).collect();
+
+        // Host table: every distinct endpoint across all router captures,
+        // in lexicographic order (so host-id order == host-string order).
+        let mut host_set: BTreeSet<&alexa_net::Domain> = BTreeSet::new();
+        for caps in obs.router_captures.values() {
+            for cap in caps {
+                for p in &cap.packets {
+                    host_set.insert(&p.remote);
+                }
+            }
+        }
+        let mut hosts = Vec::with_capacity(host_set.len());
+        let mut host_ids: BTreeMap<&str, u32> = BTreeMap::new();
+        for d in &host_set {
+            host_ids.insert(d.as_str(), hosts.len() as u32);
+            let host = symbols.intern(d.as_str());
+            let registrable = match d.registrable() {
+                Some(r) => symbols.intern(r.as_str()),
+                None => host,
+            };
+            let org = obs.orgs.org_of(d).map(|o| symbols.intern(o));
+            hosts.push(HostInfo {
+                host,
+                registrable,
+                org,
+                org_or_reg: org.unwrap_or(registrable),
+                ad_tracking: fl.is_ad_tracking(d),
+            });
+        }
+
+        // Flow groups: merge captures per (persona, skill), keeping only
+        // skills that produced traffic — exactly the legacy
+        // `skill_traffic` view, but with counts instead of cloned strings.
+        let mut flows: Vec<SkillFlows> = Vec::new();
+        let mut host_counts = Vec::new();
+        let mut persona_flows = Vec::new();
+        for (persona, caps) in &obs.router_captures {
+            let persona_sym = symbols.intern(persona);
+            let flows_start = flows.len() as u32;
+            let mut merged: BTreeMap<&str, BTreeMap<u32, u32>> = BTreeMap::new();
+            for cap in caps {
+                let entry = merged.entry(cap.label.as_str()).or_default();
+                for p in &cap.packets {
+                    *entry.entry(host_ids[p.remote.as_str()]).or_insert(0) += 1;
+                }
+            }
+            for (label, per_host) in merged {
+                let packets: u32 = per_host.values().sum();
+                if packets == 0 {
+                    continue;
+                }
+                let start = host_counts.len() as u32;
+                host_counts.extend(
+                    per_host
+                        .into_iter()
+                        .map(|(host, packets)| HostCount { host, packets }),
+                );
+                let meta = meta_by_id.get(label).copied();
+                let skill = symbols.intern(label);
+                flows.push(SkillFlows {
+                    persona: persona_sym,
+                    skill,
+                    name: meta.map_or(skill, |m| symbols.intern(&m.name)),
+                    vendor: match meta {
+                        Some(m) => symbols.intern(&m.vendor),
+                        None => symbols.intern(""),
+                    },
+                    packets,
+                    hosts: start..host_counts.len() as u32,
+                });
+            }
+            persona_flows.push((persona_sym, flows_start..flows.len() as u32));
+        }
+
+        // Cookie-sync structure (one pass for partners, one for their
+        // downstream propagation — same two passes the legacy analysis ran
+        // per artifact).
+        let mut partners = BTreeSet::new();
+        let mut amazon_out = false;
+        let mut is_amazon: AddrMap<bool> = AddrMap::default();
+        let mut partner_seen: AddrSet = AddrSet::default();
+        for visits in obs.crawl.values() {
+            for v in visits {
+                for s in &v.syncs {
+                    if *is_amazon
+                        .entry(arc_key(&s.from_org))
+                        .or_insert_with(|| &*s.from_org == AMAZON_AD_ENDPOINT)
+                    {
+                        amazon_out = true;
+                    }
+                    if *is_amazon
+                        .entry(arc_key(&s.to_org))
+                        .or_insert_with(|| &*s.to_org == AMAZON_AD_ENDPOINT)
+                        && partner_seen.insert(arc_key(&s.from_org))
+                    {
+                        partners.insert(s.from_org.to_string());
+                    }
+                }
+            }
+        }
+        let mut downstream = BTreeSet::new();
+        let mut is_partner: AddrMap<bool> = AddrMap::default();
+        let mut down_seen: AddrSet = AddrSet::default();
+        for visits in obs.crawl.values() {
+            for v in visits {
+                for s in &v.syncs {
+                    if *is_partner
+                        .entry(arc_key(&s.from_org))
+                        .or_insert_with(|| partners.contains(&*s.from_org))
+                        && !*is_amazon
+                            .entry(arc_key(&s.to_org))
+                            .or_insert_with(|| &*s.to_org == AMAZON_AD_ENDPOINT)
+                        && down_seen.insert(arc_key(&s.to_org))
+                    {
+                        downstream.insert(s.to_org.to_string());
+                    }
+                }
+            }
+        }
+        let sync = SyncAnalysis {
+            amazon_partners: partners,
+            amazon_syncs_out: amazon_out,
+            downstream_parties: downstream,
+        };
+
+        // Slot table, then dense per-persona bid rows in visit order.
+        let mut slot_set: BTreeSet<&str> = BTreeSet::new();
+        let mut slot_ptr_seen: AddrSet = AddrSet::default();
+        for visits in obs.crawl.values() {
+            for v in visits {
+                for b in &v.bids {
+                    if slot_ptr_seen.insert(arc_key(&b.slot_id)) {
+                        slot_set.insert(&*b.slot_id);
+                    }
+                }
+            }
+        }
+        let slots: Vec<Sym> = slot_set.iter().map(|s| symbols.intern(s)).collect();
+        let slot_ids: BTreeMap<&str, u32> = slot_set
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        let mut persona_bids = Vec::with_capacity(obs.crawl.len());
+        let mut slot_of: AddrMap<u32> = AddrMap::default();
+        let mut bidder_partner: AddrMap<bool> = AddrMap::default();
+        for (persona, visits) in &obs.crawl {
+            let persona_sym = symbols.intern(persona);
+            let mut bids = Vec::new();
+            for v in visits {
+                for b in &v.bids {
+                    bids.push(BidRow {
+                        iteration: v.iteration as u32,
+                        slot: *slot_of
+                            .entry(arc_key(&b.slot_id))
+                            .or_insert_with(|| slot_ids[&*b.slot_id]),
+                        partner: *bidder_partner
+                            .entry(arc_key(&b.bidder))
+                            .or_insert_with(|| sync.amazon_partners.contains(&*b.bidder)),
+                        cpm: b.cpm,
+                    });
+                }
+            }
+            persona_bids.push(PersonaBids {
+                persona: persona_sym,
+                bids,
+            });
+        }
+
+        // Shared extraction passes for the audio and policy artifacts.
+        let extractor = AudioAdExtractor::new();
+        let audio_ads = obs
+            .audio
+            .iter()
+            .map(|((persona, service), transcripts)| {
+                ((persona.clone(), *service), extractor.extract(transcripts))
+            })
+            .collect();
+        let types_per_skill = FlowExtractor::new().data_types(&obs.avs_captures);
+
+        AnalysisIndex {
+            obs,
+            symbols,
+            hosts,
+            flows,
+            host_counts,
+            persona_flows,
+            slots,
+            persona_bids,
+            sync,
+            audio_ads,
+            types_per_skill,
+            amazon,
+            meta_by_id,
+            slot_masks: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Resolve a symbol to its text.
+    pub fn str_of(&self, sym: Sym) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// The per-host packet counts of one flow group.
+    pub fn hosts_of(&self, flow: &SkillFlows) -> &[HostCount] {
+        &self.host_counts[flow.hosts.start as usize..flow.hosts.end as usize]
+    }
+
+    /// The flow groups of one persona range from [`AnalysisIndex::persona_flows`].
+    pub fn flows_in(&self, range: &Range<u32>) -> &[SkillFlows] {
+        &self.flows[range.start as usize..range.end as usize]
+    }
+
+    /// Classify a host relative to a skill vendor — symbol-compare form of
+    /// `OrgMap::classify`. Unknown organizations are third party.
+    pub fn org_class(&self, host: &HostInfo, vendor: Sym) -> OrgClass {
+        match host.org {
+            Some(o) if o == self.amazon => OrgClass::Amazon,
+            Some(o) if o == vendor => OrgClass::SkillVendor,
+            _ => OrgClass::ThirdParty,
+        }
+    }
+
+    /// A host's traffic purpose under the built-in filter list.
+    pub fn purpose(&self, host: &HostInfo) -> TrafficPurpose {
+        if host.ad_tracking {
+            TrafficPurpose::AdvertisingTracking
+        } else {
+            TrafficPurpose::Functional
+        }
+    }
+
+    /// Catalog metadata for a skill id (map lookup — the legacy
+    /// `Observations::skill_meta` is a linear scan).
+    pub fn skill_meta(&self, id: &str) -> Option<&'a SkillMeta> {
+        self.meta_by_id.get(id).copied()
+    }
+
+    /// The dense bid table of a persona, if it crawled.
+    pub fn bids_of(&self, persona: Persona) -> Option<&PersonaBids> {
+        let name = persona.name();
+        self.persona_bids
+            .binary_search_by(|pb| self.str_of(pb.persona).cmp(name.as_str()))
+            .ok()
+            .map(|i| &self.persona_bids[i])
+    }
+
+    /// Slot mask (indexed like [`AnalysisIndex::slots`]) of the slots that
+    /// returned at least one bid for *every* given persona within the
+    /// iteration window — the paper's common-slot control.
+    pub fn common_slots(&self, personas: &[Persona], window: &Range<usize>) -> Vec<bool> {
+        let n = self.slots.len();
+        if personas.is_empty() {
+            return vec![false; n];
+        }
+        {
+            let memo = self.slot_masks.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some((_, _, mask)) = memo.iter().find(|(p, w, _)| w == window && p == personas) {
+                return mask.clone();
+            }
+        }
+        let mut common = vec![true; n];
+        let mut seen = vec![false; n];
+        for p in personas {
+            seen.iter_mut().for_each(|s| *s = false);
+            if let Some(pb) = self.bids_of(*p) {
+                for b in &pb.bids {
+                    if window.contains(&(b.iteration as usize)) {
+                        seen[b.slot as usize] = true;
+                    }
+                }
+            }
+            common
+                .iter_mut()
+                .zip(&seen)
+                .for_each(|(c, s)| *c = *c && *s);
+        }
+        self.slot_masks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((personas.to_vec(), window.clone(), common.clone()));
+        common
+    }
+
+    /// Number of set slots in a mask.
+    pub fn slot_count(&self, mask: &[bool]) -> usize {
+        mask.iter().filter(|&&m| m).count()
+    }
+
+    /// All individual CPM values a persona received on the masked slots
+    /// within the window, in observation order.
+    pub fn pooled_bids(&self, persona: Persona, window: &Range<usize>, mask: &[bool]) -> Vec<f64> {
+        let Some(pb) = self.bids_of(persona) else {
+            return Vec::new();
+        };
+        pb.bids
+            .iter()
+            .filter(|b| window.contains(&(b.iteration as usize)) && mask[b.slot as usize])
+            .map(|b| b.cpm)
+            .collect()
+    }
+
+    /// Per-slot mean CPM over the masked slots (slot order — the
+    /// significance tests' slot-level sample).
+    pub fn slot_means(&self, persona: Persona, window: &Range<usize>, mask: &[bool]) -> Vec<f64> {
+        let n = self.slots.len();
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        if let Some(pb) = self.bids_of(persona) {
+            for b in &pb.bids {
+                let s = b.slot as usize;
+                if mask[s] && window.contains(&(b.iteration as usize)) {
+                    sums[s] += b.cpm;
+                    counts[s] += 1;
+                }
+            }
+        }
+        (0..n)
+            .filter(|&s| mask[s] && counts[s] > 0)
+            .map(|s| sums[s] / counts[s] as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_roundtrip_and_dedup() {
+        let mut i = Interner::default();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn empty_observations_build_an_empty_index() {
+        let obs = Observations::default();
+        let ix = AnalysisIndex::build(&obs);
+        assert!(ix.hosts.is_empty());
+        assert!(ix.flows.is_empty());
+        assert!(ix.slots.is_empty());
+        assert!(ix.persona_bids.is_empty());
+        assert!(ix.sync.amazon_partners.is_empty());
+        assert!(ix.common_slots(&[Persona::Vanilla], &(0..10)).is_empty());
+    }
+}

@@ -10,11 +10,15 @@
 //! that is bundled in [`Observations`]; every analysis is a pure function
 //! of it.
 //!
+//! Every analysis reads the shared [`AnalysisIndex`] — built **once** per
+//! run from the observations — instead of rescanning the captures:
+//!
 //! ```no_run
-//! use alexa_audit::{AuditConfig, AuditRun};
+//! use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun};
 //!
 //! let observations = AuditRun::execute(AuditConfig::paper(7));
-//! let table5 = alexa_audit::analysis::bids::table5(&observations);
+//! let index = AnalysisIndex::build(&observations);
+//! let table5 = alexa_audit::analysis::bids::table5(&index);
 //! println!("{}", table5.render());
 //! ```
 //!
@@ -33,13 +37,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod artifacts;
 pub mod experiment;
+pub mod index;
 pub mod observations;
 pub mod persona;
 pub mod report;
 pub mod table;
 
 pub use experiment::{AuditConfig, AuditRun, DefenseMode};
+pub use index::AnalysisIndex;
 pub use observations::{Observations, SkillMeta};
 pub use persona::Persona;
 pub use table::TextTable;

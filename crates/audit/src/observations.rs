@@ -37,7 +37,7 @@ pub struct SkillMeta {
 }
 
 /// The full observable record of one audit run.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Observations {
     /// Seed the run was executed with (for provenance).
     pub seed: u64,

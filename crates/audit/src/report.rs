@@ -1,27 +1,40 @@
-//! Full-report assembly: every table and figure in one document.
+//! Full-report assembly: every table and figure streamed into one document
+//! from a single shared [`AnalysisIndex`].
 
 use crate::analysis::{audio, bids, creatives, partners, policy, profiling, significance, traffic};
+use crate::index::AnalysisIndex;
 use crate::observations::Observations;
+use std::fmt::Write as _;
 
 /// Render the complete audit report (all tables and figures, in paper
 /// order) as one text document.
 pub fn full_report(obs: &Observations) -> String {
-    let mut out = String::new();
-    let mut push = |s: String| {
-        out.push_str(&s);
-        out.push('\n');
-    };
+    let ix = AnalysisIndex::build(obs);
+    let mut out = String::with_capacity(64 * 1024);
+    full_report_into(&ix, &mut out);
+    out
+}
 
-    push(format!(
-        "ECHO AUDIT REPORT (seed {}, {} pre + {} post crawl iterations)\n",
+/// Stream the complete report into `out`; returns render work units.
+pub fn full_report_into(ix: &AnalysisIndex, out: &mut String) -> usize {
+    let obs = ix.obs;
+    let mut work = 0usize;
+
+    let _ = writeln!(
+        out,
+        "ECHO AUDIT REPORT (seed {}, {} pre + {} post crawl iterations)",
         obs.seed, obs.pre_iterations, obs.post_iterations
-    ));
-    push(obs.coverage.render());
+    );
+    out.push('\n');
+    work += 1;
+    out.push_str(&obs.coverage.render());
+    out.push('\n');
+    work += 1;
 
     // Each research-question section opens with the observed/expected counts
     // of the pipeline stages its tables are computed from, so a degraded run
     // is readable as such next to every result.
-    let section_note = |keys: &[&str]| -> String {
+    let section_note = |out: &mut String, keys: &[&str]| -> usize {
         let parts: Vec<String> = keys
             .iter()
             .filter_map(|k| {
@@ -36,67 +49,94 @@ pub fn full_report(obs: &Observations) -> String {
             })
             .collect();
         if parts.is_empty() {
-            String::new()
+            out.push('\n');
+            0
         } else {
-            format!("[section coverage — {}]\n", parts.join(", "))
+            let _ = writeln!(out, "[section coverage — {}]", parts.join(", "));
+            out.push('\n');
+            1
         }
     };
 
-    push("== RQ1: Which organizations collect and propagate user data? ==\n".into());
-    push(section_note(&[
-        "avs.skills",
-        "skill.installs",
-        "skill.interactions",
-    ]));
-    push(traffic::table1(obs).render());
-    push(traffic::table2(obs).render());
-    push(traffic::table3(obs).render());
-    push(traffic::table4(obs).render());
+    out.push_str("== RQ1: Which organizations collect and propagate user data? ==\n\n");
+    work += 1;
+    work += section_note(out, &["avs.skills", "skill.installs", "skill.interactions"]);
+    work += traffic::table1(ix).render_into(out);
+    out.push('\n');
+    work += traffic::table2(ix).render_into(out);
+    out.push('\n');
+    work += traffic::table3(ix).render_into(out);
+    out.push('\n');
+    work += traffic::table4(ix).render_into(out);
+    out.push('\n');
 
-    push("== RQ2: Is voice data used beyond functional purposes? ==\n".into());
-    push(section_note(&["crawl.visits", "skill.interactions"]));
-    push(bids::table5(obs).render());
-    push(bids::table6(obs).render());
-    push(bids::figure3(obs).render());
-    push(significance::table7(obs).render());
-    push(creatives::table8(obs).render());
-    push(audio::table9(obs).render());
-    push(audio::figure5(obs).render());
-    push(partners::sync_analysis(obs).render());
-    push(partners::table10(obs).render());
-    push(partners::figure6(obs).render());
-    push(significance::table11(obs).render());
-    push(bids::figure7(obs).render());
-    push(profiling::table12(obs).render());
+    out.push_str("== RQ2: Is voice data used beyond functional purposes? ==\n\n");
+    work += 1;
+    work += section_note(out, &["crawl.visits", "skill.interactions"]);
+    work += bids::table5(ix).render_into(out);
+    out.push('\n');
+    work += bids::table6(ix).render_into(out);
+    out.push('\n');
+    work += bids::figure3(ix).render_into(out);
+    out.push('\n');
+    work += significance::table7(ix).render_into(out);
+    out.push('\n');
+    work += creatives::table8(ix).render_into(out);
+    out.push('\n');
+    work += audio::table9(ix).render_into(out);
+    out.push('\n');
+    work += audio::figure5(ix).render_into(out);
+    out.push('\n');
+    work += partners::sync_analysis(ix).render_into(out);
+    out.push('\n');
+    work += partners::table10(ix).render_into(out);
+    out.push('\n');
+    work += partners::figure6(ix).render_into(out);
+    out.push('\n');
+    work += significance::table11(ix).render_into(out);
+    out.push('\n');
+    work += bids::figure7(ix).render_into(out);
+    out.push('\n');
+    work += profiling::table12(ix).render_into(out);
+    out.push('\n');
 
-    push(bids::render_table5_cis(&bids::table5_median_cis(obs)));
+    work += bids::render_table5_cis_into(&bids::table5_median_cis(ix), out);
+    out.push('\n');
 
-    push("== RQ3: Are practices consistent with privacy policies? ==\n".into());
-    push(section_note(&["policy.downloads"]));
-    push(policy::policy_stats(obs).render());
-    push(policy::table13(obs, false).render());
-    push(policy::table14(obs).render());
-    push(policy::validation(obs).render());
+    out.push_str("== RQ3: Are practices consistent with privacy policies? ==\n\n");
+    work += 1;
+    work += section_note(out, &["policy.downloads"]);
+    work += policy::policy_stats(ix).render_into(out);
+    out.push('\n');
+    work += policy::table13(ix, false).render_into(out);
+    out.push('\n');
+    work += policy::table14(ix).render_into(out);
+    out.push('\n');
+    work += policy::validation(ix).render_into(out);
+    out.push('\n');
 
-    let liars = policy::incorrect_flows(obs);
+    let liars = policy::incorrect_flows(ix);
     if !liars.is_empty() {
-        push(format!(
-            "Policies denying observed flows (PoliCheck 'incorrect'): {}\n",
+        let _ = writeln!(
+            out,
+            "Policies denying observed flows (PoliCheck 'incorrect'): {}",
             liars
                 .iter()
                 .map(|(s, dt)| format!("{s} ({dt})"))
                 .collect::<Vec<_>>()
                 .join("; ")
-        ));
+        );
+        out.push('\n');
+        work += 1;
     }
 
-    out
+    work
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::test_support::obs;
+    use crate::analysis::test_support::{ix, obs};
 
     #[test]
     fn full_report_contains_every_artifact() {
@@ -128,5 +168,13 @@ mod tests {
         ] {
             assert!(r.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn streaming_report_matches_wrapper_and_counts_work() {
+        let mut streamed = String::new();
+        let work = full_report_into(ix(), &mut streamed);
+        assert_eq!(streamed, full_report(obs()));
+        assert!(work > 100, "implausibly low render work: {work}");
     }
 }

@@ -3,7 +3,7 @@
 //! sharded parallel engine must be undetectable from the output.
 
 use alexa_audit::analysis::{bids, traffic};
-use alexa_audit::{AuditConfig, AuditRun};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun};
 
 #[test]
 fn repeated_runs_hash_identically() {
@@ -37,12 +37,14 @@ fn worker_count_is_invisible_in_the_output() {
 
     // Digest equality should imply artifact equality; spot-check the
     // rendering path end to end on a bid table and a traffic table.
+    let sequential_ix = AnalysisIndex::build(&sequential);
+    let parallel_ix = AnalysisIndex::build(&parallel);
     assert_eq!(
-        bids::table5(&sequential).render(),
-        bids::table5(&parallel).render()
+        bids::table5(&sequential_ix).render(),
+        bids::table5(&parallel_ix).render()
     );
     assert_eq!(
-        traffic::table1(&sequential).render(),
-        traffic::table1(&parallel).render()
+        traffic::table1(&sequential_ix).render(),
+        traffic::table1(&parallel_ix).render()
     );
 }

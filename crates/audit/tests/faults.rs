@@ -100,7 +100,9 @@ fn analysis_never_panics_at_total_fault_rate() {
 
     // The §8.1 defense comparison must also survive empty observations.
     let defended = AuditRun::execute(cfg.with_defense(DefenseMode::Firewall));
-    let comparison = defense::compare("firewall under total faults", &obs, &defended);
+    let obs_ix = alexa_audit::AnalysisIndex::build(&obs);
+    let defended_ix = alexa_audit::AnalysisIndex::build(&defended);
+    let comparison = defense::compare("firewall under total faults", &obs_ix, &defended_ix);
     assert!(!comparison.render().is_empty());
 }
 

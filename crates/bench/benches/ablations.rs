@@ -5,56 +5,50 @@
 //! * PoliCheck with vs without the platform policy (§7.2.2);
 //! * exact vs asymptotic Mann–Whitney at the paper's sample size.
 //!
-//! Each variant is measured on the shared paper-scale run; the *value*
-//! differences between variants are printed once at startup so the ablation
-//! results are visible alongside the timings.
+//! Each variant is measured on the shared paper-scale run's analysis index;
+//! the *value* differences between variants are printed once at startup so
+//! the ablation results are visible alongside the timings.
 
 use alexa_audit::analysis::bids::{common_slots, pooled_bids, slot_means};
-use alexa_audit::{Observations, Persona};
-use alexa_bench::shared_paper_run;
+use alexa_audit::{AnalysisIndex, Persona};
+use alexa_bench::shared_paper_ix;
 use alexa_stats::{mann_whitney_u, Alternative, MwuMethod};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::collections::BTreeSet;
 
-fn all_slots(obs: &Observations) -> BTreeSet<String> {
-    obs.crawl
-        .values()
-        .flat_map(|visits| {
-            visits
-                .iter()
-                .flat_map(|v| v.bids.iter().map(|b| b.slot_id.clone()))
-        })
-        .collect()
+/// The no-filter control: every slot in the index's slot universe.
+fn all_slots(ix: &AnalysisIndex) -> Vec<bool> {
+    vec![true; ix.slots.len()]
 }
 
-fn print_value_ablations(obs: &Observations) {
+fn print_value_ablations(ix: &AnalysisIndex) {
     let personas = Persona::echo_personas();
-    let common = common_slots(obs, &personas, obs.post_window());
-    let every = all_slots(obs);
+    let window = ix.obs.post_window();
+    let common = common_slots(ix, &personas, window.clone());
+    let every = all_slots(ix);
     let fashion = Persona::Interest(alexa_platform::SkillCategory::FashionStyle);
 
     let with_filter = {
-        let t = slot_means(obs, fashion, obs.post_window(), &common);
-        let v = slot_means(obs, Persona::Vanilla, obs.post_window(), &common);
+        let t = slot_means(ix, fashion, window.clone(), &common);
+        let v = slot_means(ix, Persona::Vanilla, window.clone(), &common);
         mann_whitney_u(&t, &v, Alternative::Greater, MwuMethod::Asymptotic).unwrap()
     };
     let without_filter = {
-        let t = slot_means(obs, fashion, obs.post_window(), &every);
-        let v = slot_means(obs, Persona::Vanilla, obs.post_window(), &every);
+        let t = slot_means(ix, fashion, window.clone(), &every);
+        let v = slot_means(ix, Persona::Vanilla, window.clone(), &every);
         mann_whitney_u(&t, &v, Alternative::Greater, MwuMethod::Asymptotic).unwrap()
     };
     eprintln!(
         "[ablation] common-slot filter: p={:.4} r={:.3} ({} slots) | no filter: p={:.4} r={:.3} ({} slots)",
         with_filter.p_value,
         with_filter.effect_size,
-        common.len(),
+        ix.slot_count(&common),
         without_filter.p_value,
         without_filter.effect_size,
-        every.len(),
+        ix.slot_count(&every),
     );
 
-    let pooled_t = pooled_bids(obs, fashion, obs.post_window(), &common);
-    let pooled_v = pooled_bids(obs, Persona::Vanilla, obs.post_window(), &common);
+    let pooled_t = pooled_bids(ix, fashion, window.clone(), &common);
+    let pooled_v = pooled_bids(ix, Persona::Vanilla, window.clone(), &common);
     let pooled = mann_whitney_u(
         &pooled_t,
         &pooled_v,
@@ -65,7 +59,7 @@ fn print_value_ablations(obs: &Observations) {
     eprintln!(
         "[ablation] slot-mean sample: p={:.4} (n={}) | pooled-bid sample: p={:.6} (n={})",
         with_filter.p_value,
-        common.len(),
+        ix.slot_count(&common),
         pooled.p_value,
         pooled_t.len(),
     );
@@ -73,10 +67,11 @@ fn print_value_ablations(obs: &Observations) {
     // Crawl-budget ablation (DESIGN.md §6): how many post-interaction
     // iterations does the Table 7 inference need?
     for k in [3usize, 10, 25] {
-        let window = obs.pre_iterations..(obs.pre_iterations + k.min(obs.post_iterations));
-        let slots_k = common_slots(obs, &personas, window.clone());
-        let t = slot_means(obs, fashion, window.clone(), &slots_k);
-        let v = slot_means(obs, Persona::Vanilla, window, &slots_k);
+        let obs = ix.obs;
+        let w = obs.pre_iterations..(obs.pre_iterations + k.min(obs.post_iterations));
+        let slots_k = common_slots(ix, &personas, w.clone());
+        let t = slot_means(ix, fashion, w.clone(), &slots_k);
+        let v = slot_means(ix, Persona::Vanilla, w, &slots_k);
         let r = mann_whitney_u(&t, &v, Alternative::Greater, MwuMethod::Asymptotic).unwrap();
         eprintln!(
             "[ablation] crawl budget {k:>2} post iterations: p={:.4} r={:.3}",
@@ -86,39 +81,40 @@ fn print_value_ablations(obs: &Observations) {
 }
 
 fn bench_ablations(c: &mut Criterion) {
-    let obs = shared_paper_run();
-    print_value_ablations(obs);
+    let ix = shared_paper_ix();
+    print_value_ablations(ix);
 
     let personas = Persona::echo_personas();
-    let common = common_slots(obs, &personas, obs.post_window());
-    let every = all_slots(obs);
+    let window = ix.obs.post_window();
+    let common = common_slots(ix, &personas, window.clone());
+    let every = all_slots(ix);
     let fashion = Persona::Interest(alexa_platform::SkillCategory::FashionStyle);
 
     let mut group = c.benchmark_group("ablation");
     group.bench_function("common_slot_filtering/on", |b| {
-        b.iter(|| slot_means(obs, fashion, obs.post_window(), &common))
+        b.iter(|| slot_means(ix, fashion, window.clone(), &common))
     });
     group.bench_function("common_slot_filtering/off", |b| {
-        b.iter(|| slot_means(obs, fashion, obs.post_window(), &every))
+        b.iter(|| slot_means(ix, fashion, window.clone(), &every))
     });
     group.bench_function("sampling/slot_means", |b| {
         b.iter(|| {
-            let t = slot_means(obs, fashion, obs.post_window(), &common);
-            let v = slot_means(obs, Persona::Vanilla, obs.post_window(), &common);
+            let t = slot_means(ix, fashion, window.clone(), &common);
+            let v = slot_means(ix, Persona::Vanilla, window.clone(), &common);
             mann_whitney_u(&t, &v, Alternative::Greater, MwuMethod::Asymptotic)
         })
     });
     group.bench_function("sampling/pooled_bids", |b| {
         b.iter(|| {
-            let t = pooled_bids(obs, fashion, obs.post_window(), &common);
-            let v = pooled_bids(obs, Persona::Vanilla, obs.post_window(), &common);
+            let t = pooled_bids(ix, fashion, window.clone(), &common);
+            let v = pooled_bids(ix, Persona::Vanilla, window.clone(), &common);
             mann_whitney_u(&t, &v, Alternative::Greater, MwuMethod::Asymptotic)
         })
     });
 
     // Exact vs asymptotic MWU at the paper's common-slot sample size.
-    let t = slot_means(obs, fashion, obs.post_window(), &common);
-    let v = slot_means(obs, Persona::Vanilla, obs.post_window(), &common);
+    let t = slot_means(ix, fashion, window.clone(), &common);
+    let v = slot_means(ix, Persona::Vanilla, window.clone(), &common);
     let t25: Vec<f64> = t.iter().copied().take(25).collect();
     let v25: Vec<f64> = v.iter().copied().take(25).collect();
     group.bench_function("mwu/exact_n25", |b| {

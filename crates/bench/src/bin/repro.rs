@@ -39,103 +39,12 @@
 //!   retry, or a shard's retry budget exhausted. The report (with its
 //!   coverage block) is still fully rendered and deterministic.
 
-use alexa_audit::analysis::{
-    audio, bids, creatives, defense, partners, policy, profiling, significance, traffic,
-};
-use alexa_audit::{AuditConfig, AuditRun, DefenseMode, Observations};
+use alexa_audit::{AuditConfig, AuditRun, Observations};
+use alexa_bench::{render_all, ARTIFACTS};
 use alexa_fault::FaultProfile;
 use alexa_obs::{Json, Recorder};
 use std::sync::Arc;
 use std::time::Instant;
-
-const ARTIFACTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "figure2", "table5", "table6", "figure3", "table7",
-    "table8", "table9", "figure5", "sync", "table10", "figure6", "table11", "figure7", "table12",
-    "stats71", "table13", "table13p", "table14", "validate", "liars", "defenses",
-];
-
-fn render(obs: &Observations, artifact: &str) -> Option<String> {
-    Some(match artifact {
-        "table1" => traffic::table1(obs).render(),
-        "table2" => traffic::table2(obs).render(),
-        "table3" => traffic::table3(obs).render(),
-        "table4" => traffic::table4(obs).render(),
-        "figure2" => traffic::figure2(obs).render(),
-        "table5" => bids::table5(obs).render(),
-        "table6" => bids::table6(obs).render(),
-        "figure3" => bids::figure3(obs).render(),
-        "table7" => significance::table7(obs).render(),
-        "table8" => creatives::table8(obs).render(),
-        "table9" => audio::table9(obs).render(),
-        "figure5" => audio::figure5(obs).render(),
-        "sync" => partners::sync_analysis(obs).render(),
-        "table10" => partners::table10(obs).render(),
-        "figure6" => partners::figure6(obs).render(),
-        "table11" => significance::table11(obs).render(),
-        "figure7" => bids::figure7(obs).render(),
-        "table12" => profiling::table12(obs).render(),
-        "stats71" => policy::policy_stats(obs).render(),
-        "table13" => policy::table13(obs, false).render(),
-        "table13p" => {
-            let t = policy::table13(obs, true);
-            let mut s = t.render();
-            s.push_str(&format!(
-                "(platform policy included — all flows disclosed: {})\n",
-                t.all_disclosed()
-            ));
-            s
-        }
-        "table14" => policy::table14(obs).render(),
-        "validate" => policy::validation(obs).render(),
-        "liars" => {
-            let flows = policy::incorrect_flows(obs);
-            let mut s = String::from(
-                "Policies that DENY flows their traffic shows (PoliCheck 'incorrect'):\n",
-            );
-            for (skill, dt) in &flows {
-                s.push_str(&format!("  {skill}: denies collecting {dt}\n"));
-            }
-            if flows.is_empty() {
-                s.push_str("  (none)\n");
-            }
-            s
-        }
-        _ => return None,
-    })
-}
-
-/// The `defenses` artifact needs its own defended runs (untraced: their
-/// wall time shows up inside the `defenses` artifact shard).
-fn render_defenses(
-    seed: u64,
-    jobs: Option<usize>,
-    fault: &FaultProfile,
-    baseline: &Observations,
-) -> String {
-    eprintln!("running defended audits (firewall, text-only) ...");
-    let firewalled = AuditRun::execute(
-        AuditConfig::paper(seed)
-            .with_defense(DefenseMode::Firewall)
-            .with_faults(fault.clone())
-            .with_jobs(jobs),
-    );
-    let text_only = AuditRun::execute(
-        AuditConfig::paper(seed)
-            .with_defense(DefenseMode::TextOnly)
-            .with_faults(fault.clone())
-            .with_jobs(jobs),
-    );
-    format!(
-        "{}\n{}",
-        defense::compare(
-            "A&T firewall (blocking without breaking)",
-            baseline,
-            &firewalled
-        )
-        .render(),
-        defense::compare("on-device transcription (text-only)", baseline, &text_only).render(),
-    )
-}
 
 /// Write `body` to `path`, with `-` streaming to stderr. File write errors
 /// are fatal (exit 1): a CI artifact silently missing is worse than a loud
@@ -218,33 +127,6 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) -> Observations {
     eprintln!("execute: {execute_ms} ms, render all: {render_ms} ms");
     println!("{entry}");
     obs
-}
-
-/// Render the wanted artifacts concurrently, returning them in input order.
-/// Each artifact render is its own observability shard.
-fn render_all(
-    obs: &Observations,
-    wanted: &[&str],
-    seed: u64,
-    jobs: Option<usize>,
-    fault: &FaultProfile,
-    rec: &Recorder,
-) -> Vec<String> {
-    rec.stage("render.all", || {
-        alexa_exec::par_map(jobs, wanted.to_vec(), |i, artifact| {
-            let mut log = rec.shard("artifact", i, artifact);
-            let rendered = log.span("render", |_| {
-                if artifact == "defenses" {
-                    render_defenses(seed, jobs, fault, obs)
-                } else {
-                    render(obs, artifact).expect("artifact known")
-                }
-            });
-            log.add("render.bytes", rendered.len() as u64);
-            rec.submit(log);
-            rendered
-        })
-    })
 }
 
 /// Write every observability surface the flags asked for: the stderr trace,

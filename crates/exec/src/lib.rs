@@ -42,6 +42,20 @@ pub fn effective_jobs(jobs: Option<usize>) -> usize {
     }
 }
 
+/// Resolve a `jobs` knob for a thread-spawning fan-out: [`effective_jobs`],
+/// additionally clamped to the host's hardware threads.
+///
+/// Asking for more workers than cores cannot help a CPU-bound fan-out — on
+/// a single-core host `--jobs 8` spawns eight threads contending for one
+/// core and measurably *slows* the pass — and since `par_map`'s output is
+/// worker-count-independent, the clamp can never change bytes.
+pub fn clamped_jobs(jobs: Option<usize>) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    effective_jobs(jobs).min(hardware)
+}
+
 /// Map `f` over `items` with up to `effective_jobs(jobs)` worker threads,
 /// returning results **in input order**.
 ///
@@ -135,6 +149,17 @@ mod tests {
         assert_eq!(effective_jobs(Some(0)), 1);
         assert_eq!(effective_jobs(Some(5)), 5);
         assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn clamped_jobs_never_exceeds_hardware() {
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(clamped_jobs(Some(0)), 1);
+        assert_eq!(clamped_jobs(Some(hardware * 8)), hardware);
+        assert!(clamped_jobs(None) <= hardware);
+        assert!(clamped_jobs(Some(1)) == 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub const REGISTRY: &[&str] = &[
     "crawler.syncs",                  // aggregate: cookie syncs observed
     "crawler.visit",                  // aggregate timer: one crawl visit
     "crawler.visits",                 // aggregate: crawl visits completed
+    "derive.defended",                // stage: defended-record derivation for the defenses artifact
     "dsar.after_install",             // span: DSAR export after installs
     "dsar.after_interaction1",        // span: DSAR export after first interaction round
     "dsar.after_interaction2",        // span: DSAR export after second interaction round
@@ -37,6 +38,8 @@ pub const REGISTRY: &[&str] = &[
     "fault.injected",                 // counter: faults injected (ledger total)
     "fault.losses",                   // counter: permanent losses after retry budget
     "fault.retries",                  // counter: retries consumed by faults
+    "index.build",                    // stage: shared analysis-index construction
+    "index.defended",                 // stage: analysis-index builds for the defended records
     "install",                        // span: skill installation round
     "install.failed",                 // counter: installs that failed permanently
     "interact",                       // span: skill interaction round

@@ -240,6 +240,9 @@ mod tests {
     fn stages_nest_and_close() {
         let rec = Recorder::new();
         let v = rec.stage("outer", || {
+            // Keep the stage measurably long: a sub-microsecond closure can
+            // legitimately round to dur_us == 0 and flake the assert below.
+            std::thread::sleep(std::time::Duration::from_micros(100));
             rec.stage("inner", || 1) + rec.stage("inner2", || 2)
         });
         assert_eq!(v, 3);

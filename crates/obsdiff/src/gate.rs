@@ -40,6 +40,16 @@ pub enum GateError {
         /// The keys the entry actually has, for the error message.
         keys: Vec<String>,
     },
+    /// One side of a gated pair carries `rendered_bytes` and the other does
+    /// not — the exact-equality check cannot run on half a pair.
+    MissingRenderedBytes {
+        /// The file the incomplete entry came from.
+        path: PathBuf,
+        /// Which side the entry is on ("fresh" or "baseline").
+        what: &'static str,
+        /// The keys the entry actually has, for the error message.
+        keys: Vec<String>,
+    },
     /// The candidate file contains no entries beyond the baseline.
     NoFreshEntries,
 }
@@ -60,6 +70,11 @@ impl fmt::Display for GateError {
                 "{what} entry in {} has no 'total_ms' field (keys: {keys:?})",
                 path.display()
             ),
+            GateError::MissingRenderedBytes { path, what, keys } => write!(
+                f,
+                "{what} entry in {} has no 'rendered_bytes' field while its counterpart does (keys: {keys:?})",
+                path.display()
+            ),
             GateError::NoFreshEntries => {
                 write!(f, "no new bench entries found — did the bench runs happen?")
             }
@@ -67,14 +82,23 @@ impl fmt::Display for GateError {
     }
 }
 
+/// Stages gated individually: a wall-clock regression beyond the threshold
+/// in any of these fails the gate even when `total_ms` stays within bounds.
+/// `render.all` is the stage the shared-index/streaming-render work exists
+/// to keep down — a perf PR must not quietly give it back.
+pub const GATED_STAGES: &[&str] = &["render.all"];
+
 /// The gate's verdict plus its full comparison log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GateReport {
     /// Human-readable comparison lines, in entry order.
     pub log: Vec<String>,
     /// Labels of the entries that failed (`seed=.. jobs=..`, with reason
-    /// for missing stages).
+    /// for missing stages or gated-stage regressions).
     pub failures: Vec<String>,
+    /// Labels of entry pairs whose `rendered_bytes` differ — output bytes
+    /// changed, which a perf PR must never do.
+    pub byte_mismatches: Vec<String>,
     /// The threshold the gate ran with.
     pub threshold: f64,
 }
@@ -82,7 +106,7 @@ pub struct GateReport {
 impl GateReport {
     /// Whether every fresh entry passed.
     pub fn passed(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.byte_mismatches.is_empty()
     }
 
     /// Human-readable report (the Python script's stdout, verdict last).
@@ -94,11 +118,19 @@ impl GateReport {
         if self.passed() {
             out.push_str("bench gate passed\n");
         } else {
-            out.push_str(&format!(
-                "bench gate failed (total_ms regression >{:.0}% or missing stages) for: {}\n",
-                self.threshold * 100.0,
-                self.failures.join("; ")
-            ));
+            if !self.failures.is_empty() {
+                out.push_str(&format!(
+                    "bench gate failed (total_ms/stage regression >{:.0}% or missing stages) for: {}\n",
+                    self.threshold * 100.0,
+                    self.failures.join("; ")
+                ));
+            }
+            if !self.byte_mismatches.is_empty() {
+                out.push_str(&format!(
+                    "bench gate failed (rendered_bytes changed — output is not byte-identical) for: {}\n",
+                    self.byte_mismatches.join("; ")
+                ));
+            }
         }
         out
     }
@@ -111,6 +143,15 @@ impl GateReport {
             (
                 "failures".to_string(),
                 Json::Arr(self.failures.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "rendered_bytes_mismatches".to_string(),
+                Json::Arr(
+                    self.byte_mismatches
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
             ),
             (
                 "log".to_string(),
@@ -243,9 +284,60 @@ pub fn run_gate(
         let base_stages = stages(base);
         for (stage, ms) in &entry_stages {
             if let Some((_, base_ms)) = base_stages.iter().find(|(n, _)| n == stage) {
-                report
-                    .log
-                    .push(format!("  {stage}: {base_ms} ms -> {ms} ms"));
+                // Gated stages regress the whole gate on their own: the
+                // render path must not quietly reabsorb the wall time the
+                // shared index bought back.
+                let gated = GATED_STAGES.contains(&stage.as_str());
+                let stage_ratio = if *base_ms == 0.0 {
+                    if *ms == 0.0 {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    ms / base_ms
+                };
+                let stage_regressed = gated && stage_ratio > 1.0 + threshold;
+                report.log.push(format!(
+                    "  {stage}: {base_ms} ms -> {ms} ms{}",
+                    if stage_regressed { " REGRESSION" } else { "" }
+                ));
+                if stage_regressed {
+                    report.failures.push(format!(
+                        "{lbl} (stage {stage} {:+.1}%)",
+                        (stage_ratio - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+        // Exact output-byte equality: a perf entry pair carrying
+        // `rendered_bytes` must agree to the byte; carrying it on only one
+        // side is a typed error (half a check is no check).
+        let bytes_of = |e: &Json| e.get("rendered_bytes").and_then(Json::as_u64);
+        match (bytes_of(base), bytes_of(entry)) {
+            (Some(base_bytes), Some(entry_bytes)) => {
+                if base_bytes != entry_bytes {
+                    report.log.push(format!(
+                        "{lbl}: rendered_bytes changed: {base_bytes} -> {entry_bytes}"
+                    ));
+                    report.byte_mismatches.push(lbl.clone());
+                }
+            }
+            (None, None) => {}
+            (half, _) => {
+                let (path, what, e) = if half.is_none() {
+                    (baseline, "baseline", *base)
+                } else {
+                    (candidate, "fresh", entry)
+                };
+                return Err(GateError::MissingRenderedBytes {
+                    path: path.to_path_buf(),
+                    what,
+                    keys: e
+                        .as_obj()
+                        .map(|fields| fields.iter().map(|(k, _)| k.clone()).collect())
+                        .unwrap_or_default(),
+                });
             }
         }
         let mut gone: Vec<&str> = base_stages

@@ -159,6 +159,104 @@ fn no_fresh_entries_is_a_typed_error() {
 }
 
 #[test]
+fn gated_stage_regression_fails_even_when_total_is_fine() {
+    // render.all triples while total_ms stays flat (other stages absorbed
+    // the difference): the per-stage gate must still fail.
+    let base = entry(7, "1", 1000, "\"render.all\": 100, \"persona.shards\": 900");
+    let cand = format!(
+        "{base}{}",
+        entry(7, "1", 1000, "\"render.all\": 300, \"persona.shards\": 700")
+    );
+    let baseline = bench_file("stage-base", &base);
+    let candidate = bench_file("stage-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(!report.passed());
+    assert!(
+        report.failures[0].contains("stage render.all"),
+        "{:?}",
+        report.failures
+    );
+    assert!(report
+        .render_human()
+        .contains("render.all: 100 ms -> 300 ms REGRESSION"));
+    // Non-gated stages may swing freely: shrink render.all, triple another.
+    let cand2 = format!(
+        "{base}{}",
+        entry(
+            7,
+            "1",
+            1000,
+            "\"render.all\": 100, \"persona.shards\": 2700"
+        )
+    );
+    let candidate2 = bench_file("stage-cand2", &cand2);
+    assert!(run_gate(&baseline, &candidate2, 0.25)
+        .expect("gate runs")
+        .passed());
+}
+
+fn entry_with_bytes(seed: u64, total_ms: u64, bytes: u64) -> String {
+    format!("{{\"seed\": {seed}, \"jobs\": 1, \"total_ms\": {total_ms}, \"rendered_bytes\": {bytes}, \"stages\": {{}}}}\n")
+}
+
+#[test]
+fn rendered_bytes_mismatch_fails_with_its_own_json_field() {
+    use alexa_obs::Json;
+    let base = entry_with_bytes(7, 1000, 36392);
+    let cand = format!("{base}{}", entry_with_bytes(7, 1000, 36400));
+    let baseline = bench_file("bytes-base", &base);
+    let candidate = bench_file("bytes-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    assert!(!report.passed());
+    assert!(report.failures.is_empty(), "not a timing failure");
+    assert_eq!(report.byte_mismatches, vec!["seed=7 jobs=1".to_string()]);
+    assert!(report
+        .render_human()
+        .contains("rendered_bytes changed: 36392 -> 36400"));
+    let parsed = Json::parse(&report.to_json().render()).expect("parses");
+    assert_eq!(parsed.get("passed").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        parsed
+            .get("rendered_bytes_mismatches")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+}
+
+#[test]
+fn rendered_bytes_equal_passes() {
+    let base = entry_with_bytes(7, 1000, 36392);
+    let cand = format!("{base}{}", entry_with_bytes(7, 1100, 36392));
+    let baseline = bench_file("byteseq-base", &base);
+    let candidate = bench_file("byteseq-cand", &cand);
+    assert!(run_gate(&baseline, &candidate, 0.25)
+        .expect("gate runs")
+        .passed());
+}
+
+#[test]
+fn rendered_bytes_on_one_side_only_is_a_typed_error() {
+    // Baseline predates the field, candidate carries it: typed error naming
+    // the incomplete side rather than a silent skip.
+    let base = entry(7, "1", 1000, "");
+    let cand = format!("{base}{}", entry_with_bytes(7, 1000, 36392));
+    let baseline = bench_file("byteshalf-base", &base);
+    let candidate = bench_file("byteshalf-cand", &cand);
+    match run_gate(&baseline, &candidate, 0.25) {
+        Err(GateError::MissingRenderedBytes { what, .. }) => assert_eq!(what, "baseline"),
+        other => panic!("expected MissingRenderedBytes, got {other:?}"),
+    }
+    let msg = GateError::MissingRenderedBytes {
+        path: std::path::PathBuf::from("x"),
+        what: "baseline",
+        keys: vec![],
+    }
+    .to_string();
+    assert!(msg.contains("rendered_bytes"), "{msg}");
+}
+
+#[test]
 fn json_format_carries_verdict_failures_and_log() {
     use alexa_obs::Json;
     let base = entry(7, "2", 1000, "");

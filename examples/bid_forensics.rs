@@ -7,26 +7,27 @@
 //! ```
 
 use alexa_audit::analysis::{bids, partners, significance};
-use alexa_audit::{AuditConfig, AuditRun};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun};
 
 fn main() {
     let obs = AuditRun::execute(AuditConfig::small(42));
+    let ix = AnalysisIndex::build(&obs);
 
-    println!("{}", bids::table5(&obs).render());
-    println!("{}", bids::table6(&obs).render());
-    println!("{}", bids::figure3(&obs).render());
-    println!("{}", significance::table7(&obs).render());
+    println!("{}", bids::table5(&ix).render());
+    println!("{}", bids::table6(&ix).render());
+    println!("{}", bids::figure3(&ix).render());
+    println!("{}", significance::table7(&ix).render());
 
-    let sync = partners::sync_analysis(&obs);
+    let sync = partners::sync_analysis(&ix);
     println!("{}", sync.render());
-    println!("{}", partners::table10(&obs).render());
-    println!("{}", partners::figure6(&obs).render());
+    println!("{}", partners::table10(&ix).render());
+    println!("{}", partners::figure6(&ix).render());
 
-    println!("{}", significance::table11(&obs).render());
-    println!("{}", bids::figure7(&obs).render());
+    println!("{}", significance::table11(&ix).render());
+    println!("{}", bids::figure7(&ix).render());
 
     // The headline inference: does skill interaction raise bids?
-    let t5 = bids::table5(&obs);
+    let t5 = bids::table5(&ix);
     let (vm, _) = t5.get("Vanilla").unwrap();
     let above = t5
         .rows

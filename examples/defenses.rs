@@ -9,7 +9,7 @@
 //! ```
 
 use alexa_audit::analysis::defense;
-use alexa_audit::{AuditConfig, AuditRun, DefenseMode};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun, DefenseMode};
 
 fn main() {
     let seed = 42;
@@ -23,18 +23,27 @@ fn main() {
     println!("Running audit with on-device transcription ...\n");
     let text_only = AuditRun::execute(AuditConfig::small(seed).with_defense(DefenseMode::TextOnly));
 
+    let baseline_ix = AnalysisIndex::build(&baseline);
+    let firewalled_ix = AnalysisIndex::build(&firewalled);
+    let text_only_ix = AnalysisIndex::build(&text_only);
+
     println!(
         "{}",
         defense::compare(
             "A&T firewall (blocking without breaking)",
-            &baseline,
-            &firewalled
+            &baseline_ix,
+            &firewalled_ix
         )
         .render()
     );
     println!(
         "{}",
-        defense::compare("on-device transcription (text-only)", &baseline, &text_only).render()
+        defense::compare(
+            "on-device transcription (text-only)",
+            &baseline_ix,
+            &text_only_ix
+        )
+        .render()
     );
 
     println!(

@@ -6,7 +6,7 @@
 //! ```
 
 use alexa_audit::analysis::{bids, creatives, significance, traffic};
-use alexa_audit::{AuditConfig, AuditRun, Persona};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun, Persona};
 use alexa_platform::SkillCategory;
 
 fn main() {
@@ -23,6 +23,7 @@ fn main() {
     let persona = Persona::Interest(*category);
 
     let obs = AuditRun::execute(AuditConfig::small(42));
+    let ix = AnalysisIndex::build(&obs);
 
     println!("=== Persona audit: {} ===\n", persona.name());
 
@@ -51,7 +52,7 @@ fn main() {
     }
 
     // Bid response.
-    let t5 = bids::table5(&obs);
+    let t5 = bids::table5(&ix);
     let (median, mean) = t5.get(&persona.name()).unwrap();
     let (vmedian, vmean) = t5.get("Vanilla").unwrap();
     println!(
@@ -59,13 +60,13 @@ fn main() {
          ({:.1}x); mean {mean:.3} vs {vmean:.3}.",
         median / vmedian
     );
-    let t7 = significance::table7(&obs);
+    let t7 = significance::table7(&ix);
     if let Some((p, r)) = t7.get(&persona.name()) {
         println!("Mann-Whitney U vs vanilla: p = {p:.3}, rank-biserial = {r:.3}.");
     }
 
     // Exclusive ads.
-    let t8 = creatives::table8(&obs);
+    let t8 = creatives::table8(&ix);
     let products = t8.products_for(&persona.name());
     if products.is_empty() {
         println!("No persona-exclusive Amazon ads observed.");

@@ -7,23 +7,24 @@
 //! ```
 
 use alexa_audit::analysis::policy;
-use alexa_audit::{AuditConfig, AuditRun};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun};
 
 fn main() {
     let obs = AuditRun::execute(AuditConfig::small(42));
+    let ix = AnalysisIndex::build(&obs);
 
-    println!("{}", policy::policy_stats(&obs).render());
+    println!("{}", policy::policy_stats(&ix).render());
 
-    println!("{}", policy::table13(&obs, false).render());
+    println!("{}", policy::table13(&ix, false).render());
 
     println!("--- With Amazon's platform policy consulted (§7.2.2) ---\n");
-    let upgraded = policy::table13(&obs, true);
+    let upgraded = policy::table13(&ix, true);
     println!("{}", upgraded.render());
     println!(
         "All flows disclosed once the platform policy is included: {}\n",
         upgraded.all_disclosed()
     );
 
-    println!("{}", policy::table14(&obs).render());
-    println!("{}", policy::validation(&obs).render());
+    println!("{}", policy::table14(&ix).render());
+    println!("{}", policy::validation(&ix).render());
 }

@@ -7,7 +7,7 @@
 //! execution.
 
 use alexa_audit::analysis::{audio, bids, partners, policy, profiling, significance, traffic};
-use alexa_audit::{AuditConfig, AuditRun, Observations};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun, Observations};
 use alexa_platform::SkillCategory;
 use std::sync::OnceLock;
 
@@ -16,9 +16,14 @@ fn obs() -> &'static Observations {
     OBS.get_or_init(|| AuditRun::execute(AuditConfig::paper(7)))
 }
 
+fn ix() -> &'static AnalysisIndex<'static> {
+    static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| AnalysisIndex::build(obs()))
+}
+
 #[test]
 fn paper_table1_skill_counts() {
-    let t1 = traffic::table1(obs());
+    let t1 = traffic::table1(ix());
     assert_eq!(t1.skills_total, 450);
     assert_eq!(t1.skills_failed, 4, "paper: 4 skills fail to load");
     // Paper: 446 skills contact Amazon, 2-3 their vendor, ~31 third parties.
@@ -33,7 +38,7 @@ fn paper_table1_skill_counts() {
 
 #[test]
 fn paper_table2_amazon_dominates() {
-    let t2 = traffic::table2(obs());
+    let t2 = traffic::table2(ix());
     let amazon = t2
         .rows
         .iter()
@@ -54,7 +59,7 @@ fn paper_table2_amazon_dominates() {
 
 #[test]
 fn paper_table3_fashion_leads_ad_tracking() {
-    let t3 = traffic::table3(obs());
+    let t3 = traffic::table3(ix());
     // Fashion & Style contacts the most A&T services (paper: 9).
     assert_eq!(t3.rows[0].0, "Fashion & Style");
     assert!(t3.rows[0].1 >= 7, "fashion A&T domains {}", t3.rows[0].1);
@@ -69,7 +74,7 @@ fn paper_table3_fashion_leads_ad_tracking() {
 
 #[test]
 fn paper_table5_uplift_pattern() {
-    let t5 = bids::table5(obs());
+    let t5 = bids::table5(ix());
     let (vanilla_median, vanilla_mean) = t5.get("Vanilla").unwrap();
     // All interest personas above vanilla on median; vanilla lowest.
     for cat in SkillCategory::ALL {
@@ -93,7 +98,7 @@ fn paper_table5_uplift_pattern() {
     );
     // The maximum single bid reaches the ~30x regime the paper reports.
     let slots = bids::common_slots(
-        obs(),
+        ix(),
         &alexa_audit::Persona::echo_personas(),
         obs().post_window(),
     );
@@ -101,7 +106,7 @@ fn paper_table5_uplift_pattern() {
         .iter()
         .flat_map(|&c| {
             bids::pooled_bids(
-                obs(),
+                ix(),
                 alexa_audit::Persona::Interest(c),
                 obs().post_window(),
                 &slots,
@@ -116,7 +121,7 @@ fn paper_table5_uplift_pattern() {
 
 #[test]
 fn paper_table6_holiday_control() {
-    let t6 = bids::table6(obs());
+    let t6 = bids::table6(ix());
     // Pre-interaction (peak season): vanilla is NOT the lowest — everyone
     // is elevated. Post-interaction: vanilla falls below the interest mean.
     let (vanilla_pre, vanilla_post) = t6.get("Vanilla").unwrap();
@@ -131,7 +136,7 @@ fn paper_table6_holiday_control() {
 
 #[test]
 fn paper_table7_significance_split() {
-    let t7 = significance::table7(obs());
+    let t7 = significance::table7(ix());
     let sig = t7.significant();
     // Paper: six personas significant; Smart Home, Wine & Beverages and
     // Health & Fitness are not. Require the same split ±1.
@@ -157,7 +162,7 @@ fn paper_table7_significance_split() {
 
 #[test]
 fn paper_table9_spotify_connected_car_gap() {
-    let t9 = audio::table9(obs());
+    let t9 = audio::table9(ix());
     let cc = t9.share("Connected Car", alexa_adtech::StreamingService::Spotify);
     let fs = t9.share("Fashion & Style", alexa_adtech::StreamingService::Spotify);
     let vanilla = t9.share("Vanilla", alexa_adtech::StreamingService::Spotify);
@@ -175,7 +180,7 @@ fn paper_table9_spotify_connected_car_gap() {
 
 #[test]
 fn paper_figure5_exclusive_brands() {
-    let f5 = audio::figure5(obs());
+    let f5 = audio::figure5(ix());
     let fs_pandora =
         f5.exclusive_brands(alexa_adtech::StreamingService::Pandora, "Fashion & Style");
     assert!(
@@ -197,7 +202,7 @@ fn paper_figure5_exclusive_brands() {
 
 #[test]
 fn paper_sync_counts_exact() {
-    let sa = partners::sync_analysis(obs());
+    let sa = partners::sync_analysis(ix());
     assert_eq!(sa.amazon_partners.len(), 41);
     assert_eq!(sa.downstream_parties.len(), 247);
     assert!(!sa.amazon_syncs_out);
@@ -205,7 +210,7 @@ fn paper_sync_counts_exact() {
 
 #[test]
 fn paper_table10_partners_bid_higher() {
-    let t10 = partners::table10(obs());
+    let t10 = partners::table10(ix());
     let mut median_wins = 0;
     for cat in SkillCategory::ALL {
         let (pm, _, nm, _) = t10.get(cat.label()).unwrap();
@@ -219,7 +224,7 @@ fn paper_table10_partners_bid_higher() {
 
 #[test]
 fn paper_table11_echo_equals_web() {
-    let t11 = significance::table11(obs());
+    let t11 = significance::table11(ix());
     // Paper: 1 of 27 significant. Allow a small number.
     assert!(
         t11.significant_pairs() <= 5,
@@ -231,7 +236,7 @@ fn paper_table11_echo_equals_web() {
 #[test]
 fn paper_table12_interest_evolution() {
     use alexa_platform::DsarPhase;
-    let t12 = profiling::table12(obs());
+    let t12 = profiling::table12(ix());
     assert_eq!(
         t12.interests(DsarPhase::AfterInstall, "Health & Fitness"),
         vec!["Electronics", "Home & Garden: DIY & Tools"]
@@ -245,7 +250,7 @@ fn paper_table12_interest_evolution() {
 
 #[test]
 fn paper_table13_disclosure_counts() {
-    let t13 = policy::table13(obs(), false);
+    let t13 = policy::table13(ix(), false);
     let (clear, vague, omitted, nopolicy) = t13.get(alexa_net::DataType::VoiceRecording);
     // Paper: 20 clear / 18 vague / 147 omitted / 258 no policy. Our AVS pass
     // cannot audit streaming skills (same limitation as the paper's), so
@@ -264,7 +269,7 @@ fn paper_table13_disclosure_counts() {
 
 #[test]
 fn paper_table14_org_coverage() {
-    let t14 = policy::table14(obs());
+    let t14 = policy::table14(ix());
     for org in [
         "Amazon Technologies, Inc.",
         "Chartable Holding Inc",
@@ -283,7 +288,7 @@ fn paper_table14_org_coverage() {
 
 #[test]
 fn paper_validation_f1() {
-    let v = policy::validation(obs());
+    let v = policy::validation(ix());
     // Paper: 87.41% micro; ours must be high but imperfect.
     assert!(
         v.micro.f1 > 0.82 && v.micro.f1 < 1.0,

@@ -4,7 +4,7 @@
 use alexa_audit::analysis::{
     audio, bids, creatives, partners, policy, profiling, significance, traffic,
 };
-use alexa_audit::{AuditConfig, AuditRun, Observations, Persona};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun, Observations, Persona};
 use std::sync::OnceLock;
 
 fn obs() -> &'static Observations {
@@ -12,13 +12,18 @@ fn obs() -> &'static Observations {
     OBS.get_or_init(|| AuditRun::execute(AuditConfig::small(2024)))
 }
 
+fn ix() -> &'static AnalysisIndex<'static> {
+    static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| AnalysisIndex::build(obs()))
+}
+
 #[test]
 fn rq1_amazon_mediates_everything() {
-    let t1 = traffic::table1(obs());
+    let t1 = traffic::table1(ix());
     // Every skill that produced traffic reached Amazon; no skill avoided it.
     assert!(t1.skills_amazon > 0);
     assert!(t1.skills_third_party < t1.skills_amazon);
-    let t2 = traffic::table2(obs());
+    let t2 = traffic::table2(ix());
     let amazon_row = t2
         .rows
         .iter()
@@ -29,7 +34,7 @@ fn rq1_amazon_mediates_everything() {
 
 #[test]
 fn rq1_ad_tracking_traffic_is_minor_but_present() {
-    let t2 = traffic::table2(obs());
+    let t2 = traffic::table2(ix());
     assert!(
         t2.total_ad_tracking > 0.01,
         "A&T share {}",
@@ -44,7 +49,7 @@ fn rq1_ad_tracking_traffic_is_minor_but_present() {
 
 #[test]
 fn rq2_interaction_causes_bid_uplift() {
-    let t5 = bids::table5(obs());
+    let t5 = bids::table5(ix());
     let (vanilla, _) = t5.get("Vanilla").unwrap();
     let medians: Vec<f64> = t5
         .rows
@@ -62,7 +67,7 @@ fn rq2_interaction_causes_bid_uplift() {
 
 #[test]
 fn rq2_no_uplift_before_interaction() {
-    let f3 = bids::figure3(obs());
+    let f3 = bids::figure3(ix());
     let vanilla = f3
         .without_interaction
         .iter()
@@ -80,7 +85,7 @@ fn rq2_no_uplift_before_interaction() {
 
 #[test]
 fn rq2_significance_pattern() {
-    let t7 = significance::table7(obs());
+    let t7 = significance::table7(ix());
     let sig = t7.significant();
     // Strong categories separate; the planted-weak ones are not required to.
     assert!(sig.len() >= 3, "significant: {sig:?}");
@@ -92,7 +97,7 @@ fn rq2_significance_pattern() {
 
 #[test]
 fn rq2_echo_web_equivalence() {
-    let t11 = significance::table11(obs());
+    let t11 = significance::table11(ix());
     // 27 comparisons; the paper found exactly one significant.
     assert!(
         t11.significant_pairs() <= 9,
@@ -103,7 +108,7 @@ fn rq2_echo_web_equivalence() {
 
 #[test]
 fn rq2_cookie_sync_recovery_is_exact() {
-    let sa = partners::sync_analysis(obs());
+    let sa = partners::sync_analysis(ix());
     assert_eq!(sa.amazon_partners.len(), 41, "paper: 41 partners");
     assert!(!sa.amazon_syncs_out, "Amazon must never sync out");
     assert!(sa.downstream_parties.len() >= 200, "paper: 247 downstream");
@@ -113,7 +118,7 @@ fn rq2_cookie_sync_recovery_is_exact() {
 fn rq2_dsar_vs_targeting_gap() {
     // Wine & Beverages: targeted (higher bids) but DSAR shows no interests —
     // the transparency gap the paper highlights.
-    let t12 = profiling::table12(obs());
+    let t12 = profiling::table12(ix());
     let wine_rows: Vec<_> = t12
         .rows
         .iter()
@@ -123,7 +128,7 @@ fn rq2_dsar_vs_targeting_gap() {
         wine_rows.is_empty(),
         "DSAR should show nothing for Wine & Beverages"
     );
-    let t5 = bids::table5(obs());
+    let t5 = bids::table5(ix());
     let (wine_median, _) = t5.get("Wine & Beverages").unwrap();
     let (vanilla_median, _) = t5.get("Vanilla").unwrap();
     assert!(
@@ -134,7 +139,7 @@ fn rq2_dsar_vs_targeting_gap() {
 
 #[test]
 fn rq2_audio_ads_differ_by_persona() {
-    let t9 = audio::table9(obs());
+    let t9 = audio::table9(ix());
     let cc = t9.share("Connected Car", alexa_adtech::StreamingService::Spotify);
     let fs = t9.share("Fashion & Style", alexa_adtech::StreamingService::Spotify);
     assert!(cc < fs, "Spotify ad share: CC {cc} vs FS {fs}");
@@ -142,7 +147,7 @@ fn rq2_audio_ads_differ_by_persona() {
 
 #[test]
 fn rq2_exclusive_ads_recovered_without_ground_truth() {
-    let t8 = creatives::table8(obs());
+    let t8 = creatives::table8(ix());
     // Every recovered exclusive ad is from Amazon and tied to one persona.
     for ad in &t8.amazon_exclusive {
         assert!(!ad.persona.is_empty());
@@ -152,14 +157,14 @@ fn rq2_exclusive_ads_recovered_without_ground_truth() {
 
 #[test]
 fn rq3_policy_marginals_recovered() {
-    let s = policy::policy_stats(obs());
+    let s = policy::policy_stats(ix());
     assert_eq!((s.with_link, s.retrievable), (214, 188));
     assert_eq!(s.mention_platform, 59);
 }
 
 #[test]
 fn rq3_most_flows_undisclosed() {
-    let t13 = policy::table13(obs(), false);
+    let t13 = policy::table13(ix(), false);
     let mut disclosed = 0usize;
     let mut hidden = 0usize;
     for (c, v, o, n) in t13.rows.values() {
@@ -171,7 +176,7 @@ fn rq3_most_flows_undisclosed() {
 
 #[test]
 fn rq3_platform_policy_closes_the_gap() {
-    assert!(policy::table13(obs(), true).all_disclosed());
+    assert!(policy::table13(ix(), true).all_disclosed());
 }
 
 #[test]
@@ -220,7 +225,7 @@ fn persona_isolation_distinct_cookies() {
     for p in [Persona::Vanilla, Persona::WebHealth] {
         let ids = obs().crawl[&p.name()]
             .iter()
-            .flat_map(|v| v.syncs.iter().map(|s| s.user_id.as_str()))
+            .flat_map(|v| v.syncs.iter().map(|s| &*s.user_id))
             .collect();
         ids_by_persona.push(ids);
     }

@@ -3,7 +3,7 @@
 //! three independent seeds with tolerant thresholds.
 
 use alexa_audit::analysis::{bids, partners, policy, profiling, significance};
-use alexa_audit::{AuditConfig, AuditRun, Observations};
+use alexa_audit::{AnalysisIndex, AuditConfig, AuditRun, Observations};
 use std::sync::OnceLock;
 
 const SEEDS: [u64; 3] = [7, 101, 9001];
@@ -21,7 +21,7 @@ fn runs() -> &'static Vec<Observations> {
 #[test]
 fn uplift_direction_is_seed_stable() {
     for obs in runs() {
-        let t5 = bids::table5(obs);
+        let t5 = bids::table5(&AnalysisIndex::build(obs));
         let (vanilla, _) = t5.get("Vanilla").unwrap();
         let above = t5
             .rows
@@ -39,7 +39,7 @@ fn uplift_direction_is_seed_stable() {
 #[test]
 fn significance_split_is_seed_stable() {
     for obs in runs() {
-        let t7 = significance::table7(obs);
+        let t7 = significance::table7(&AnalysisIndex::build(obs));
         let sig = t7.significant();
         assert!(
             (4..=8).contains(&sig.len()),
@@ -65,7 +65,8 @@ fn significance_split_is_seed_stable() {
 #[test]
 fn sync_counts_are_seed_exact() {
     for obs in runs() {
-        let sa = partners::sync_analysis(obs);
+        let ix = AnalysisIndex::build(obs);
+        let sa = partners::sync_analysis(&ix);
         assert_eq!(sa.amazon_partners.len(), 41, "seed {}", obs.seed);
         assert_eq!(sa.downstream_parties.len(), 247, "seed {}", obs.seed);
         assert!(!sa.amazon_syncs_out, "seed {}", obs.seed);
@@ -75,7 +76,7 @@ fn sync_counts_are_seed_exact() {
 #[test]
 fn policy_marginals_are_seed_exact() {
     for obs in runs() {
-        let s = policy::policy_stats(obs);
+        let s = policy::policy_stats(&AnalysisIndex::build(obs));
         assert_eq!(
             (
                 s.with_link,
@@ -93,7 +94,7 @@ fn policy_marginals_are_seed_exact() {
 #[test]
 fn dsar_missing_files_are_seed_exact() {
     for obs in runs() {
-        let t12 = profiling::table12(obs);
+        let t12 = profiling::table12(&AnalysisIndex::build(obs));
         assert_eq!(
             t12.missing_files.len(),
             5,
@@ -107,7 +108,7 @@ fn dsar_missing_files_are_seed_exact() {
 #[test]
 fn validation_f1_band_is_seed_stable() {
     for obs in runs() {
-        let v = policy::validation(obs);
+        let v = policy::validation(&AnalysisIndex::build(obs));
         assert!(
             v.micro.f1 > 0.8 && v.micro.f1 < 1.0,
             "seed {}: micro F1 {}",
