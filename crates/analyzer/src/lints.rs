@@ -127,7 +127,7 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "yield", "box", "dyn", "impl", "where", "for", "while", "loop", "fn", "const", "static",
 ];
 /// Methods whose first string argument is an observability name.
-const OBS_METHODS: &[&str] = &["span", "stage", "add", "count", "shard", "section"];
+const OBS_METHODS: &[&str] = &["span", "stage", "add", "count", "shard", "section", "time"];
 /// Free functions whose first string argument is an observability name.
 const OBS_FUNCTIONS: &[&str] = &["agg_time", "agg_count"];
 

@@ -46,6 +46,7 @@ pub fn obs_names(rec: &Recorder) {
     rec.stage("boot", || {});
     rec.count("Not-Registered", 1);
     rec.count("mystery.name", 1);
+    rec.time("timer.unregistered", || {});
     agg_count("fault.unknown", 1);
 }
 

@@ -14,6 +14,7 @@
 //! repro --fault-rate 0.2 all       # uniform fault rate on every channel
 //! repro --bench             # time a paper-scale run, write BENCH_audit.json
 //! repro --list              # list artifact names
+//! repro campaign plan.json  # execute a declarative experiment plan
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value (the engine's
@@ -28,21 +29,32 @@
 //! on `(seed, fault profile)`, never on `--jobs`; compare bundles with the
 //! `obs-diff` tool.
 //!
+//! `repro campaign PLAN [--out DIR]` executes a declarative experiment plan
+//! (seeds × faults × defenses × jobs, with repeats) into a campaign
+//! directory of cell bundles plus derived analysis tables, resuming over
+//! cells that are already complete — see `alexa_bench::campaign`.
+//!
 //! Any unknown artifact name or flag is a hard error (exit 2) — including
 //! alongside `all` — so a typo in a CI invocation can never pass green.
 //!
 //! # Exit codes
 //!
-//! * `0` — complete run.
-//! * `2` — usage error (unknown flag/artifact, bad value).
+//! * `0` — complete run (campaigns: including when some cells degraded —
+//!   degradation is recorded per cell in `campaign.json`).
+//! * `1` — I/O failure, or a campaign determinism violation (instances of
+//!   one cell identity differ byte-wise).
+//! * `2` — usage error (unknown flag/artifact, bad value, invalid plan,
+//!   `--run-dir` pointing at a foreign directory).
 //! * `3` — **degraded but valid**: injected faults cost observations after
 //!   retry, or a shard's retry budget exhausted. The report (with its
 //!   coverage block) is still fully rendered and deterministic.
 
 use alexa_audit::{AuditConfig, AuditRun, Observations};
-use alexa_bench::{render_all, ARTIFACTS};
+use alexa_bench::{campaign, render_all, ARTIFACTS};
 use alexa_fault::FaultProfile;
+use alexa_obs::bundle::BundleSpec;
 use alexa_obs::{Json, Recorder};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -171,17 +183,41 @@ fn emit_observability(rec: &Recorder, cli: &Cli, obs: &Observations) {
         write_output(path, "metrics", &(Json::Obj(fields).render() + "\n"));
     }
     if let Some(dir) = cli.run_dir.as_deref() {
-        let spec = alexa_obs::bundle::BundleSpec {
-            seed: cli.seed,
-            fault_profile: cli.fault.name().to_string(),
-            observations_digest: obs.digest(),
-            coverage: Some(obs.coverage.to_json()),
-        };
-        if let Err(e) = alexa_obs::bundle::write_bundle(std::path::Path::new(dir), &spec, &report) {
+        let mut spec = run_dir_spec(cli);
+        spec.observations_digest = obs.digest();
+        spec.coverage = Some(obs.coverage.to_json());
+        if let Err(e) = alexa_obs::bundle::write_bundle(Path::new(dir), &spec, &report) {
             eprintln!("error: cannot write run bundle to {dir:?}: {e}");
             std::process::exit(1);
         }
         eprintln!("run bundle written to {dir}");
+    }
+}
+
+/// The run-identity spec of this invocation's `--run-dir` bundle (digest
+/// and coverage are filled in after the run; identity ignores both).
+fn run_dir_spec(cli: &Cli) -> BundleSpec {
+    BundleSpec {
+        seed: cli.seed,
+        fault_profile: cli.fault.name().to_string(),
+        defense: None,
+        campaign: None,
+        observations_digest: 0,
+        coverage: None,
+    }
+}
+
+/// Refuse a `--run-dir` target that is non-empty and not this experiment's
+/// bundle (exit 2) — checked *before* the run so hours of execution can
+/// never end by destroying foreign data. The same predicate drives the
+/// campaign runner's resume detection.
+fn guard_run_dir(cli: &Cli) {
+    let Some(dir) = cli.run_dir.as_deref() else {
+        return;
+    };
+    if let Err(conflict) = alexa_obs::bundle::check_run_dir(Path::new(dir), &run_dir_spec(cli)) {
+        eprintln!("error: {conflict}");
+        std::process::exit(2);
     }
 }
 
@@ -192,9 +228,58 @@ fn usage(code: i32) -> ! {
          [--fault-profile none|flaky|degraded|hostile] [--fault-rate R] \
          <artifact>... | all | --bench | --list"
     );
+    eprintln!("       repro campaign PLAN [--out DIR]");
     eprintln!("output PATHs accept '-' to stream to stderr");
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
     std::process::exit(code);
+}
+
+/// `repro campaign PLAN [--out DIR]` — execute a declarative experiment
+/// plan. Own tiny argument grammar: the campaign's axes (seed, faults,
+/// jobs, ...) live in the plan document, not on the command line.
+fn run_campaign_cli(args: &[String]) -> ! {
+    let mut plan: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --out expects a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => usage(0),
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown campaign flag {flag:?}");
+                usage(2);
+            }
+            path => {
+                if plan.is_some() {
+                    eprintln!("error: campaign expects exactly one plan file");
+                    usage(2);
+                }
+                plan = Some(path.to_string());
+            }
+        }
+    }
+    let Some(plan) = plan else {
+        eprintln!("error: campaign expects a plan file");
+        usage(2);
+    };
+    let rec = Arc::new(Recorder::new());
+    alexa_obs::install_global(rec.clone());
+    match campaign::run_campaign(Path::new(&plan), out.as_deref().map(Path::new), &rec) {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
 }
 
 struct Cli {
@@ -306,6 +391,13 @@ fn parse_cli() -> Cli {
 }
 
 fn main() {
+    // The campaign subcommand has its own grammar; dispatch before the
+    // flag parser so plan paths are never mistaken for artifact names.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("campaign") {
+        run_campaign_cli(&argv[1..]);
+    }
+
     let cli = parse_cli();
     if cli.list {
         for a in ARTIFACTS {
@@ -313,6 +405,7 @@ fn main() {
         }
         return;
     }
+    guard_run_dir(&cli);
 
     // The recorder: enabled whenever any observability surface is on, and
     // installed globally so leaf libraries (stats, crawler) feed it too.

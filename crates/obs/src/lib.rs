@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod campaign;
 mod hist;
 mod json;
 pub mod names;

@@ -18,6 +18,13 @@ pub const REGISTRY: &[&str] = &[
     "avs.pass",                       // stage: AVS skill-store sweep
     "avs.skills",                     // coverage section: skills seen via AVS
     "boot",                           // span: device boot + profile setup
+    "campaign.cells",                 // stage: execute every plan cell
+    "campaign.plan",                  // stage: plan load + parse + conflict checks
+    "campaign.tables",                // stage: derive analysis tables from cell bundles
+    "campaign.verify",                // stage: cross-instance byte-equality verification
+    "cell",                           // shard group: one campaign cell instance
+    "cell.executed",                  // counter: cells executed this invocation
+    "cell.skipped",                   // counter: cells skipped as already complete
     "crawl.bids",                     // counter: bids captured across crawl visits
     "crawl.creatives",                // counter: ad creatives captured across crawl visits
     "crawl.post",                     // span: web crawl after interactions

@@ -3,7 +3,7 @@
 use crate::report::{Aggregate, Report, ShardReport, StageRec};
 use crate::shard::ShardLog;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 #[derive(Default)]
@@ -197,21 +197,30 @@ impl Recorder {
     }
 }
 
-static GLOBAL: OnceLock<Arc<Recorder>> = OnceLock::new();
+static GLOBAL: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
 
-/// Install the process-wide recorder handle (first caller wins).
+/// Install (or replace) the process-wide recorder handle.
 ///
 /// Libraries too deep to thread a recorder through (stats, the crawler)
 /// report to this handle via [`agg_count`] / [`agg_time`]; when nothing is
-/// installed those are no-ops. Returns `false` if a handle was already
-/// installed.
+/// installed those are no-ops. The handle is **swappable** so sequential
+/// multi-run drivers — the campaign runner executes one audit per cell —
+/// can give every run its own recorder without cross-run aggregate
+/// contamination. Swapping while an instrumented run is in flight would
+/// split that run's aggregates across recorders; callers swap only between
+/// runs. Returns `true` when a previously installed handle was replaced.
 pub fn install_global(rec: Arc<Recorder>) -> bool {
-    GLOBAL.set(rec).is_ok()
+    let mut g = GLOBAL.write().unwrap_or_else(|p| p.into_inner());
+    g.replace(rec).is_some()
 }
 
-/// The installed process-wide recorder, if any.
-pub fn global() -> Option<&'static Recorder> {
-    GLOBAL.get().map(|a| a.as_ref())
+/// The installed process-wide recorder handle, if any.
+pub fn global() -> Option<Arc<Recorder>> {
+    GLOBAL
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .map(Arc::clone)
 }
 
 /// Add to a name-keyed aggregate on the global recorder (no-op when absent).
@@ -224,7 +233,7 @@ pub fn agg_count(name: &str, n: u64) {
 /// Time `f` into a name-keyed aggregate on the global recorder.
 ///
 /// When no recorder is installed (or it is disabled) `f` runs directly with
-/// zero overhead beyond the `OnceLock` load.
+/// zero overhead beyond the lock probe.
 pub fn agg_time<R>(name: &str, f: impl FnOnce() -> R) -> R {
     match global() {
         Some(rec) => rec.time(name, f),
@@ -330,20 +339,23 @@ mod tests {
     }
 
     #[test]
-    fn global_install_is_first_wins() {
-        // The global is process-wide; this test only checks the flow, not
-        // exclusivity against other tests.
-        let rec = Arc::new(Recorder::new());
-        let first = install_global(rec.clone());
-        let second = install_global(Arc::new(Recorder::new()));
-        assert!(
-            !second || first,
-            "second install cannot succeed after a first"
-        );
+    fn global_install_is_swappable() {
+        // The global is process-wide and other tests may swap it too, so
+        // assert only on the recorder this test installed last: after a
+        // swap, aggregates must flow to the new handle and never to the
+        // replaced one.
+        let first = Arc::new(Recorder::new());
+        install_global(first.clone());
+        let second = Arc::new(Recorder::new());
+        let replaced = install_global(second.clone());
+        assert!(replaced, "the first handle must have been replaced");
         agg_count("global.counter", 2);
         agg_time("global.timer", || ());
-        if first {
-            let r = rec.report();
+        let r = second.report();
+        // Concurrent tests may also install; only check the "never the
+        // replaced one" half unconditionally.
+        assert!(first.report().aggregates.is_empty());
+        if !r.aggregates.is_empty() {
             assert_eq!(r.aggregates["global.counter"].count, 2);
             assert_eq!(r.aggregates["global.timer"].calls, 1);
         }

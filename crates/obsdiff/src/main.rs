@@ -6,6 +6,7 @@
 //! obs-diff diff A B --format json           # machine-readable findings
 //! obs-diff gate --baseline B --candidate C  # bench gate (BENCH_audit.json)
 //! obs-diff gate ... --max-regress 25        # threshold in percent
+//! obs-diff campaign CAMPAIGN_DIR            # verify a campaign directory
 //! ```
 //!
 //! # Exit codes
@@ -14,13 +15,14 @@
 //! * `1` — drift or regression found / gate failed.
 //! * `2` — usage error, unreadable or malformed input.
 
-use alexa_obsdiff::{diff_bundles, load_bundle, run_gate, DiffOptions};
+use alexa_obsdiff::{check_campaign, diff_bundles, load_bundle, run_gate, DiffOptions};
 use std::path::Path;
 
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: obs-diff diff BASELINE_DIR CANDIDATE_DIR [--max-regress PCT] [--format human|json]\n\
-                obs-diff gate --baseline FILE --candidate FILE [--max-regress PCT] [--format human|json]"
+                obs-diff gate --baseline FILE --candidate FILE [--max-regress PCT] [--format human|json]\n\
+                obs-diff campaign CAMPAIGN_DIR [--format human|json]"
     );
     std::process::exit(code);
 }
@@ -63,6 +65,7 @@ fn main() {
     match command.as_str() {
         "diff" => cmd_diff(&args[1..]),
         "gate" => cmd_gate(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "--help" | "-h" => usage(0),
         other => {
             eprintln!("error: unknown command {other:?}");
@@ -137,6 +140,39 @@ fn cmd_gate(args: &[String]) -> ! {
                 Format::Json => println!("{}", report.to_json().render()),
             }
             std::process::exit(if report.passed() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> ! {
+    let mut dirs: Vec<&str> = Vec::new();
+    let mut format = Format::Human;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => format = parse_format(&value(&mut it, "--format")),
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag:?}");
+                usage(2);
+            }
+            dir => dirs.push(dir),
+        }
+    }
+    let [dir] = dirs.as_slice() else {
+        eprintln!("error: campaign expects exactly one campaign directory");
+        usage(2);
+    };
+    match check_campaign(Path::new(dir)) {
+        Ok(check) => {
+            match format {
+                Format::Human => print!("{}", check.render_human()),
+                Format::Json => println!("{}", check.to_json().render()),
+            }
+            std::process::exit(if check.clean() { 0 } else { 1 });
         }
         Err(e) => {
             eprintln!("error: {e}");

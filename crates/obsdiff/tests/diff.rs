@@ -24,6 +24,8 @@ fn spec(seed: u64) -> BundleSpec {
     BundleSpec {
         seed,
         fault_profile: "none".into(),
+        defense: None,
+        campaign: None,
         observations_digest: 0x1234_5678 ^ seed,
         coverage: None,
     }
@@ -274,6 +276,8 @@ fn real_audit_bundle_round_trips_clean_across_worker_counts() {
         let spec = BundleSpec {
             seed: 7,
             fault_profile: "none".into(),
+            defense: None,
+            campaign: None,
             observations_digest: obs.digest(),
             coverage: Some(obs.coverage.to_json()),
         };
