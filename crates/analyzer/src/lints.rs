@@ -46,7 +46,7 @@ pub const CATALOG: &[LintSpec] = &[
         id: "AD04",
         slug: "thread-spawn",
         default_severity: Severity::Deny,
-        summary: "thread spawning (thread::spawn/scope/JoinHandle) outside crates/exec — all parallelism goes through the deterministic par_map engine",
+        summary: "thread or process spawning (thread::spawn/scope/JoinHandle, process::Command) outside crates/exec — all parallelism goes through the deterministic execution backends",
     },
     LintSpec {
         id: "AD05",
@@ -127,7 +127,9 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "yield", "box", "dyn", "impl", "where", "for", "while", "loop", "fn", "const", "static",
 ];
 /// Methods whose first string argument is an observability name.
-const OBS_METHODS: &[&str] = &["span", "stage", "add", "count", "shard", "section", "time"];
+const OBS_METHODS: &[&str] = &[
+    "span", "stage", "add", "count", "shard", "section", "time", "volatile",
+];
 /// Free functions whose first string argument is an observability name.
 const OBS_FUNCTIONS: &[&str] = &["agg_time", "agg_count"];
 
@@ -193,17 +195,20 @@ pub fn run_lints(
                         format!("`{name}` in ordered-output crate `{}`", ctx.crate_name),
                     );
                 }
-                // AD04 — thread spawning outside the exec engine.
+                // AD04 — thread or process spawning outside the exec engine.
                 if !threads_ok
                     && (name == "JoinHandle"
                         || (matches!(name, "spawn" | "scope")
                             && prev_is(toks, i, "::")
-                            && prev_ident_is(toks, i, "thread")))
+                            && prev_ident_is(toks, i, "thread"))
+                        || (name == "Command"
+                            && prev_is(toks, i, "::")
+                            && prev_ident_is(toks, i, "process")))
                 {
                     push(
                         "AD04",
                         t.line,
-                        format!("thread primitive `{name}` outside crates/exec"),
+                        format!("parallelism primitive `{name}` outside crates/exec"),
                     );
                 }
                 // AP01 — panic macros in library code.

@@ -18,6 +18,17 @@ pub fn threads() {
     std::thread::spawn(|| {});
 }
 
+pub fn processes() {
+    std::process::Command::new("x");
+}
+
+pub fn process_near_miss() {
+    // `Command` without a `process::` path is someone else's type, and
+    // `process::exit` is not a spawn — neither may trip AD04.
+    let _c = Command::default();
+    std::process::exit(0);
+}
+
 pub fn panics(v: &[u32]) -> u32 {
     if v.is_empty() {
         panic!("boom");

@@ -44,13 +44,16 @@ use alexa_adtech::{
     Auction, BrowserProfile, Crawler, StreamingService, SyncGraph, Transcriber, WebEcosystem,
     Website,
 };
-use alexa_exec::par_map;
+use alexa_exec::{
+    par_map, Backend, BackendChoice, BackendStats, MockRemoteBackend, ProcessBackend, ShardOutcome,
+    ShardSpec, ThreadBackend,
+};
 use alexa_fault::{
     retry, Coverage, CoverageReport, FaultChannel, FaultLedger, FaultPlane, FaultProfile,
     RetryBudget, RetryOutcome, RetryPolicy,
 };
 use alexa_net::{AvsTap, Capture, OrgMap, RouterTap, TapStats};
-use alexa_obs::{Recorder, ShardLog};
+use alexa_obs::{Json, Recorder, ShardLog};
 use alexa_platform::storepage::{parse_invocation, parse_sample_utterances, render_store_page};
 use alexa_platform::{
     AlexaCloud, AvsEcho, DeviceError, DsarExport, DsarPhase, EchoDevice, Marketplace, SkillCategory,
@@ -104,6 +107,15 @@ pub struct AuditConfig {
     /// thread, `Some(1)` = fully sequential. The produced [`Observations`]
     /// are byte-identical for every value.
     pub jobs: Option<usize>,
+    /// Execution backend for the persona / AVS shard fan-out (DESIGN.md
+    /// §15). The produced [`Observations`] are byte-identical for every
+    /// backend under `none`/`flaky` fault profiles.
+    pub backend: alexa_exec::BackendChoice,
+    /// Command line for spawning one `process`-backend worker (e.g.
+    /// `["repro", "--shard-worker"]`). Ignored by the other backends.
+    pub worker_cmd: Vec<String>,
+    /// Per-shard wall-clock timeout for `process`-backend workers.
+    pub worker_timeout_ms: u64,
 }
 
 impl AuditConfig {
@@ -121,6 +133,9 @@ impl AuditConfig {
             defense: DefenseMode::None,
             fault: FaultProfile::none(),
             jobs: None,
+            backend: alexa_exec::BackendChoice::Thread,
+            worker_cmd: Vec::new(),
+            worker_timeout_ms: 30_000,
         }
     }
 
@@ -138,6 +153,9 @@ impl AuditConfig {
             defense: DefenseMode::None,
             fault: FaultProfile::none(),
             jobs: None,
+            backend: alexa_exec::BackendChoice::Thread,
+            worker_cmd: Vec::new(),
+            worker_timeout_ms: 30_000,
         }
     }
 
@@ -156,6 +174,24 @@ impl AuditConfig {
     /// The same configuration with an explicit worker-thread count.
     pub fn with_jobs(mut self, jobs: Option<usize>) -> AuditConfig {
         self.jobs = jobs;
+        self
+    }
+
+    /// The same configuration with an explicit execution backend.
+    pub fn with_backend(mut self, backend: alexa_exec::BackendChoice) -> AuditConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// The same configuration with a `process`-backend worker command.
+    pub fn with_worker_cmd(mut self, cmd: Vec<String>) -> AuditConfig {
+        self.worker_cmd = cmd;
+        self
+    }
+
+    /// The same configuration with a `process`-backend shard timeout.
+    pub fn with_worker_timeout_ms(mut self, ms: u64) -> AuditConfig {
+        self.worker_timeout_ms = ms;
         self
     }
 }
@@ -205,33 +241,70 @@ const AUDIO_PERSONAS: [Persona; 3] = [
 /// Everything one persona shard produces; merged into [`Observations`] in
 /// fixed persona order after all shards finish.
 #[derive(Default)]
-struct PersonaShard {
+pub(crate) struct PersonaShard {
     /// Router-tap captures (`Some` for Echo personas, even when empty).
-    router_captures: Option<Vec<Capture>>,
+    pub(crate) router_captures: Option<Vec<Capture>>,
     /// Skills whose install failed.
-    failed_installs: Vec<String>,
+    pub(crate) failed_installs: Vec<String>,
     /// DSAR exports, one per request phase (Echo personas only).
-    dsar: Vec<(DsarPhase, DsarExport)>,
+    pub(crate) dsar: Vec<(DsarPhase, DsarExport)>,
     /// All crawl visits, all iterations, in crawl order.
-    crawl: Vec<alexa_adtech::VisitRecord>,
+    pub(crate) crawl: Vec<alexa_adtech::VisitRecord>,
     /// Audio transcripts per streaming service (audio personas only).
-    audio: Vec<(StreamingService, Vec<String>)>,
+    pub(crate) audio: Vec<(StreamingService, Vec<String>)>,
     /// Injected-fault and retry accounting for this shard.
-    ledger: FaultLedger,
+    pub(crate) ledger: FaultLedger,
     /// Skill installs: observed successes / planned.
-    installs: Coverage,
+    pub(crate) installs: Coverage,
     /// Skill interactions (utterances): observed / planned.
-    interactions: Coverage,
+    pub(crate) interactions: Coverage,
     /// Crawl visits: observed / planned.
-    visits: Coverage,
+    pub(crate) visits: Coverage,
+}
+
+impl PersonaShard {
+    /// The degraded stand-in for a persona shard whose worker was lost
+    /// (crash, timeout, permanent transport failure): planned work is
+    /// accounted as expected-but-unobserved, the ledger records one loss
+    /// and opens the breaker, so the run reports reduced coverage and
+    /// exits 3 instead of panicking.
+    pub(crate) fn lost(config: &AuditConfig, persona: Persona) -> PersonaShard {
+        let mut out = PersonaShard::default();
+        if persona.has_echo() {
+            out.router_captures = Some(Vec::new());
+        }
+        if persona.category().is_some() {
+            out.installs.expected = config.skills_per_category as u64;
+        }
+        out.visits.expected =
+            ((config.pre_iterations + config.post_iterations) * config.crawl_sites) as u64;
+        out.ledger.losses = 1;
+        out.ledger.degraded = true;
+        out
+    }
 }
 
 /// Everything one AVS-category shard produces.
-struct AvsShard {
-    captures: Vec<Capture>,
-    ledger: FaultLedger,
+pub(crate) struct AvsShard {
+    pub(crate) captures: Vec<Capture>,
+    pub(crate) ledger: FaultLedger,
     /// Skills whose plaintext pass completed: observed / planned.
-    skills: Coverage,
+    pub(crate) skills: Coverage,
+}
+
+impl AvsShard {
+    /// The degraded stand-in for a lost AVS-category shard (see
+    /// [`PersonaShard::lost`]).
+    pub(crate) fn lost(config: &AuditConfig) -> AvsShard {
+        let mut ledger = FaultLedger::new();
+        ledger.losses = 1;
+        ledger.degraded = true;
+        AvsShard {
+            captures: Vec::new(),
+            ledger,
+            skills: Coverage::new(0, config.skills_per_category as u64),
+        }
+    }
 }
 
 /// Fold a retried device operation into a shard ledger.
@@ -269,7 +342,7 @@ fn absorb_tap(ledger: &mut FaultLedger, stats: &TapStats) {
 /// Recording never reads or advances any RNG, so the produced shard is
 /// byte-identical whether the log is enabled or not.
 #[allow(clippy::too_many_arguments)]
-fn run_persona_shard(
+pub(crate) fn run_persona_shard(
     config: &AuditConfig,
     market: &Marketplace,
     crawler: &Crawler,
@@ -582,7 +655,7 @@ fn crawl_window(
 
 /// The AVS Echo plaintext pass for one skill category (§3.2), with its own
 /// lab device and cloud seeded from the category's fixed index.
-fn run_avs_shard(
+pub(crate) fn run_avs_shard(
     config: &AuditConfig,
     market: &Marketplace,
     plane: &FaultPlane,
@@ -665,6 +738,186 @@ fn run_avs_shard(
     }
 }
 
+/// Surface a backend's transport statistics through the recorder's
+/// volatile channel: visible in the human report, deliberately absent from
+/// the run-ledger bundle (schedule- and machine-dependent numbers must never
+/// change committed bytes).
+fn record_backend_stats(rec: &Recorder, stats: &BackendStats) {
+    rec.volatile("backend.shards", stats.shards);
+    rec.volatile("backend.committed", stats.committed);
+    rec.volatile("backend.lost", stats.lost);
+    rec.volatile("backend.retries.submit", stats.submit_retries);
+    rec.volatile("backend.retries.poll", stats.poll_retries);
+    rec.volatile("backend.retries.result", stats.result_retries);
+    rec.volatile("backend.backoff_ms", stats.transport_backoff_ms);
+    rec.volatile("worker.spawned", stats.workers_spawned);
+    rec.volatile("worker.respawned", stats.workers_respawned);
+    rec.volatile("worker.timeouts", stats.timeouts);
+    rec.volatile("worker.crashes", stats.crashes);
+    rec.volatile("worker.malformed", stats.malformed);
+}
+
+/// Decode one `process`-backend worker reply: the wire-encoded shard plus
+/// the worker-side [`ShardLog`], which is submitted to the parent recorder
+/// so the merged report looks the same as an in-process run.
+fn decode_worker_reply<T>(
+    rec: &Recorder,
+    payload: &str,
+    decode: &impl Fn(&Json) -> Option<T>,
+) -> Option<T> {
+    let doc = Json::parse(payload).ok()?;
+    let shard = decode(doc.get("shard")?)?;
+    if let Some(log) = doc.get("log").and_then(ShardLog::from_wire_json) {
+        rec.submit(log);
+    }
+    // Aggregate deltas the worker's leaf libraries (crawler) recorded while
+    // running this shard; merging them keeps metrics.json byte-identical to
+    // an in-process run.
+    if let Some(Json::Obj(aggregates)) = doc.get("agg") {
+        for (name, delta) in aggregates {
+            let field = |key: &str| match delta.get(key) {
+                Some(Json::Int(n)) => *n,
+                _ => 0,
+            };
+            rec.merge_aggregate(name, field("count"), field("calls"));
+        }
+    }
+    Some(shard)
+}
+
+/// Distribute one shard group through the configured execution backend
+/// (DESIGN.md §15).
+///
+/// * `thread` — shards run in-process with `par_map` semantics and hand
+///   their typed results over directly; nothing crosses a wire, so the
+///   pre-backend pipeline is reproduced byte for byte.
+/// * `process` — each shard is dispatched to a `worker_cmd` child process
+///   as a wire-encoded [`ShardSpec`]; replies carry the encoded shard plus
+///   its worker-side [`ShardLog`]. Crashed, hung or garbled workers degrade
+///   the shard.
+/// * `mock-remote` — shards execute in-process behind a submit/poll/result
+///   transport whose transient faults come from the run's fault profile.
+///
+/// Whatever the backend, results are committed in structural-index order by
+/// the ordered committer, and a lost shard becomes `lost(index)` — a
+/// degraded placeholder whose ledger records the loss, so the run completes
+/// with reduced coverage (exit 3) instead of panicking.
+#[allow(clippy::too_many_arguments)] // one codec closure per wire direction, not tunable knobs
+fn fan_out<T: Send>(
+    config: &AuditConfig,
+    rec: &Recorder,
+    group: &str,
+    labels: &[String],
+    run_local: &(impl Fn(usize, &mut ShardLog) -> T + Sync),
+    encode: &(impl Fn(&T) -> Json + Sync),
+    decode: &impl Fn(&Json) -> Option<T>,
+    lost: &impl Fn(usize) -> T,
+) -> Vec<T> {
+    let n = labels.len();
+    // Every spec carries the same rendered config document: workers key
+    // their memoized world on the payload string, so one worker serving many
+    // shards rebuilds the marketplace and web ecosystem exactly once.
+    let payload = crate::wire::config_to_json(config).render();
+    let specs: Vec<ShardSpec> = labels
+        .iter()
+        .enumerate()
+        .map(|(index, label)| ShardSpec {
+            group: group.to_string(),
+            index,
+            label: label.clone(),
+            payload: payload.clone(),
+        })
+        .collect();
+    match config.backend {
+        BackendChoice::Thread => {
+            // In-process results skip the wire entirely: each shard parks
+            // its typed output in a slot keyed by structural index.
+            let slots: Vec<std::sync::Mutex<Option<T>>> =
+                (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+            let exec = |spec: &ShardSpec| -> Result<String, String> {
+                let mut log = rec.shard(group, spec.index, &spec.label);
+                let shard = run_local(spec.index, &mut log);
+                rec.submit(log);
+                if let Some(slot) = slots.get(spec.index) {
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(shard);
+                }
+                Ok(String::new())
+            };
+            match ThreadBackend.run(config.jobs, specs, &exec) {
+                Ok(run) => {
+                    record_backend_stats(rec, &run.stats);
+                    slots
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, slot)| {
+                            slot.into_inner()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .unwrap_or_else(|| lost(i))
+                        })
+                        .collect()
+                }
+                Err(_) => (0..n).map(lost).collect(),
+            }
+        }
+        BackendChoice::MockRemote => {
+            let backend = MockRemoteBackend::new(config.seed ^ 0xfa417, config.fault.clone());
+            let exec = |spec: &ShardSpec| -> Result<String, String> {
+                let mut log = rec.shard(group, spec.index, &spec.label);
+                let shard = run_local(spec.index, &mut log);
+                rec.submit(log);
+                Ok(encode(&shard).render())
+            };
+            match backend.run(config.jobs, specs, &exec) {
+                Ok(run) => {
+                    record_backend_stats(rec, &run.stats);
+                    run.outcomes
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, outcome)| match outcome {
+                            ShardOutcome::Done(res) => Json::parse(&res.payload)
+                                .ok()
+                                .as_ref()
+                                .and_then(decode)
+                                .unwrap_or_else(|| lost(i)),
+                            ShardOutcome::Lost { .. } => lost(i),
+                        })
+                        .collect()
+                }
+                Err(_) => (0..n).map(lost).collect(),
+            }
+        }
+        BackendChoice::Process => {
+            let backend = ProcessBackend {
+                worker_cmd: config.worker_cmd.clone(),
+                timeout_ms: config.worker_timeout_ms,
+                max_respawns: 8,
+            };
+            // Children do the work; the in-process exec fn only runs if a
+            // spec could not be dispatched at all.
+            let exec = |_: &ShardSpec| -> Result<String, String> {
+                Err("process backend executes shards in child workers".to_string())
+            };
+            match backend.run(config.jobs, specs, &exec) {
+                Ok(run) => {
+                    record_backend_stats(rec, &run.stats);
+                    run.outcomes
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, outcome)| match outcome {
+                            ShardOutcome::Done(res) => {
+                                decode_worker_reply(rec, &res.payload, decode)
+                                    .unwrap_or_else(|| lost(i))
+                            }
+                            ShardOutcome::Lost { .. } => lost(i),
+                        })
+                        .collect()
+                }
+                Err(_) => (0..n).map(lost).collect(),
+            }
+        }
+    }
+}
+
 /// The experiment driver.
 pub struct AuditRun;
 
@@ -720,12 +973,20 @@ impl AuditRun {
 
         // ---- AVS Echo plaintext pass, one shard per category (§3.2) -----
         let avs_shards = rec.stage("avs.pass", || {
-            par_map(config.jobs, SkillCategory::ALL.to_vec(), |ci, cat| {
-                let mut log = rec.shard("avs", ci, cat.label());
-                let shard = run_avs_shard(config, &market, &plane, ci, cat, &mut log);
-                rec.submit(log);
-                shard
-            })
+            let labels: Vec<String> = SkillCategory::ALL
+                .iter()
+                .map(|cat| cat.label().to_string())
+                .collect();
+            fan_out(
+                config,
+                rec,
+                "avs",
+                &labels,
+                &|ci, log| run_avs_shard(config, &market, &plane, ci, SkillCategory::ALL[ci], log),
+                &crate::wire::avs_shard_to_json,
+                &crate::wire::avs_shard_from_json,
+                &|_| AvsShard::lost(config),
+            )
         });
         let mut coverage = CoverageReport::new(config.fault.name());
         for (cat, shard) in SkillCategory::ALL.iter().zip(avs_shards) {
@@ -747,15 +1008,30 @@ impl AuditRun {
         let sites = web.prebid_sites(config.crawl_sites);
 
         // ---- Persona shards ----------------------------------------------
+        let personas = Persona::all();
         let shards = rec.stage("persona.shards", || {
-            par_map(config.jobs, Persona::all(), |i, persona| {
-                let mut log = rec.shard("persona", i, &persona.name());
-                let shard = run_persona_shard(
-                    config, &market, &crawler, &sites, &plane, persona, i, &mut log,
-                );
-                rec.submit(log);
-                shard
-            })
+            let labels: Vec<String> = personas.iter().map(|p| p.name()).collect();
+            fan_out(
+                config,
+                rec,
+                "persona",
+                &labels,
+                &|i, log| {
+                    run_persona_shard(
+                        config,
+                        &market,
+                        &crawler,
+                        &sites,
+                        &plane,
+                        personas[i],
+                        i,
+                        log,
+                    )
+                },
+                &crate::wire::persona_shard_to_json,
+                &crate::wire::persona_shard_from_json,
+                &|i| PersonaShard::lost(config, personas[i]),
+            )
         });
 
         // Merge in fixed persona order (par_map preserves input order).

@@ -1,0 +1,186 @@
+//! Child-process shard worker: the other end of the `process` backend's
+//! pipe protocol (DESIGN.md §15).
+//!
+//! `repro --shard-worker` calls [`run_shard_worker`], which loops over
+//! stdin: one wire-encoded [`ShardSpec`](alexa_exec::ShardSpec) per line,
+//! one [`encode_reply`](alexa_exec::encode_reply) line on stdout per spec.
+//! The spec's payload is the rendered audit configuration; the worker
+//! memoizes the rebuilt world (marketplace, fault plane, web ecosystem,
+//! crawler) keyed on that exact payload string, so serving many shards of
+//! one run regenerates the shared inputs once.
+//!
+//! A reply's payload is `{"shard": <wire shard>, "log": <wire shard log>,
+//! "agg": {name: {count, calls}}}`: the parent decodes the shard into its
+//! typed form, submits the log to its recorder, and merges the aggregate
+//! deltas, making a process-backend report structurally identical to an
+//! in-process one.
+//!
+//! Test hooks (integration tests only):
+//!
+//! * `REPRO_WORKER_CRASH=group/index` — exit 101 before replying to that
+//!   shard, simulating a worker killed mid-shard;
+//! * `REPRO_WORKER_STALL=group/index` (+ `REPRO_WORKER_STALL_MS`, default
+//!   60000) — sleep before replying, simulating a hung worker for the
+//!   parent's wall-clock timeout.
+
+use crate::experiment::{run_avs_shard, run_persona_shard, AuditConfig};
+use crate::persona::Persona;
+use crate::wire;
+use alexa_adtech::bidding::{standard_roster, SeasonModel};
+use alexa_adtech::{Auction, Crawler, SyncGraph, WebEcosystem};
+use alexa_exec::{encode_reply, ShardSpec};
+use alexa_fault::FaultPlane;
+use alexa_obs::{Json, Recorder};
+use alexa_platform::{Marketplace, SkillCategory};
+use std::io::{self, BufRead, Write};
+
+/// The run-wide shared inputs, rebuilt from a spec's config payload and
+/// memoized on the payload string.
+struct World {
+    key: String,
+    config: AuditConfig,
+    market: Marketplace,
+    plane: FaultPlane,
+    web: WebEcosystem,
+    crawler: Crawler,
+}
+
+impl World {
+    fn build(payload: &str) -> Option<World> {
+        let config = wire::config_from_json(&Json::parse(payload).ok()?)?;
+        let market = Marketplace::generate(config.seed);
+        // Identical derivation to the parent's `execute_with`: the worker
+        // must make exactly the fault decisions the in-process run makes.
+        let plane = FaultPlane::new(config.seed ^ 0xfa417, config.fault.clone());
+        let sync_graph = SyncGraph::generate(config.seed);
+        let web = WebEcosystem::generate(config.seed, config.web_size);
+        let auction = Auction {
+            bidders: standard_roster(sync_graph.partners()),
+            season: SeasonModel::new(config.pre_iterations),
+        };
+        let crawler = Crawler::new(auction, sync_graph);
+        Some(World {
+            key: payload.to_string(),
+            config,
+            market,
+            plane,
+            web,
+            crawler,
+        })
+    }
+}
+
+/// Execute one spec against a rebuilt world; the `Ok` payload is the reply
+/// document (shard + log).
+fn run_spec(world: &World, spec: &ShardSpec, rec: &Recorder) -> Result<String, String> {
+    let mut log = rec.shard(&spec.group, spec.index, &spec.label);
+    let shard_json = match spec.group.as_str() {
+        "avs" => {
+            let cat = *SkillCategory::ALL
+                .get(spec.index)
+                .ok_or_else(|| format!("avs shard index {} out of range", spec.index))?;
+            let shard = run_avs_shard(
+                &world.config,
+                &world.market,
+                &world.plane,
+                spec.index,
+                cat,
+                &mut log,
+            );
+            wire::avs_shard_to_json(&shard)
+        }
+        "persona" => {
+            let personas = Persona::all();
+            let persona = *personas
+                .get(spec.index)
+                .ok_or_else(|| format!("persona shard index {} out of range", spec.index))?;
+            let sites = world.web.prebid_sites(world.config.crawl_sites);
+            let shard = run_persona_shard(
+                &world.config,
+                &world.market,
+                &world.crawler,
+                &sites,
+                &world.plane,
+                persona,
+                spec.index,
+                &mut log,
+            );
+            wire::persona_shard_to_json(&shard)
+        }
+        other => return Err(format!("unknown shard group '{other}'")),
+    };
+    // Leaf libraries (the crawler) report name-keyed aggregates to the
+    // process-wide recorder — which in a worker is this shard's recorder,
+    // installed fresh per shard by the main loop. Ship the deltas so the
+    // parent's metrics.json matches an in-process run byte for byte.
+    let aggregates = rec
+        .report()
+        .aggregates
+        .into_iter()
+        .map(|(name, a)| {
+            (
+                name,
+                Json::Obj(vec![
+                    ("count".to_string(), Json::Int(a.count)),
+                    ("calls".to_string(), Json::Int(a.calls)),
+                ]),
+            )
+        })
+        .collect();
+    Ok(Json::Obj(vec![
+        ("shard".to_string(), shard_json),
+        ("log".to_string(), log.to_wire_json()),
+        ("agg".to_string(), Json::Obj(aggregates)),
+    ])
+    .render())
+}
+
+/// The worker main loop. Returns the process exit code: 0 on clean EOF
+/// (parent closed the pipe), 1 on a broken pipe, 2 on a malformed spec line
+/// (a protocol bug, not a shard failure — shard failures are replied as
+/// errors and degraded by the parent).
+pub fn run_shard_worker() -> i32 {
+    let crash = std::env::var("REPRO_WORKER_CRASH").ok();
+    let stall = std::env::var("REPRO_WORKER_STALL").ok();
+    let stall_ms: u64 = std::env::var("REPRO_WORKER_STALL_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let mut world: Option<World> = None;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { return 1 };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(spec) = ShardSpec::from_wire_line(&line) else {
+            return 2;
+        };
+        let coord = format!("{}/{}", spec.group, spec.index);
+        if crash.as_deref() == Some(coord.as_str()) {
+            // Simulated mid-shard death: no reply, non-zero exit.
+            std::process::exit(101);
+        }
+        if stall.as_deref() == Some(coord.as_str()) {
+            std::thread::sleep(std::time::Duration::from_millis(stall_ms));
+        }
+        if !matches!(&world, Some(w) if w.key == spec.payload) {
+            world = World::build(&spec.payload);
+        }
+        // A fresh recorder per shard, installed process-wide so leaf
+        // libraries' global aggregates land here; per-shard scoping makes
+        // each reply's `agg` block an exact delta, not a running total.
+        let rec = std::sync::Arc::new(Recorder::new());
+        alexa_obs::install_global(rec.clone());
+        let result = match &world {
+            Some(w) => run_spec(w, &spec, &rec),
+            None => Err("shard payload did not decode to an audit config".to_string()),
+        };
+        let reply = encode_reply(spec.index, &result);
+        if writeln!(stdout, "{reply}").is_err() || stdout.flush().is_err() {
+            return 1;
+        }
+    }
+    0
+}

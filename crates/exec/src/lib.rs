@@ -15,9 +15,22 @@
 //!
 //! Built on `std::thread::scope` only — no external dependency — because the
 //! build must work fully offline.
+//!
+//! Beyond the in-process map, the [`backend`] module generalizes the same
+//! contract to interchangeable execution substrates (thread pool, child
+//! process pool, mock remote submit/poll) behind the [`Backend`] trait, with
+//! an ordered [`Committer`] preserving the byte-identical-output guarantee.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+
+pub mod backend;
+
+pub use backend::{
+    decode_reply, encode_reply, Backend, BackendChoice, BackendParseError, BackendRun,
+    BackendStats, CommitError, Committer, ExecFn, MockRemoteBackend, ProcessBackend, ShardOutcome,
+    ShardResult, ShardSpec, ThreadBackend,
+};
 
 /// Lock a mutex, recovering from poisoning.
 ///
@@ -29,31 +42,50 @@ fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-/// Resolve a `jobs` knob to a concrete worker count.
+/// The host's hardware thread count (1 when unknown).
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// THE worker-count policy: every backend and fan-out resolves its `jobs`
+/// knob through this one function, so process-pool sizing can never drift
+/// from thread-pool sizing.
 ///
 /// `None` means "all cores" ([`std::thread::available_parallelism`], falling
-/// back to 1 if unknown); `Some(n)` is clamped to at least 1.
-pub fn effective_jobs(jobs: Option<usize>) -> usize {
-    match jobs {
+/// back to 1 if unknown); `Some(n)` is clamped to at least 1. When
+/// `clamp_to_hardware` is set the result is additionally capped at the
+/// host's hardware threads: a CPU-bound *thread* fan-out cannot benefit from
+/// more workers than cores (on a single-core host `--jobs 8` spawns eight
+/// threads contending for one core and measurably *slows* the pass), while
+/// a *process* pool is sized by the caller's request alone — true
+/// parallelism across processes is exactly what it exists to provide, even
+/// on a 1-thread CI runner. Worker count is a pure throughput knob either
+/// way: the committed output is worker-count-independent, so neither branch
+/// can change bytes.
+pub fn job_policy(jobs: Option<usize>, clamp_to_hardware: bool) -> usize {
+    let requested = match jobs {
         Some(n) => n.max(1),
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        None => hardware_threads(),
+    };
+    if clamp_to_hardware {
+        requested.min(hardware_threads())
+    } else {
+        requested
     }
 }
 
-/// Resolve a `jobs` knob for a thread-spawning fan-out: [`effective_jobs`],
-/// additionally clamped to the host's hardware threads.
-///
-/// Asking for more workers than cores cannot help a CPU-bound fan-out — on
-/// a single-core host `--jobs 8` spawns eight threads contending for one
-/// core and measurably *slows* the pass — and since `par_map`'s output is
-/// worker-count-independent, the clamp can never change bytes.
+/// Resolve a `jobs` knob to a concrete worker count: [`job_policy`] without
+/// the hardware clamp.
+pub fn effective_jobs(jobs: Option<usize>) -> usize {
+    job_policy(jobs, false)
+}
+
+/// Resolve a `jobs` knob for a thread-spawning fan-out: [`job_policy`] with
+/// the hardware clamp.
 pub fn clamped_jobs(jobs: Option<usize>) -> usize {
-    let hardware = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    effective_jobs(jobs).min(hardware)
+    job_policy(jobs, true)
 }
 
 /// Map `f` over `items` with up to `effective_jobs(jobs)` worker threads,

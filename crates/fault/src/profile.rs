@@ -1,5 +1,6 @@
 //! Fault channels and named fault profiles.
 
+use alexa_obs::Json;
 use std::fmt;
 use std::str::FromStr;
 
@@ -23,11 +24,17 @@ pub enum FaultChannel {
     BidLoss,
     /// A privacy-policy page cannot be downloaded (`alexa-policy`).
     PolicyDownload,
+    /// A remote backend rejects a shard submission (`alexa-exec`).
+    WorkerSubmit,
+    /// A remote backend poll times out before answering (`alexa-exec`).
+    WorkerPoll,
+    /// A finished shard's result is lost in transit (`alexa-exec`).
+    WorkerResult,
 }
 
 impl FaultChannel {
     /// Every channel, in a fixed order (also the rate-table order).
-    pub const ALL: [FaultChannel; 7] = [
+    pub const ALL: [FaultChannel; 10] = [
         FaultChannel::InstallFailure,
         FaultChannel::InteractionFailure,
         FaultChannel::PacketDrop,
@@ -35,6 +42,9 @@ impl FaultChannel {
         FaultChannel::CrawlTimeout,
         FaultChannel::BidLoss,
         FaultChannel::PolicyDownload,
+        FaultChannel::WorkerSubmit,
+        FaultChannel::WorkerPoll,
+        FaultChannel::WorkerResult,
     ];
 
     /// Stable label used in counters, metrics JSON and report sections.
@@ -47,7 +57,19 @@ impl FaultChannel {
             FaultChannel::CrawlTimeout => "crawl_timeout",
             FaultChannel::BidLoss => "bid_loss",
             FaultChannel::PolicyDownload => "policy_download",
+            FaultChannel::WorkerSubmit => "worker_submit",
+            FaultChannel::WorkerPoll => "worker_poll",
+            FaultChannel::WorkerResult => "worker_result",
         }
+    }
+
+    /// The channel with this stable label, if any — the inverse of
+    /// [`FaultChannel::label`], used when decoding ledgers off the wire.
+    pub fn from_label(label: &str) -> Option<FaultChannel> {
+        FaultChannel::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label() == label)
     }
 
     pub(crate) fn index(&self) -> usize {
@@ -70,6 +92,9 @@ pub const CHANNEL_LABELS: &[&str] = &[
     "crawl_timeout",
     "bid_loss",
     "policy_download",
+    "worker_submit",
+    "worker_poll",
+    "worker_result",
 ];
 
 /// A named set of per-channel fault rates plus the per-shard retry budget
@@ -82,7 +107,7 @@ pub const CHANNEL_LABELS: &[&str] = &[
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultProfile {
     name: String,
-    rates: [f64; 7],
+    rates: [f64; 10],
     retry_budget: u32,
 }
 
@@ -113,7 +138,7 @@ impl FaultProfile {
     pub fn none() -> FaultProfile {
         FaultProfile {
             name: "none".into(),
-            rates: [0.0; 7],
+            rates: [0.0; 10],
             retry_budget: 0,
         }
     }
@@ -122,8 +147,9 @@ impl FaultProfile {
     pub fn flaky() -> FaultProfile {
         FaultProfile {
             name: "flaky".into(),
-            // install, interaction, drop, truncation, crawl, bid, policy
-            rates: [0.05, 0.03, 0.01, 0.01, 0.05, 0.02, 0.05],
+            // install, interaction, drop, truncation, crawl, bid, policy,
+            // worker submit/poll/result
+            rates: [0.05, 0.03, 0.01, 0.01, 0.05, 0.02, 0.05, 0.02, 0.03, 0.02],
             retry_budget: 96,
         }
     }
@@ -132,7 +158,7 @@ impl FaultProfile {
     pub fn degraded() -> FaultProfile {
         FaultProfile {
             name: "degraded".into(),
-            rates: [0.15, 0.10, 0.05, 0.05, 0.15, 0.10, 0.15],
+            rates: [0.15, 0.10, 0.05, 0.05, 0.15, 0.10, 0.15, 0.08, 0.10, 0.08],
             retry_budget: 48,
         }
     }
@@ -141,7 +167,7 @@ impl FaultProfile {
     pub fn hostile() -> FaultProfile {
         FaultProfile {
             name: "hostile".into(),
-            rates: [0.40, 0.35, 0.25, 0.20, 0.45, 0.35, 0.50],
+            rates: [0.40, 0.35, 0.25, 0.20, 0.45, 0.35, 0.50, 0.25, 0.30, 0.25],
             retry_budget: 16,
         }
     }
@@ -152,7 +178,7 @@ impl FaultProfile {
         let r = rate.clamp(0.0, 1.0);
         FaultProfile {
             name: format!("uniform({r})"),
-            rates: [r; 7],
+            rates: [r; 10],
             retry_budget: 32,
         }
     }
@@ -175,6 +201,51 @@ impl FaultProfile {
     /// Whether any channel can fire at all.
     pub fn is_active(&self) -> bool {
         self.rates.iter().any(|&r| r > 0.0)
+    }
+
+    /// Encode the profile for the shard wire format (DESIGN.md §15).
+    ///
+    /// Rates travel as IEEE-754 bit-hex strings, not JSON floats: the
+    /// in-tree [`Json`] renderer prints floats with `{:.3}`, which would be
+    /// lossy, and a process-backend worker must rebuild a plane whose
+    /// decisions are bit-identical to the parent's.
+    pub fn to_wire_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "rates".into(),
+                Json::Arr(
+                    self.rates
+                        .iter()
+                        .map(|r| Json::Str(format!("{:016x}", r.to_bits())))
+                        .collect(),
+                ),
+            ),
+            ("retry_budget".into(), Json::Int(self.retry_budget as u64)),
+        ])
+    }
+
+    /// Decode a profile from the shard wire format; `None` on any shape or
+    /// encoding mismatch (the caller treats that as a malformed shard).
+    pub fn from_wire_json(j: &Json) -> Option<FaultProfile> {
+        let name = j.get("name")?.as_str()?.to_string();
+        let rate_values = match j.get("rates")? {
+            Json::Arr(items) => items,
+            _ => return None,
+        };
+        if rate_values.len() != FaultChannel::ALL.len() {
+            return None;
+        }
+        let mut rates = [0.0; 10];
+        for (slot, v) in rates.iter_mut().zip(rate_values) {
+            *slot = f64::from_bits(u64::from_str_radix(v.as_str()?, 16).ok()?);
+        }
+        let retry_budget = j.get("retry_budget")?.as_u64()?;
+        Some(FaultProfile {
+            name,
+            rates,
+            retry_budget: u32::try_from(retry_budget).ok()?,
+        })
     }
 }
 
@@ -255,5 +326,47 @@ mod tests {
     fn channel_labels_const_matches_label_method() {
         let from_method: Vec<&str> = FaultChannel::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(CHANNEL_LABELS, from_method.as_slice());
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for ch in FaultChannel::ALL {
+            assert_eq!(FaultChannel::from_label(ch.label()), Some(ch));
+        }
+        assert_eq!(FaultChannel::from_label("gremlins"), None);
+    }
+
+    #[test]
+    fn wire_codec_round_trips_bit_exactly() {
+        for profile in [
+            FaultProfile::none(),
+            FaultProfile::flaky(),
+            FaultProfile::degraded(),
+            FaultProfile::hostile(),
+            FaultProfile::uniform(0.123456789),
+        ] {
+            let wire = profile.to_wire_json().render();
+            let parsed = Json::parse(&wire).expect("wire json parses");
+            let back = FaultProfile::from_wire_json(&parsed).expect("wire json decodes");
+            assert_eq!(back, profile, "{} did not round-trip", profile.name());
+            for ch in FaultChannel::ALL {
+                assert_eq!(back.rate(ch).to_bits(), profile.rate(ch).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_codec_rejects_malformed_payloads() {
+        let good = FaultProfile::flaky().to_wire_json().render();
+        let parsed = Json::parse(&good).unwrap();
+        assert!(FaultProfile::from_wire_json(&parsed).is_some());
+        for bad in [
+            r#"{"name": "x", "retry_budget": 1}"#,
+            r#"{"name": "x", "rates": ["zz"], "retry_budget": 1}"#,
+            r#"{"name": "x", "rates": [], "retry_budget": 1}"#,
+        ] {
+            let j = Json::parse(bad).unwrap();
+            assert!(FaultProfile::from_wire_json(&j).is_none(), "{bad}");
+        }
     }
 }

@@ -39,7 +39,7 @@ pub struct FlowRecord {
 ///
 /// `label` identifies the workload the capture is attributed to (in the
 /// paper: one skill per capture session).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Capture {
     /// Attribution label (e.g. a skill ID) for this capture session.
     pub label: String,

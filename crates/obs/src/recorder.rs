@@ -17,6 +17,11 @@ struct Inner {
     open_stages: Vec<usize>,
     shards: BTreeMap<(String, usize), ShardReport>,
     aggregates: BTreeMap<String, Aggregate>,
+    /// Schedule-dependent substrate counters (`backend.*` / `worker.*`):
+    /// retries, respawns, timeouts. Diagnostic only — surfaced by the
+    /// human-facing report views and **never** by the run-ledger surfaces,
+    /// because transient transport weather must not change committed bytes.
+    volatile: BTreeMap<String, u64>,
 }
 
 /// Thread-safe trace/metrics collector.
@@ -186,6 +191,43 @@ impl Recorder {
         out
     }
 
+    /// Merge an aggregate delta harvested from another recorder.
+    ///
+    /// The process backend's child workers record leaf-library aggregates
+    /// (crawler visits, bootstrap resamples) into their own recorder; the
+    /// parent merges the per-shard `(count, calls)` deltas shipped in each
+    /// reply so `metrics.json` is byte-identical to an in-process run.
+    /// `total_us` is deliberately not merged: wall clock is excluded from
+    /// every deterministic surface, and cross-process timing would only
+    /// add noise to the schedule-dependent ones.
+    pub fn merge_aggregate(&self, name: &str, count: u64, calls: u64) {
+        if !self.enabled || (count == 0 && calls == 0) {
+            return;
+        }
+        let mut g = self.locked();
+        let a = g.aggregates.entry(name.to_string()).or_default();
+        a.count += count;
+        a.calls += calls;
+    }
+
+    /// Add `n` to a name-keyed **volatile** counter.
+    ///
+    /// Volatile counters record how the execution substrate behaved (worker
+    /// respawns, transport retries, timeouts) rather than what the pipeline
+    /// computed. They show up in [`Report::render_tree`] and
+    /// [`Report::to_json`] but are excluded from every run-ledger surface,
+    /// so they may legitimately differ between byte-identical runs.
+    ///
+    /// [`Report::render_tree`]: crate::Report::render_tree
+    /// [`Report::to_json`]: crate::Report::to_json
+    pub fn volatile(&self, name: &str, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        let mut g = self.locked();
+        *g.volatile.entry(name.to_string()).or_insert(0) += n;
+    }
+
     /// An immutable snapshot of everything recorded so far.
     pub fn report(&self) -> Report {
         let g = self.locked();
@@ -193,6 +235,7 @@ impl Recorder {
             stages: g.stages.clone(),
             shards: g.shards.values().cloned().collect(),
             aggregates: g.aggregates.clone(),
+            volatile: g.volatile.clone(),
         }
     }
 }
@@ -334,8 +377,21 @@ mod tests {
         log.add("c", 1);
         rec.submit(log);
         rec.time("t", || ());
+        rec.volatile("worker.crashes", 1);
         let r = rec.report();
         assert!(r.stages.is_empty() && r.shards.is_empty() && r.aggregates.is_empty());
+        assert!(r.volatile.is_empty());
+    }
+
+    #[test]
+    fn volatile_counters_sum_and_skip_zero() {
+        let rec = Recorder::new();
+        rec.volatile("worker.timeouts", 2);
+        rec.volatile("worker.timeouts", 3);
+        rec.volatile("backend.shards", 0);
+        let r = rec.report();
+        assert_eq!(r.volatile["worker.timeouts"], 5);
+        assert!(!r.volatile.contains_key("backend.shards"));
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct Report {
     pub shards: Vec<ShardReport>,
     /// Name-keyed aggregates.
     pub aggregates: BTreeMap<String, Aggregate>,
+    /// Schedule-dependent substrate counters (`backend.*` / `worker.*`):
+    /// worker respawns, transport retries, timeouts. Shown by the
+    /// human-facing views ([`Report::render_tree`], [`Report::to_json`])
+    /// and deliberately **absent** from the run-ledger surfaces
+    /// ([`Report::ledger_trace_json`], [`Report::ledger_metrics_json`]),
+    /// so transient transport weather can never change committed bytes.
+    pub volatile: BTreeMap<String, u64>,
 }
 
 impl Report {
@@ -201,6 +208,12 @@ impl Report {
                 );
             }
         }
+        if !self.volatile.is_empty() {
+            out.push_str("volatile (substrate counters, not part of the ledger):\n");
+            for (name, v) in &self.volatile {
+                let _ = writeln!(out, "  {name:<34} {v}");
+            }
+        }
         out
     }
 
@@ -271,10 +284,16 @@ impl Report {
                 )
             })
             .collect();
+        let volatile = self
+            .volatile
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v)))
+            .collect();
         Json::Obj(vec![
             ("stages".into(), Json::Arr(stages)),
             ("shards".into(), Json::Arr(shards)),
             ("aggregates".into(), Json::Obj(aggregates)),
+            ("volatile".into(), Json::Obj(volatile)),
         ])
     }
 
@@ -505,6 +524,7 @@ mod tests {
             }
         });
         rec.count("crawler.bids", 7);
+        rec.volatile("worker.respawned", 2);
         rec.report()
     }
 
@@ -518,6 +538,8 @@ mod tests {
         assert!(tree.contains("tap.packets=12"));
         assert!(tree.contains("crawler.bids"));
         assert!(tree.contains("wu"));
+        assert!(tree.contains("volatile"));
+        assert!(tree.contains("worker.respawned"));
     }
 
     #[test]
@@ -529,6 +551,8 @@ mod tests {
         assert!(j.contains("\"tap.packets\": 12"));
         assert!(j.contains("\"crawler.bids\""));
         assert!(j.contains("\"work\": 13"));
+        assert!(j.contains("\"volatile\""));
+        assert!(j.contains("\"worker.respawned\": 2"));
     }
 
     #[test]
@@ -592,6 +616,16 @@ mod tests {
         assert!(metrics.contains("\"summaries\""));
         assert!(metrics.contains("\"histograms\""));
         assert!(metrics.contains("\"tap.packets\": 24"));
+        // Volatile substrate counters must never reach a ledger surface:
+        // the sample report carries one, and neither document may mention
+        // it (or the section) at all.
+        for doc in [&trace, &metrics] {
+            assert!(!doc.contains("volatile"), "ledger leaked volatile section");
+            assert!(
+                !doc.contains("worker.respawned"),
+                "ledger leaked a substrate counter"
+            );
+        }
         // Both carry the bundle schema version.
         let parsed = Json::parse(&metrics).unwrap();
         assert_eq!(parsed.get("schema").and_then(Json::as_u64), Some(1));

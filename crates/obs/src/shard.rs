@@ -1,5 +1,6 @@
 //! Per-shard event logs: spans and counters owned by one unit of work.
 
+use crate::json::Json;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -139,6 +140,78 @@ impl ShardLog {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// Serialize the log for the worker wire protocol (DESIGN.md §15).
+    ///
+    /// Everything structural crosses the wire: spans (including their
+    /// wall-clock fields — real numbers from the worker's clock), counters
+    /// and the virtual work clock. A decoded log gets a fresh `origin`, so
+    /// the parent's `total_us` measures parent-side wall time; every
+    /// deterministic surface is work-unit-based and survives the round trip
+    /// bit-exactly.
+    pub fn to_wire_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("depth".into(), Json::Int(s.depth as u64)),
+                    ("start_us".into(), Json::Int(s.start_us)),
+                    ("dur_us".into(), Json::Int(s.dur_us)),
+                    ("start_wu".into(), Json::Int(s.start_wu)),
+                    ("dur_wu".into(), Json::Int(s.dur_wu)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v)))
+            .collect();
+        Json::Obj(vec![
+            ("group".into(), Json::Str(self.group.clone())),
+            ("index".into(), Json::Int(self.index as u64)),
+            ("label".into(), Json::Str(self.label.clone())),
+            ("spans".into(), Json::Arr(spans)),
+            ("counters".into(), Json::Obj(counters)),
+            ("vclock".into(), Json::Int(self.vclock)),
+        ])
+    }
+
+    /// Decode a wire document produced by [`ShardLog::to_wire_json`].
+    ///
+    /// The decoded log is enabled and closed (depth 0): it is meant to be
+    /// submitted to a [`Recorder`](crate::Recorder), not written to further.
+    pub fn from_wire_json(j: &Json) -> Option<ShardLog> {
+        let str_field = |k: &str| j.get(k).and_then(Json::as_str).map(str::to_string);
+        let mut spans = Vec::new();
+        for sp in j.get("spans")?.as_arr()? {
+            spans.push(SpanRec {
+                name: sp.get("name")?.as_str()?.to_string(),
+                depth: sp.get("depth")?.as_u64()? as usize,
+                start_us: sp.get("start_us")?.as_u64()?,
+                dur_us: sp.get("dur_us")?.as_u64()?,
+                start_wu: sp.get("start_wu")?.as_u64()?,
+                dur_wu: sp.get("dur_wu")?.as_u64()?,
+            });
+        }
+        let mut counters = BTreeMap::new();
+        for (k, v) in j.get("counters")?.as_obj()? {
+            counters.insert(k.clone(), v.as_u64()?);
+        }
+        Some(ShardLog {
+            group: str_field("group")?,
+            index: j.get("index")?.as_u64()? as usize,
+            label: str_field("label")?,
+            origin: Instant::now(),
+            spans,
+            counters,
+            vclock: j.get("vclock")?.as_u64()?,
+            depth: 0,
+            enabled: true,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +282,42 @@ mod tests {
             wu,
             vec![("outer", 2, 9), ("inner", 5, 5), ("second", 11, 4)]
         );
+    }
+
+    #[test]
+    fn wire_codec_round_trips_structure() {
+        let mut log = ShardLog::new("persona", 3, "Connected Car", true);
+        log.span("install", |log| {
+            log.add("tap.flows", 7);
+            log.work(12);
+            log.span("retry", |log| log.work(5));
+        });
+        log.work(2);
+        let decoded = ShardLog::from_wire_json(&log.to_wire_json()).unwrap();
+        assert_eq!(decoded.group, log.group);
+        assert_eq!(decoded.index, log.index);
+        assert_eq!(decoded.label, log.label);
+        assert_eq!(decoded.spans, log.spans);
+        assert_eq!(decoded.counters, log.counters);
+        assert_eq!(decoded.work_total(), log.work_total());
+        assert!(decoded.is_enabled());
+        // The render also survives a parse through the strict JSON parser.
+        let rendered = log.to_wire_json().render();
+        let reparsed = Json::parse(&rendered).unwrap();
+        assert_eq!(
+            ShardLog::from_wire_json(&reparsed).unwrap().spans,
+            log.spans
+        );
+    }
+
+    #[test]
+    fn wire_codec_rejects_malformed_documents() {
+        assert!(ShardLog::from_wire_json(&Json::Null).is_none());
+        assert!(ShardLog::from_wire_json(&Json::Obj(vec![(
+            "group".into(),
+            Json::Str("g".into())
+        )]))
+        .is_none());
     }
 
     #[test]
