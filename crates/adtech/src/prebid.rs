@@ -113,10 +113,7 @@ impl<'a> PrebidPage<'a> {
     pub fn highest_cpm_bids(&self) -> Vec<&Bid> {
         self.responses
             .values()
-            .filter_map(|bids| {
-                bids.iter()
-                    .max_by(|a, b| a.cpm.partial_cmp(&b.cpm).expect("finite cpm"))
-            })
+            .filter_map(|bids| bids.iter().max_by(|a, b| a.cpm.total_cmp(&b.cpm)))
             .collect()
     }
 }

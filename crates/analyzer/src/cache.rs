@@ -1,0 +1,382 @@
+//! Content-hash incremental cache for per-file summaries.
+//!
+//! The per-file work (lexing, per-file lints, symbol extraction) dominates
+//! the pass, and none of it depends on other files — so it caches cleanly
+//! under a FNV-1a hash of the file content. The cross-file semantic lints
+//! (AS01–AS04) are *always* recomputed from the full summary set, which is
+//! what makes the cache sound: editing a callee file changes that file's
+//! hash, its fresh summary carries the new taint sources, and the backward
+//! propagation re-taints every cached caller.
+//!
+//! One cache file (`summaries.v1.txt` under `target/analyzer/`) holds every
+//! summary, guarded by a **global key** over the analyzer version, the
+//! configuration and the name registries: any change to lint semantics
+//! drops the whole cache. The format is line-oriented and strict — any
+//! malformed line invalidates the entire cache (a miss, never an error).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::findings::{Finding, Severity};
+use crate::lexer::AllowDirective;
+use crate::lints;
+use crate::registry::Registry;
+use crate::symbols::{CallKind, CallRef, FieldSym, FileSummary, FnSym, SourceHit, StructSym};
+
+/// Bumped when the summary shape or serialization changes.
+const CACHE_FORMAT: &str = "v1";
+
+/// File name of the cache inside the cache directory.
+pub const CACHE_FILE: &str = "summaries.v1.txt";
+
+/// FNV-1a over a byte slice — the content hash and the global key hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The global invalidation key: analyzer version + full configuration +
+/// both name registries. Any difference ⇒ the whole cache is a miss.
+pub fn global_key(config: &Config, registry: &Registry) -> u64 {
+    let blob = format!(
+        "{CACHE_FORMAT}|{}|{config:?}|{registry:?}",
+        env!("CARGO_PKG_VERSION")
+    );
+    fnv1a(blob.as_bytes())
+}
+
+/// Load the cached summaries keyed by relative path. Any mismatch (missing
+/// file, stale key, malformed line) returns an empty map — a full miss.
+pub fn load(dir: &Path, key: u64) -> BTreeMap<String, FileSummary> {
+    match std::fs::read_to_string(dir.join(CACHE_FILE)) {
+        Ok(src) => parse(&src, key).unwrap_or_default(),
+        Err(_) => BTreeMap::new(),
+    }
+}
+
+/// Write the summaries atomically (temp file + rename). Best-effort: the
+/// caller treats a write failure as "no cache next run", not a fatal error.
+pub fn store(dir: &Path, key: u64, summaries: &[FileSummary]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join("summaries.tmp");
+    std::fs::write(&tmp, serialize(key, summaries))?;
+    std::fs::rename(&tmp, dir.join(CACHE_FILE))
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                't' => out.push('\t'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Render the cache file: a header line with the global key, then per-file
+/// record groups. Tab-separated, strings escaped.
+pub fn serialize(key: u64, summaries: &[FileSummary]) -> String {
+    let mut out = format!("alexa-analyzer-cache {CACHE_FORMAT} {key:016x}\n");
+    for s in summaries {
+        out.push_str(&format!(
+            "file\t{}\t{}\t{}\t{:016x}\n",
+            esc(&s.rel),
+            esc(&s.crate_name),
+            u8::from(s.is_bin),
+            s.hash
+        ));
+        for f in &s.fns {
+            out.push_str(&format!(
+                "fn\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&f.name),
+                f.qual
+                    .as_deref()
+                    .map(esc)
+                    .unwrap_or_else(|| "-".to_string()),
+                f.line,
+                f.col,
+                u8::from(f.is_pub),
+                u8::from(f.is_test)
+            ));
+            for c in &f.calls {
+                let kind = match &c.kind {
+                    CallKind::Free => "F".to_string(),
+                    CallKind::Method => "M".to_string(),
+                    CallKind::MethodOnSelf => "S".to_string(),
+                    CallKind::Qualified(q) => format!("Q:{}", esc(q)),
+                };
+                out.push_str(&format!("call\t{}\t{}\t{}\n", esc(&c.name), kind, c.line));
+            }
+            for src in &f.sources {
+                out.push_str(&format!(
+                    "src\t{}\t{}\t{}\n",
+                    esc(&src.kind),
+                    esc(&src.token),
+                    src.line
+                ));
+            }
+            for id in &f.idents {
+                out.push_str(&format!("ident\t{}\n", esc(id)));
+            }
+        }
+        for st in &s.structs {
+            out.push_str(&format!("struct\t{}\t{}\n", esc(&st.name), st.line));
+            for fld in &st.fields {
+                out.push_str(&format!(
+                    "field\t{}\t{}\t{}\n",
+                    esc(&fld.name),
+                    fld.line,
+                    fld.col
+                ));
+            }
+        }
+        for lit in &s.shaped_literals {
+            out.push_str(&format!("lit\t{}\n", esc(lit)));
+        }
+        for f in &s.findings {
+            out.push_str(&format!(
+                "finding\t{}\t{}\t{}\t{}\t{}\n",
+                f.lint,
+                f.line,
+                f.col,
+                esc(&f.snippet),
+                esc(&f.message)
+            ));
+        }
+        for a in &s.allows {
+            out.push_str(&format!(
+                "allow\t{}\t{}\t{}\t{}\n",
+                esc(&a.lints.join(",")),
+                a.line,
+                a.col,
+                u8::from(a.has_reason)
+            ));
+        }
+    }
+    out
+}
+
+/// Strict parse of a cache file against the expected key. `None` on any
+/// mismatch or malformed line — the caller treats that as a full miss.
+pub fn parse(src: &str, key: u64) -> Option<BTreeMap<String, FileSummary>> {
+    let mut lines = src.lines();
+    let header = lines.next()?;
+    if header != format!("alexa-analyzer-cache {CACHE_FORMAT} {key:016x}") {
+        return None;
+    }
+    let mut out: BTreeMap<String, FileSummary> = BTreeMap::new();
+    let mut cur: Option<FileSummary> = None;
+    for line in lines {
+        let parts: Vec<&str> = line.split('\t').collect();
+        match parts.as_slice() {
+            ["file", rel, crate_name, is_bin, hash] => {
+                if let Some(done) = cur.take() {
+                    out.insert(done.rel.clone(), done);
+                }
+                cur = Some(FileSummary {
+                    rel: unesc(rel)?,
+                    crate_name: unesc(crate_name)?,
+                    is_bin: *is_bin == "1",
+                    hash: u64::from_str_radix(hash, 16).ok()?,
+                    ..FileSummary::default()
+                });
+            }
+            ["fn", name, qual, line, col, is_pub, is_test] => {
+                cur.as_mut()?.fns.push(FnSym {
+                    name: unesc(name)?,
+                    qual: if *qual == "-" {
+                        None
+                    } else {
+                        Some(unesc(qual)?)
+                    },
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    is_pub: *is_pub == "1",
+                    is_test: *is_test == "1",
+                    calls: Vec::new(),
+                    sources: Vec::new(),
+                    idents: Default::default(),
+                });
+            }
+            ["call", name, kind, line] => {
+                let kind = match *kind {
+                    "F" => CallKind::Free,
+                    "M" => CallKind::Method,
+                    "S" => CallKind::MethodOnSelf,
+                    q => CallKind::Qualified(unesc(q.strip_prefix("Q:")?)?),
+                };
+                cur.as_mut()?.fns.last_mut()?.calls.push(CallRef {
+                    name: unesc(name)?,
+                    kind,
+                    line: line.parse().ok()?,
+                });
+            }
+            ["src", kind, token, line] => {
+                cur.as_mut()?.fns.last_mut()?.sources.push(SourceHit {
+                    kind: unesc(kind)?,
+                    token: unesc(token)?,
+                    line: line.parse().ok()?,
+                });
+            }
+            ["ident", text] => {
+                cur.as_mut()?.fns.last_mut()?.idents.insert(unesc(text)?);
+            }
+            ["struct", name, line] => {
+                cur.as_mut()?.structs.push(StructSym {
+                    name: unesc(name)?,
+                    line: line.parse().ok()?,
+                    fields: Vec::new(),
+                });
+            }
+            ["field", name, line, col] => {
+                cur.as_mut()?.structs.last_mut()?.fields.push(FieldSym {
+                    name: unesc(name)?,
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                });
+            }
+            ["lit", text] => {
+                cur.as_mut()?.shaped_literals.insert(unesc(text)?);
+            }
+            ["finding", lint, line, col, snippet, message] => {
+                // Map back to the catalog's static id; an unknown lint means
+                // the cache came from a different analyzer — full miss.
+                let lint = lints::spec(&unesc(lint)?)?.id;
+                let path = cur.as_ref()?.rel.clone();
+                cur.as_mut()?.findings.push(Finding {
+                    lint,
+                    severity: Severity::Deny, // resolved by the driver
+                    path,
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    snippet: unesc(snippet)?,
+                    message: unesc(message)?,
+                });
+            }
+            ["allow", lints, line, col, has_reason] => {
+                cur.as_mut()?.allows.push(AllowDirective {
+                    lints: unesc(lints)?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    has_reason: *has_reason == "1",
+                    used: false,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        out.insert(done.rel.clone(), done);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::FileCtx;
+    use crate::symbols::summarize;
+    use std::collections::BTreeSet;
+
+    fn sample_summary() -> FileSummary {
+        let src = "pub fn render() { stamp(); }\n\
+                   fn stamp() -> u64 { std::time::Instant::now(); 7 }\n\
+                   pub struct Shard { pub alpha: u64, beta: u64 }\n\
+                   // analyzer:allow(AP02) -- demo reason\n\
+                   fn escapee() {}\n";
+        let ctx = FileCtx {
+            rel_path: "crates/demo/src/lib.rs".to_string(),
+            crate_name: "demo".to_string(),
+            is_bin: false,
+        };
+        let wire: BTreeSet<String> = ["render".to_string()].into_iter().collect();
+        let lexed = lex(src);
+        let finding = Finding {
+            lint: "AP02",
+            severity: Severity::Deny,
+            path: ctx.rel_path.clone(),
+            line: 2,
+            col: 5,
+            snippet: "tab\there".to_string(),
+            message: "msg with \"quotes\" and \\ slash".to_string(),
+        };
+        summarize(&ctx, &lexed, fnv1a(src.as_bytes()), &wire, vec![finding])
+    }
+
+    #[test]
+    fn summaries_round_trip_byte_exactly() {
+        let s = sample_summary();
+        let rendered = serialize(42, std::slice::from_ref(&s));
+        let parsed = parse(&rendered, 42).expect("parses");
+        let back = parsed.get("crates/demo/src/lib.rs").expect("present");
+        assert_eq!(serialize(42, std::slice::from_ref(back)), rendered);
+        assert_eq!(back.fns.len(), s.fns.len());
+        assert_eq!(back.findings[0].message, s.findings[0].message);
+        assert_eq!(back.findings[0].snippet, "tab\there");
+        assert_eq!(back.allows.len(), 1);
+        assert!(back.allows[0].has_reason);
+    }
+
+    #[test]
+    fn wrong_key_or_corruption_is_a_full_miss() {
+        let rendered = serialize(42, &[sample_summary()]);
+        assert!(parse(&rendered, 43).is_none(), "key mismatch");
+        let corrupt = rendered.replace("fn\t", "fnord\t");
+        assert!(parse(&corrupt, 42).is_none(), "unknown record kind");
+        assert!(parse("", 42).is_none(), "empty file");
+    }
+
+    #[test]
+    fn global_key_tracks_config_and_registry() {
+        let cfg_a = Config::default();
+        let mut cfg_b = Config::default();
+        cfg_b.entry_paths.insert("crates/audit/src/".to_string());
+        let reg = Registry::default();
+        assert_ne!(global_key(&cfg_a, &reg), global_key(&cfg_b, &reg));
+        assert_eq!(global_key(&cfg_a, &reg), global_key(&cfg_a, &reg));
+    }
+
+    #[test]
+    fn store_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("alexa-analyzer-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = sample_summary();
+        store(&dir, 7, std::slice::from_ref(&s)).expect("store");
+        let loaded = load(&dir, 7);
+        assert_eq!(loaded.len(), 1);
+        assert!(load(&dir, 8).is_empty(), "different key misses");
+    }
+}

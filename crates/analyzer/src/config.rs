@@ -58,6 +58,18 @@ pub struct BaselineEntry {
     pub count: usize,
 }
 
+/// One AS02 wire pairing: a struct and the codec functions that must both
+/// mention every one of its fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePair {
+    /// Struct name as declared in the struct file.
+    pub struct_name: String,
+    /// Encode function name in the wire file.
+    pub encode_fn: String,
+    /// Decode function name in the wire file.
+    pub decode_fn: String,
+}
+
 /// Parsed analyzer configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -73,6 +85,20 @@ pub struct Config {
     /// Path prefixes on which AD05 (allocation in a loop) applies — the
     /// hot analysis paths that must stream from the shared index.
     pub alloc_paths: BTreeSet<String>,
+    /// Committed-surface path prefixes for AS01 (determinism taint): public
+    /// functions under these paths must not transitively reach a
+    /// wallclock/entropy/spawn source. Empty = lint inactive.
+    pub entry_paths: BTreeSet<String>,
+    /// AS02 wire pairings (`"Struct:encode_fn:decode_fn"` in the config).
+    /// Empty = lint inactive.
+    pub wire_pairs: Vec<WirePair>,
+    /// File declaring the AS02 wire-paired structs.
+    pub struct_file: String,
+    /// File holding the AS02 codec functions.
+    pub wire_file: String,
+    /// Exit-status literals AS04 accepts in bin crates (defaults to the
+    /// documented 0/2/3 contract when unset).
+    pub exit_codes: BTreeSet<String>,
     /// Per-lint severity overrides.
     pub severity: BTreeMap<String, Severity>,
     /// The ratchet baseline.
@@ -168,23 +194,38 @@ impl Config {
                 }
                 s if s.starts_with("lints.") => {
                     let lint = &s["lints.".len()..];
-                    let list = parse_string_array(value, lineno)?;
-                    let target = match (lint, key) {
-                        ("AD01", "allow_crates") => &mut cfg.wallclock_allow,
-                        ("AD04", "allow_crates") => &mut cfg.thread_allow,
-                        ("AD03", "crates") => &mut cfg.ordered_crates,
-                        ("AP01", "exempt_crates") | ("AP02", "exempt_crates") => {
-                            &mut cfg.panic_exempt
+                    match (lint, key) {
+                        ("AS02", "struct_file") => cfg.struct_file = parse_string(value, lineno)?,
+                        ("AS02", "wire_file") => cfg.wire_file = parse_string(value, lineno)?,
+                        ("AS02", "pairs") => {
+                            for spec in parse_string_array(value, lineno)? {
+                                cfg.wire_pairs.push(parse_wire_pair(&spec, lineno)?);
+                            }
                         }
-                        ("AD05", "paths") => &mut cfg.alloc_paths,
                         _ => {
-                            return Err(ConfigError {
-                                line: lineno,
-                                message: format!("unknown option `{key}` for [lints.{lint}]"),
-                            })
+                            let list = parse_string_array(value, lineno)?;
+                            let target = match (lint, key) {
+                                ("AD01", "allow_crates") => &mut cfg.wallclock_allow,
+                                ("AD04", "allow_crates") => &mut cfg.thread_allow,
+                                ("AD03", "crates") => &mut cfg.ordered_crates,
+                                ("AP01", "exempt_crates") | ("AP02", "exempt_crates") => {
+                                    &mut cfg.panic_exempt
+                                }
+                                ("AD05", "paths") => &mut cfg.alloc_paths,
+                                ("AS01", "entry_paths") => &mut cfg.entry_paths,
+                                ("AS04", "codes") => &mut cfg.exit_codes,
+                                _ => {
+                                    return Err(ConfigError {
+                                        line: lineno,
+                                        message: format!(
+                                            "unknown option `{key}` for [lints.{lint}]"
+                                        ),
+                                    })
+                                }
+                            };
+                            target.extend(list);
                         }
-                    };
-                    target.extend(list);
+                    }
                 }
                 other => {
                     return Err(ConfigError {
@@ -206,6 +247,16 @@ impl Config {
             .find(|b| b.lint == lint && b.path == path)
             .map(|b| b.count)
             .unwrap_or(0)
+    }
+
+    /// Exit-status literals AS04 accepts: the configured set, or the
+    /// documented `0`/`2`/`3` contract when the config is silent.
+    pub fn allowed_exit_codes(&self) -> BTreeSet<String> {
+        if self.exit_codes.is_empty() {
+            ["0", "2", "3"].iter().map(|s| s.to_string()).collect()
+        } else {
+            self.exit_codes.clone()
+        }
     }
 
     /// Resolved severity for a lint id.
@@ -242,6 +293,22 @@ fn parse_string(value: &str, line: u32) -> Result<String, ConfigError> {
         })
 }
 
+/// Parse an AS02 pair spec `"Struct:encode_fn:decode_fn"`.
+fn parse_wire_pair(spec: &str, line: u32) -> Result<WirePair, ConfigError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        [s, e, d] if !s.is_empty() && !e.is_empty() && !d.is_empty() => Ok(WirePair {
+            struct_name: s.to_string(),
+            encode_fn: e.to_string(),
+            decode_fn: d.to_string(),
+        }),
+        _ => Err(ConfigError {
+            line,
+            message: format!("AS02 pair must be \"Struct:encode_fn:decode_fn\", got {spec:?}"),
+        }),
+    }
+}
+
 fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
     let inner = value
         .strip_prefix('[')
@@ -256,6 +323,25 @@ fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError
         .filter(|s| !s.is_empty())
         .map(|s| parse_string(s, line))
         .collect()
+}
+
+/// Everything in the existing config up to the first `[[baseline]]` entry —
+/// preserved verbatim when rewriting the baseline. Only a line that *is* a
+/// `[[baseline]]` header counts; the token appearing inside a comment or
+/// value does not start the baseline section.
+pub fn baseline_header(src: &str) -> String {
+    let mut pos = 0;
+    for line in src.split_inclusive('\n') {
+        if line.trim() == "[[baseline]]" {
+            return src[..pos].to_string();
+        }
+        pos += line.len();
+    }
+    let mut s = src.trim_end().to_string();
+    if !s.is_empty() {
+        s.push_str("\n\n");
+    }
+    s
 }
 
 /// Render `[[baseline]]` entries back to TOML (for `--write-baseline`).
@@ -282,6 +368,17 @@ allow_crates = ["obs", "bench"] # trailing comment
 [lints.AD03]
 crates = ["net"]
 
+[lints.AS01]
+entry_paths = ["crates/net/src/render/"]
+
+[lints.AS02]
+struct_file = "crates/net/src/schema.rs"
+wire_file = "crates/net/src/wire.rs"
+pairs = ["Shard:shard_to_json:shard_from_json"]
+
+[lints.AS04]
+codes = ["0", "2", "3", "7"]
+
 [severity]
 AP03 = "warn"
 
@@ -306,6 +403,34 @@ count = 1
         assert_eq!(cfg.baseline.len(), 2);
         assert_eq!(cfg.baseline_count("AP02", "crates/net/src/a.rs"), 3);
         assert_eq!(cfg.baseline_count("AP02", "crates/net/src/other.rs"), 0);
+        assert!(cfg.entry_paths.contains("crates/net/src/render/"));
+        assert_eq!(cfg.struct_file, "crates/net/src/schema.rs");
+        assert_eq!(cfg.wire_file, "crates/net/src/wire.rs");
+        assert_eq!(
+            cfg.wire_pairs,
+            vec![WirePair {
+                struct_name: "Shard".to_string(),
+                encode_fn: "shard_to_json".to_string(),
+                decode_fn: "shard_from_json".to_string(),
+            }]
+        );
+        assert!(cfg.allowed_exit_codes().contains("7"));
+    }
+
+    #[test]
+    fn exit_codes_default_to_the_documented_contract() {
+        let cfg = Config::parse("").expect("empty config parses");
+        let codes = cfg.allowed_exit_codes();
+        assert_eq!(
+            codes.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["0", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn malformed_wire_pair_is_an_error() {
+        let err = Config::parse("[lints.AS02]\npairs = [\"Shard:only_one\"]\n").expect_err("fail");
+        assert!(err.message.contains("Struct:encode_fn:decode_fn"), "{err}");
     }
 
     #[test]
@@ -322,6 +447,24 @@ count = 1
     #[test]
     fn bad_severity_is_an_error() {
         assert!(Config::parse("[severity]\nAP03 = \"loud\"\n").is_err());
+    }
+
+    #[test]
+    fn header_ignores_baseline_token_in_comments() {
+        let src = "# the [[baseline]] ratchet\n[lints.AD01]\nallow_crates = []\n\n[[baseline]]\nlint = \"AP02\"\npath = \"a.rs\"\ncount = 1\n";
+        assert_eq!(
+            baseline_header(src),
+            "# the [[baseline]] ratchet\n[lints.AD01]\nallow_crates = []\n\n"
+        );
+    }
+
+    #[test]
+    fn header_without_baseline_gets_separator() {
+        assert_eq!(
+            baseline_header("[severity]\nAP03 = \"warn\"\n"),
+            "[severity]\nAP03 = \"warn\"\n\n"
+        );
+        assert_eq!(baseline_header(""), "");
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column of the offending token (0 when unknown).
+    pub col: u32,
     /// Trimmed source line.
     pub snippet: String,
     /// What is wrong.
@@ -59,11 +61,12 @@ pub struct Finding {
 }
 
 impl Finding {
-    /// The canonical one-line human rendering: `path:line: [id] message`.
+    /// The canonical one-line human rendering: `path:line:col: [id] message`
+    /// — the `path:line:col` prefix is what editors and CI annotations parse.
     pub fn render_human(&self) -> String {
         format!(
-            "{}:{}: [{}/{}] {}",
-            self.path, self.line, self.lint, self.severity, self.message
+            "{}:{}:{}: [{}/{}] {}",
+            self.path, self.line, self.col, self.lint, self.severity, self.message
         )
     }
 }
@@ -128,11 +131,12 @@ pub fn render_json(
     out.push_str("  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"lint\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            "    {{\"lint\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}{}\n",
             f.lint,
             f.severity,
             json_escape(&f.path),
             f.line,
+            f.col,
             json_escape(&f.message),
             json_escape(&f.snippet),
             if i + 1 < findings.len() { "," } else { "" }

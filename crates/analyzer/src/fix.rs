@@ -1,0 +1,287 @@
+//! `--fix`: mechanical rewrites the analyzer can apply safely.
+//!
+//! Two fix classes, both idempotent and both no-ops on a clean tree (CI
+//! asserts this with `--fix` + `git diff --exit-code`):
+//!
+//! * **stale `analyzer:allow` escapes** (AX01) — a directive that
+//!   suppresses no finding is deleted: the whole line when the comment
+//!   stands alone, otherwise just the trailing comment;
+//! * **baseline ratchet-down** — `[[baseline]]` entries whose recorded
+//!   count exceeds reality are lowered to the actual count (and removed at
+//!   zero). Counts are never raised: new findings stay failures to fix or
+//!   escape, not debt to absorb.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::config::{self, BaselineEntry, Config};
+use crate::{AnalysisReport, AnalyzerError};
+
+/// What one `--fix` pass changed.
+#[derive(Debug, Default)]
+pub struct FixOutcome {
+    /// Stale escape directives deleted.
+    pub stale_allows_removed: usize,
+    /// Baseline entries lowered or removed.
+    pub baseline_entries_ratcheted: usize,
+    /// Repo-relative paths rewritten (including `analyzer.toml`).
+    pub files_rewritten: Vec<String>,
+}
+
+impl FixOutcome {
+    /// Whether any file was rewritten.
+    pub fn changed(&self) -> bool {
+        !self.files_rewritten.is_empty()
+    }
+
+    /// One-line summary for the CLI.
+    pub fn render_human(&self) -> String {
+        if !self.changed() {
+            return "fix: nothing to do — no stale escapes, baseline matches reality".to_string();
+        }
+        format!(
+            "fix: removed {} stale analyzer:allow escape(s), ratcheted {} baseline entr(ies); rewrote: {}",
+            self.stale_allows_removed,
+            self.baseline_entries_ratcheted,
+            self.files_rewritten.join(", ")
+        )
+    }
+}
+
+/// Apply both fix classes for the findings in `report`. Only files that
+/// actually change are written.
+pub fn apply(
+    root: &Path,
+    config_path: &Path,
+    config_src: &str,
+    config: &Config,
+    report: &AnalysisReport,
+) -> Result<FixOutcome, AnalyzerError> {
+    let mut outcome = FixOutcome::default();
+    remove_stale_allows(root, report, &mut outcome)?;
+    ratchet_baseline(config_path, config_src, config, report, &mut outcome)?;
+    Ok(outcome)
+}
+
+/// Delete the escape directives behind every AX01 finding.
+fn remove_stale_allows(
+    root: &Path,
+    report: &AnalysisReport,
+    outcome: &mut FixOutcome,
+) -> Result<(), AnalyzerError> {
+    // AX01 is warn by default but severity is configurable — look in both.
+    let mut by_path: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for f in report.warnings.iter().chain(report.new_findings.iter()) {
+        if f.lint == "AX01" {
+            by_path.entry(&f.path).or_default().push(f.line);
+        }
+    }
+    for (rel, mut lines_to_fix) in by_path {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path).map_err(|e| AnalyzerError {
+            message: format!("fix: cannot read {rel}: {e}"),
+        })?;
+        let ends_with_newline = src.ends_with('\n');
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        // Highest line first, so removals don't shift pending indices.
+        lines_to_fix.sort_unstable();
+        lines_to_fix.dedup();
+        for &lineno in lines_to_fix.iter().rev() {
+            let Some(idx) = (lineno as usize).checked_sub(1) else {
+                continue;
+            };
+            let Some(line) = lines.get(idx) else { continue };
+            if line.trim_start().starts_with("//") {
+                lines.remove(idx);
+                outcome.stale_allows_removed += 1;
+            } else if let Some(cut) = comment_start(line) {
+                let kept = line[..cut].trim_end().to_string();
+                lines[idx] = kept;
+                outcome.stale_allows_removed += 1;
+            }
+        }
+        let mut rebuilt = lines.join("\n");
+        if ends_with_newline && !rebuilt.is_empty() {
+            rebuilt.push('\n');
+        }
+        if rebuilt != src {
+            std::fs::write(&path, &rebuilt).map_err(|e| AnalyzerError {
+                message: format!("fix: cannot write {rel}: {e}"),
+            })?;
+            outcome.files_rewritten.push(rel.to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Byte offset of the trailing `// analyzer:allow…` comment on a line, if
+/// one exists outside a string literal (a conservative quote-parity scan —
+/// escape directives the lexer accepted are plain line comments).
+fn comment_start(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'/' if !in_str && bytes[i + 1] == b'/' => {
+                if line[i..].contains("analyzer:allow") {
+                    return Some(i);
+                }
+                return None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Lower (never raise) baseline counts to the actual per-(lint, path)
+/// finding counts, dropping entries that reach zero.
+fn ratchet_baseline(
+    config_path: &Path,
+    config_src: &str,
+    config: &Config,
+    report: &AnalysisReport,
+    outcome: &mut FixOutcome,
+) -> Result<(), AnalyzerError> {
+    let mut fresh: Vec<BaselineEntry> = Vec::new();
+    let mut changed = 0usize;
+    for b in &config.baseline {
+        let actual = report
+            .counts
+            .get(&(b.lint.clone(), b.path.clone()))
+            .copied()
+            .unwrap_or(0);
+        let count = b.count.min(actual);
+        if count != b.count {
+            changed += 1;
+        }
+        if count > 0 {
+            fresh.push(BaselineEntry {
+                lint: b.lint.clone(),
+                path: b.path.clone(),
+                count,
+            });
+        }
+    }
+    if changed == 0 {
+        return Ok(());
+    }
+    let rendered = format!(
+        "{}{}",
+        config::baseline_header(config_src),
+        config::render_baseline(&fresh)
+    );
+    if rendered != config_src {
+        std::fs::write(config_path, &rendered).map_err(|e| AnalyzerError {
+            message: format!("fix: cannot write {}: {e}", config_path.display()),
+        })?;
+        outcome.baseline_entries_ratcheted = changed;
+        outcome
+            .files_rewritten
+            .push(config_path.to_string_lossy().into_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::{Finding, Severity};
+
+    fn ax01(path: &str, line: u32) -> Finding {
+        Finding {
+            lint: "AX01",
+            severity: Severity::Warn,
+            path: path.to_string(),
+            line,
+            col: 1,
+            snippet: String::new(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn stale_allows_are_deleted_line_or_trailer() {
+        let dir = std::env::temp_dir().join("alexa-analyzer-fix-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+        let rel = "src/lib.rs";
+        std::fs::write(
+            dir.join(rel),
+            "// analyzer:allow(AP02) -- stale standalone\n\
+             fn keep() {}\n\
+             let x = 1; // analyzer:allow(AD01) -- stale trailer\n\
+             let s = \"// analyzer:allow(AP01) in a string\";\n",
+        )
+        .expect("write");
+        let mut report = AnalysisReport::default();
+        report.warnings.push(ax01(rel, 1));
+        report.warnings.push(ax01(rel, 3));
+        let mut outcome = FixOutcome::default();
+        remove_stale_allows(&dir, &report, &mut outcome).expect("fix");
+        assert_eq!(outcome.stale_allows_removed, 2);
+        let fixed = std::fs::read_to_string(dir.join(rel)).expect("read");
+        assert_eq!(
+            fixed,
+            "fn keep() {}\nlet x = 1;\nlet s = \"// analyzer:allow(AP01) in a string\";\n"
+        );
+    }
+
+    #[test]
+    fn baseline_only_ratchets_down() {
+        let dir = std::env::temp_dir().join("alexa-analyzer-fix-baseline-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg_path = dir.join("analyzer.toml");
+        let cfg_src = "[severity]\nAP03 = \"warn\"\n\n\
+                       [[baseline]]\nlint = \"AP02\"\npath = \"a.rs\"\ncount = 3\n\n\
+                       [[baseline]]\nlint = \"AP02\"\npath = \"gone.rs\"\ncount = 1\n\n\
+                       [[baseline]]\nlint = \"AP01\"\npath = \"b.rs\"\ncount = 1\n";
+        std::fs::write(&cfg_path, cfg_src).expect("write");
+        let config = Config::parse(cfg_src).expect("parse");
+        let mut report = AnalysisReport::default();
+        // a.rs now has 2 findings (was 3); gone.rs has none; b.rs has 5
+        // (more than baselined — must NOT be raised).
+        report
+            .counts
+            .insert(("AP02".to_string(), "a.rs".to_string()), 2);
+        report
+            .counts
+            .insert(("AP01".to_string(), "b.rs".to_string()), 5);
+        let mut outcome = FixOutcome::default();
+        ratchet_baseline(&cfg_path, cfg_src, &config, &report, &mut outcome).expect("ratchet");
+        assert_eq!(outcome.baseline_entries_ratcheted, 2);
+        let rewritten = std::fs::read_to_string(&cfg_path).expect("read");
+        let reparsed = Config::parse(&rewritten).expect("reparse");
+        assert_eq!(reparsed.baseline_count("AP02", "a.rs"), 2);
+        assert_eq!(reparsed.baseline_count("AP02", "gone.rs"), 0);
+        assert_eq!(reparsed.baseline_count("AP01", "b.rs"), 1, "never raised");
+        assert!(rewritten.starts_with("[severity]"), "header preserved");
+    }
+
+    #[test]
+    fn clean_tree_is_a_no_op() {
+        let dir = std::env::temp_dir().join("alexa-analyzer-fix-noop-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg_path = dir.join("analyzer.toml");
+        let cfg_src = "[[baseline]]\nlint = \"AP02\"\npath = \"a.rs\"\ncount = 2\n";
+        std::fs::write(&cfg_path, cfg_src).expect("write");
+        let config = Config::parse(cfg_src).expect("parse");
+        let mut report = AnalysisReport::default();
+        report
+            .counts
+            .insert(("AP02".to_string(), "a.rs".to_string()), 2);
+        let outcome = apply(&dir, &cfg_path, cfg_src, &config, &report).expect("apply");
+        assert!(!outcome.changed(), "{outcome:?}");
+        assert_eq!(
+            std::fs::read_to_string(&cfg_path).expect("read"),
+            cfg_src,
+            "config untouched"
+        );
+    }
+}

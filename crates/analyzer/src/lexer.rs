@@ -40,6 +40,8 @@ pub struct Tok {
     pub text: String,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
     /// Whether the token sits inside a `#[cfg(test)]` item.
     pub test: bool,
 }
@@ -51,6 +53,8 @@ pub struct AllowDirective {
     pub lints: Vec<String>,
     /// Line of the comment itself.
     pub line: u32,
+    /// 1-based column of the comment's `//`.
+    pub col: u32,
     /// Whether a ` -- reason` trailer was present and non-empty.
     pub has_reason: bool,
     /// Set by the lint driver when the directive suppresses a finding.
@@ -103,6 +107,18 @@ pub fn lex(src: &str) -> Lexed {
     let mut i = 0;
     let mut line: u32 = 1;
 
+    // Char offset of the start of each 1-based line, for column math.
+    let mut line_starts: Vec<usize> = vec![0];
+    for (idx, &c) in b.iter().enumerate() {
+        if c == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    let col_of = |idx: usize, line: u32| -> u32 {
+        let start = line_starts.get(line as usize - 1).copied().unwrap_or(0);
+        (idx.saturating_sub(start) + 1) as u32
+    };
+
     macro_rules! bump_lines {
         ($ch:expr) => {
             if $ch == '\n' {
@@ -130,7 +146,7 @@ pub fn lex(src: &str) -> Lexed {
             let is_doc = i > start + 2 && (b[start + 2] == '/' || b[start + 2] == '!');
             if !is_doc {
                 let text: String = b[start..i].iter().collect();
-                scan_allow(&text, line, &mut out.allows);
+                scan_allow(&text, line, col_of(start, line), &mut out.allows);
             }
             continue;
         }
@@ -154,7 +170,8 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Raw / byte string prefixes: r"", r#""#, b"", br#""#, rb…
         if (c == 'r' || c == 'b') && is_raw_or_byte_string(&b, i) {
-            let (tok, ni, nl) = lex_prefixed_string(&b, i, line);
+            let (mut tok, ni, nl) = lex_prefixed_string(&b, i, line);
+            tok.col = col_of(i, line);
             out.toks.push(tok);
             i = ni;
             line = nl;
@@ -162,7 +179,8 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Plain string literal.
         if c == '"' {
-            let (tok, ni, nl) = lex_plain_string(&b, i, line);
+            let (mut tok, ni, nl) = lex_plain_string(&b, i, line);
+            tok.col = col_of(i, line);
             out.toks.push(tok);
             i = ni;
             line = nl;
@@ -175,6 +193,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Other,
                 text: if is_char { "'char'" } else { "'lifetime" }.to_string(),
                 line,
+                col: col_of(i, line),
                 test: false,
             });
             for &ch in &b[i..ni] {
@@ -193,6 +212,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Ident,
                 text: b[start..i].iter().collect(),
                 line,
+                col: col_of(start, line),
                 test: false,
             });
             continue;
@@ -208,6 +228,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Other,
                 text: b[start..i].iter().collect(),
                 line,
+                col: col_of(start, line),
                 test: false,
             });
             continue;
@@ -217,6 +238,7 @@ pub fn lex(src: &str) -> Lexed {
             kind: TokKind::Punct,
             text: c.to_string(),
             line,
+            col: col_of(i, line),
             test: false,
         });
         i += 1;
@@ -286,6 +308,7 @@ fn lex_prefixed_string(b: &[char], i: usize, mut line: u32) -> (Tok, usize, u32)
                         kind: TokKind::Str,
                         text,
                         line: start_line,
+                        col: 0, // the caller knows the start offset
                         test: false,
                     },
                     j + 1 + hashes,
@@ -301,6 +324,7 @@ fn lex_prefixed_string(b: &[char], i: usize, mut line: u32) -> (Tok, usize, u32)
             kind: TokKind::Str,
             text: b[content_start..].iter().collect(),
             line: start_line,
+            col: 0,
             test: false,
         },
         b.len(),
@@ -331,6 +355,7 @@ fn lex_plain_string(b: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) {
                     kind: TokKind::Str,
                     text,
                     line: start_line,
+                    col: 0, // the caller knows the start offset
                     test: false,
                 },
                 j + 1,
@@ -348,6 +373,7 @@ fn lex_plain_string(b: &[char], i: usize, mut line: u32) -> (Tok, usize, u32) {
             kind: TokKind::Str,
             text,
             line: start_line,
+            col: 0,
             test: false,
         },
         b.len(),
@@ -379,7 +405,7 @@ fn scan_quote(b: &[char], i: usize) -> (usize, bool) {
 }
 
 /// Parse `analyzer:allow(L1, L2) -- reason` out of a line comment.
-fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
+fn scan_allow(comment: &str, line: u32, col: u32, out: &mut Vec<AllowDirective>) {
     const NEEDLE: &str = "analyzer:allow(";
     let Some(pos) = comment.find(NEEDLE) else {
         return;
@@ -389,6 +415,7 @@ fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
         out.push(AllowDirective {
             lints: Vec::new(),
             line,
+            col,
             has_reason: false,
             used: false,
         });
@@ -407,6 +434,7 @@ fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
     out.push(AllowDirective {
         lints,
         line,
+        col,
         has_reason,
         used: false,
     });
@@ -613,6 +641,22 @@ mod tests {
         let src = "/// use `// analyzer:allow(AP02) -- why` to escape\n//! analyzer:allow(AD01) -- docs\nfn f() {}";
         let l = lex(src);
         assert!(l.allows.is_empty());
+    }
+
+    #[test]
+    fn columns_are_one_based_char_offsets() {
+        let src = "let x = now();\n    y.unwrap();\nlet s = \"lit\";";
+        let l = lex(src);
+        let now = l.toks.iter().find(|t| t.text == "now").expect("now");
+        assert_eq!((now.line, now.col), (1, 9));
+        let unwrap = l.toks.iter().find(|t| t.text == "unwrap").expect("unwrap");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+        let lit = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("string");
+        assert_eq!((lit.line, lit.col), (3, 9), "string col is the open quote");
     }
 
     #[test]

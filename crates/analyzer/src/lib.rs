@@ -16,6 +16,10 @@
 //! * **O-lints** (`AO0x`) — observability naming: span/stage/counter names
 //!   must be `dotted.lowercase` and declared in the single-source registry,
 //!   and `fault.*` names must match declared fault channels.
+//! * **S-lints** (`AS0x`) — cross-file *semantic* checks over a lexical
+//!   symbol index and call graph ([`symbols`], [`callgraph`]): determinism
+//!   taint from committed surfaces (AS01), wire-schema drift (AS02),
+//!   registry liveness (AS03) and the exit-code contract (AS04).
 //!
 //! Pre-existing findings live in a checked-in `analyzer.toml` **baseline**
 //! that works as a ratchet: any *new* finding fails, and any baseline entry
@@ -24,21 +28,30 @@
 //!
 //! The checks are lexical (a hand-rolled comment/string/cfg-aware lexer in
 //! [`lexer`]), not type-aware: that is exactly enough for these contracts,
-//! with zero dependencies and sub-second latency. See DESIGN.md §11.
+//! with zero dependencies and sub-second latency. Per-file work is cached
+//! under a content hash ([`cache`]); the semantic lints always recompute
+//! over the full summary set. See DESIGN.md §11.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod findings;
+pub mod fix;
 pub mod lexer;
 pub mod lints;
 pub mod registry;
+pub mod sarif;
+pub mod symbols;
 
 pub use config::{BaselineEntry, Config, ConfigError};
 pub use findings::{BaselineDrift, Finding, Severity};
+pub use fix::FixOutcome;
 pub use lints::{FileCtx, LintSpec, CATALOG};
 pub use registry::Registry;
+pub use symbols::FileSummary;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -56,6 +69,8 @@ pub struct AnalysisReport {
     pub baselined: usize,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Files whose per-file summary came from the incremental cache.
+    pub cache_hits: usize,
     /// The actual per-(lint, path) deny counts — input for `--write-baseline`.
     pub counts: BTreeMap<(String, String), usize>,
 }
@@ -77,6 +92,14 @@ impl AnalysisReport {
             })
             .collect()
     }
+}
+
+/// Knobs for [`analyze_with`].
+#[derive(Debug, Default)]
+pub struct AnalyzeOpts {
+    /// Directory for the incremental per-file summary cache (the CLI uses
+    /// `<root>/target/analyzer`). `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// A fatal analysis error (I/O, config) — reported as one line, exit 2.
@@ -115,8 +138,21 @@ impl From<registry::RegistryError> for AnalyzerError {
 /// fixtures live under `tests/` and *must* stay unscanned).
 const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", "fixtures", ".git"];
 
-/// Analyze the workspace under `root` with the given configuration.
+/// Analyze the workspace under `root` with the given configuration and no
+/// cache. See [`analyze_with`].
 pub fn analyze(root: &Path, config: &Config) -> Result<AnalysisReport, AnalyzerError> {
+    analyze_with(root, config, &AnalyzeOpts::default())
+}
+
+/// Analyze the workspace under `root`: per-file lexical lints (cached under
+/// a content hash when `opts.cache_dir` is set), then the cross-file
+/// semantic lints over the combined summary set, then one unified escape /
+/// severity / baseline-ratchet pass over every finding.
+pub fn analyze_with(
+    root: &Path,
+    config: &Config,
+    opts: &AnalyzeOpts,
+) -> Result<AnalysisReport, AnalyzerError> {
     let reg = Registry::load(root)?;
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files).map_err(|e| AnalyzerError {
@@ -124,76 +160,120 @@ pub fn analyze(root: &Path, config: &Config) -> Result<AnalysisReport, AnalyzerE
     })?;
     files.sort();
 
-    let mut report = AnalysisReport::default();
-    let mut all_findings: Vec<Finding> = Vec::new();
+    let wire_fns: std::collections::BTreeSet<String> = config
+        .wire_pairs
+        .iter()
+        .flat_map(|p| [p.encode_fn.clone(), p.decode_fn.clone()])
+        .collect();
+    let key = cache::global_key(config, &reg);
+    let mut cached = match &opts.cache_dir {
+        Some(dir) => cache::load(dir, key),
+        None => BTreeMap::new(),
+    };
 
-    // Registry self-check: every declared obs name must be well-shaped, and
-    // declared fault.* names must match the fault crate's channels.
-    for name in &reg.obs_names {
-        let mut push = |lint: &'static str, line: u32, message: String| {
-            all_findings.push(Finding {
-                lint,
-                severity: Severity::Deny,
-                path: registry::OBS_NAMES_PATH.to_string(),
-                line,
-                snippet: format!("\"{name}\""),
-                message,
-            });
-        };
-        if !lints::is_dotted_lowercase(name) {
-            push(
-                "AO01",
-                0,
-                format!("registry name {name:?} is not dotted.lowercase"),
-            );
-        }
-        lints::check_fault_name(name, &reg, 0, &mut push);
-    }
+    let mut report = AnalysisReport::default();
+    let mut summaries: Vec<FileSummary> = Vec::new();
+    // Raw line content per file, for snippet backfill on semantic findings.
+    let mut file_lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
 
     for path in files {
         let rel = rel_path(root, &path);
         let src = std::fs::read_to_string(&path).map_err(|e| AnalyzerError {
             message: format!("cannot read {rel}: {e}"),
         })?;
-        let mut lexed = lexer::lex(&src);
-        let ctx = classify(&rel);
+        let hash = cache::fnv1a(src.as_bytes());
         report.files_scanned += 1;
+        let summary = match cached.remove(&rel) {
+            Some(s) if s.hash == hash => {
+                report.cache_hits += 1;
+                s
+            }
+            _ => {
+                let lexed = lexer::lex(&src);
+                let ctx = classify(&rel);
+                let mut raw = Vec::new();
+                lints::run_lints(&lexed, &ctx, config, &reg, &mut raw);
+                symbols::summarize(&ctx, &lexed, hash, &wire_fns, raw)
+            }
+        };
+        file_lines.insert(rel, src.lines().map(str::to_string).collect());
+        summaries.push(summary);
+    }
 
-        let mut raw = Vec::new();
-        lints::run_lints(&lexed, &ctx, config, &reg, &mut raw);
+    // Cross-file semantic phase — always recomputed over the *full* summary
+    // set (cached or fresh), so an edit to a callee file re-taints its
+    // cached callers and a registry edit re-runs liveness everywhere.
+    let mut semantic: Vec<Finding> = Vec::new();
+    for entry in &reg.obs_names {
+        // Registry self-check: every declared obs name must be well-shaped,
+        // and declared fault.* names must match the fault crate's channels.
+        let mut push = |lint: &'static str, line: u32, col: u32, message: String| {
+            semantic.push(Finding {
+                lint,
+                severity: Severity::Deny,
+                path: registry::OBS_NAMES_PATH.to_string(),
+                line,
+                col,
+                snippet: String::new(),
+                message,
+            });
+        };
+        if !lints::is_dotted_lowercase(&entry.name) {
+            push(
+                "AO01",
+                entry.line,
+                entry.col,
+                format!("registry name {:?} is not dotted.lowercase", entry.name),
+            );
+        }
+        lints::check_fault_name(&entry.name, &reg, entry.line, entry.col, &mut push);
+    }
+    callgraph::as01_findings(&summaries, config, &mut semantic);
+    lints::as02_findings(&summaries, config, &mut semantic);
+    lints::as03_findings(&summaries, &reg, &mut semantic);
 
-        // Apply per-site escapes, tracking which directives fired.
-        let mut used = vec![false; lexed.allows.len()];
+    let mut sem_by_path: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in semantic {
+        sem_by_path.entry(f.path.clone()).or_default().push(f);
+    }
+
+    // Unified escape pass: per-file raw findings and semantic findings on
+    // that file share the file's `analyzer:allow` directives.
+    let mut all_findings: Vec<Finding> = Vec::new();
+    for s in &summaries {
+        let mut raw = s.findings.clone();
+        if let Some(extra) = sem_by_path.remove(&s.rel) {
+            raw.extend(extra);
+        }
+        let mut used = vec![false; s.allows.len()];
         raw.retain(|f| {
-            if let Some(&idx) = lexed.allowed_on(f.line).get(f.lint) {
+            if let Some(&idx) = allowed_on(&s.allows, f.line).get(f.lint) {
                 used[idx] = true;
                 false
             } else {
                 true
             }
         });
-        for (i, a) in lexed.allows.iter_mut().enumerate() {
-            a.used = used[i];
-        }
-
         // Escape hygiene: escapes must carry a reason and must fire.
-        for a in &lexed.allows {
+        for (i, a) in s.allows.iter().enumerate() {
             if !a.has_reason {
                 raw.push(Finding {
                     lint: "AX02",
                     severity: Severity::Deny,
-                    path: rel.clone(),
+                    path: s.rel.clone(),
                     line: a.line,
-                    snippet: lexed.snippet(a.line).to_string(),
+                    col: a.col,
+                    snippet: String::new(),
                     message: "analyzer:allow without a `-- reason` trailer".to_string(),
                 });
-            } else if !a.used {
+            } else if !used[i] {
                 raw.push(Finding {
                     lint: "AX01",
                     severity: Severity::Deny, // resolved below
-                    path: rel.clone(),
+                    path: s.rel.clone(),
                     line: a.line,
-                    snippet: lexed.snippet(a.line).to_string(),
+                    col: a.col,
+                    snippet: String::new(),
                     message: format!(
                         "analyzer:allow({}) suppresses no finding — delete it",
                         a.lints.join(", ")
@@ -202,6 +282,22 @@ pub fn analyze(root: &Path, config: &Config) -> Result<AnalysisReport, AnalyzerE
             }
         }
         all_findings.extend(raw);
+    }
+    // Semantic findings on paths without a summary (e.g. a misconfigured
+    // AS02 file) cannot be escaped — they pass through directly.
+    for (_, extra) in sem_by_path {
+        all_findings.extend(extra);
+    }
+
+    // Snippet backfill for findings constructed without file content.
+    for f in &mut all_findings {
+        if f.snippet.is_empty() && f.line >= 1 {
+            if let Some(lines) = file_lines.get(&f.path) {
+                if let Some(l) = lines.get(f.line as usize - 1) {
+                    f.snippet = l.trim().to_string();
+                }
+            }
+        }
     }
 
     // Resolve severities, split warn/deny, apply the baseline ratchet.
@@ -253,7 +349,28 @@ pub fn analyze(root: &Path, config: &Config) -> Result<AnalysisReport, AnalyzerE
     report
         .drift
         .sort_by(|a, b| (&a.path, &a.lint).cmp(&(&b.path, &b.lint)));
+
+    // Persist the cache last, best-effort: a read-only target dir must not
+    // fail the analysis, it just means a cold cache next run.
+    if let Some(dir) = &opts.cache_dir {
+        let _ = cache::store(dir, key, &summaries);
+    }
     Ok(report)
+}
+
+/// Lint ids allowed on `line` by a file's directives (a directive covers
+/// its own line and the next line, so both trailing and standalone
+/// comments work), mapped to the directive index.
+fn allowed_on(allows: &[lexer::AllowDirective], line: u32) -> BTreeMap<&str, usize> {
+    let mut out = BTreeMap::new();
+    for (i, a) in allows.iter().enumerate() {
+        if a.line == line || a.line + 1 == line {
+            for l in &a.lints {
+                out.entry(l.as_str()).or_insert(i);
+            }
+        }
+    }
+    out
 }
 
 /// Load `analyzer.toml` from `root` and run [`analyze`].
@@ -330,5 +447,20 @@ mod tests {
         assert!(b.is_bin);
         let m = classify("crates/analyzer/src/main.rs");
         assert!(m.is_bin);
+    }
+
+    #[test]
+    fn allowed_on_covers_own_and_next_line() {
+        let allows = vec![lexer::AllowDirective {
+            lints: vec!["AP02".to_string()],
+            line: 4,
+            col: 1,
+            has_reason: true,
+            used: false,
+        }];
+        assert!(allowed_on(&allows, 4).contains_key("AP02"));
+        assert!(allowed_on(&allows, 5).contains_key("AP02"));
+        assert!(!allowed_on(&allows, 6).contains_key("AP02"));
+        assert!(!allowed_on(&allows, 3).contains_key("AP02"));
     }
 }

@@ -85,6 +85,30 @@ pub const CATALOG: &[LintSpec] = &[
         summary: "fault.* observability names must match a declared fault channel label or ledger aggregate from crates/fault",
     },
     LintSpec {
+        id: "AS01",
+        slug: "determinism-taint",
+        default_severity: Severity::Deny,
+        summary: "a public function on a committed surface (report rendering, bundle writing, wire codecs) transitively reaches a wallclock/entropy/spawn source — the finding carries the full call chain",
+    },
+    LintSpec {
+        id: "AS02",
+        slug: "wire-schema-drift",
+        default_severity: Severity::Deny,
+        summary: "every field of a wire-paired struct must appear in both its encode and decode codec functions — a field missing from either silently drops data on the wire",
+    },
+    LintSpec {
+        id: "AS03",
+        slug: "registry-liveness",
+        default_severity: Severity::Deny,
+        summary: "every name declared in the crates/obs names registry must have at least one call site emitting it — dead registry entries are unchecked debt (the dual of AO01)",
+    },
+    LintSpec {
+        id: "AS04",
+        slug: "exit-code-contract",
+        default_severity: Severity::Deny,
+        summary: "process::exit/ExitCode literals in bin crates must stay inside the documented exit-code contract (default 0/2/3)",
+    },
+    LintSpec {
         id: "AX01",
         slug: "stale-allow",
         default_severity: Severity::Warn,
@@ -117,8 +141,10 @@ pub struct FileCtx {
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const ALLOC_METHODS: &[&str] = &["clone", "to_string"];
 const UNWRAP_METHODS: &[&str] = &["unwrap", "expect"];
-const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
-const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+/// Wall-clock token shapes — shared by AD01 and the AS01 taint source set.
+pub const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+/// Ambient-entropy token shapes — shared by AD02 and the AS01 source set.
+pub const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
 const UNORDERED_IDENTS: &[&str] = &["HashMap", "HashSet"];
 /// Keywords that can legally precede `[` without it being an index
 /// expression (`let [a, b] = …`, `return [x]`, `match […]`, …).
@@ -143,12 +169,13 @@ pub fn run_lints(
     out: &mut Vec<Finding>,
 ) {
     let toks = &lexed.toks;
-    let mut push = |id: &'static str, line: u32, message: String| {
+    let mut push = |id: &'static str, line: u32, col: u32, message: String| {
         out.push(Finding {
             lint: id,
             severity: Severity::Deny, // resolved later by the driver
             path: ctx.rel_path.clone(),
             line,
+            col,
             snippet: lexed.snippet(line).to_string(),
             message,
         });
@@ -158,6 +185,11 @@ pub fn run_lints(
     let ordered_crate = config.ordered_crates.contains(&ctx.crate_name);
     let wallclock_ok = config.wallclock_allow.contains(&ctx.crate_name);
     let threads_ok = config.thread_allow.contains(&ctx.crate_name);
+    let exit_codes = if ctx.is_bin {
+        config.allowed_exit_codes()
+    } else {
+        Default::default()
+    };
     let alloc_lint = config
         .alloc_paths
         .iter()
@@ -180,18 +212,25 @@ pub fn run_lints(
                     push(
                         "AD01",
                         t.line,
+                        t.col,
                         format!("wall-clock type `{name}` in crate `{}`", ctx.crate_name),
                     );
                 }
                 // AD02 — ambient entropy, everywhere.
                 if ENTROPY_IDENTS.contains(&name) {
-                    push("AD02", t.line, format!("ambient entropy source `{name}`"));
+                    push(
+                        "AD02",
+                        t.line,
+                        t.col,
+                        format!("ambient entropy source `{name}`"),
+                    );
                 }
                 // AD03 — unordered collections in report/trace crates.
                 if ordered_crate && UNORDERED_IDENTS.contains(&name) {
                     push(
                         "AD03",
                         t.line,
+                        t.col,
                         format!("`{name}` in ordered-output crate `{}`", ctx.crate_name),
                     );
                 }
@@ -208,12 +247,13 @@ pub fn run_lints(
                     push(
                         "AD04",
                         t.line,
+                        t.col,
                         format!("parallelism primitive `{name}` outside crates/exec"),
                     );
                 }
                 // AP01 — panic macros in library code.
                 if plints_apply && PANIC_MACROS.contains(&name) && next_is(toks, i, "!") {
-                    push("AP01", t.line, format!("`{name}!` in library code"));
+                    push("AP01", t.line, t.col, format!("`{name}!` in library code"));
                 }
                 // AP02 — .unwrap()/.expect() in library code.
                 if plints_apply
@@ -221,7 +261,12 @@ pub fn run_lints(
                     && prev_is(toks, i, ".")
                     && next_is(toks, i, "(")
                 {
-                    push("AP02", t.line, format!("`.{name}()` in library code"));
+                    push(
+                        "AP02",
+                        t.line,
+                        t.col,
+                        format!("`.{name}()` in library code"),
+                    );
                 }
                 // AD05 — per-iteration allocation on a configured hot path.
                 if alloc_lint && in_loop.get(i).copied().unwrap_or(false) {
@@ -232,15 +277,30 @@ pub fn run_lints(
                         push(
                             "AD05",
                             t.line,
+                            t.col,
                             format!("`.{name}()` inside a loop on a hot analysis path"),
                         );
                     } else if name == "format" && next_is(toks, i, "!") {
                         push(
                             "AD05",
                             t.line,
+                            t.col,
                             "`format!` inside a loop on a hot analysis path".to_string(),
                         );
                     }
+                }
+                // AS04 — exit-status literals outside the documented
+                // contract, in bin targets only.
+                if ctx.is_bin
+                    && next_is(toks, i, "(")
+                    && ((name == "exit"
+                        && prev_is(toks, i, "::")
+                        && prev_ident_is(toks, i, "process"))
+                        || (name == "from"
+                            && prev_is(toks, i, "::")
+                            && prev_ident_is(toks, i, "ExitCode")))
+                {
+                    check_exit_literals(toks, i + 2, &exit_codes, &mut push);
                 }
                 // AO01 — registered observability names, via free functions
                 // (agg_time/agg_count) or recorder/log methods.
@@ -248,7 +308,7 @@ pub fn run_lints(
                     || (OBS_METHODS.contains(&name) && prev_is(toks, i, ".")))
                     && next_is(toks, i, "(");
                 if obs_call {
-                    check_obs_name(toks, i + 2, registry, t.line, &mut push);
+                    check_obs_name(toks, i + 2, registry, &mut push);
                 }
             }
             TokKind::Punct if t.text == "[" && plints_apply => {
@@ -264,6 +324,7 @@ pub fn run_lints(
                         push(
                             "AP03",
                             t.line,
+                            t.col,
                             "index expression — prefer .get() on fallible paths".to_string(),
                         );
                     }
@@ -274,6 +335,51 @@ pub fn run_lints(
     }
 }
 
+/// AS04: scan the argument tokens of an exit call (starting at the token
+/// after the opening paren) for integer literals outside the allowed set.
+/// Non-literal arguments (variables, helper calls) are out of lexical reach.
+fn check_exit_literals(
+    toks: &[Tok],
+    mut j: usize,
+    allowed: &std::collections::BTreeSet<String>,
+    push: &mut impl FnMut(&'static str, u32, u32, String),
+) {
+    let mut depth = 1usize;
+    let allowed_list: Vec<&str> = allowed.iter().map(String::as_str).collect();
+    while depth > 0 {
+        let Some(t) = toks.get(j) else { return };
+        match t.kind {
+            TokKind::Punct if t.text == "(" => depth += 1,
+            TokKind::Punct if t.text == ")" => depth -= 1,
+            TokKind::Other => {
+                // Keep the leading digits: `1u8` and `1_0` normalize.
+                let digits: String = t
+                    .text
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '_')
+                    .filter(|c| c.is_ascii_digit())
+                    .collect();
+                if !digits.is_empty()
+                    && t.text.starts_with(|c: char| c.is_ascii_digit())
+                    && !allowed.contains(&digits)
+                {
+                    push(
+                        "AS04",
+                        t.line,
+                        t.col,
+                        format!(
+                            "exit status `{digits}` is outside the documented exit-code contract (allowed: {})",
+                            allowed_list.join("/")
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
 /// Validate a string literal at token index `j` as an observability name
 /// (shape + registry membership + fault.* consistency). Non-literal first
 /// arguments (constants, format!) are out of lexical reach and skipped.
@@ -281,8 +387,7 @@ fn check_obs_name(
     toks: &[Tok],
     j: usize,
     registry: &Registry,
-    line: u32,
-    push: &mut impl FnMut(&'static str, u32, String),
+    push: &mut impl FnMut(&'static str, u32, u32, String),
 ) {
     let Some(tok) = toks.get(j) else { return };
     if tok.kind != TokKind::Str {
@@ -292,19 +397,21 @@ fn check_obs_name(
     if !is_dotted_lowercase(name) {
         push(
             "AO01",
-            line,
+            tok.line,
+            tok.col,
             format!("obs name {name:?} is not dotted.lowercase"),
         );
         return;
     }
-    if !registry.obs_names.iter().any(|n| n == name) {
+    if !registry.has_obs_name(name) {
         push(
             "AO01",
-            line,
+            tok.line,
+            tok.col,
             format!("obs name {name:?} is not declared in crates/obs/src/names.rs"),
         );
     }
-    check_fault_name(name, registry, line, push);
+    check_fault_name(name, registry, tok.line, tok.col, push);
 }
 
 /// AO02: a `fault.<x>` name must match a declared channel label or ledger
@@ -313,7 +420,8 @@ pub fn check_fault_name(
     name: &str,
     registry: &Registry,
     line: u32,
-    push: &mut impl FnMut(&'static str, u32, String),
+    col: u32,
+    push: &mut impl FnMut(&'static str, u32, u32, String),
 ) {
     let Some(suffix) = name.strip_prefix("fault.") else {
         return;
@@ -323,10 +431,131 @@ pub fn check_fault_name(
         push(
             "AO02",
             line,
+            col,
             format!(
                 "fault name {name:?}: `{suffix}` is neither a ledger aggregate nor a channel label declared in crates/fault"
             ),
         );
+    }
+}
+
+/// AS02: every field of each configured wire-paired struct must appear (as
+/// an identifier or string literal) in the bodies of both its encode and
+/// decode functions. Findings land on the field's declaration line in the
+/// struct file so `analyzer:allow` escapes can sit next to the field.
+pub fn as02_findings(
+    summaries: &[crate::symbols::FileSummary],
+    config: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if config.wire_pairs.is_empty() {
+        return;
+    }
+    let struct_file = summaries.iter().find(|s| s.rel == config.struct_file);
+    let wire_file = summaries.iter().find(|s| s.rel == config.wire_file);
+    let mut push = |path: &str, line: u32, col: u32, message: String| {
+        out.push(Finding {
+            lint: "AS02",
+            severity: Severity::Deny,
+            path: path.to_string(),
+            line,
+            col,
+            snippet: String::new(),
+            message,
+        });
+    };
+    let (Some(sf), Some(wf)) = (struct_file, wire_file) else {
+        let missing = if struct_file.is_none() {
+            &config.struct_file
+        } else {
+            &config.wire_file
+        };
+        push(
+            missing,
+            0,
+            0,
+            format!(
+                "AS02 is configured but `{missing}` was not scanned — check [lints.AS02] paths"
+            ),
+        );
+        return;
+    };
+    for pair in &config.wire_pairs {
+        let Some(st) = sf.structs.iter().find(|s| s.name == pair.struct_name) else {
+            push(
+                &sf.rel,
+                0,
+                0,
+                format!(
+                    "wire-paired struct `{}` not found in {} — check [lints.AS02] pairs",
+                    pair.struct_name, sf.rel
+                ),
+            );
+            continue;
+        };
+        for (role, fn_name) in [("encode", &pair.encode_fn), ("decode", &pair.decode_fn)] {
+            let Some(f) = wf.fns.iter().find(|f| &f.name == fn_name) else {
+                push(
+                    &wf.rel,
+                    0,
+                    0,
+                    format!(
+                        "{role} fn `{fn_name}` for struct `{}` not found in {} — check [lints.AS02] pairs",
+                        pair.struct_name, wf.rel
+                    ),
+                );
+                continue;
+            };
+            for field in &st.fields {
+                if !f.idents.contains(&field.name) {
+                    push(
+                        &sf.rel,
+                        field.line,
+                        field.col,
+                        format!(
+                            "field `{}::{}` never appears in {role} fn `{fn_name}` ({}) — it would silently drop on the wire",
+                            pair.struct_name, field.name, wf.rel
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// AS03: every declared obs registry name needs at least one potential
+/// emitting site — a string literal with that exact text anywhere in
+/// non-test workspace code outside the registry file itself. The loose
+/// literal match (rather than call-argument position) tolerates names
+/// routed through helpers and multi-line calls; it only misses names built
+/// by concatenation, which AO01 already discourages.
+pub fn as03_findings(
+    summaries: &[crate::symbols::FileSummary],
+    registry: &Registry,
+    out: &mut Vec<Finding>,
+) {
+    let mut live: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for s in summaries {
+        if s.rel == crate::registry::OBS_NAMES_PATH {
+            continue;
+        }
+        live.extend(s.shaped_literals.iter().map(String::as_str));
+    }
+    for entry in &registry.obs_names {
+        if !live.contains(entry.name.as_str()) {
+            out.push(Finding {
+                lint: "AS03",
+                severity: Severity::Deny,
+                path: crate::registry::OBS_NAMES_PATH.to_string(),
+                line: entry.line,
+                col: entry.col,
+                snippet: String::new(),
+                message: format!(
+                    "registry name {:?} has no emitting call site anywhere in the workspace — dead entry",
+                    entry.name
+                ),
+            });
+        }
     }
 }
 

@@ -5,17 +5,38 @@
 //! Both are plain `pub const NAME: &[&str] = [ "…", … ];` declarations, so
 //! the same lexer that scans the workspace can read them: find the const's
 //! identifier, then collect every string literal up to the terminating `;`.
+//! Each extracted name keeps its declaration line/column, so findings that
+//! point *at the registry* (AO01/AO02 self-checks, AS03 liveness) land on
+//! the exact entry and per-line `analyzer:allow` escapes work there too.
 
 use crate::lexer::{lex, TokKind};
+
+/// One registry entry with its declaration site.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// The declared name.
+    pub name: String,
+    /// 1-based line of the string literal in the registry file.
+    pub line: u32,
+    /// 1-based column of the string literal's opening quote.
+    pub col: u32,
+}
 
 /// The names the O-lints validate against.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     /// Sanctioned observability names (spans, stages, counters, shard
     /// groups, coverage sections) from `crates/obs/src/names.rs`.
-    pub obs_names: Vec<String>,
+    pub obs_names: Vec<RegistryEntry>,
     /// Declared fault channel labels from `crates/fault/src/profile.rs`.
     pub fault_channels: Vec<String>,
+}
+
+impl Registry {
+    /// Whether `name` is a declared observability name.
+    pub fn has_obs_name(&self, name: &str) -> bool {
+        self.obs_names.iter().any(|e| e.name == name)
+    }
 }
 
 /// A registry that could not be loaded — a configuration error, reported
@@ -43,7 +64,10 @@ impl Registry {
     /// Load both registries from a workspace root.
     pub fn load(root: &std::path::Path) -> Result<Registry, RegistryError> {
         let obs_names = extract_const_strings(root, OBS_NAMES_PATH, "REGISTRY")?;
-        let fault_channels = extract_const_strings(root, FAULT_CHANNELS_PATH, "CHANNEL_LABELS")?;
+        let fault_channels = extract_const_strings(root, FAULT_CHANNELS_PATH, "CHANNEL_LABELS")?
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         Ok(Registry {
             obs_names,
             fault_channels,
@@ -52,12 +76,12 @@ impl Registry {
 }
 
 /// Collect the string literals of `pub const <name>: &[&str] = [...]` in
-/// `rel` under `root`.
+/// `rel` under `root`, with their declaration sites.
 fn extract_const_strings(
     root: &std::path::Path,
     rel: &str,
     name: &str,
-) -> Result<Vec<String>, RegistryError> {
+) -> Result<Vec<RegistryEntry>, RegistryError> {
     let path = root.join(rel);
     let src = std::fs::read_to_string(&path).map_err(|e| RegistryError {
         message: format!("cannot read name registry {rel}: {e}"),
@@ -73,7 +97,11 @@ fn extract_const_strings(
     let mut out = Vec::new();
     for t in &toks[start..] {
         match t.kind {
-            TokKind::Str => out.push(t.text.clone()),
+            TokKind::Str => out.push(RegistryEntry {
+                name: t.text.clone(),
+                line: t.line,
+                col: t.col,
+            }),
             TokKind::Punct if t.text == ";" => break,
             _ => {}
         }
@@ -108,7 +136,15 @@ mod tests {
         )
         .expect("write");
         let reg = Registry::load(&dir).expect("load");
-        assert_eq!(reg.obs_names, vec!["boot", "crawl.pre"]);
+        let names: Vec<&str> = reg.obs_names.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["boot", "crawl.pre"]);
+        assert_eq!(
+            (reg.obs_names[0].line, reg.obs_names[0].col),
+            (3, 3),
+            "entries carry their declaration site"
+        );
+        assert!(reg.has_obs_name("boot"));
+        assert!(!reg.has_obs_name("nope"));
         assert_eq!(reg.fault_channels, vec!["install", "packet_drop"]);
     }
 

@@ -1,0 +1,129 @@
+//! SARIF 2.1.0 output — the format CI services ingest to surface findings
+//! as inline annotations on changed lines.
+//!
+//! The emission is hand-rolled (the analyzer is dependency-free) and
+//! deterministic: rules come from [`crate::lints::CATALOG`] in catalog
+//! order, results in the driver's (path, line, lint) order, so two runs
+//! over the same tree produce byte-identical SARIF — the same contract the
+//! JSON format honours.
+
+use crate::findings::{json_escape, BaselineDrift, Finding, Severity};
+use crate::lints::CATALOG;
+
+/// SARIF severity level for a resolved finding severity.
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Warn => "warning",
+        Severity::Deny => "error",
+    }
+}
+
+/// Render findings and baseline drift as a SARIF 2.1.0 log. Drift entries
+/// become results against their lint's rule, anchored at the file's first
+/// line (drift is a per-file count, not a site).
+pub fn render(findings: &[Finding], drift: &[BaselineDrift]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"alexa-analyzer\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        json_escape(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str("          \"rules\": [\n");
+    for (i, spec) in CATALOG.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            spec.id,
+            json_escape(spec.slug),
+            json_escape(spec.summary),
+            if i + 1 < CATALOG.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let total = findings.len() + drift.len();
+    let mut emitted = 0usize;
+    let mut push_result = |out: &mut String,
+                           rule: &str,
+                           lvl: &str,
+                           msg: &str,
+                           uri: &str,
+                           line: u32,
+                           col: u32| {
+        emitted += 1;
+        out.push_str(&format!(
+                "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}\n",
+                json_escape(rule),
+                lvl,
+                json_escape(msg),
+                json_escape(uri),
+                line.max(1),
+                col.max(1),
+                if emitted < total { "," } else { "" }
+            ));
+    };
+    for f in findings {
+        push_result(
+            &mut out,
+            f.lint,
+            level(f.severity),
+            &f.message,
+            &f.path,
+            f.line,
+            f.col,
+        );
+    }
+    for d in drift {
+        push_result(&mut out, &d.lint, "error", &d.render_human(), &d.path, 1, 1);
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_carries_rules_results_and_clamped_locations() {
+        let findings = vec![Finding {
+            lint: "AD01",
+            severity: Severity::Deny,
+            path: "crates/demo/src/lib.rs".to_string(),
+            line: 3,
+            col: 9,
+            snippet: String::new(),
+            message: "wall-clock type `Instant`".to_string(),
+        }];
+        let drift = vec![BaselineDrift {
+            lint: "AP02".to_string(),
+            path: "crates/demo/src/old.rs".to_string(),
+            expected: 2,
+            actual: 1,
+        }];
+        let s = render(&findings, &drift);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for spec in CATALOG {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", spec.id)),
+                "{}",
+                spec.id
+            );
+        }
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("\"startColumn\": 9"));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("baseline is stale"), "drift folds into results");
+        // Deterministic: same input, same bytes.
+        assert_eq!(s, render(&findings, &drift));
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_deterministic() {
+        let s = render(&[], &[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

@@ -2,7 +2,9 @@
 //! ratchet semantics, the real workspace gate, and the DESIGN.md lint-catalog
 //! drift check.
 
-use alexa_analyzer::{analyze, findings, BaselineEntry, Config, CATALOG};
+use alexa_analyzer::{
+    analyze, analyze_with, findings, AnalyzeOpts, BaselineEntry, Config, CATALOG,
+};
 use std::path::{Path, PathBuf};
 
 fn fixture_root() -> PathBuf {
@@ -46,12 +48,13 @@ fn fixture_findings_match_golden_json() {
 fn fixture_counts_are_what_the_golden_encodes() {
     let report = analyze(&fixture_root(), &fixture_config()).expect("fixture analyzes");
     assert!(!report.clean());
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 10);
     assert_eq!(report.baselined, 1, "baselined.rs unwrap is covered");
     assert_eq!(report.warnings.len(), 2, "AP03 + AX01 are advisory");
     // Every deny lint fires at least once in the fixture tree.
     for id in [
-        "AD01", "AD02", "AD03", "AD04", "AD05", "AP01", "AP02", "AO01", "AO02", "AX02",
+        "AD01", "AD02", "AD03", "AD04", "AD05", "AP01", "AP02", "AO01", "AO02", "AS01", "AS02",
+        "AS03", "AS04", "AX02",
     ] {
         assert!(
             report.new_findings.iter().any(|f| f.lint == id),
@@ -146,6 +149,132 @@ fn workspace_is_clean() {
         report.files_scanned > 50,
         "walker found only {} files",
         report.files_scanned
+    );
+}
+
+#[test]
+fn semantic_lints_skip_the_near_misses() {
+    let report = analyze(&fixture_root(), &fixture_config()).expect("fixture analyzes");
+    let all: Vec<&findings::Finding> = report
+        .new_findings
+        .iter()
+        .chain(report.warnings.iter())
+        .collect();
+    // AS01: the clean render surface is not tainted, and the finding for
+    // the tainted one carries the full cross-file call chain.
+    assert!(!all
+        .iter()
+        .any(|f| f.lint == "AS01" && f.message.contains("render_static")));
+    let taint = all
+        .iter()
+        .find(|f| f.lint == "AS01")
+        .expect("render_report taint finding");
+    for hop in ["render_report", "stamp", "read", "clock.rs"] {
+        assert!(taint.message.contains(hop), "chain misses {hop}");
+    }
+    // AS02: the complete Meta pair round-trips; only Shard::gamma drifts.
+    assert!(!all
+        .iter()
+        .any(|f| f.lint == "AS02" && f.message.contains("Meta")));
+    assert!(all
+        .iter()
+        .any(|f| f.lint == "AS02" && f.message.contains("gamma")));
+    // AS03: live names stay quiet; both dead entries are named.
+    for live in ["\"boot\"", "\"render.bytes\"", "\"fault.injected\""] {
+        assert!(!all
+            .iter()
+            .any(|f| f.lint == "AS03" && f.message.contains(live)));
+    }
+    for dead in ["fault.mystery", "fault.packet_drop"] {
+        assert!(all
+            .iter()
+            .any(|f| f.lint == "AS03" && f.message.contains(dead)));
+    }
+    // AS04: the documented status 3 passes, only 7 is flagged.
+    let as04: Vec<_> = all.iter().filter(|f| f.lint == "AS04").collect();
+    assert_eq!(as04.len(), 1);
+    assert!(as04[0].message.contains('7'));
+}
+
+/// Copy the fixture workspace into a fresh temp dir (so cache tests can
+/// mutate files without touching the checked-in tree).
+fn copy_fixture(dst: &Path) {
+    fn walk(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).expect("mkdir");
+        for entry in std::fs::read_dir(src).expect("read_dir") {
+            let entry = entry.expect("entry");
+            let from = entry.path();
+            let to = dst.join(entry.file_name());
+            if from.is_dir() {
+                walk(&from, &to);
+            } else {
+                std::fs::copy(&from, &to).expect("copy");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(dst);
+    walk(&fixture_root(), dst);
+}
+
+#[test]
+fn cache_reruns_semantic_lints_over_cached_summaries() {
+    // The soundness property of the incremental cache: editing ONE file
+    // must re-taint findings whose witness lives in OTHER (cached) files.
+    let root = std::env::temp_dir().join("alexa-analyzer-cache-inval-test");
+    copy_fixture(&root);
+    let cfg = fixture_config();
+    let opts = AnalyzeOpts {
+        cache_dir: Some(root.join("target/analyzer")),
+    };
+    let clock = root.join("crates/obs/src/clock.rs");
+    let tainted_src = std::fs::read_to_string(&clock).expect("clock.rs");
+
+    let cold = analyze_with(&root, &cfg, &opts).expect("cold run");
+    assert_eq!(cold.cache_hits, 0, "first run is cold");
+    assert!(cold.new_findings.iter().any(|f| f.lint == "AS01"));
+
+    // Make the clock deterministic: the AS01 taint in render.rs (a file we
+    // did NOT touch, whose summary comes from the cache) must disappear.
+    std::fs::write(
+        &clock,
+        "//! defused\npub fn read() -> u64 {\n    7\n}\npub fn fixed() -> u64 {\n    42\n}\n",
+    )
+    .expect("write clock");
+    let defused = analyze_with(&root, &cfg, &opts).expect("defused run");
+    assert!(
+        defused.cache_hits >= 8,
+        "only the edited file misses the cache (hits: {})",
+        defused.cache_hits
+    );
+    assert!(
+        !defused.new_findings.iter().any(|f| f.lint == "AS01"),
+        "taint must vanish when the callee is deterministic"
+    );
+
+    // Restore the wallclock: the cached caller is re-tainted.
+    std::fs::write(&clock, &tainted_src).expect("restore clock");
+    let retainted = analyze_with(&root, &cfg, &opts).expect("retainted run");
+    assert!(
+        retainted.new_findings.iter().any(|f| f.lint == "AS01"),
+        "taint must reappear through the cached caller summary"
+    );
+}
+
+#[test]
+fn cached_and_cold_runs_render_identical_reports() {
+    let root = std::env::temp_dir().join("alexa-analyzer-cache-determinism-test");
+    copy_fixture(&root);
+    let cfg = fixture_config();
+    let opts = AnalyzeOpts {
+        cache_dir: Some(root.join("target/analyzer")),
+    };
+    let cold = analyze_with(&root, &cfg, &opts).expect("cold run");
+    let warm = analyze_with(&root, &cfg, &opts).expect("warm run");
+    assert_eq!(warm.cache_hits, warm.files_scanned, "fully warm");
+    assert_eq!(
+        report_json(&cold),
+        report_json(&warm),
+        "cache must not change a single byte of the report"
     );
 }
 

@@ -1,7 +1,12 @@
-//! Fixture binary: panic-safety lints do not apply, determinism lints do.
+//! Fixture binary: panic-safety lints do not apply, determinism lints do,
+//! and exit statuses must come from the documented contract (AS04).
 
 fn main() {
     let v: Option<u32> = Some(1);
     let _ = v.unwrap(); // no AP02: binaries may crash loudly
     let _ = thread_rng(); // AD02 still applies everywhere
+    if v.is_none() {
+        std::process::exit(7); // AS04: 7 is not a documented status
+    }
+    std::process::exit(3); // near-miss: 3 is in the documented contract
 }

@@ -1,0 +1,21 @@
+//! AS01 fixture: a committed render surface whose taint chain crosses two
+//! files (render.rs -> obs/clock.rs), plus a clean near-miss.
+
+pub fn render_report(out: &mut String) {
+    out.push_str(&stamp());
+}
+
+fn stamp() -> String {
+    let t = clock::read();
+    format!("stamped {t:?}")
+}
+
+pub fn render_static(out: &mut String) {
+    // Near-miss: reaches only pure helpers, no determinism source.
+    out.push_str(badge());
+    let _ = clock::fixed();
+}
+
+fn badge() -> &'static str {
+    "ok"
+}

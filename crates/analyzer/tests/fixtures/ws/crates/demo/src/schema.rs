@@ -1,0 +1,12 @@
+//! AS02 fixture: wire-paired structs. `Shard.gamma` is deliberately
+//! missing from the encode side in wire.rs; `Meta` round-trips fully.
+
+pub struct Shard {
+    pub alpha: u64,
+    pub beta: String,
+    pub gamma: u32,
+}
+
+pub struct Meta {
+    pub id: u64,
+}

@@ -1,0 +1,22 @@
+//! Wire codecs for the fixture schema. `shard_to_json` drops `gamma` —
+//! the AS02 true positive; the `Meta` pair is the complete near-miss.
+
+pub fn shard_to_json(s: &Shard) -> String {
+    format!("{{\"alpha\":{},\"beta\":{:?}}}", s.alpha, s.beta)
+}
+
+pub fn shard_from_json(v: &Json) -> Shard {
+    Shard {
+        alpha: v.u64("alpha"),
+        beta: v.str("beta"),
+        gamma: v.u32("gamma"),
+    }
+}
+
+pub fn meta_to_json(m: &Meta) -> String {
+    format!("{{\"id\":{}}}", m.id)
+}
+
+pub fn meta_from_json(v: &Json) -> Meta {
+    Meta { id: v.u64("id") }
+}

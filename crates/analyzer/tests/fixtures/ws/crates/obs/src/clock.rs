@@ -1,0 +1,11 @@
+//! Wallclock reader for the fixture workspace. The `obs` crate is
+//! AD01-allowed (volatile timings are its job), so the `Instant` here is
+//! not a per-file finding — but AS01 taint still flows through it.
+
+pub fn read() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn fixed() -> u64 {
+    42
+}

@@ -113,6 +113,7 @@ impl Table5 {
 /// Bootstrap 95% confidence intervals for Table 5's per-persona median CPM
 /// (seeded percentile bootstrap, 1000 resamples) — the robustness companion
 /// the paper's point estimates lack.
+// analyzer:allow(AS01) -- the bootstrap fans out via exec's order-preserving par_map; results merge in input order, so committed bytes are schedule-independent
 pub fn table5_median_cis(ix: &AnalysisIndex) -> Vec<(String, BootstrapCi)> {
     let personas = Persona::echo_personas();
     let slots = ix.common_slots(&personas, &ix.obs.post_window());

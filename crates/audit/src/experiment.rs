@@ -106,15 +106,19 @@ pub struct AuditConfig {
     /// Worker threads for the sharded engine: `None` = one per hardware
     /// thread, `Some(1)` = fully sequential. The produced [`Observations`]
     /// are byte-identical for every value.
+    // analyzer:allow(AS02) -- engine knob, deliberately not serialized: a replayed run must not pin the recording host's parallelism
     pub jobs: Option<usize>,
     /// Execution backend for the persona / AVS shard fan-out (DESIGN.md
     /// §15). The produced [`Observations`] are byte-identical for every
     /// backend under `none`/`flaky` fault profiles.
+    // analyzer:allow(AS02) -- engine knob, deliberately not serialized: the backend is a host property, not part of the experiment identity
     pub backend: alexa_exec::BackendChoice,
     /// Command line for spawning one `process`-backend worker (e.g.
     /// `["repro", "--shard-worker"]`). Ignored by the other backends.
+    // analyzer:allow(AS02) -- engine knob, deliberately not serialized: worker command lines are host paths, not experiment identity
     pub worker_cmd: Vec<String>,
     /// Per-shard wall-clock timeout for `process`-backend workers.
+    // analyzer:allow(AS02) -- engine knob, deliberately not serialized: timeouts tune the host scheduler, not the experiment identity
     pub worker_timeout_ms: u64,
 }
 
@@ -1127,8 +1131,9 @@ fn user_state(persona: Persona, cloud: &AlexaCloud) -> UserState {
         }
         Persona::WebHealth | Persona::WebScience | Persona::WebComputers => {
             user.amazon_customer = true; // crawls run logged into Amazon (§3.3)
-            user.web_segments
-                .insert(persona.web_topic().unwrap().to_string());
+            if let Some(topic) = persona.web_topic() {
+                user.web_segments.insert(topic.to_string());
+            }
         }
     }
     user

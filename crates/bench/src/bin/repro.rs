@@ -77,7 +77,7 @@ fn write_output(path: &str, what: &str, body: &str) {
     }
     if let Err(e) = std::fs::write(path, body) {
         eprintln!("error: cannot write {what} to {path:?}: {e}");
-        std::process::exit(1);
+        std::process::exit(1); // analyzer:allow(AS04) -- fatal I/O failure, deliberately distinct from the documented run statuses
     }
     eprintln!("{what} written to {path}");
 }
@@ -197,7 +197,7 @@ fn emit_observability(rec: &Recorder, cli: &Cli, obs: &Observations) {
         spec.coverage = Some(obs.coverage.to_json());
         if let Err(e) = alexa_obs::bundle::write_bundle(Path::new(dir), &spec, &report) {
             eprintln!("error: cannot write run bundle to {dir:?}: {e}");
-            std::process::exit(1);
+            std::process::exit(1); // analyzer:allow(AS04) -- fatal I/O failure, deliberately distinct from the documented run statuses
         }
         eprintln!("run bundle written to {dir}");
     }
