@@ -21,7 +21,7 @@ use crate::Creative;
 use alexa_fault::{FaultChannel, FaultPlane};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A cookie-sync redirect observed in crawl traffic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -59,12 +59,6 @@ pub struct Crawler {
     pub slot_load_rate: f64,
     fault: FaultPlane,
     sync_plan: SyncPlan,
-    /// Single-entry cache of the roster's knowledge facts about the current
-    /// user. The facts depend only on the persona name and whether the user
-    /// holds Echo segments yet, so one entry covers a whole crawl window;
-    /// the cached value is a pure function of that key, making hits and
-    /// misses indistinguishable in results.
-    view_cache: Mutex<Option<(String, bool, Arc<UserView>)>>,
 }
 
 /// The sync roles precomputed from `(auction, sync_graph)` at construction:
@@ -118,7 +112,6 @@ impl Crawler {
             slot_load_rate: 0.8,
             fault: FaultPlane::disabled(),
             sync_plan,
-            view_cache: Mutex::new(None),
         }
     }
 
@@ -182,18 +175,18 @@ impl Crawler {
         (record, lost)
     }
 
-    /// The roster's knowledge facts about `user`, from the cache when the
-    /// (persona, has-segments) key still matches.
-    fn user_view(&self, user: &UserState) -> Arc<UserView> {
+    /// The roster's knowledge facts about `user`, from the profile's cache
+    /// when the has-segments key still matches (a profile serves exactly one
+    /// persona, so the persona never changes under a profile's cache).
+    fn user_view(&self, profile: &mut BrowserProfile, user: &UserState) -> Arc<UserView> {
         let empty = user.echo_segments.is_empty();
-        let mut guard = self.view_cache.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some((persona, was_empty, view)) = guard.as_ref() {
-            if *was_empty == empty && persona == &user.persona {
+        if let Some((was_empty, view)) = profile.view_cache.as_ref() {
+            if *was_empty == empty {
                 return view.clone();
             }
         }
         let view = Arc::new(self.auction.user_view(user));
-        *guard = Some((user.persona.clone(), empty, view.clone()));
+        profile.view_cache = Some((empty, view.clone()));
         view
     }
 
@@ -226,7 +219,7 @@ impl Crawler {
             return record;
         };
 
-        let view = self.user_view(user);
+        let view = self.user_view(profile, user);
         page.request_bids_with_view(
             user,
             &view,

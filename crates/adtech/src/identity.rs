@@ -32,6 +32,14 @@ pub struct BrowserProfile {
     /// too, per §3.3's crawl setup).
     pub amazon_login: Option<String>,
     jar: BTreeMap<Arc<str>, Cookie>,
+    /// Single-entry cache of the bidder roster's knowledge facts about this
+    /// profile's user, keyed on whether the user held Echo segments when it
+    /// was computed. The cached value is a pure function of (persona, key),
+    /// so hits and misses are indistinguishable in results — and because
+    /// the cache lives on the shard-owned profile rather than the shared
+    /// crawler, hit/miss patterns (and thus allocation accounting) are a
+    /// deterministic function of the shard alone, not of scheduling.
+    pub(crate) view_cache: Option<(bool, Arc<crate::bidding::UserView>)>,
 }
 
 impl BrowserProfile {
@@ -42,6 +50,7 @@ impl BrowserProfile {
             ip: Ipv4Addr::new(192, 168, 10, index.max(1)),
             amazon_login: amazon_account.map(str::to_string),
             jar: BTreeMap::new(),
+            view_cache: None,
         }
     }
 

@@ -36,7 +36,7 @@ impl WebEcosystem {
         let mut websites = Vec::with_capacity(n_sites);
         for rank in 1..=n_sites {
             let name = format!("site{rank:04}.example.com");
-            let domain = Domain::parse(&name).expect("generated site domain");
+            let domain = Domain::parse(&name).unwrap_or_else(|_| Domain::invalid_sentinel());
             let prebid = rng.gen_bool(0.35);
             let slots = if prebid {
                 let n_slots = rng.gen_range(2..=5);

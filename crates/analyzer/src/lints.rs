@@ -154,7 +154,15 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 ];
 /// Methods whose first string argument is an observability name.
 const OBS_METHODS: &[&str] = &[
-    "span", "stage", "add", "count", "shard", "section", "time", "volatile",
+    "span",
+    "stage",
+    "add",
+    "count",
+    "shard",
+    "section",
+    "time",
+    "volatile",
+    "volatile_max",
 ];
 /// Free functions whose first string argument is an observability name.
 const OBS_FUNCTIONS: &[&str] = &["agg_time", "agg_count"];

@@ -53,7 +53,7 @@ use alexa_fault::{
     RetryBudget, RetryOutcome, RetryPolicy,
 };
 use alexa_net::{AvsTap, Capture, OrgMap, RouterTap, TapStats};
-use alexa_obs::{Json, Recorder, ShardLog};
+use alexa_obs::{Histogram, Json, Recorder, ShardLog};
 use alexa_platform::storepage::{parse_invocation, parse_sample_utterances, render_store_page};
 use alexa_platform::{
     AlexaCloud, AvsEcho, DeviceError, DsarExport, DsarPhase, EchoDevice, Marketplace, SkillCategory,
@@ -296,6 +296,32 @@ pub(crate) struct AvsShard {
     pub(crate) skills: Coverage,
 }
 
+/// The allocation-plane summary of one shard's [`ShardLog`] window, as it
+/// crosses the `process`-backend wire (DESIGN.md §16).
+///
+/// Span-level alloc deltas travel inside the wire-encoded log itself; the
+/// shard-level window (counts, bytes, windowed peak, size histogram) is not
+/// part of the span tree, so it rides this sidecar and is re-installed on
+/// the decoded log via [`ShardLog::set_alloc`] before submission.
+pub(crate) struct ShardAlloc {
+    pub(crate) count: u64,
+    pub(crate) bytes: u64,
+    pub(crate) peak_bytes: u64,
+    pub(crate) sizes: Histogram,
+}
+
+impl ShardAlloc {
+    /// Capture a sealed log's shard-level allocation window.
+    pub(crate) fn of(log: &ShardLog) -> ShardAlloc {
+        ShardAlloc {
+            count: log.alloc_count(),
+            bytes: log.alloc_bytes(),
+            peak_bytes: log.alloc_peak_bytes(),
+            sizes: log.alloc_sizes().clone(),
+        }
+    }
+}
+
 impl AvsShard {
     /// The degraded stand-in for a lost AVS-category shard (see
     /// [`PersonaShard::lost`]).
@@ -356,6 +382,11 @@ pub(crate) fn run_persona_shard(
     all_index: usize,
     log: &mut ShardLog,
 ) -> PersonaShard {
+    // Open the shard's allocation window here — not at log creation — so it
+    // covers exactly the shard body and none of the caller's staging work
+    // (a worker allocates `Persona::all()` and the site list between
+    // creating the log and entering this function).
+    log.alloc_open();
     let mut out = PersonaShard::default();
     let account = persona.account();
     let rpolicy = RetryPolicy::standard();
@@ -588,6 +619,7 @@ pub(crate) fn run_persona_shard(
         log.add("fault.retries", out.ledger.retries);
         log.add("fault.losses", out.ledger.losses);
     }
+    log.alloc_seal();
 
     out
 }
@@ -667,6 +699,7 @@ pub(crate) fn run_avs_shard(
     cat: SkillCategory,
     log: &mut ShardLog,
 ) -> AvsShard {
+    log.alloc_open(); // see run_persona_shard: window == shard body only
     let mut cloud = AlexaCloud::new();
     let mut avs = AvsEcho::new(
         "avs-lab",
@@ -735,6 +768,7 @@ pub(crate) fn run_avs_shard(
         log.add("fault.retries", ledger.retries);
         log.add("fault.losses", ledger.losses);
     }
+    log.alloc_seal();
     AvsShard {
         captures: tap.into_captures(),
         ledger,
@@ -771,7 +805,16 @@ fn decode_worker_reply<T>(
 ) -> Option<T> {
     let doc = Json::parse(payload).ok()?;
     let shard = decode(doc.get("shard")?)?;
-    if let Some(log) = doc.get("log").and_then(ShardLog::from_wire_json) {
+    if let Some(mut log) = doc.get("log").and_then(ShardLog::from_wire_json) {
+        // The shard-level allocation window travels beside the log (span
+        // deltas travel inside it); re-install it so the merged report and
+        // memory ledger match an in-process run byte for byte.
+        if let Some(alloc) = doc
+            .get("alloc")
+            .and_then(crate::wire::shard_alloc_from_json)
+        {
+            log.set_alloc(alloc.count, alloc.bytes, alloc.peak_bytes, alloc.sizes);
+        }
         rec.submit(log);
     }
     // Aggregate deltas the worker's leaf libraries (crawler) recorded while

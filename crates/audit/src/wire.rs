@@ -11,7 +11,7 @@
 //! Everything is `pub(crate)`: the only consumers are the fan-out in
 //! [`crate::experiment`] and the worker loop in [`crate::worker`].
 
-use crate::experiment::{AuditConfig, AvsShard, DefenseMode, PersonaShard};
+use crate::experiment::{AuditConfig, AvsShard, DefenseMode, PersonaShard, ShardAlloc};
 use alexa_adtech::{Bid, Creative, StreamingService, SyncObservation, VisitRecord};
 use alexa_fault::{FaultChannel, FaultLedger, FaultProfile};
 use alexa_net::{Capture, DataType, Direction, Domain, Packet, Payload, Record};
@@ -510,6 +510,43 @@ pub(crate) fn persona_shard_from_json(j: &Json) -> Option<PersonaShard> {
     })
 }
 
+/// Serialize a shard's allocation window. The size histogram travels
+/// sparsely — one `[bucket_lo, count]` pair per non-empty bucket — because
+/// a 65-bucket log2 histogram is almost entirely zeros.
+pub(crate) fn shard_alloc_to_json(a: &ShardAlloc) -> Json {
+    let sizes = a
+        .sizes
+        .sparse()
+        .into_iter()
+        .map(|(lo, _hi, count)| Json::Arr(vec![Json::Int(lo), Json::Int(count)]))
+        .collect();
+    obj(vec![
+        ("count", Json::Int(a.count)),
+        ("bytes", Json::Int(a.bytes)),
+        ("peak_bytes", Json::Int(a.peak_bytes)),
+        ("sizes", Json::Arr(sizes)),
+    ])
+}
+
+pub(crate) fn shard_alloc_from_json(j: &Json) -> Option<ShardAlloc> {
+    let mut sizes = alexa_obs::Histogram::new();
+    for pair in j.get("sizes")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        // A bucket's lower bound is itself a member of the bucket, so
+        // recording it `count` times rebuilds the exact bucket array.
+        sizes.record_n(pair[0].as_u64()?, pair[1].as_u64()?);
+    }
+    Some(ShardAlloc {
+        count: j.get("count")?.as_u64()?,
+        bytes: j.get("bytes")?.as_u64()?,
+        peak_bytes: j.get("peak_bytes")?.as_u64()?,
+        sizes,
+    })
+}
+
 pub(crate) fn avs_shard_to_json(s: &AvsShard) -> Json {
     obj(vec![
         ("captures", captures_to_json(&s.captures)),
@@ -640,6 +677,27 @@ mod tests {
     }
 
     #[test]
+    fn shard_alloc_round_trips_including_sparse_histogram() {
+        let mut sizes = alexa_obs::Histogram::new();
+        sizes.record_n(0, 3); // bucket 0: exactly zero-sized requests
+        sizes.record_n(24, 17);
+        sizes.record_n(4096, 2);
+        sizes.record_n(u64::MAX, 1); // top bucket round-trips via its lower bound
+        let alloc = ShardAlloc {
+            count: 23,
+            bytes: 987_654,
+            peak_bytes: 120_000,
+            sizes,
+        };
+        let rendered = shard_alloc_to_json(&alloc).render();
+        let decoded = shard_alloc_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(decoded.count, alloc.count);
+        assert_eq!(decoded.bytes, alloc.bytes);
+        assert_eq!(decoded.peak_bytes, alloc.peak_bytes);
+        assert_eq!(decoded.sizes, alloc.sizes);
+    }
+
+    #[test]
     fn config_round_trips_for_worker_rebuild() {
         let config = AuditConfig::small(2222)
             .with_defense(DefenseMode::Firewall)
@@ -665,6 +723,7 @@ mod tests {
         assert!(persona_shard_from_json(&Json::Null).is_none());
         assert!(avs_shard_from_json(&Json::Null).is_none());
         assert!(config_from_json(&Json::Null).is_none());
+        assert!(shard_alloc_from_json(&Json::Null).is_none());
         assert!(f64_from_hex(&Json::Str("xyz".into())).is_none());
         assert!(data_type_from_token("mystery").is_none());
         assert!(phase_from_token("mystery").is_none());

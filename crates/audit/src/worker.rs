@@ -9,11 +9,12 @@
 //! crawler) keyed on that exact payload string, so serving many shards of
 //! one run regenerates the shared inputs once.
 //!
-//! A reply's payload is `{"shard": <wire shard>, "log": <wire shard log>,
-//! "agg": {name: {count, calls}}}`: the parent decodes the shard into its
-//! typed form, submits the log to its recorder, and merges the aggregate
-//! deltas, making a process-backend report structurally identical to an
-//! in-process one.
+//! A reply's payload is `{"shard": <wire shard>, "alloc": <wire alloc
+//! window>, "log": <wire shard log>, "agg": {name: {count, calls}}}`: the
+//! parent decodes the shard into its typed form, re-installs the allocation
+//! window on the decoded log, submits the log to its recorder, and merges
+//! the aggregate deltas, making a process-backend report structurally
+//! identical to an in-process one.
 //!
 //! Test hooks (integration tests only):
 //!
@@ -23,7 +24,7 @@
 //!   60000) — sleep before replying, simulating a hung worker for the
 //!   parent's wall-clock timeout.
 
-use crate::experiment::{run_avs_shard, run_persona_shard, AuditConfig};
+use crate::experiment::{run_avs_shard, run_persona_shard, AuditConfig, ShardAlloc};
 use crate::persona::Persona;
 use crate::wire;
 use alexa_adtech::bidding::{standard_roster, SeasonModel};
@@ -129,6 +130,12 @@ fn run_spec(world: &World, spec: &ShardSpec, rec: &Recorder) -> Result<String, S
         .collect();
     Ok(Json::Obj(vec![
         ("shard".to_string(), shard_json),
+        (
+            // Shard-level allocation window (DESIGN.md §16): span-level
+            // deltas ride inside "log", the window rides beside it.
+            "alloc".to_string(),
+            wire::shard_alloc_to_json(&ShardAlloc::of(&log)),
+        ),
         ("log".to_string(), log.to_wire_json()),
         ("agg".to_string(), Json::Obj(aggregates)),
     ])

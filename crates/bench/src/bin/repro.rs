@@ -7,6 +7,7 @@
 //! repro --jobs 4 all        # cap the engine's worker threads
 //! repro --trace all         # human-readable span tree on stderr
 //! repro --metrics-out m.json all   # JSON metrics export
+//! repro --mem-out mem.json all     # deterministic allocation-plane export
 //! repro --trace-out t.txt all      # span tree to a file (- = stderr)
 //! repro --profile-out p.folded all # folded-stack work profile
 //! repro --run-dir run-a all        # self-describing run-ledger bundle
@@ -27,10 +28,14 @@
 //! Every output flag accepts `-` to stream to **stderr** instead of a file,
 //! keeping stdout byte-exact either way.
 //!
-//! `--run-dir DIR` writes a four-file run-ledger bundle (manifest, metrics,
-//! trace, folded profile — see `alexa_obs::bundle`) whose bytes depend only
-//! on `(seed, fault profile)`, never on `--jobs`; compare bundles with the
-//! `obs-diff` tool.
+//! `--run-dir DIR` writes a five-file run-ledger bundle (manifest, metrics,
+//! trace, memory, folded profile — see `alexa_obs::bundle`) whose bytes
+//! depend only on `(seed, fault profile)`, never on `--jobs`; compare
+//! bundles with the `obs-diff` tool. `--mem-out` exports the same
+//! deterministic memory document standalone: per-stage and per-shard
+//! allocation counts and bytes plus size histograms, byte-identical across
+//! `--jobs` values and backends (OS peak RSS stays on the volatile channel
+//! of the metrics document, never here).
 //!
 //! `repro campaign PLAN [--out DIR]` executes a declarative experiment plan
 //! (seeds × faults × defenses × jobs × backends, with repeats) into a
@@ -115,6 +120,25 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) -> Observations {
         .filter(|s| s.depth == 0)
         .map(|s| (s.name.clone(), Json::Int(s.work)))
         .collect();
+    // Per-stage allocated bytes: deterministic for a fixed seed, so the
+    // obs-diff gate can hold a much tighter threshold on these than on the
+    // (noisy) wall-clock columns.
+    let stage_alloc: Vec<(String, Json)> = report
+        .stages
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| (s.name.clone(), Json::Int(s.alloc_bytes)))
+        .collect();
+    // Derived throughput: deterministic work units per wall-clock
+    // millisecond — normalises total_ms across machines of different speed.
+    let total_ms = execute_ms + render_ms;
+    let total_work: u64 = report
+        .stages
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| s.work)
+        .sum();
+    let work_per_ms = total_work as f64 / total_ms.max(1) as f64;
 
     let entry = Json::Obj(vec![
         ("seed".into(), Json::Int(seed)),
@@ -132,10 +156,12 @@ fn run_bench(seed: u64, jobs: Option<usize>, rec: &Recorder) -> Observations {
         ),
         ("execute_ms".into(), Json::Int(execute_ms)),
         ("render_all_ms".into(), Json::Int(render_ms)),
-        ("total_ms".into(), Json::Int(execute_ms + render_ms)),
+        ("total_ms".into(), Json::Int(total_ms)),
+        ("work_per_ms".into(), Json::Float(work_per_ms)),
         ("rendered_bytes".into(), Json::Int(rendered_bytes as u64)),
         ("stages".into(), Json::Obj(stages)),
         ("stage_work".into(), Json::Obj(stage_work)),
+        ("stage_alloc".into(), Json::Obj(stage_alloc)),
     ])
     .render();
 
@@ -191,6 +217,15 @@ fn emit_observability(rec: &Recorder, cli: &Cli, obs: &Observations) {
         }
         write_output(path, "metrics", &(Json::Obj(fields).render() + "\n"));
     }
+    if let Some(path) = cli.mem_out.as_deref() {
+        // Same document as the bundle's memory.json: the deterministic
+        // allocation plane only — OS RSS stays on the volatile channel.
+        write_output(
+            path,
+            "memory",
+            &(report.ledger_memory_json().render() + "\n"),
+        );
+    }
     if let Some(dir) = cli.run_dir.as_deref() {
         let mut spec = run_dir_spec(cli);
         spec.observations_digest = obs.digest();
@@ -233,7 +268,7 @@ fn guard_run_dir(cli: &Cli) {
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: repro [--seed N] [--jobs N] [--trace] [--metrics-out PATH] \
-         [--trace-out PATH] [--profile-out PATH] [--run-dir DIR] \
+         [--mem-out PATH] [--trace-out PATH] [--profile-out PATH] [--run-dir DIR] \
          [--fault-profile none|flaky|degraded|hostile] [--fault-rate R] \
          [--backend thread|process|mock-remote] [--worker-timeout-ms N] \
          <artifact>... | all | --bench | --list"
@@ -297,6 +332,7 @@ struct Cli {
     jobs: Option<usize>,
     trace: bool,
     metrics_out: Option<String>,
+    mem_out: Option<String>,
     trace_out: Option<String>,
     profile_out: Option<String>,
     run_dir: Option<String>,
@@ -319,6 +355,7 @@ fn parse_cli() -> Cli {
         jobs: None,
         trace: false,
         metrics_out: None,
+        mem_out: None,
         trace_out: None,
         profile_out: None,
         run_dir: None,
@@ -353,6 +390,7 @@ fn parse_cli() -> Cli {
             }
             "--trace" => cli.trace = true,
             "--metrics-out" => cli.metrics_out = Some(value(&mut args, "--metrics-out")),
+            "--mem-out" => cli.mem_out = Some(value(&mut args, "--mem-out")),
             "--trace-out" => cli.trace_out = Some(value(&mut args, "--trace-out")),
             "--profile-out" => cli.profile_out = Some(value(&mut args, "--profile-out")),
             "--run-dir" => {
@@ -447,6 +485,7 @@ fn main() {
     // installed globally so leaf libraries (stats, crawler) feed it too.
     let observing = cli.trace
         || cli.metrics_out.is_some()
+        || cli.mem_out.is_some()
         || cli.trace_out.is_some()
         || cli.profile_out.is_some()
         || cli.run_dir.is_some()

@@ -31,7 +31,7 @@ use alexa_exec::BackendChoice;
 use alexa_fault::FaultProfile;
 use alexa_obs::bundle::{
     check_run_dir, write_bundle, BundleSpec, CampaignCell, RunDirConflict, RunDirState,
-    MANIFEST_FILE, METRICS_FILE, PROFILE_FILE, TRACE_FILE,
+    MANIFEST_FILE, MEMORY_FILE, METRICS_FILE, PROFILE_FILE, TRACE_FILE,
 };
 use alexa_obs::campaign::{
     campaign_manifest, uniform_fault_rate, CellCoord, CellRecord, Plan, PlanError, Scale,
@@ -177,8 +177,12 @@ pub struct CampaignSummary {
     pub dir: PathBuf,
     /// Plan name.
     pub name: String,
-    /// Per-instance status, in plan cell order: `(key, status, degraded)`.
-    pub cells: Vec<(String, CellStatus, bool)>,
+    /// Per-instance status, in plan cell order:
+    /// `(key, status, degraded, peak_rss_kb)`. The peak RSS is the OS
+    /// high-water mark sampled while the cell executed — volatile by
+    /// nature, so it lives only here (the status report), never in the
+    /// cell's bundle; `None` for skipped cells.
+    pub cells: Vec<(String, CellStatus, bool, Option<u64>)>,
 }
 
 impl CampaignSummary {
@@ -186,7 +190,7 @@ impl CampaignSummary {
     pub fn executed(&self) -> usize {
         self.cells
             .iter()
-            .filter(|(_, s, _)| *s == CellStatus::Executed)
+            .filter(|(_, s, _, _)| *s == CellStatus::Executed)
             .count()
     }
 
@@ -197,24 +201,28 @@ impl CampaignSummary {
 
     /// Number of degraded cells (fault losses survived the retry budget).
     pub fn degraded(&self) -> usize {
-        self.cells.iter().filter(|(_, _, d)| *d).count()
+        self.cells.iter().filter(|(_, _, d, _)| *d).count()
     }
 
     /// The per-cell status lines plus the closing summary line, as printed
-    /// on `repro campaign` stdout. Deterministic — no timing, no paths
-    /// beyond the campaign-relative cell keys.
+    /// on `repro campaign` stdout. Status and keys are deterministic — no
+    /// timing, no paths beyond the campaign-relative cell keys; the peak-RSS
+    /// column is the one volatile figure (it reports what this machine
+    /// actually did, and a status report is exactly where volatile data
+    /// belongs — never in the cells' committed bundles).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (key, status, degraded) in &self.cells {
+        for (key, status, degraded, peak_rss_kb) in &self.cells {
             let _ = writeln!(
                 out,
-                "cell {key}: {}{}",
+                "cell {key}: {}{}{}",
                 match status {
                     CellStatus::Executed => "executed",
                     CellStatus::Skipped => "skipped",
                 },
-                if *degraded { " (degraded)" } else { "" }
+                if *degraded { " (degraded)" } else { "" },
+                peak_rss_kb.map_or(String::new(), |kb| format!(" [peak rss {kb} kB]"))
             );
         }
         let _ = writeln!(
@@ -323,15 +331,22 @@ fn cell_is_complete(dir: &Path, spec: &BundleSpec) -> Result<bool, CampaignError
     }
 }
 
-/// Whether every entry of `dir` is one of the four bundle file names.
+/// Whether every entry of `dir` is one of the five bundle file names.
 fn bundle_files_only(dir: &Path) -> bool {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return false;
     };
     entries.flatten().all(|e| {
-        e.file_name()
-            .to_str()
-            .is_some_and(|n| [MANIFEST_FILE, METRICS_FILE, PROFILE_FILE, TRACE_FILE].contains(&n))
+        e.file_name().to_str().is_some_and(|n| {
+            [
+                MANIFEST_FILE,
+                METRICS_FILE,
+                MEMORY_FILE,
+                PROFILE_FILE,
+                TRACE_FILE,
+            ]
+            .contains(&n)
+        })
     })
 }
 
@@ -448,7 +463,7 @@ pub fn run_campaign_with(
         .iter()
         .zip(&statuses)
         .zip(&records)
-        .map(|((coord, status), record)| (coord.key(), *status, record.degraded))
+        .map(|((coord, (status, rss)), record)| (coord.key(), *status, record.degraded, *rss))
         .collect();
     Ok(CampaignSummary {
         dir,
@@ -457,7 +472,8 @@ pub fn run_campaign_with(
     })
 }
 
-/// Execute or skip every cell of the matrix, in plan order.
+/// Execute or skip every cell of the matrix, in plan order. Each entry
+/// pairs the status with the cell's OS peak RSS in kB (executed cells only).
 #[allow(clippy::too_many_arguments)]
 fn execute_cells(
     plan: &Plan,
@@ -467,7 +483,7 @@ fn execute_cells(
     plan_path: &Path,
     rec: &Recorder,
     worker_cmd: &[String],
-) -> Result<Vec<CellStatus>, CampaignError> {
+) -> Result<Vec<(CellStatus, Option<u64>)>, CampaignError> {
     let mut statuses = Vec::with_capacity(coords.len());
     for (i, coord) in coords.iter().enumerate() {
         let key = coord.key();
@@ -492,7 +508,7 @@ fn execute_cells(
         if cell_is_complete(&cell_dir, &spec)? {
             log.add("cell.skipped", 1);
             rec.submit(log);
-            statuses.push(CellStatus::Skipped);
+            statuses.push((CellStatus::Skipped, None));
             continue;
         }
         // One fresh recorder per cell, installed globally for the cell's
@@ -512,11 +528,18 @@ fn execute_cells(
         let obs = AuditRun::execute_with(config, &cell_rec);
         let mut spec = cell_spec(plan_hash, coord, &fault, obs.digest());
         spec.coverage = Some(obs.coverage.to_json());
-        write_bundle(&cell_dir, &spec, &cell_rec.report()).map_err(|e| io_err(&cell_dir, e))?;
+        let report = cell_rec.report();
+        write_bundle(&cell_dir, &spec, &report).map_err(|e| io_err(&cell_dir, e))?;
+        // Surface the cell's OS peak RSS on the campaign's volatile channel
+        // and in the summary — volatile data never enters the bundle.
+        let peak_rss_kb = report.volatile.get("mem.peak_rss_kb").copied();
+        if let Some(kb) = peak_rss_kb {
+            rec.volatile_max("mem.peak_rss_kb", kb);
+        }
         log.work(1);
         log.add("cell.executed", 1);
         rec.submit(log);
-        statuses.push(CellStatus::Executed);
+        statuses.push((CellStatus::Executed, peak_rss_kb));
     }
     Ok(statuses)
 }
@@ -549,7 +572,13 @@ fn verify_instances(dir: &Path, coords: &[CellCoord]) -> Result<(), CampaignErro
         let ref_dir = dir.join(CELLS_DIR).join(reference.key());
         for other in rest {
             let other_dir = dir.join(CELLS_DIR).join(other.key());
-            for file in [METRICS_FILE, TRACE_FILE, PROFILE_FILE, MANIFEST_FILE] {
+            for file in [
+                METRICS_FILE,
+                TRACE_FILE,
+                MEMORY_FILE,
+                PROFILE_FILE,
+                MANIFEST_FILE,
+            ] {
                 let a = std::fs::read(ref_dir.join(file)).map_err(|e| io_err(&ref_dir, e))?;
                 let b = std::fs::read(other_dir.join(file)).map_err(|e| io_err(&other_dir, e))?;
                 if a != b {

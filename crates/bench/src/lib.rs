@@ -127,6 +127,9 @@ pub fn render_all(
         let render_jobs = Some(alexa_exec::clamped_jobs(jobs));
         alexa_exec::par_map(render_jobs, wanted.to_vec(), |i, artifact| {
             let mut log = rec.shard("artifact", i, artifact);
+            // Allocation window == the render body: every rendered byte is
+            // attributed to this artifact's shard, deterministically.
+            log.alloc_open();
             let rendered = log.span("render", |log| {
                 let mut buf = String::with_capacity(4096);
                 let units = if artifact == "defenses" {
@@ -141,6 +144,7 @@ pub fn render_all(
                 buf
             });
             log.add("render.bytes", rendered.len() as u64);
+            log.alloc_seal();
             rec.submit(log);
             rendered
         })

@@ -74,6 +74,19 @@ impl Domain {
         Ok(d)
     }
 
+    /// The deterministic sentinel for internal names that fail validation.
+    ///
+    /// Simulation-minted endpoint names are valid by construction; if one
+    /// ever is not (a typo in a pinned table), callers degrade by grouping
+    /// that traffic under this sentinel instead of panicking mid-run. The
+    /// name is never minted by the generators, so sentinel rows are
+    /// unmistakable in any analysis output.
+    pub fn invalid_sentinel() -> Domain {
+        Domain {
+            name: String::from("invalid.example.com"),
+        }
+    }
+
     /// The full name, always lower-case, no trailing dot.
     pub fn as_str(&self) -> &str {
         &self.name
@@ -227,6 +240,13 @@ mod tests {
             vec!["a", "b", "example", "com"]
         );
         assert_eq!(d.depth(), 4);
+    }
+
+    #[test]
+    fn invalid_sentinel_is_itself_a_valid_domain() {
+        let s = Domain::invalid_sentinel();
+        assert_eq!(Domain::parse(s.as_str()), Ok(s.clone()));
+        assert_eq!(s.registrable().unwrap().as_str(), "example.com");
     }
 
     #[test]

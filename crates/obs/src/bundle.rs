@@ -1,12 +1,15 @@
 //! Run-ledger bundles: self-describing directories capturing one audit run.
 //!
-//! A bundle is four files written by `repro --run-dir`:
+//! A bundle is five files written by `repro --run-dir`:
 //!
 //! * `manifest.json` — identity: schema version, seed, fault profile, the
 //!   observations digest, and an optional coverage report.
 //! * `metrics.json` — flat deterministic metrics (per-stage work, counter
 //!   totals, aggregate counts, per-group summaries and histograms).
 //! * `trace.json` — the full span tree in work units.
+//! * `memory.json` — the deterministic allocation plane: per-stage and
+//!   per-shard allocation deltas, per-group summaries and size histograms
+//!   (schema 2; OS-level RSS is volatile and deliberately absent).
 //! * `profile.folded` — a folded-stack self-time profile (flamegraph input).
 //!
 //! Every byte of every file is a pure function of `(seed, fault profile,
@@ -24,7 +27,11 @@ use std::path::{Path, PathBuf};
 
 /// Version of the bundle layout and JSON schemas. Bump on any change to the
 /// file set or to the meaning/shape of an existing field.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: 1 = four-file bundle (manifest/metrics/trace/profile); 2 =
+/// adds `memory.json` plus allocation-delta fields on trace spans and
+/// metrics aggregates.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// File name of the bundle manifest.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -32,6 +39,8 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 pub const METRICS_FILE: &str = "metrics.json";
 /// File name of the deterministic trace document.
 pub const TRACE_FILE: &str = "trace.json";
+/// File name of the deterministic memory document.
+pub const MEMORY_FILE: &str = "memory.json";
 /// File name of the folded-stack work profile.
 pub const PROFILE_FILE: &str = "profile.folded";
 
@@ -230,7 +239,7 @@ pub fn check_run_dir(dir: &Path, spec: &BundleSpec) -> Result<RunDirState, RunDi
     }
 }
 
-/// Write the four bundle files for one run into `dir` (created if needed).
+/// Write the five bundle files for one run into `dir` (created if needed).
 ///
 /// JSON documents get a trailing newline; the folded profile is already
 /// newline-terminated per line. The manifest is written **last**: its
@@ -245,6 +254,9 @@ pub fn write_bundle(dir: &Path, spec: &BundleSpec, report: &Report) -> io::Resul
     let mut trace = report.ledger_trace_json().render();
     trace.push('\n');
     std::fs::write(dir.join(TRACE_FILE), trace)?;
+    let mut memory = report.ledger_memory_json().render();
+    memory.push('\n');
+    std::fs::write(dir.join(MEMORY_FILE), memory)?;
     std::fs::write(dir.join(PROFILE_FILE), report.folded_profile())?;
     let mut manifest = spec.manifest_json().render();
     manifest.push('\n');
@@ -382,8 +394,14 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("obs-order-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         write_bundle(&dir, &spec(), &report).expect("bundle write");
-        // All four present after a clean write.
-        for file in [METRICS_FILE, TRACE_FILE, PROFILE_FILE, MANIFEST_FILE] {
+        // All five present after a clean write.
+        for file in [
+            METRICS_FILE,
+            TRACE_FILE,
+            MEMORY_FILE,
+            PROFILE_FILE,
+            MANIFEST_FILE,
+        ] {
             assert!(dir.join(file).exists(), "{file} missing");
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -406,20 +424,35 @@ mod tests {
     }
 
     #[test]
-    fn write_bundle_produces_all_four_files() {
+    fn write_bundle_produces_all_five_files() {
         let rec = Recorder::new();
         rec.stage("persona.shards", || {
             let mut log = rec.shard("persona", 0, "Vanilla");
+            log.alloc_open();
             log.span("install", |l| l.work(4));
+            log.alloc_seal();
             rec.submit(log);
         });
         let report = rec.report();
         let dir = std::env::temp_dir().join(format!("obs-bundle-test-{}", std::process::id()));
         write_bundle(&dir, &spec(), &report).expect("bundle write");
-        for file in [MANIFEST_FILE, METRICS_FILE, TRACE_FILE, PROFILE_FILE] {
+        for file in [
+            MANIFEST_FILE,
+            METRICS_FILE,
+            TRACE_FILE,
+            MEMORY_FILE,
+            PROFILE_FILE,
+        ] {
             let body = std::fs::read_to_string(dir.join(file)).expect("bundle file");
             assert!(!body.is_empty(), "{file} must not be empty");
         }
+        let memory = std::fs::read_to_string(dir.join(MEMORY_FILE)).expect("memory readable");
+        let parsed = Json::parse(memory.trim_end()).expect("memory parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert!(parsed.get("stage_alloc").is_some());
         let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).expect("manifest readable");
         assert!(manifest.ends_with('\n'));
         Json::parse(manifest.trim_end()).expect("manifest parses");

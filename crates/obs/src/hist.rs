@@ -11,7 +11,7 @@
 use crate::json::Json;
 
 /// Number of log2 buckets: bucket 0 plus one per bit of a `u64`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A fixed-edge log2 histogram of `u64` work-unit values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,11 +56,41 @@ impl Histogram {
         }
     }
 
+    /// A histogram over pre-counted buckets (the allocation meter's copy).
+    pub(crate) fn from_counts(counts: [u64; BUCKETS]) -> Histogram {
+        Histogram { counts }
+    }
+
     /// Record one value.
     pub fn record(&mut self, v: u64) {
         if let Some(c) = self.counts.get_mut(Self::bucket_of(v)) {
             *c += 1;
         }
+    }
+
+    /// Record `n` occurrences of `v` at once — the decode half of a sparse
+    /// wire round trip (`v` is a bucket's exact lower bound).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if let Some(c) = self.counts.get_mut(Self::bucket_of(v)) {
+            *c += n;
+        }
+    }
+
+    /// Add another histogram's counts into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The per-bucket growth since `earlier` (saturating, bucket by
+    /// bucket) — the delta a monotone meter accumulated over a window.
+    pub fn since(&self, earlier: &Histogram) -> Histogram {
+        let mut counts = [0u64; BUCKETS];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        Histogram { counts }
     }
 
     /// Total number of recorded values.
@@ -205,6 +235,32 @@ mod tests {
             b.record(v);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_since_and_record_n_round_trip() {
+        let mut base = Histogram::new();
+        for v in [1, 8, 9, 300] {
+            base.record(v);
+        }
+        let mut grown = base.clone();
+        for v in [8, 4000] {
+            grown.record(v);
+        }
+        let delta = grown.since(&base);
+        assert_eq!(delta.sparse(), vec![(8, 16, 1), (2048, 4096, 1)]);
+        // since() saturates instead of underflowing.
+        assert_eq!(base.since(&grown).total(), 0);
+        // Sparse encode -> record_n decode reproduces the histogram.
+        let mut decoded = Histogram::new();
+        for (lo, _hi, count) in grown.sparse() {
+            decoded.record_n(lo, count);
+        }
+        assert_eq!(decoded, grown);
+        // merge adds bucket-wise.
+        let mut merged = base.clone();
+        merged.merge(&delta);
+        assert_eq!(merged, grown);
     }
 
     #[test]

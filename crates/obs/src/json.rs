@@ -531,6 +531,37 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_pinpoint_offset_and_line() {
+        // Truncated input: the failure sits at end-of-input, on the line
+        // the document broke off.
+        let err = Json::parse("{\n  \"a\": [1,\n    2").unwrap_err();
+        assert_eq!((err.offset, err.line), (18, 3));
+        assert!(err.message.contains("',' or ']'"), "{}", err.message);
+
+        // Mis-nested close: the stray '}' inside an array names its own
+        // byte, not the start of the container.
+        let err = Json::parse("[1, 2}").unwrap_err();
+        assert_eq!((err.offset, err.line), (5, 1));
+        assert!(err.message.contains("',' or ']'"), "{}", err.message);
+
+        // Bad string escape past a newline: offset lands just after the
+        // offending escape character and the line count follows it.
+        let err = Json::parse("[\"ok\",\n\"a\\qb\"]").unwrap_err();
+        assert_eq!((err.offset, err.line), (11, 2));
+        assert!(err.message.contains("escape"), "{}", err.message);
+
+        // A string that never closes reports end-of-input.
+        let err = Json::parse("\"abc").unwrap_err();
+        assert_eq!((err.offset, err.line), (4, 1));
+        assert!(err.message.contains("unterminated"), "{}", err.message);
+
+        // Display couples the line number with the cause for CI logs.
+        let err = Json::parse("[\n\n  nope\n]").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.to_string(), format!("line 3: {}", err.message));
+    }
+
+    #[test]
     fn accessors_navigate_values() {
         let doc =
             Json::parse("{\"n\": 7, \"s\": \"x\", \"a\": [1], \"f\": 2.0, \"b\": true}").unwrap();

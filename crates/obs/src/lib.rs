@@ -40,9 +40,12 @@
 //!
 //! `Observations`: the observable bundle in `alexa-audit`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the allocation meter's `GlobalAlloc` impl in
+// `alloc` is the single sanctioned `#[allow(unsafe_code)]` escape.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bundle;
 pub mod campaign;
 mod hist;
@@ -52,6 +55,7 @@ mod recorder;
 mod report;
 mod shard;
 
+pub use alloc::{peak_rss_kb, AllocSnapshot};
 pub use hist::{percentile, Histogram, Summary};
 pub use json::{Json, JsonParseError};
 pub use recorder::{agg_count, agg_time, global, install_global, Recorder};

@@ -1,5 +1,12 @@
 //! The thread-safe collector and the process-wide recorder handle.
+//!
+//! Every mutation of the shared state below runs under an allocation-meter
+//! [`pause`](crate::alloc::pause) guard: which thread first inserts an
+//! aggregate name or extends the stage vector is a schedule artifact, and
+//! metering it would break the byte-parity of the committed allocation
+//! counters across `--jobs` values and backends (DESIGN.md §16).
 
+use crate::alloc;
 use crate::report::{Aggregate, Report, ShardReport, StageRec};
 use crate::shard::ShardLog;
 use std::collections::BTreeMap;
@@ -89,6 +96,7 @@ impl Recorder {
         }
         let start = Instant::now();
         let idx = {
+            let _quiet = alloc::pause();
             let mut g = self.locked();
             let idx = g.stages.len();
             let depth = g.stage_depth;
@@ -98,17 +106,31 @@ impl Recorder {
                 start_us: start.duration_since(self.epoch).as_micros() as u64,
                 dur_us: 0,
                 work: 0,
+                alloc_count: 0,
+                alloc_bytes: 0,
+                peak_rss_kb: 0,
             });
             g.stage_depth += 1;
             g.open_stages.push(idx);
             idx
         };
         let out = f();
+        // Sampled outside the lock: a /proc read is slow for a guard scope.
+        let rss_kb = alloc::peak_rss_kb();
+        let _quiet = alloc::pause();
         let mut g = self.locked();
         g.stage_depth -= 1;
         g.open_stages.pop();
         if let Some(stage) = g.stages.get_mut(idx) {
             stage.dur_us = start.elapsed().as_micros() as u64;
+            // OS-level high-water mark at stage close: schedule-dependent
+            // like dur_us, shown by the human views, excluded from every
+            // ledger surface.
+            stage.peak_rss_kb = rss_kb;
+        }
+        if rss_kb > 0 {
+            let v = g.volatile.entry("mem.peak_rss_kb".to_string()).or_insert(0);
+            *v = (*v).max(rss_kb);
         }
         out
     }
@@ -118,6 +140,7 @@ impl Recorder {
     /// The log is filled lock-free by the owning worker and handed back via
     /// [`Recorder::submit`].
     pub fn shard(&self, group: &str, index: usize, label: &str) -> ShardLog {
+        let _quiet = alloc::pause();
         ShardLog::new(group, index, label, self.enabled)
     }
 
@@ -135,11 +158,17 @@ impl Recorder {
         }
         let total_us = log.origin.elapsed().as_micros() as u64;
         let work = log.work_total();
+        let _quiet = alloc::pause();
         let mut g = self.locked();
         let stage = match g.open_stages.last().copied() {
             Some(si) => {
                 if let Some(s) = g.stages.get_mut(si) {
                     s.work += work;
+                    // The shard's sealed allocation window attributes to
+                    // the innermost open stage exactly like its work units:
+                    // structural, therefore schedule-independent.
+                    s.alloc_count += log.alloc_count;
+                    s.alloc_bytes += log.alloc_bytes;
                     s.name.clone()
                 } else {
                     String::new()
@@ -147,6 +176,22 @@ impl Recorder {
             }
             None => String::new(),
         };
+        if log.alloc_count > 0 || log.alloc_bytes > 0 {
+            // Run totals, straight into the aggregates map (the lock is
+            // already held — `Recorder::count` would deadlock here).
+            let a = g.aggregates.entry("alloc.count".to_string()).or_default();
+            a.count += log.alloc_count;
+            a.calls += 1;
+            let a = g.aggregates.entry("alloc.bytes".to_string()).or_default();
+            a.count += log.alloc_bytes;
+            a.calls += 1;
+            let a = g
+                .aggregates
+                .entry("alloc.peak_bytes".to_string())
+                .or_default();
+            a.count += log.alloc_peak;
+            a.calls += 1;
+        }
         g.shards.insert(
             (log.group.clone(), log.index),
             ShardReport {
@@ -156,6 +201,10 @@ impl Recorder {
                 stage,
                 total_us,
                 work,
+                alloc_count: log.alloc_count,
+                alloc_bytes: log.alloc_bytes,
+                alloc_peak: log.alloc_peak,
+                alloc_sizes: log.alloc_sizes,
                 spans: log.spans,
                 counters: log.counters,
             },
@@ -167,6 +216,7 @@ impl Recorder {
         if !self.enabled || n == 0 {
             return;
         }
+        let _quiet = alloc::pause();
         let mut g = self.locked();
         g.aggregates.entry(name.to_string()).or_default().count += n;
     }
@@ -184,6 +234,7 @@ impl Recorder {
         let start = Instant::now();
         let out = f();
         let elapsed_us = start.elapsed().as_micros() as u64;
+        let _quiet = alloc::pause();
         let mut g = self.locked();
         let a = g.aggregates.entry(name.to_string()).or_default();
         a.calls += 1;
@@ -204,6 +255,7 @@ impl Recorder {
         if !self.enabled || (count == 0 && calls == 0) {
             return;
         }
+        let _quiet = alloc::pause();
         let mut g = self.locked();
         let a = g.aggregates.entry(name.to_string()).or_default();
         a.count += count;
@@ -224,12 +276,29 @@ impl Recorder {
         if !self.enabled || n == 0 {
             return;
         }
+        let _quiet = alloc::pause();
         let mut g = self.locked();
         *g.volatile.entry(name.to_string()).or_insert(0) += n;
     }
 
+    /// Raise a name-keyed **volatile** gauge to at least `v`.
+    ///
+    /// The max-merging sibling of [`Recorder::volatile`], for high-water
+    /// marks (peak RSS) where summing across samples would be meaningless.
+    /// Same channel, same rules: human views only, never a ledger surface.
+    pub fn volatile_max(&self, name: &str, v: u64) {
+        if !self.enabled || v == 0 {
+            return;
+        }
+        let _quiet = alloc::pause();
+        let mut g = self.locked();
+        let cur = g.volatile.entry(name.to_string()).or_insert(0);
+        *cur = (*cur).max(v);
+    }
+
     /// An immutable snapshot of everything recorded so far.
     pub fn report(&self) -> Report {
+        let _quiet = alloc::pause();
         let g = self.locked();
         Report {
             stages: g.stages.clone(),
@@ -381,6 +450,52 @@ mod tests {
         let r = rec.report();
         assert!(r.stages.is_empty() && r.shards.is_empty() && r.aggregates.is_empty());
         assert!(r.volatile.is_empty());
+    }
+
+    #[test]
+    fn shard_alloc_attributes_to_the_open_stage_and_aggregates() {
+        let rec = Recorder::new();
+        rec.stage("persona.shards", || {
+            for i in 0..2 {
+                let mut log = rec.shard("persona", i, &format!("p{i}"));
+                log.alloc_open();
+                let _scratch: Vec<String> = (0..64).map(|n| format!("u-{n}")).collect();
+                log.work(1);
+                log.alloc_seal();
+                rec.submit(log);
+            }
+        });
+        let r = rec.report();
+        let stage = &r.stages[0];
+        assert!(stage.alloc_count > 0);
+        assert!(stage.alloc_bytes > 0);
+        assert_eq!(
+            stage.alloc_count,
+            r.shards.iter().map(|s| s.alloc_count).sum::<u64>()
+        );
+        assert_eq!(r.aggregates["alloc.count"].count, stage.alloc_count);
+        assert_eq!(r.aggregates["alloc.bytes"].count, stage.alloc_bytes);
+        assert_eq!(r.aggregates["alloc.count"].calls, 2);
+        assert!(r.aggregates["alloc.peak_bytes"].count > 0);
+        // Both shards ran the identical workload: identical deltas.
+        assert_eq!(r.shards[0].alloc_count, r.shards[1].alloc_count);
+        assert_eq!(r.shards[0].alloc_bytes, r.shards[1].alloc_bytes);
+        assert_eq!(r.shards[0].alloc_sizes, r.shards[1].alloc_sizes);
+        // Stage close sampled the OS high-water mark (Linux CI boxes).
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(stage.peak_rss_kb > 0);
+            assert!(r.volatile["mem.peak_rss_kb"] >= stage.peak_rss_kb);
+        }
+    }
+
+    #[test]
+    fn volatile_max_keeps_the_high_water_mark() {
+        let rec = Recorder::new();
+        rec.volatile_max("mem.peak_rss_kb", 100);
+        rec.volatile_max("mem.peak_rss_kb", 700);
+        rec.volatile_max("mem.peak_rss_kb", 300);
+        rec.volatile_max("mem.peak_rss_kb", 0);
+        assert_eq!(rec.report().volatile["mem.peak_rss_kb"], 700);
     }
 
     #[test]

@@ -25,6 +25,17 @@ pub struct StageRec {
     /// virtual-clock totals of every shard submitted while it was the
     /// innermost open stage).
     pub work: u64,
+    /// Deterministic allocation count attributed to this stage (the sum of
+    /// the sealed allocation windows of every shard submitted while it was
+    /// the innermost open stage).
+    pub alloc_count: u64,
+    /// Deterministic allocated bytes attributed to this stage (same
+    /// attribution rule as `alloc_count`).
+    pub alloc_bytes: u64,
+    /// OS-level peak RSS (`VmHWM`, kilobytes) sampled when the stage
+    /// closed. Schedule- and substrate-dependent like `dur_us`: shown by
+    /// the human views, **never** by a ledger surface.
+    pub peak_rss_kb: u64,
 }
 
 /// A name-keyed aggregate fed by leaf libraries.
@@ -54,6 +65,15 @@ pub struct ShardReport {
     pub total_us: u64,
     /// Deterministic work units on the shard's virtual clock.
     pub work: u64,
+    /// Heap allocations inside the shard's sealed allocation window.
+    pub alloc_count: u64,
+    /// Heap bytes requested inside the shard's sealed allocation window.
+    pub alloc_bytes: u64,
+    /// Peak net-live bytes reached inside the shard's window (relative to
+    /// the window's start — deterministic, unlike OS RSS).
+    pub alloc_peak: u64,
+    /// Log2 histogram of the window's allocation sizes.
+    pub alloc_sizes: Histogram,
     /// Closed spans in pre-order.
     pub spans: Vec<SpanRec>,
     /// Final counter values.
@@ -155,11 +175,13 @@ impl Report {
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  {}{:<28} {:>10.1} ms {:>10} wu",
+                "  {}{:<28} {:>10.1} ms {:>10} wu {:>12} alloc B  rss {:>9} kB",
                 "  ".repeat(s.depth),
                 s.name,
                 ms(s.dur_us),
-                s.work
+                s.work,
+                s.alloc_bytes,
+                s.peak_rss_kb
             );
         }
         let mut group = None::<&str>;
@@ -170,11 +192,12 @@ impl Report {
             }
             let _ = writeln!(
                 out,
-                "  #{:<3} {:<26} {:>10.1} ms {:>8} wu",
+                "  #{:<3} {:<26} {:>10.1} ms {:>8} wu {:>12} alloc B",
                 sh.index,
                 sh.label,
                 ms(sh.total_us),
-                sh.work
+                sh.work,
+                sh.alloc_bytes
             );
             for sp in &sh.spans {
                 let _ = writeln!(
@@ -235,6 +258,9 @@ impl Report {
                     ("depth".into(), Json::Int(s.depth as u64)),
                     ("ms".into(), ms(s.dur_us)),
                     ("work".into(), Json::Int(s.work)),
+                    ("alloc_count".into(), Json::Int(s.alloc_count)),
+                    ("alloc_bytes".into(), Json::Int(s.alloc_bytes)),
+                    ("peak_rss_kb".into(), Json::Int(s.peak_rss_kb)),
                 ])
             })
             .collect();
@@ -265,6 +291,9 @@ impl Report {
                     ("label".into(), Json::Str(sh.label.clone())),
                     ("ms".into(), ms(sh.total_us)),
                     ("work".into(), Json::Int(sh.work)),
+                    ("alloc_count".into(), Json::Int(sh.alloc_count)),
+                    ("alloc_bytes".into(), Json::Int(sh.alloc_bytes)),
+                    ("alloc_peak_bytes".into(), Json::Int(sh.alloc_peak)),
                     ("spans".into(), Json::Arr(spans)),
                     ("counters".into(), Json::Obj(counters)),
                 ])
@@ -425,6 +454,8 @@ impl Report {
                             ("depth".into(), Json::Int(sp.depth as u64)),
                             ("start_wu".into(), Json::Int(sp.start_wu)),
                             ("work".into(), Json::Int(sp.dur_wu)),
+                            ("alloc_count".into(), Json::Int(sp.alloc_count)),
+                            ("alloc_bytes".into(), Json::Int(sp.alloc_bytes)),
                         ])
                     })
                     .collect();
@@ -502,6 +533,89 @@ impl Report {
             ("histograms".into(), Json::Obj(histograms)),
         ])
     }
+
+    /// Per-group summaries over the shard allocation-byte deltas.
+    pub fn alloc_summaries(&self) -> BTreeMap<String, Summary> {
+        let mut by_group: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for sh in &self.shards {
+            by_group
+                .entry(sh.group.clone())
+                .or_default()
+                .push(sh.alloc_bytes);
+        }
+        by_group
+            .into_iter()
+            .map(|(g, values)| (g, Summary::of(&values)))
+            .collect()
+    }
+
+    /// Per-group allocation-size histograms: every shard window's log2 size
+    /// buckets, merged bucket-wise under the group name.
+    pub fn alloc_size_histograms(&self) -> BTreeMap<String, Histogram> {
+        let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        for sh in &self.shards {
+            hists
+                .entry(sh.group.clone())
+                .or_default()
+                .merge(&sh.alloc_sizes);
+        }
+        hists
+    }
+
+    /// The run-ledger memory document (`memory.json`): the deterministic
+    /// allocation plane — per-stage attributed counts, per-shard sealed
+    /// windows, per-group summaries and size histograms.
+    ///
+    /// Everything here derives from the thread-local allocation meter,
+    /// which counts the workload's own allocation requests: byte-identical
+    /// across `--jobs` values and backends for a fixed seed. OS-level RSS
+    /// is deliberately absent — it lives on the volatile channel only.
+    pub fn ledger_memory_json(&self) -> Json {
+        let stage_alloc = self
+            .stages
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Int(s.alloc_count)),
+                        ("bytes".into(), Json::Int(s.alloc_bytes)),
+                    ]),
+                )
+            })
+            .collect();
+        let shards = self
+            .shards
+            .iter()
+            .map(|sh| {
+                Json::Obj(vec![
+                    ("group".into(), Json::Str(sh.group.clone())),
+                    ("index".into(), Json::Int(sh.index as u64)),
+                    ("label".into(), Json::Str(sh.label.clone())),
+                    ("alloc_count".into(), Json::Int(sh.alloc_count)),
+                    ("alloc_bytes".into(), Json::Int(sh.alloc_bytes)),
+                    ("alloc_peak_bytes".into(), Json::Int(sh.alloc_peak)),
+                ])
+            })
+            .collect();
+        let summaries = self
+            .alloc_summaries()
+            .into_iter()
+            .map(|(g, s)| (g, s.to_json()))
+            .collect();
+        let size_histograms = self
+            .alloc_size_histograms()
+            .into_iter()
+            .map(|(g, h)| (g, h.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(crate::bundle::SCHEMA_VERSION)),
+            ("stage_alloc".into(), Json::Obj(stage_alloc)),
+            ("shards".into(), Json::Arr(shards)),
+            ("summaries".into(), Json::Obj(summaries)),
+            ("size_histograms".into(), Json::Obj(size_histograms)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -515,11 +629,13 @@ mod tests {
         rec.stage("persona.shards", || {
             for (i, name) in ["Connected Car", "Vanilla"].iter().enumerate() {
                 let mut log = rec.shard("persona", i, name);
+                log.alloc_open();
                 log.span("install", |log| {
                     log.add("tap.packets", 12);
                     log.work(12);
                 });
                 log.work(1 + i as u64);
+                log.alloc_seal();
                 rec.submit(log);
             }
         });
@@ -610,24 +726,60 @@ mod tests {
         let r = sample();
         let trace = r.ledger_trace_json().render();
         let metrics = r.ledger_metrics_json().render();
+        let memory = r.ledger_memory_json().render();
         assert!(!trace.contains("\"ms\""), "trace leaked wall clock");
         assert!(!metrics.contains("\"ms\""), "metrics leaked wall clock");
         assert!(trace.contains("\"start_wu\""));
+        assert!(trace.contains("\"alloc_bytes\""));
         assert!(metrics.contains("\"summaries\""));
         assert!(metrics.contains("\"histograms\""));
         assert!(metrics.contains("\"tap.packets\": 24"));
+        assert!(metrics.contains("\"alloc.count\""));
+        assert!(memory.contains("\"stage_alloc\""));
+        assert!(memory.contains("\"size_histograms\""));
+        assert!(memory.contains("\"alloc_peak_bytes\""));
         // Volatile substrate counters must never reach a ledger surface:
-        // the sample report carries one, and neither document may mention
-        // it (or the section) at all.
-        for doc in [&trace, &metrics] {
+        // the sample report carries one, and no document may mention it
+        // (or the section) at all. The same goes for every wall-clock and
+        // OS-level number — peak RSS is volatile by definition.
+        for doc in [&trace, &metrics, &memory] {
             assert!(!doc.contains("volatile"), "ledger leaked volatile section");
             assert!(
                 !doc.contains("worker.respawned"),
                 "ledger leaked a substrate counter"
             );
+            assert!(!doc.contains("\"ms\""), "ledger leaked wall clock");
+            assert!(!doc.contains("rss"), "ledger leaked OS-level RSS");
         }
-        // Both carry the bundle schema version.
-        let parsed = Json::parse(&metrics).unwrap();
-        assert_eq!(parsed.get("schema").and_then(Json::as_u64), Some(1));
+        // All carry the bundle schema version.
+        for doc in [&metrics, &trace, &memory] {
+            let parsed = Json::parse(doc).unwrap();
+            assert_eq!(
+                parsed.get("schema").and_then(Json::as_u64),
+                Some(crate::bundle::SCHEMA_VERSION)
+            );
+        }
+    }
+
+    #[test]
+    fn memory_ledger_carries_the_allocation_plane() {
+        let r = sample();
+        let doc = r.ledger_memory_json();
+        let stage = doc
+            .get("stage_alloc")
+            .and_then(|s| s.get("persona.shards"))
+            .expect("persona.shards stage alloc");
+        let stage_bytes = stage.get("bytes").and_then(Json::as_u64).unwrap();
+        assert!(stage_bytes > 0, "sample shards allocate");
+        let shards = doc.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(shards.len(), 2);
+        let shard_bytes: u64 = shards
+            .iter()
+            .map(|s| s.get("alloc_bytes").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(stage_bytes, shard_bytes);
+        let summary = doc.get("summaries").and_then(|s| s.get("persona")).unwrap();
+        assert_eq!(summary.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(summary.get("sum").and_then(Json::as_u64), Some(shard_bytes));
     }
 }

@@ -1,5 +1,7 @@
 //! Per-shard event logs: spans and counters owned by one unit of work.
 
+use crate::alloc;
+use crate::hist::Histogram;
 use crate::json::Json;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -16,6 +18,10 @@ use std::time::Instant;
 ///   virtual clock ([`ShardLog::work`]). A pure function of the structural
 ///   work the shard performed, so identical across worker counts, machines
 ///   and runs — the timebase of the run-ledger bundle (DESIGN.md §12).
+/// * `alloc_count` / `alloc_bytes` — deterministic **allocation deltas**
+///   from the thread's meter ([`crate::alloc`]): allocations performed
+///   while the span was open (children included). Like the work clock, a
+///   pure function of the shard's structural work.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRec {
     /// Span name from the fixed taxonomy (see DESIGN.md §9).
@@ -30,6 +36,10 @@ pub struct SpanRec {
     pub start_wu: u64,
     /// Work units accumulated while the span was open (children included).
     pub dur_wu: u64,
+    /// Heap allocations performed while the span was open.
+    pub alloc_count: u64,
+    /// Heap bytes requested while the span was open.
+    pub alloc_bytes: u64,
 }
 
 /// A single-threaded event log owned by one structural unit of work.
@@ -49,8 +59,14 @@ pub struct ShardLog {
     pub(crate) spans: Vec<SpanRec>,
     pub(crate) counters: BTreeMap<String, u64>,
     pub(crate) vclock: u64,
+    pub(crate) alloc_count: u64,
+    pub(crate) alloc_bytes: u64,
+    pub(crate) alloc_peak: u64,
+    pub(crate) alloc_sizes: Histogram,
     depth: usize,
     enabled: bool,
+    /// Meter state captured by [`ShardLog::alloc_open`], pending a seal.
+    window: Option<(alloc::AllocSnapshot, Histogram)>,
 }
 
 impl ShardLog {
@@ -63,8 +79,13 @@ impl ShardLog {
             spans: Vec::new(),
             counters: BTreeMap::new(),
             vclock: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            alloc_peak: 0,
+            alloc_sizes: Histogram::new(),
             depth: 0,
             enabled,
+            window: None,
         }
     }
 
@@ -92,6 +113,7 @@ impl ShardLog {
         let idx = self.spans.len();
         let start = Instant::now();
         let start_wu = self.vclock;
+        let alloc_at_open = alloc::snapshot();
         self.spans.push(SpanRec {
             name: name.to_string(),
             depth: self.depth,
@@ -99,14 +121,19 @@ impl ShardLog {
             dur_us: 0,
             start_wu,
             dur_wu: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
         });
         self.depth += 1;
         let out = f(self);
         self.depth -= 1;
         let dur_wu = self.vclock - start_wu;
+        let alloc_at_close = alloc::snapshot();
         if let Some(span) = self.spans.get_mut(idx) {
             span.dur_us = start.elapsed().as_micros() as u64;
             span.dur_wu = dur_wu;
+            span.alloc_count = alloc_at_close.count - alloc_at_open.count;
+            span.alloc_bytes = alloc_at_close.bytes - alloc_at_open.bytes;
         }
         out
     }
@@ -141,6 +168,61 @@ impl ShardLog {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Open the shard's allocation window: snapshot this thread's meter and
+    /// reset the windowed peak. Call at the top of the shard's work — on
+    /// the thread that will run it — and pair with [`ShardLog::alloc_seal`]
+    /// when the work ends. No-op when the log is disabled.
+    pub fn alloc_open(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        alloc::window_reset();
+        self.window = Some((alloc::snapshot(), alloc::size_histogram()));
+    }
+
+    /// Seal the allocation window: store the deltas (count, bytes, size
+    /// histogram) and the windowed peak into the log. Idempotent — a second
+    /// seal, or a seal without an open, changes nothing.
+    pub fn alloc_seal(&mut self) {
+        let Some((at_open, sizes_at_open)) = self.window.take() else {
+            return;
+        };
+        let now = alloc::snapshot();
+        self.alloc_count = now.count - at_open.count;
+        self.alloc_bytes = now.bytes - at_open.bytes;
+        self.alloc_peak = alloc::window_peak();
+        self.alloc_sizes = alloc::size_histogram().since(&sizes_at_open);
+    }
+
+    /// Heap allocations performed inside the sealed window.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Heap bytes requested inside the sealed window.
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+    }
+
+    /// Peak net-live bytes reached inside the sealed window.
+    pub fn alloc_peak_bytes(&self) -> u64 {
+        self.alloc_peak
+    }
+
+    /// Log2 histogram of allocation sizes inside the sealed window.
+    pub fn alloc_sizes(&self) -> &Histogram {
+        &self.alloc_sizes
+    }
+
+    /// Install externally measured allocation deltas — the decode half of a
+    /// wire round trip, where the window ran in another process.
+    pub fn set_alloc(&mut self, count: u64, bytes: u64, peak_bytes: u64, sizes: Histogram) {
+        self.alloc_count = count;
+        self.alloc_bytes = bytes;
+        self.alloc_peak = peak_bytes;
+        self.alloc_sizes = sizes;
+    }
+
     /// Serialize the log for the worker wire protocol (DESIGN.md §15).
     ///
     /// Everything structural crosses the wire: spans (including their
@@ -161,6 +243,8 @@ impl ShardLog {
                     ("dur_us".into(), Json::Int(s.dur_us)),
                     ("start_wu".into(), Json::Int(s.start_wu)),
                     ("dur_wu".into(), Json::Int(s.dur_wu)),
+                    ("alloc_count".into(), Json::Int(s.alloc_count)),
+                    ("alloc_bytes".into(), Json::Int(s.alloc_bytes)),
                 ])
             })
             .collect();
@@ -194,6 +278,8 @@ impl ShardLog {
                 dur_us: sp.get("dur_us")?.as_u64()?,
                 start_wu: sp.get("start_wu")?.as_u64()?,
                 dur_wu: sp.get("dur_wu")?.as_u64()?,
+                alloc_count: sp.get("alloc_count")?.as_u64()?,
+                alloc_bytes: sp.get("alloc_bytes")?.as_u64()?,
             });
         }
         let mut counters = BTreeMap::new();
@@ -208,8 +294,13 @@ impl ShardLog {
             spans,
             counters,
             vclock: j.get("vclock")?.as_u64()?,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            alloc_peak: 0,
+            alloc_sizes: Histogram::new(),
             depth: 0,
             enabled: true,
+            window: None,
         })
     }
 }
@@ -318,6 +409,55 @@ mod tests {
             Json::Str("g".into())
         )]))
         .is_none());
+    }
+
+    #[test]
+    fn alloc_window_measures_shard_deltas_deterministically() {
+        let run = || {
+            let mut log = ShardLog::new("g", 0, "l", true);
+            log.alloc_open();
+            log.span("work", |log| {
+                let mut v: Vec<String> = Vec::new();
+                for i in 0..128 {
+                    v.push(format!("persona-{i}"));
+                }
+                log.work(v.len() as u64);
+            });
+            log.alloc_seal();
+            log
+        };
+        let a = run();
+        let b = run();
+        assert!(a.alloc_count() > 0);
+        assert!(a.alloc_bytes() > 0);
+        assert!(a.alloc_peak_bytes() > 0);
+        assert!(a.alloc_sizes().total() > 0);
+        // Identical structural work => identical deltas, wherever in the
+        // thread's history the window opened.
+        assert_eq!(a.alloc_count(), b.alloc_count());
+        assert_eq!(a.alloc_bytes(), b.alloc_bytes());
+        assert_eq!(a.alloc_sizes(), b.alloc_sizes());
+        // The span saw the same allocations the window did (plus nothing
+        // outside it happened here).
+        assert!(a.spans[0].alloc_count > 0);
+        assert!(a.spans[0].alloc_count <= a.alloc_count());
+        // Sealing twice changes nothing.
+        let mut sealed = a;
+        let (c, by) = (sealed.alloc_count(), sealed.alloc_bytes());
+        sealed.alloc_seal();
+        assert_eq!((sealed.alloc_count(), sealed.alloc_bytes()), (c, by));
+    }
+
+    #[test]
+    fn set_alloc_installs_decoded_deltas() {
+        let mut log = ShardLog::new("g", 1, "l", true);
+        let mut sizes = Histogram::new();
+        sizes.record_n(64, 5);
+        log.set_alloc(5, 320, 1024, sizes.clone());
+        assert_eq!(log.alloc_count(), 5);
+        assert_eq!(log.alloc_bytes(), 320);
+        assert_eq!(log.alloc_peak_bytes(), 1024);
+        assert_eq!(log.alloc_sizes(), &sizes);
     }
 
     #[test]

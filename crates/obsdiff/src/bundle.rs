@@ -1,6 +1,8 @@
 //! Loading run-ledger bundles from disk with typed errors.
 
-use alexa_obs::bundle::{MANIFEST_FILE, METRICS_FILE, PROFILE_FILE, SCHEMA_VERSION, TRACE_FILE};
+use alexa_obs::bundle::{
+    MANIFEST_FILE, MEMORY_FILE, METRICS_FILE, PROFILE_FILE, SCHEMA_VERSION, TRACE_FILE,
+};
 use alexa_obs::{Json, JsonParseError};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -71,6 +73,8 @@ pub struct LoadedBundle {
     pub metrics: Json,
     /// `trace.json`, parsed.
     pub trace: Json,
+    /// `memory.json`, parsed.
+    pub memory: Json,
     /// `profile.folded`, verbatim.
     pub profile: String,
 }
@@ -112,7 +116,7 @@ fn read_json(dir: &Path, file: &str) -> Result<Json, BundleError> {
 /// Load and validate a bundle directory written by `repro --run-dir`.
 ///
 /// Validation covers readability, JSON well-formedness, the manifest's
-/// required fields, and the schema version of all three JSON documents.
+/// required fields, and the schema version of all four JSON documents.
 pub fn load_bundle(dir: &Path) -> Result<LoadedBundle, BundleError> {
     let manifest = read_json(dir, MANIFEST_FILE)?;
     let manifest_path = dir.join(MANIFEST_FILE);
@@ -126,10 +130,12 @@ pub fn load_bundle(dir: &Path) -> Result<LoadedBundle, BundleError> {
     }
     let metrics = read_json(dir, METRICS_FILE)?;
     let trace = read_json(dir, TRACE_FILE)?;
+    let memory = read_json(dir, MEMORY_FILE)?;
     for (doc, file) in [
         (&manifest, MANIFEST_FILE),
         (&metrics, METRICS_FILE),
         (&trace, TRACE_FILE),
+        (&memory, MEMORY_FILE),
     ] {
         match doc.get("schema").and_then(Json::as_u64) {
             Some(SCHEMA_VERSION) => {}
@@ -157,6 +163,7 @@ pub fn load_bundle(dir: &Path) -> Result<LoadedBundle, BundleError> {
         manifest,
         metrics,
         trace,
+        memory,
         profile,
     })
 }

@@ -48,12 +48,18 @@ pub struct DiffOptions {
     /// p99, or a shard's work before the difference escalates from drift to
     /// regression. Default 25.
     pub max_regress_pct: f64,
+    /// Maximum tolerated percentage growth of a stage's or shard's
+    /// allocated bytes (the `memory.json` plane) before drift escalates to
+    /// regression. Allocation counts are structural like work units, so the
+    /// default gate is tighter than the work gate: 10.
+    pub max_alloc_regress_pct: f64,
 }
 
 impl Default for DiffOptions {
     fn default() -> DiffOptions {
         DiffOptions {
             max_regress_pct: 25.0,
+            max_alloc_regress_pct: 10.0,
         }
     }
 }
@@ -184,8 +190,8 @@ fn growth_pct(a: u64, b: u64) -> Option<f64> {
 
 /// Compare two `name -> value` maps, reporting removals as regressions,
 /// additions as notes, and value changes as drift — escalating to
-/// regression when growth exceeds the threshold (only for `gated` maps).
-#[allow(clippy::too_many_arguments)]
+/// regression when growth exceeds the gate percentage (`gate: Some(pct)`;
+/// `None` never escalates).
 fn diff_int_maps(
     report: &mut DiffReport,
     a: &BTreeMap<&str, u64>,
@@ -193,8 +199,7 @@ fn diff_int_maps(
     category: &'static str,
     what: &str,
     unit: &str,
-    opts: &DiffOptions,
-    gated: bool,
+    gate: Option<f64>,
 ) {
     for (name, av) in a {
         match b.get(name) {
@@ -208,9 +213,9 @@ fn diff_int_maps(
             Some(bv) => {
                 let beyond = match growth_pct(*av, *bv) {
                     None => true,
-                    Some(pct) => pct > opts.max_regress_pct,
+                    Some(pct) => gate.is_some_and(|max| pct > max),
                 };
-                let sev = if gated && beyond {
+                let sev = if gate.is_some() && beyond {
                     Severity::Regression
                 } else {
                     Severity::Drift
@@ -354,16 +359,7 @@ fn diff_coverage(report: &mut DiffReport, a: &LoadedBundle, b: &LoadedBundle) {
     }
     // Fault totals: injected per channel plus retries / losses / backoff.
     let (ia, ib) = (int_map(ca, "injected"), int_map(cb, "injected"));
-    diff_int_maps(
-        report,
-        &ia,
-        &ib,
-        "fault",
-        "fault channel",
-        "injected",
-        &DiffOptions::default(),
-        false,
-    );
+    diff_int_maps(report, &ia, &ib, "fault", "fault channel", "injected", None);
     for field in ["retries", "backoff_ms", "losses"] {
         let get = |c: &Json| c.get(field).and_then(Json::as_u64).unwrap_or(0);
         let (av, bv) = (get(ca), get(cb));
@@ -532,9 +528,120 @@ fn diff_shards(report: &mut DiffReport, a: &LoadedBundle, b: &LoadedBundle, opts
         "shard-work",
         "shard",
         "work units",
-        opts,
-        true,
+        Some(opts.max_regress_pct),
     );
+}
+
+/// Diff the allocation plane from `memory.json`.
+///
+/// Allocated bytes per stage and per shard gate at
+/// [`DiffOptions::max_alloc_regress_pct`]; allocation counts surface as
+/// drift (a count change without a byte change is unusual enough to see,
+/// but bytes are what memory budgets are written in). Size histograms are
+/// shape-compared like the work histograms. The per-group summaries are
+/// derived from the shard values already diffed here, so they are skipped.
+fn diff_memory(report: &mut DiffReport, a: &LoadedBundle, b: &LoadedBundle, opts: &DiffOptions) {
+    let stage_field = |doc: &Json, field: &str| -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        if let Some(fields) = doc.get("stage_alloc").and_then(Json::as_obj) {
+            for (name, v) in fields {
+                out.insert(
+                    name.clone(),
+                    v.get(field).and_then(Json::as_u64).unwrap_or(0),
+                );
+            }
+        }
+        out
+    };
+    fn as_ref(m: &BTreeMap<String, u64>) -> BTreeMap<&str, u64> {
+        m.iter().map(|(k, v)| (k.as_str(), *v)).collect()
+    }
+    let (ba, bb) = (
+        stage_field(&a.memory, "bytes"),
+        stage_field(&b.memory, "bytes"),
+    );
+    diff_int_maps(
+        report,
+        &as_ref(&ba),
+        &as_ref(&bb),
+        "stage-alloc",
+        "stage allocation",
+        "alloc bytes",
+        Some(opts.max_alloc_regress_pct),
+    );
+    let (ca, cb) = (
+        stage_field(&a.memory, "count"),
+        stage_field(&b.memory, "count"),
+    );
+    diff_int_maps(
+        report,
+        &as_ref(&ca),
+        &as_ref(&cb),
+        "stage-alloc-count",
+        "stage allocation count",
+        "allocations",
+        None,
+    );
+    let shard_bytes = |doc: &Json| -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        if let Some(items) = doc.get("shards").and_then(Json::as_arr) {
+            for s in items {
+                let group = s.get("group").and_then(Json::as_str).unwrap_or("?");
+                let index = s.get("index").and_then(Json::as_u64).unwrap_or(0);
+                let label = s.get("label").and_then(Json::as_str).unwrap_or("?");
+                let bytes = s.get("alloc_bytes").and_then(Json::as_u64).unwrap_or(0);
+                out.insert(format!("{group}[{index}] {label}"), bytes);
+            }
+        }
+        out
+    };
+    let (sa, sb) = (shard_bytes(&a.memory), shard_bytes(&b.memory));
+    diff_int_maps(
+        report,
+        &as_ref(&sa),
+        &as_ref(&sb),
+        "shard-alloc",
+        "shard allocation",
+        "alloc bytes",
+        Some(opts.max_alloc_regress_pct),
+    );
+    let hists = |doc: &Json| -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        if let Some(fields) = doc.get("size_histograms").and_then(Json::as_obj) {
+            for (name, h) in fields {
+                out.insert(name.clone(), h.render());
+            }
+        }
+        out
+    };
+    let (ha, hb) = (hists(&a.memory), hists(&b.memory));
+    for (name, va) in &ha {
+        match hb.get(name) {
+            None => report.push(
+                Severity::Regression,
+                "alloc-sizes",
+                name,
+                "allocation-size histogram missing from candidate".to_string(),
+            ),
+            Some(vb) if va == vb => {}
+            Some(_) => report.push(
+                Severity::Drift,
+                "alloc-sizes",
+                name,
+                "allocation-size distribution shifted".to_string(),
+            ),
+        }
+    }
+    for name in hb.keys() {
+        if !ha.contains_key(name) {
+            report.push(
+                Severity::Note,
+                "alloc-sizes",
+                name,
+                "allocation-size histogram only in candidate".to_string(),
+            );
+        }
+    }
 }
 
 /// Compare two loaded bundles, baseline first.
@@ -555,8 +662,7 @@ pub fn diff_bundles(a: &LoadedBundle, b: &LoadedBundle, opts: &DiffOptions) -> D
         "stage-work",
         "stage",
         "work units",
-        opts,
-        true,
+        Some(opts.max_regress_pct),
     );
     // Counter totals (includes fault.* when a fault profile was active).
     let (counters_a, counters_b) = (
@@ -570,8 +676,7 @@ pub fn diff_bundles(a: &LoadedBundle, b: &LoadedBundle, opts: &DiffOptions) -> D
         "counter",
         "counter",
         "",
-        opts,
-        false,
+        None,
     );
     // Aggregates: count and calls per name.
     let aggs = |doc: &Json| -> BTreeMap<String, (u64, u64)> {
@@ -620,6 +725,7 @@ pub fn diff_bundles(a: &LoadedBundle, b: &LoadedBundle, opts: &DiffOptions) -> D
     diff_summaries(&mut report, a, b, opts);
     diff_histograms(&mut report, a, b);
     diff_shards(&mut report, a, b, opts);
+    diff_memory(&mut report, a, b, opts);
     diff_coverage(&mut report, a, b);
     // The folded profile: byte-compare, report the line-level delta size.
     if a.profile != b.profile {

@@ -99,8 +99,10 @@ pub struct GateReport {
     /// Labels of entry pairs whose `rendered_bytes` differ — output bytes
     /// changed, which a perf PR must never do.
     pub byte_mismatches: Vec<String>,
-    /// The threshold the gate ran with.
+    /// The wall-clock threshold the gate ran with.
     pub threshold: f64,
+    /// The per-stage allocation-bytes threshold (`--max-alloc-regress`).
+    pub alloc_threshold: f64,
 }
 
 impl GateReport {
@@ -120,8 +122,9 @@ impl GateReport {
         } else {
             if !self.failures.is_empty() {
                 out.push_str(&format!(
-                    "bench gate failed (total_ms/stage regression >{:.0}% or missing stages) for: {}\n",
+                    "bench gate failed (total_ms/stage regression >{:.0}%, stage alloc regression >{:.0}%, or missing stages) for: {}\n",
                     self.threshold * 100.0,
+                    self.alloc_threshold * 100.0,
                     self.failures.join("; ")
                 ));
             }
@@ -140,6 +143,10 @@ impl GateReport {
         Json::Obj(vec![
             ("passed".to_string(), Json::Bool(self.passed())),
             ("threshold".to_string(), Json::Float(self.threshold)),
+            (
+                "alloc_threshold".to_string(),
+                Json::Float(self.alloc_threshold),
+            ),
             (
                 "failures".to_string(),
                 Json::Arr(self.failures.iter().map(|s| Json::Str(s.clone())).collect()),
@@ -217,11 +224,15 @@ fn total_ms(entry: &Json, path: &Path, what: &'static str) -> Result<f64, GateEr
 /// Run the gate: compare the fresh entries of `candidate` (everything past
 /// the length of `baseline`) against the latest committed entry per
 /// `(seed, jobs)` key. `threshold` is the maximum tolerated fractional
-/// `total_ms` growth (0.25 = +25%).
+/// `total_ms` growth (0.25 = +25%); `alloc_threshold` is the maximum
+/// tolerated fractional growth of a gated stage's allocated bytes
+/// (`stage_alloc` in the bench entries — deterministic, so a tight gate
+/// holds without flake).
 pub fn run_gate(
     baseline: &Path,
     candidate: &Path,
     threshold: f64,
+    alloc_threshold: f64,
 ) -> Result<GateReport, GateError> {
     let base_entries = load_entries(baseline)?;
     let cand_entries = load_entries(candidate)?;
@@ -243,6 +254,7 @@ pub fn run_gate(
 
     let mut report = GateReport {
         threshold,
+        alloc_threshold,
         ..GateReport::default()
     };
     for entry in fresh {
@@ -306,6 +318,46 @@ pub fn run_gate(
                     report.failures.push(format!(
                         "{lbl} (stage {stage} {:+.1}%)",
                         (stage_ratio - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+        // Per-stage allocation bytes: deterministic for a fixed seed, so
+        // any growth is a real change. Gated stages fail the gate beyond
+        // the alloc threshold; other stages are logged for context.
+        let stage_alloc = |e: &Json| -> Vec<(String, u64)> {
+            e.get("stage_alloc")
+                .and_then(Json::as_obj)
+                .map(|fields| {
+                    fields
+                        .iter()
+                        .filter_map(|(name, v)| v.as_u64().map(|b| (name.clone(), b)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let entry_alloc = stage_alloc(entry);
+        let base_alloc = stage_alloc(base);
+        for (stage, bytes) in &entry_alloc {
+            if let Some((_, base_bytes)) = base_alloc.iter().find(|(n, _)| n == stage) {
+                if bytes == base_bytes {
+                    continue;
+                }
+                let gated = GATED_STAGES.contains(&stage.as_str());
+                let alloc_ratio = if *base_bytes == 0 {
+                    f64::INFINITY
+                } else {
+                    *bytes as f64 / *base_bytes as f64
+                };
+                let alloc_regressed = gated && alloc_ratio > 1.0 + alloc_threshold;
+                report.log.push(format!(
+                    "  {stage}: {base_bytes} B -> {bytes} B allocated{}",
+                    if alloc_regressed { " REGRESSION" } else { "" }
+                ));
+                if alloc_regressed {
+                    report.failures.push(format!(
+                        "{lbl} (stage {stage} alloc {:+.1}%)",
+                        (alloc_ratio - 1.0) * 100.0
                     ));
                 }
             }

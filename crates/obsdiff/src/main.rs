@@ -3,9 +3,11 @@
 //! ```sh
 //! obs-diff diff RUN_A RUN_B                 # full cross-run comparison
 //! obs-diff diff A B --max-regress 10        # tighter growth threshold (%)
+//! obs-diff diff A B --max-alloc-regress 5   # tighter allocation threshold (%)
 //! obs-diff diff A B --format json           # machine-readable findings
 //! obs-diff gate --baseline B --candidate C  # bench gate (BENCH_audit.json)
-//! obs-diff gate ... --max-regress 25        # threshold in percent
+//! obs-diff gate ... --max-regress 25        # wall-clock threshold in percent
+//! obs-diff gate ... --max-alloc-regress 10  # per-stage alloc-bytes threshold (%)
 //! obs-diff campaign CAMPAIGN_DIR            # verify a campaign directory
 //! ```
 //!
@@ -20,8 +22,8 @@ use std::path::Path;
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: obs-diff diff BASELINE_DIR CANDIDATE_DIR [--max-regress PCT] [--format human|json]\n\
-                obs-diff gate --baseline FILE --candidate FILE [--max-regress PCT] [--format human|json]\n\
+        "usage: obs-diff diff BASELINE_DIR CANDIDATE_DIR [--max-regress PCT] [--max-alloc-regress PCT] [--format human|json]\n\
+                obs-diff gate --baseline FILE --candidate FILE [--max-regress PCT] [--max-alloc-regress PCT] [--format human|json]\n\
                 obs-diff campaign CAMPAIGN_DIR [--format human|json]"
     );
     std::process::exit(code);
@@ -45,13 +47,13 @@ fn parse_format(value: &str) -> Format {
     }
 }
 
-fn parse_pct(value: &str) -> f64 {
+fn parse_pct(flag: &str, value: &str) -> f64 {
     let pct: f64 = value.parse().unwrap_or_else(|_| {
-        eprintln!("error: --max-regress expects a percentage (e.g. 25)");
+        eprintln!("error: {flag} expects a percentage (e.g. 25)");
         std::process::exit(2);
     });
     if !(0.0..=1000.0).contains(&pct) {
-        eprintln!("error: --max-regress expects a percentage in [0, 1000]");
+        eprintln!("error: {flag} expects a percentage in [0, 1000]");
         std::process::exit(2);
     }
     pct
@@ -82,7 +84,13 @@ fn cmd_diff(args: &[String]) -> ! {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--max-regress" => {
-                opts.max_regress_pct = parse_pct(&value(&mut it, "--max-regress"));
+                opts.max_regress_pct = parse_pct("--max-regress", &value(&mut it, "--max-regress"));
+            }
+            "--max-alloc-regress" => {
+                opts.max_alloc_regress_pct = parse_pct(
+                    "--max-alloc-regress",
+                    &value(&mut it, "--max-alloc-regress"),
+                );
             }
             "--format" => format = parse_format(&value(&mut it, "--format")),
             flag if flag.starts_with('-') => {
@@ -115,13 +123,22 @@ fn cmd_gate(args: &[String]) -> ! {
     let mut baseline: Option<String> = None;
     let mut candidate: Option<String> = None;
     let mut threshold = 0.25;
+    let mut alloc_threshold = 0.10;
     let mut format = Format::Human;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--baseline" => baseline = Some(value(&mut it, "--baseline")),
             "--candidate" => candidate = Some(value(&mut it, "--candidate")),
-            "--max-regress" => threshold = parse_pct(&value(&mut it, "--max-regress")) / 100.0,
+            "--max-regress" => {
+                threshold = parse_pct("--max-regress", &value(&mut it, "--max-regress")) / 100.0;
+            }
+            "--max-alloc-regress" => {
+                alloc_threshold = parse_pct(
+                    "--max-alloc-regress",
+                    &value(&mut it, "--max-alloc-regress"),
+                ) / 100.0;
+            }
             "--format" => format = parse_format(&value(&mut it, "--format")),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -133,7 +150,12 @@ fn cmd_gate(args: &[String]) -> ! {
         eprintln!("error: gate requires --baseline and --candidate");
         usage(2);
     };
-    match run_gate(Path::new(&baseline), Path::new(&candidate), threshold) {
+    match run_gate(
+        Path::new(&baseline),
+        Path::new(&candidate),
+        threshold,
+        alloc_threshold,
+    ) {
         Ok(report) => {
             match format {
                 Format::Human => print!("{}", report.render_human()),

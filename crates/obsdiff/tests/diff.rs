@@ -93,6 +93,7 @@ fn growth_within_threshold_is_drift_not_regression() {
         &b,
         &DiffOptions {
             max_regress_pct: 5.0,
+            ..DiffOptions::default()
         },
     );
     assert!(tight.has_regression());

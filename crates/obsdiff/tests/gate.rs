@@ -29,7 +29,7 @@ fn within_threshold_passes() {
     let cand = format!("{base}{}", entry(7, "null", 1200, "\"avs.pass\": 120"));
     let baseline = bench_file("pass-base", &base);
     let candidate = bench_file("pass-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(report.passed());
     let human = report.render_human();
     assert!(human.contains("bench gate passed"));
@@ -42,12 +42,12 @@ fn regression_beyond_threshold_fails() {
     let cand = format!("{base}{}", entry(7, "null", 1400, ""));
     let baseline = bench_file("reg-base", &base);
     let candidate = bench_file("reg-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(!report.passed());
     assert_eq!(report.failures, vec!["seed=7 jobs=null".to_string()]);
     assert!(report.render_human().contains("REGRESSION"));
     // A looser threshold lets the same pair through.
-    assert!(run_gate(&baseline, &candidate, 0.50)
+    assert!(run_gate(&baseline, &candidate, 0.50, 0.10)
         .expect("gate runs")
         .passed());
 }
@@ -58,7 +58,7 @@ fn vanished_stages_fail_even_when_total_is_fine() {
     let cand = format!("{base}{}", entry(7, "4", 1000, "\"avs.pass\": 100"));
     let baseline = bench_file("gone-base", &base);
     let candidate = bench_file("gone-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(!report.passed());
     assert!(report.failures[0].contains("missing stages: merge"));
 }
@@ -69,7 +69,7 @@ fn fresh_entry_without_baseline_is_recorded_not_gated() {
     let cand = format!("{base}{}", entry(99, "null", 9000, ""));
     let baseline = bench_file("new-base", &base);
     let candidate = bench_file("new-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(report.passed());
     assert!(report.render_human().contains("no committed baseline"));
 }
@@ -86,7 +86,7 @@ fn latest_committed_entry_per_key_wins() {
     let cand = format!("{base}{}", entry(7, "null", 3000, ""));
     let baseline = bench_file("latest-base", &base);
     let candidate = bench_file("latest-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(!report.passed());
 }
 
@@ -94,7 +94,7 @@ fn latest_committed_entry_per_key_wins() {
 fn unreadable_file_is_a_typed_error() {
     let cand = bench_file("unread-cand", &entry(7, "null", 1000, ""));
     let missing = std::env::temp_dir().join("obsdiff-gate-definitely-absent.json");
-    match run_gate(&missing, &cand, 0.25) {
+    match run_gate(&missing, &cand, 0.25, 0.10) {
         Err(GateError::Unreadable { path, .. }) => assert_eq!(path, missing),
         other => panic!("expected Unreadable, got {other:?}"),
     }
@@ -113,7 +113,7 @@ fn malformed_line_reports_its_line_number() {
         "mal-cand",
         &format!("{}\nnot json at all\n", entry(7, "null", 1000, "").trim()),
     );
-    match run_gate(&baseline, &candidate, 0.25) {
+    match run_gate(&baseline, &candidate, 0.25, 0.10) {
         Err(GateError::MalformedLine { line, path, .. }) => {
             assert_eq!(line, 2);
             assert_eq!(path, candidate);
@@ -129,7 +129,7 @@ fn missing_total_ms_names_the_offending_side() {
     let cand = format!("{base}{{\"seed\": 7, \"jobs\": null}}\n");
     let baseline = bench_file("nototal-base", &base);
     let candidate = bench_file("nototal-cand", &cand);
-    match run_gate(&baseline, &candidate, 0.25) {
+    match run_gate(&baseline, &candidate, 0.25, 0.10) {
         Err(GateError::MissingTotalMs { what, keys, .. }) => {
             assert_eq!(what, "fresh");
             assert_eq!(keys, vec!["seed".to_string(), "jobs".to_string()]);
@@ -141,7 +141,7 @@ fn missing_total_ms_names_the_offending_side() {
     let cand2 = format!("{base2}{}", entry(7, "null", 1000, ""));
     let baseline2 = bench_file("nototal-base2", &base2);
     let candidate2 = bench_file("nototal-cand2", &cand2);
-    match run_gate(&baseline2, &candidate2, 0.25) {
+    match run_gate(&baseline2, &candidate2, 0.25, 0.10) {
         Err(GateError::MissingTotalMs { what, .. }) => assert_eq!(what, "baseline"),
         other => panic!("expected MissingTotalMs, got {other:?}"),
     }
@@ -152,7 +152,7 @@ fn no_fresh_entries_is_a_typed_error() {
     let content = entry(7, "null", 1000, "");
     let baseline = bench_file("nofresh-base", &content);
     let candidate = bench_file("nofresh-cand", &content);
-    match run_gate(&baseline, &candidate, 0.25) {
+    match run_gate(&baseline, &candidate, 0.25, 0.10) {
         Err(GateError::NoFreshEntries) => {}
         other => panic!("expected NoFreshEntries, got {other:?}"),
     }
@@ -169,7 +169,7 @@ fn gated_stage_regression_fails_even_when_total_is_fine() {
     );
     let baseline = bench_file("stage-base", &base);
     let candidate = bench_file("stage-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(!report.passed());
     assert!(
         report.failures[0].contains("stage render.all"),
@@ -190,7 +190,7 @@ fn gated_stage_regression_fails_even_when_total_is_fine() {
         )
     );
     let candidate2 = bench_file("stage-cand2", &cand2);
-    assert!(run_gate(&baseline, &candidate2, 0.25)
+    assert!(run_gate(&baseline, &candidate2, 0.25, 0.10)
         .expect("gate runs")
         .passed());
 }
@@ -206,7 +206,7 @@ fn rendered_bytes_mismatch_fails_with_its_own_json_field() {
     let cand = format!("{base}{}", entry_with_bytes(7, 1000, 36400));
     let baseline = bench_file("bytes-base", &base);
     let candidate = bench_file("bytes-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     assert!(!report.passed());
     assert!(report.failures.is_empty(), "not a timing failure");
     assert_eq!(report.byte_mismatches, vec!["seed=7 jobs=1".to_string()]);
@@ -230,7 +230,7 @@ fn rendered_bytes_equal_passes() {
     let cand = format!("{base}{}", entry_with_bytes(7, 1100, 36392));
     let baseline = bench_file("byteseq-base", &base);
     let candidate = bench_file("byteseq-cand", &cand);
-    assert!(run_gate(&baseline, &candidate, 0.25)
+    assert!(run_gate(&baseline, &candidate, 0.25, 0.10)
         .expect("gate runs")
         .passed());
 }
@@ -243,7 +243,7 @@ fn rendered_bytes_on_one_side_only_is_a_typed_error() {
     let cand = format!("{base}{}", entry_with_bytes(7, 1000, 36392));
     let baseline = bench_file("byteshalf-base", &base);
     let candidate = bench_file("byteshalf-cand", &cand);
-    match run_gate(&baseline, &candidate, 0.25) {
+    match run_gate(&baseline, &candidate, 0.25, 0.10) {
         Err(GateError::MissingRenderedBytes { what, .. }) => assert_eq!(what, "baseline"),
         other => panic!("expected MissingRenderedBytes, got {other:?}"),
     }
@@ -263,7 +263,7 @@ fn json_format_carries_verdict_failures_and_log() {
     let cand = format!("{base}{}", entry(7, "2", 2000, ""));
     let baseline = bench_file("json-base", &base);
     let candidate = bench_file("json-cand", &cand);
-    let report = run_gate(&baseline, &candidate, 0.25).expect("gate runs");
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
     let parsed = Json::parse(&report.to_json().render()).expect("parses");
     assert_eq!(parsed.get("passed").and_then(Json::as_bool), Some(false));
     assert_eq!(
@@ -278,4 +278,79 @@ fn json_format_carries_verdict_failures_and_log() {
         .and_then(Json::as_arr)
         .expect("log array")
         .is_empty());
+}
+
+/// A bench entry carrying a `stage_alloc` map (deterministic allocation
+/// bytes per stage) alongside the wall-clock stages.
+fn entry_with_alloc(seed: u64, total_ms: u64, render_alloc: u64, merge_alloc: u64) -> String {
+    format!(
+        "{{\"seed\": {seed}, \"jobs\": 1, \"total_ms\": {total_ms}, \
+         \"stages\": {{\"render.all\": 10, \"merge\": 1}}, \
+         \"stage_alloc\": {{\"render.all\": {render_alloc}, \"merge\": {merge_alloc}}}}}\n"
+    )
+}
+
+#[test]
+fn alloc_regression_on_gated_stage_fails() {
+    // render.all allocation grows 20% — beyond the 10% alloc gate — while
+    // wall-clock is unchanged. The gate must fail on the alloc axis alone.
+    let base = entry_with_alloc(7, 1000, 1_000_000, 500);
+    let cand = format!("{base}{}", entry_with_alloc(7, 1000, 1_200_000, 500));
+    let baseline = bench_file("alloc-reg-base", &base);
+    let candidate = bench_file("alloc-reg-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
+    assert!(!report.passed());
+    assert_eq!(report.failures.len(), 1);
+    assert!(
+        report.failures[0].contains("stage render.all alloc +20.0%"),
+        "{:?}",
+        report.failures
+    );
+    assert!(report
+        .render_human()
+        .contains("render.all: 1000000 B -> 1200000 B allocated REGRESSION"));
+    // A looser alloc threshold lets the same pair through.
+    assert!(run_gate(&baseline, &candidate, 0.25, 0.30)
+        .expect("gate runs")
+        .passed());
+}
+
+#[test]
+fn alloc_growth_within_threshold_passes_and_is_logged() {
+    let base = entry_with_alloc(7, 1000, 1_000_000, 500);
+    let cand = format!("{base}{}", entry_with_alloc(7, 1000, 1_050_000, 500));
+    let baseline = bench_file("alloc-ok-base", &base);
+    let candidate = bench_file("alloc-ok-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
+    assert!(report.passed());
+    assert!(report
+        .render_human()
+        .contains("render.all: 1000000 B -> 1050000 B allocated"));
+}
+
+#[test]
+fn alloc_regression_on_ungated_stage_is_logged_not_gated() {
+    // merge is not in GATED_STAGES: even a 10x allocation jump only logs.
+    let base = entry_with_alloc(7, 1000, 1_000_000, 500);
+    let cand = format!("{base}{}", entry_with_alloc(7, 1000, 1_000_000, 5000));
+    let baseline = bench_file("alloc-ungated-base", &base);
+    let candidate = bench_file("alloc-ungated-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
+    assert!(report.passed());
+    assert!(report
+        .render_human()
+        .contains("merge: 500 B -> 5000 B allocated"));
+}
+
+#[test]
+fn entries_without_stage_alloc_are_tolerated() {
+    // Committed baselines that predate the memory plane carry no
+    // `stage_alloc`; the gate must not demand it the way it demands
+    // `rendered_bytes`.
+    let base = entry(7, "1", 1000, "\"render.all\": 10");
+    let cand = format!("{base}{}", entry_with_alloc(7, 1000, 1_000_000, 500));
+    let baseline = bench_file("alloc-miss-base", &base);
+    let candidate = bench_file("alloc-miss-cand", &cand);
+    let report = run_gate(&baseline, &candidate, 0.25, 0.10).expect("gate runs");
+    assert!(report.passed());
 }

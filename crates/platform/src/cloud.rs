@@ -151,7 +151,7 @@ impl AlexaCloud {
         if let Some(cached) = self.endpoints.get(name) {
             return cached.clone();
         }
-        let d = Domain::parse(name).expect("valid endpoint name");
+        let d = Domain::parse(name).unwrap_or_else(|_| Domain::invalid_sentinel());
         let ip = self.dns.resolve(&d);
         self.endpoints.insert(name.to_string(), (d.clone(), ip));
         (d, ip)

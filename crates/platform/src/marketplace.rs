@@ -1027,7 +1027,7 @@ fn skill_from_pin(pin: &Pin) -> Skill {
         backends: pin
             .backends
             .iter()
-            .map(|b| Domain::parse(b).expect("pinned backend domain"))
+            .map(|b| Domain::parse(b).unwrap_or_else(|_| Domain::invalid_sentinel()))
             .collect(),
         collects: vec![],
         policy,
